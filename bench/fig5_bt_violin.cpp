@@ -1,0 +1,27 @@
+// Reproduces Fig. 5: performance distributions of the full configuration
+// sweep for the BT benchmark on all architectures.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kde.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("FIGURE 5", "Full-space runtime distributions, BT benchmark");
+
+  const sweep::Dataset dataset = bench::run_app_study("bt");
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& s : dataset.samples()) {
+    groups[s.arch + "/" + s.input].push_back(s.mean_runtime);
+  }
+  for (const auto& [key, runtimes] : groups) {
+    const auto summary = stats::summarize(runtimes);
+    std::printf("\n--- %s (%zu configs)  median %.3fs  IQR [%.3f, %.3f] ---\n",
+                key.c_str(), runtimes.size(), summary.median, summary.q25,
+                summary.q75);
+    std::printf("%s", stats::render_ascii_violin(runtimes, 10, 44).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Fig. 7: performance distributions of the full configuration
+// sweep for the RSBench proxy application (thread-count sweep) on all
+// architectures.
+
+#include <map>
+
+#include "bench_common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kde.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("FIGURE 7",
+                      "Full-space runtime distributions, RSBench proxy application");
+
+  const sweep::Dataset dataset = bench::run_app_study("rsbench");
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& s : dataset.samples()) {
+    groups[s.arch + "/threads=" + std::to_string(s.threads)].push_back(s.mean_runtime);
+  }
+  for (const auto& [key, runtimes] : groups) {
+    const auto summary = stats::summarize(runtimes);
+    std::printf("\n--- %s (%zu configs)  median %.3fs  IQR [%.3f, %.3f] ---\n",
+                key.c_str(), runtimes.size(), summary.median, summary.q25,
+                summary.q75);
+    std::printf("%s", stats::render_ascii_violin(runtimes, 10, 44).c_str());
+  }
+  return 0;
+}

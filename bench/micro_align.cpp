@@ -1,0 +1,39 @@
+// Ablation micro-benchmark: KMP_ALIGN_ALLOC — allocation throughput and
+// padded-array access for each alignment the sweep explores.
+
+#include <benchmark/benchmark.h>
+
+#include "rt/aligned_alloc.hpp"
+
+namespace {
+
+using namespace omptune;
+
+void BM_Allocate(benchmark::State& state) {
+  rt::KmpAllocator alloc(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    void* p = alloc.allocate(192);
+    benchmark::DoNotOptimize(p);
+    alloc.deallocate(p);
+  }
+  state.counters["alignment"] = static_cast<double>(state.range(0));
+}
+
+void BM_PaddedSlotsWrite(benchmark::State& state) {
+  rt::KmpAllocator alloc(static_cast<std::size_t>(state.range(0)));
+  rt::KmpArray<double> slots(alloc, 16, /*padded=*/true);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      slots[i] += static_cast<double>(i);
+    }
+    benchmark::DoNotOptimize(&slots[0]);
+  }
+  state.counters["stride_bytes"] = static_cast<double>(slots.stride());
+}
+
+BENCHMARK(BM_Allocate)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->MinTime(0.2);
+BENCHMARK(BM_PaddedSlotsWrite)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

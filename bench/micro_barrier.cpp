@@ -1,0 +1,56 @@
+// Ablation micro-benchmark: centralized sense-reversing barrier vs the
+// combining-tree barrier, across wait policies — the barrier-algorithm
+// design choice LLVM/OpenMP exposes via KMP_*_BARRIER_PATTERN.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/barrier.hpp"
+#include "rt/tree_barrier.hpp"
+
+namespace {
+
+using namespace omptune;
+
+rt::WaitBehavior behavior(rt::WaitPolicy policy) {
+  rt::WaitBehavior wait;
+  wait.policy = policy;
+  return wait;
+}
+
+void BM_CentralBarrier(benchmark::State& state) {
+  const int team = static_cast<int>(state.range(0));
+  rt::Barrier barrier(team, behavior(rt::WaitPolicy::SpinThenSleep));
+  for (auto _ : state) {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&barrier] {
+        for (int round = 0; round < 100; ++round) barrier.arrive_and_wait();
+      });
+    }
+  }
+  state.counters["sleeps"] = static_cast<double>(barrier.sleep_count());
+}
+
+void BM_TreeBarrier(benchmark::State& state) {
+  const int team = static_cast<int>(state.range(0));
+  rt::TreeBarrier barrier(team, behavior(rt::WaitPolicy::SpinThenSleep));
+  for (auto _ : state) {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&barrier, t] {
+        for (int round = 0; round < 100; ++round) barrier.arrive_and_wait(t);
+      });
+    }
+  }
+  state.counters["sleeps"] = static_cast<double>(barrier.sleep_count());
+}
+
+BENCHMARK(BM_CentralBarrier)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_TreeBarrier)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

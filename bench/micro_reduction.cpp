@@ -1,0 +1,63 @@
+// Ablation micro-benchmark: the three reduction algorithms
+// (KMP_FORCE_REDUCTION) across team sizes, on the real Reducer.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "rt/aligned_alloc.hpp"
+#include "rt/barrier.hpp"
+#include "rt/reduction.hpp"
+
+namespace {
+
+using namespace omptune;
+
+void run_reduction(benchmark::State& state, rt::ReductionMethod method) {
+  const int team = static_cast<int>(state.range(0));
+  rt::KmpAllocator alloc(64);
+  rt::WaitBehavior wait;
+  wait.policy = rt::WaitPolicy::Active;  // keep the barrier spinning
+  rt::Barrier barrier(team, wait);
+  rt::Reducer reducer(alloc, team, barrier);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<double> results(static_cast<std::size_t>(team), 0.0);
+    state.ResumeTiming();
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(team));
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&reducer, &results, t, method] {
+        double local = t + 1.0;
+        for (int round = 0; round < 50; ++round) {
+          local = reducer.reduce(t, local * 1e-3, rt::ReduceOp::Sum, method);
+        }
+        results[static_cast<std::size_t>(t)] = local;
+      });
+    }
+    threads.clear();  // join
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.counters["contended_combines"] =
+      static_cast<double>(reducer.contended_combines());
+}
+
+void BM_Reduction_Tree(benchmark::State& state) {
+  run_reduction(state, rt::ReductionMethod::Tree);
+}
+void BM_Reduction_Critical(benchmark::State& state) {
+  run_reduction(state, rt::ReductionMethod::Critical);
+}
+void BM_Reduction_Atomic(benchmark::State& state) {
+  run_reduction(state, rt::ReductionMethod::Atomic);
+}
+
+BENCHMARK(BM_Reduction_Tree)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_Reduction_Critical)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_Reduction_Atomic)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

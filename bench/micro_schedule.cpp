@@ -1,0 +1,76 @@
+// Ablation micro-benchmark: worksharing schedule kinds under balanced and
+// imbalanced loops — the mechanism OMP_SCHEDULE tunes. Reports the
+// shared-counter coordination operations as a counter.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+
+namespace {
+
+using namespace omptune;
+
+rt::RtConfig config_for(rt::ScheduleKind kind, int chunk, int threads) {
+  rt::RtConfig config = rt::RtConfig::defaults_for(
+      arch::architecture(arch::ArchId::Skylake));
+  config.num_threads = threads;
+  config.schedule = kind;
+  config.chunk = chunk;
+  config.blocktime_ms = 0;  // be kind to small hosts between iterations
+  return config;
+}
+
+void run_loop(benchmark::State& state, rt::ScheduleKind kind, int chunk,
+              bool imbalanced) {
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kIters = 1 << 14;
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  rt::ThreadTeam team(cpu, config_for(kind, chunk, kThreads));
+
+  for (auto _ : state) {
+    team.parallel([imbalanced](rt::TeamContext& ctx) {
+      ctx.parallel_for(0, kIters, [imbalanced](std::int64_t lo, std::int64_t hi) {
+        double acc = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          // Imbalanced: iteration cost grows with the index (triangular).
+          const int reps = imbalanced ? static_cast<int>(i % 64) : 8;
+          for (int r = 0; r < reps; ++r) acc += static_cast<double>(i ^ r);
+        }
+        benchmark::DoNotOptimize(acc);
+      });
+    });
+  }
+  state.counters["sync_ops"] = static_cast<double>(team.stats().loop_sync_operations);
+  state.counters["regions"] = static_cast<double>(team.stats().parallel_regions);
+}
+
+void BM_Schedule_Static_Balanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Static, 0, false);
+}
+void BM_Schedule_Static_Imbalanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Static, 0, true);
+}
+void BM_Schedule_Dynamic1_Imbalanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Dynamic, 1, true);
+}
+void BM_Schedule_Dynamic64_Imbalanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Dynamic, 64, true);
+}
+void BM_Schedule_Guided_Imbalanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Guided, 0, true);
+}
+void BM_Schedule_Auto_Imbalanced(benchmark::State& state) {
+  run_loop(state, rt::ScheduleKind::Auto, 0, true);
+}
+
+BENCHMARK(BM_Schedule_Static_Balanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Schedule_Static_Imbalanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Schedule_Dynamic1_Imbalanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Schedule_Dynamic64_Imbalanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Schedule_Guided_Imbalanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Schedule_Auto_Imbalanced)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

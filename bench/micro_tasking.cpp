@@ -1,0 +1,66 @@
+// Ablation micro-benchmark: task spawn/steal throughput of the
+// work-stealing pool across task granularities and wait policies — the
+// substrate behind the BOTS results (NQueens' turnaround win).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+
+namespace {
+
+using namespace omptune;
+
+void run_tasks(benchmark::State& state, rt::LibraryMode library, int work_per_task) {
+  constexpr int kThreads = 4;
+  constexpr int kTasks = 512;
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  rt::RtConfig config = rt::RtConfig::defaults_for(cpu);
+  config.num_threads = kThreads;
+  config.library = library;
+  rt::ThreadTeam team(cpu, config);
+
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+    team.parallel([&sink, work_per_task](rt::TeamContext& ctx) {
+      ctx.run_task_root([&ctx, &sink, work_per_task] {
+        for (int i = 0; i < kTasks; ++i) {
+          ctx.spawn([&sink, work_per_task, i] {
+            long acc = 0;
+            for (int r = 0; r < work_per_task; ++r) acc += i ^ r;
+            sink.fetch_add(acc, std::memory_order_relaxed);
+          });
+        }
+      });
+    });
+  }
+  const auto stats = team.stats().tasks;
+  state.counters["tasks/s"] = benchmark::Counter(
+      static_cast<double>(stats.executed), benchmark::Counter::kIsRate);
+  state.counters["steals"] = static_cast<double>(stats.steals);
+  state.counters["idle_polls"] = static_cast<double>(stats.idle_polls);
+}
+
+void BM_Tasks_Fine_Throughput(benchmark::State& state) {
+  run_tasks(state, rt::LibraryMode::Throughput, 16);
+}
+void BM_Tasks_Fine_Turnaround(benchmark::State& state) {
+  run_tasks(state, rt::LibraryMode::Turnaround, 16);
+}
+void BM_Tasks_Coarse_Throughput(benchmark::State& state) {
+  run_tasks(state, rt::LibraryMode::Throughput, 4096);
+}
+void BM_Tasks_Coarse_Turnaround(benchmark::State& state) {
+  run_tasks(state, rt::LibraryMode::Turnaround, 4096);
+}
+
+BENCHMARK(BM_Tasks_Fine_Throughput)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_Tasks_Fine_Turnaround)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_Tasks_Coarse_Throughput)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+BENCHMARK(BM_Tasks_Coarse_Turnaround)->Unit(benchmark::kMillisecond)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

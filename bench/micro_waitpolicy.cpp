@@ -1,0 +1,58 @@
+// Ablation micro-benchmark: fork/join cost of a parallel region under each
+// wait policy (KMP_LIBRARY x KMP_BLOCKTIME) — the mechanism behind the
+// paper's KMP_BLOCKTIME/KMP_LIBRARY findings. Counts how often workers had
+// to fall back to an OS sleep.
+
+#include <benchmark/benchmark.h>
+
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+
+namespace {
+
+using namespace omptune;
+
+void run_regions(benchmark::State& state, rt::LibraryMode library,
+                 std::int64_t blocktime_ms) {
+  constexpr int kThreads = 4;
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  rt::RtConfig config = rt::RtConfig::defaults_for(cpu);
+  config.num_threads = kThreads;
+  config.library = library;
+  config.blocktime_ms = blocktime_ms;
+  rt::ThreadTeam team(cpu, config);
+
+  for (auto _ : state) {
+    // Ten back-to-back tiny regions: the fork/join overhead dominates.
+    for (int i = 0; i < 10; ++i) {
+      team.parallel([](rt::TeamContext& ctx) {
+        benchmark::DoNotOptimize(ctx.tid());
+      });
+    }
+  }
+  state.counters["barrier_sleeps"] =
+      static_cast<double>(team.stats().barrier_sleeps);
+  state.counters["regions"] = static_cast<double>(team.stats().parallel_regions);
+}
+
+void BM_Regions_Turnaround(benchmark::State& state) {
+  run_regions(state, rt::LibraryMode::Turnaround, 200);
+}
+void BM_Regions_Throughput_Blocktime200(benchmark::State& state) {
+  run_regions(state, rt::LibraryMode::Throughput, 200);
+}
+void BM_Regions_Throughput_BlocktimeInfinite(benchmark::State& state) {
+  run_regions(state, rt::LibraryMode::Throughput, rt::kBlocktimeInfinite);
+}
+void BM_Regions_Throughput_Blocktime0(benchmark::State& state) {
+  run_regions(state, rt::LibraryMode::Throughput, 0);
+}
+
+BENCHMARK(BM_Regions_Turnaround)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Regions_Throughput_Blocktime200)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Regions_Throughput_BlocktimeInfinite)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+BENCHMARK(BM_Regions_Throughput_Blocktime0)->Unit(benchmark::kMicrosecond)->MinTime(0.2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Reproduces Section V.4 (RQ4): trends associated with the worst
+// performance — master/primary binding with large thread counts dominates
+// the slowest decile.
+
+#include "bench_common.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace omptune;
+  bench::print_header("RQ4 (Section V.4)", "Trends associated with the worst performance");
+
+  const auto result = bench::run_full_study();
+
+  util::TextTable table("Condition frequency in the slowest decile vs overall",
+                        {"condition", "share in worst", "share overall", "lift"});
+  for (const auto& t : result.worst_trends) {
+    table.add_row({t.condition, util::format_double(t.share_in_worst, 3),
+                   util::format_double(t.share_overall, 3),
+                   util::format_double(t.lift, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Paper finding: master/primary binding with many threads packs the\n"
+              "whole team onto the primary's place — the recommended-to-avoid pair.\n");
+  return 0;
+}

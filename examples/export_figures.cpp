@@ -1,0 +1,52 @@
+// Regenerate the plot-ready data behind every figure of the paper: violin
+// KDE series for Figs 1/5/6/7 and the three influence heat maps (Figs
+// 2/3/4), each as CSV plus a gnuplot script — the "visualization tooling"
+// the paper open-sources.
+//
+// Usage: export_figures [out_dir] [configs_per_setting]
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/export.hpp"
+#include "core/study.hpp"
+#include "sim/executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace omptune;
+  const std::string out_dir = argc > 1 ? argv[1] : "figures_out";
+  const std::size_t cap = argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 400;
+
+  sim::ModelRunner runner;
+  core::Study study(runner);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  if (cap > 0) {
+    for (auto& arch_plan : plan.arch_plans) {
+      for (auto& count : arch_plan.configs_per_setting) count = cap;
+    }
+  }
+  std::printf("running the study (%s scale)...\n", cap > 0 ? "reduced" : "full");
+  const core::StudyResult result = study.run(plan);
+
+  std::size_t files = 0;
+  for (const char* app : {"alignment", "bt", "health", "rsbench"}) {
+    for (const std::string& path :
+         analysis::export_violin_figure(result.dataset, app, out_dir)) {
+      std::printf("  wrote %s\n", path.c_str());
+      ++files;
+    }
+  }
+  for (const auto& [map, name] :
+       {std::pair{&result.per_app_influence, "fig2_per_app"},
+        std::pair{&result.per_arch_influence, "fig3_per_arch"},
+        std::pair{&result.per_arch_app_influence, "fig4_per_arch_app"}}) {
+    for (const std::string& path :
+         analysis::export_heatmap_figure(*map, name, out_dir)) {
+      std::printf("  wrote %s\n", path.c_str());
+      ++files;
+    }
+  }
+  std::printf("%zu files in %s; plot with: cd %s && gnuplot -p <script>.gp\n",
+              files, out_dir.c_str(), out_dir.c_str());
+  return 0;
+}

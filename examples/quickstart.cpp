@@ -1,0 +1,68 @@
+// Quickstart: configure the runtime from the environment (exactly the
+// OMP_*/KMP_* variables the paper studies), run a real kernel through the
+// runtime substrate, and ask the performance model how the same
+// configuration would behave on the study's three machines.
+//
+// Try:
+//   OMP_NUM_THREADS=4 KMP_LIBRARY=turnaround ./quickstart
+//   OMP_PLACES=cores OMP_PROC_BIND=spread OMP_SCHEDULE=guided ./quickstart
+
+#include <chrono>
+#include <cstdio>
+
+#include "apps/all_apps.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+#include "sim/perf_model.hpp"
+
+int main() {
+  using namespace omptune;
+
+  // 1. Parse the environment into a runtime configuration (defaults follow
+  //    the paper's Section III derivation rules).
+  const arch::CpuArch& host_model = arch::architecture(arch::ArchId::Skylake);
+  rt::RtConfig config = rt::RtConfig::from_env(host_model);
+  if (config.num_threads == 0) config.num_threads = 4;  // sane example default
+  std::printf("configuration: %s\n", config.key().c_str());
+  std::printf("derived: proc_bind=%s wait_policy=%s reduction(team=%d)=%s\n\n",
+              arch::to_string(config.effective_bind()).c_str(),
+              config.wait_policy() == rt::WaitPolicy::Active ? "active"
+              : config.wait_policy() == rt::WaitPolicy::Passive ? "passive"
+                                                                : "spin-then-sleep",
+              config.num_threads,
+              rt::to_string(config.reduction_method_for(config.num_threads)).c_str());
+
+  // 2. Run the CG kernel natively through the runtime.
+  const apps::Application& cg = apps::find_application("cg");
+  const apps::InputSize input = cg.input_sizes().front();
+  rt::ThreadTeam team(host_model, config);
+  const auto start = std::chrono::steady_clock::now();
+  const double checksum = cg.run_native(team, input, /*native_scale=*/1.0);
+  const auto seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  const double reference = cg.run_reference(input, 1.0);
+  std::printf("CG (%s): %.3f s on %d threads, checksum %.6f (serial ref %.6f)\n",
+              input.name.c_str(), seconds, team.num_threads(), checksum, reference);
+
+  const rt::TeamStats stats = team.stats();
+  std::printf("runtime stats: %llu regions, %llu loop sync ops, %llu barrier sleeps\n\n",
+              static_cast<unsigned long long>(stats.parallel_regions),
+              static_cast<unsigned long long>(stats.loop_sync_operations),
+              static_cast<unsigned long long>(stats.barrier_sleeps));
+
+  // 3. Model the same configuration on the paper's three machines.
+  sim::PerfModel model;
+  std::printf("model projection of this configuration (vs per-arch default):\n");
+  for (const arch::CpuArch& cpu : arch::all_architectures()) {
+    rt::RtConfig projected = config;
+    projected.num_threads = 0;  // use every core of the target
+    projected.align_alloc = 0;  // re-derive the cache-line default
+    const double t = model.predict(cg, cg.default_input(), cpu, projected);
+    const double t_default =
+        model.predict(cg, cg.default_input(), cpu, rt::RtConfig::defaults_for(cpu));
+    std::printf("  %-8s %7.3f s  (default %7.3f s, ratio %.3f)\n",
+                cpu.name.c_str(), t, t_default, t_default / t);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "analysis/export.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace omptune::analysis {
+
+namespace {
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("export: cannot open '" + path + "'");
+  return os;
+}
+
+/// File-system friendly version of a group key.
+std::string slug(std::string text) {
+  for (char& c : text) {
+    if (c == '/' || c == ' ' || c == '=') c = '_';
+  }
+  return text;
+}
+
+}  // namespace
+
+void write_violin_csv(const std::string& path, const stats::ViolinData& violin) {
+  std::ofstream os = open_or_throw(path);
+  os << "value,density\n";
+  for (std::size_t i = 0; i < violin.grid.size(); ++i) {
+    os << util::format_double(violin.grid[i], 9) << ','
+       << util::format_double(violin.density[i], 9) << '\n';
+  }
+  if (!os) throw std::runtime_error("export: write to '" + path + "' failed");
+}
+
+void write_heatmap_csv(const std::string& path, const InfluenceMap& map) {
+  std::ofstream os = open_or_throw(path);
+  os << "group";
+  for (const std::string& feature : map.feature_names) {
+    os << ',' << util::csv_quote(feature);
+  }
+  os << '\n';
+  for (const InfluenceRow& row : map.rows) {
+    os << util::csv_quote(row.group);
+    for (const double v : row.influence) {
+      os << ',' << util::format_double(v, 6);
+    }
+    os << '\n';
+  }
+  if (!os) throw std::runtime_error("export: write to '" + path + "' failed");
+}
+
+std::vector<std::string> export_violin_figure(const sweep::Dataset& dataset,
+                                              const std::string& app,
+                                              const std::string& out_dir,
+                                              int grid_points) {
+  std::filesystem::create_directories(out_dir);
+
+  std::map<std::string, std::vector<double>> groups;
+  for (const sweep::Sample& s : dataset.samples()) {
+    if (s.app != app) continue;
+    groups[s.arch + "/" + s.input + "/t" + std::to_string(s.threads)].push_back(
+        s.mean_runtime);
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("export_violin_figure: no samples for app '" + app + "'");
+  }
+
+  std::vector<std::string> written;
+  std::vector<std::pair<std::string, std::string>> plotted;  // title, file
+  for (const auto& [key, runtimes] : groups) {
+    if (runtimes.size() < 2) continue;
+    const stats::ViolinData violin = stats::kernel_density(runtimes, grid_points);
+    const std::string path = out_dir + "/" + app + "_" + slug(key) + ".csv";
+    write_violin_csv(path, violin);
+    written.push_back(path);
+    plotted.emplace_back(key, path);
+  }
+
+  // gnuplot script: one density curve per group.
+  const std::string script_path = out_dir + "/" + app + "_violin.gp";
+  std::ofstream gp = open_or_throw(script_path);
+  gp << "# Re-plot of the '" << app << "' runtime distributions (paper-style violins)\n"
+     << "set datafile separator ','\n"
+     << "set key outside\n"
+     << "set xlabel 'runtime (s)'\n"
+     << "set ylabel 'density'\n"
+     << "set title 'Full-space runtime distributions: " << app << "'\n"
+     << "plot \\\n";
+  for (std::size_t i = 0; i < plotted.size(); ++i) {
+    gp << "  '" << std::filesystem::path(plotted[i].second).filename().string()
+       << "' using 1:2 skip 1 with lines title '" << plotted[i].first << "'";
+    gp << (i + 1 < plotted.size() ? ", \\\n" : "\n");
+  }
+  if (!gp) throw std::runtime_error("export: write to '" + script_path + "' failed");
+  written.push_back(script_path);
+  return written;
+}
+
+std::vector<std::string> export_heatmap_figure(const InfluenceMap& map,
+                                               const std::string& name,
+                                               const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const std::string csv_path = out_dir + "/" + name + ".csv";
+  write_heatmap_csv(csv_path, map);
+
+  const std::string script_path = out_dir + "/" + name + ".gp";
+  std::ofstream gp = open_or_throw(script_path);
+  gp << "# Re-plot of the '" << name << "' influence heat map\n"
+     << "set datafile separator ','\n"
+     << "set view map\n"
+     << "set palette defined (0 'white', 1 'dark-blue')\n"
+     << "set cbrange [0:*]\n"
+     << "set title 'Feature influence: " << name << "'\n"
+     << "set xtics rotate by -45\n"
+     << "plot '" << name << ".csv' matrix rowheaders columnheaders using 1:2:3 with image\n";
+  if (!gp) throw std::runtime_error("export: write to '" + script_path + "' failed");
+  return {csv_path, script_path};
+}
+
+}  // namespace omptune::analysis

@@ -1,0 +1,38 @@
+#pragma once
+
+// Figure-data export — the paper's "visualization of the results, and all
+// tooling used in the process" deliverable: violin (KDE) series and
+// influence heat maps as plain CSV plus ready-to-run gnuplot scripts, so
+// the figures can be re-plotted outside the terminal renderings.
+
+#include <string>
+#include <vector>
+
+#include "analysis/influence.hpp"
+#include "stats/kde.hpp"
+#include "sweep/dataset.hpp"
+
+namespace omptune::analysis {
+
+/// Write one KDE curve as CSV (columns: value, density).
+void write_violin_csv(const std::string& path, const stats::ViolinData& violin);
+
+/// Write an influence map as CSV (rows: group; columns: features).
+void write_heatmap_csv(const std::string& path, const InfluenceMap& map);
+
+/// Export everything needed to re-plot one application's violin figure
+/// (paper Figs 1, 5-7): one CSV per (arch, input, threads) group with the
+/// runtime KDE, plus `<app>_violin.gp`, a gnuplot script that plots them.
+/// Returns the paths written. Groups with fewer than 2 samples are skipped.
+std::vector<std::string> export_violin_figure(const sweep::Dataset& dataset,
+                                              const std::string& app,
+                                              const std::string& out_dir,
+                                              int grid_points = 128);
+
+/// Export one heat-map figure (paper Figs 2-4): the CSV plus a gnuplot
+/// matrix-plot script. Returns the paths written.
+std::vector<std::string> export_heatmap_figure(const InfluenceMap& map,
+                                               const std::string& name,
+                                               const std::string& out_dir);
+
+}  // namespace omptune::analysis

@@ -1,0 +1,123 @@
+#include "analysis/influence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/scaler.hpp"
+
+namespace omptune::analysis {
+
+std::string to_string(Grouping grouping) {
+  switch (grouping) {
+    case Grouping::PerApplication: return "per-application";
+    case Grouping::PerArchitecture: return "per-architecture";
+    case Grouping::PerArchApplication: return "per-architecture-application";
+  }
+  throw std::invalid_argument("to_string: bad Grouping");
+}
+
+double InfluenceMap::at(const std::string& group,
+                        const std::string& feature) const {
+  const auto feature_it =
+      std::find(feature_names.begin(), feature_names.end(), feature);
+  if (feature_it == feature_names.end()) {
+    throw std::invalid_argument("InfluenceMap::at: unknown feature '" + feature + "'");
+  }
+  const std::size_t col =
+      static_cast<std::size_t>(feature_it - feature_names.begin());
+  for (const InfluenceRow& row : rows) {
+    if (row.group == group) return row.influence.at(col);
+  }
+  throw std::invalid_argument("InfluenceMap::at: unknown group '" + group + "'");
+}
+
+namespace {
+
+ml::FeatureOptions options_for(Grouping grouping) {
+  ml::FeatureOptions options;
+  switch (grouping) {
+    case Grouping::PerApplication:
+      // Pooling architectures: the Architecture placeholder column reveals
+      // how architecture-dependent an app's tuning is (Fig 2).
+      options.include_architecture = true;
+      break;
+    case Grouping::PerArchitecture:
+      // Pooling applications: the Application column (Fig 3).
+      options.include_application = true;
+      break;
+    case Grouping::PerArchApplication:
+      break;
+  }
+  return options;
+}
+
+std::vector<std::string> group_keys(const sweep::Dataset& dataset,
+                                    Grouping grouping) {
+  switch (grouping) {
+    case Grouping::PerApplication:
+      return dataset.distinct([](const sweep::Sample& s) { return s.app; });
+    case Grouping::PerArchitecture:
+      return dataset.distinct([](const sweep::Sample& s) { return s.arch; });
+    case Grouping::PerArchApplication:
+      return dataset.distinct(
+          [](const sweep::Sample& s) { return s.arch + "/" + s.app; });
+  }
+  throw std::invalid_argument("group_keys: bad Grouping");
+}
+
+sweep::Dataset group_slice(const sweep::Dataset& dataset, Grouping grouping,
+                           const std::string& key) {
+  switch (grouping) {
+    case Grouping::PerApplication:
+      return dataset.filter(
+          [&key](const sweep::Sample& s) { return s.app == key; });
+    case Grouping::PerArchitecture:
+      return dataset.filter(
+          [&key](const sweep::Sample& s) { return s.arch == key; });
+    case Grouping::PerArchApplication:
+      return dataset.filter([&key](const sweep::Sample& s) {
+        return s.arch + "/" + s.app == key;
+      });
+  }
+  throw std::invalid_argument("group_slice: bad Grouping");
+}
+
+}  // namespace
+
+InfluenceMap influence_map(const sweep::Dataset& dataset, Grouping grouping,
+                           double label_threshold,
+                           ml::LogisticOptions options) {
+  const ml::FeatureEncoder encoder(options_for(grouping));
+  InfluenceMap map;
+  map.feature_names = encoder.names();
+
+  for (const std::string& key : group_keys(dataset, grouping)) {
+    const sweep::Dataset slice = group_slice(dataset, grouping, key);
+    const std::vector<int> labels =
+        ml::FeatureEncoder::labels(slice, label_threshold);
+
+    const std::size_t positives =
+        static_cast<std::size_t>(std::count(labels.begin(), labels.end(), 1));
+    if (positives == 0 || positives == labels.size()) {
+      // Degenerate group: a single class carries no separating signal.
+      continue;
+    }
+
+    ml::StandardScaler scaler;
+    const ml::Matrix x = scaler.fit_transform(encoder.encode(slice));
+    ml::LogisticRegression model(options);
+    model.fit(x, labels);
+
+    InfluenceRow row;
+    row.group = key;
+    row.influence = model.normalized_influence();
+    row.model_accuracy = model.accuracy(x, labels);
+    row.positive_share =
+        static_cast<double>(positives) / static_cast<double>(labels.size());
+    row.samples = labels.size();
+    map.rows.push_back(std::move(row));
+  }
+  return map;
+}
+
+}  // namespace omptune::analysis

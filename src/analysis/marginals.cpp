@@ -1,0 +1,75 @@
+#include "analysis/marginals.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace omptune::analysis {
+
+namespace {
+
+std::vector<std::pair<std::string, std::string>> variable_values(
+    const rt::RtConfig& config) {
+  return {
+      {"OMP_PLACES", arch::to_string(config.places)},
+      {"OMP_PROC_BIND", arch::to_string(config.bind)},
+      {"OMP_SCHEDULE", rt::to_string(config.schedule)},
+      {"KMP_LIBRARY", rt::to_string(config.library)},
+      {"KMP_BLOCKTIME", config.blocktime_ms == rt::kBlocktimeInfinite
+                            ? std::string("infinite")
+                            : std::to_string(config.blocktime_ms)},
+      {"KMP_FORCE_REDUCTION", rt::to_string(config.reduction)},
+      {"KMP_ALIGN_ALLOC", std::to_string(config.align_alloc)},
+  };
+}
+
+}  // namespace
+
+std::vector<MarginalRow> value_marginals(const sweep::Dataset& dataset,
+                                         bool per_arch) {
+  // (arch, variable, value) -> speedups
+  std::map<std::tuple<std::string, std::string, std::string>, std::vector<double>>
+      groups;
+  for (const sweep::Sample& s : dataset.samples()) {
+    const std::string arch = per_arch ? s.arch : std::string("all");
+    for (const auto& [variable, value] : variable_values(s.config)) {
+      groups[{arch, variable, value}].push_back(s.speedup);
+    }
+  }
+
+  std::vector<MarginalRow> rows;
+  rows.reserve(groups.size());
+  for (auto& [key, speedups] : groups) {
+    MarginalRow row;
+    row.arch = std::get<0>(key);
+    row.variable = std::get<1>(key);
+    row.value = std::get<2>(key);
+    row.samples = speedups.size();
+    row.mean_speedup = stats::mean(speedups);
+    row.median_speedup = stats::median(speedups);
+    row.p95_speedup = stats::quantile(speedups, 0.95);
+    std::size_t optimal = 0;
+    for (const double s : speedups) optimal += (s > 1.01);
+    row.optimal_share =
+        static_cast<double>(optimal) / static_cast<double>(speedups.size());
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+MarginalRow best_value_of(const std::vector<MarginalRow>& marginals,
+                          const std::string& arch,
+                          const std::string& variable) {
+  const MarginalRow* best = nullptr;
+  for (const MarginalRow& row : marginals) {
+    if (row.arch != arch || row.variable != variable) continue;
+    if (best == nullptr || row.median_speedup > best->median_speedup) {
+      best = &row;
+    }
+  }
+  if (best == nullptr) {
+    throw std::invalid_argument("best_value_of: no rows for " + arch + "/" + variable);
+  }
+  return *best;
+}
+
+}  // namespace omptune::analysis

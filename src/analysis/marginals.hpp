@@ -1,0 +1,38 @@
+#pragma once
+
+// Marginal value analysis: the paper's stated goal of "form[ing]
+// qualitative relations between features" made explicit — for every
+// environment variable and every value it takes, the distribution of
+// speedups across the samples holding that value, per architecture.
+// This is the drill-down a reader performs on the violin plots.
+
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "sweep/dataset.hpp"
+
+namespace omptune::analysis {
+
+struct MarginalRow {
+  std::string arch;        ///< "all" for the pooled row
+  std::string variable;    ///< paper spelling, e.g. "KMP_LIBRARY"
+  std::string value;       ///< e.g. "turnaround"
+  std::size_t samples = 0;
+  double mean_speedup = 0;
+  double median_speedup = 0;
+  double p95_speedup = 0;      ///< tail potential of this value
+  double optimal_share = 0;    ///< fraction with speedup > 1.01
+};
+
+/// Per-(arch, variable, value) speedup summaries. `per_arch` false pools
+/// the architectures into "all" rows.
+std::vector<MarginalRow> value_marginals(const sweep::Dataset& dataset,
+                                         bool per_arch = true);
+
+/// Convenience: the single best value of `variable` on `arch` by median
+/// speedup; throws std::invalid_argument when absent from the dataset.
+MarginalRow best_value_of(const std::vector<MarginalRow>& marginals,
+                          const std::string& arch, const std::string& variable);
+
+}  // namespace omptune::analysis

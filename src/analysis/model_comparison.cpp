@@ -1,0 +1,115 @@
+#include "analysis/model_comparison.hpp"
+
+#include <algorithm>
+
+#include "ml/decision_tree.hpp"
+#include "ml/features.hpp"
+#include "ml/scaler.hpp"
+
+namespace omptune::analysis {
+
+namespace {
+
+bool degenerate(const std::vector<int>& labels) {
+  const auto positives = std::count(labels.begin(), labels.end(), 1);
+  return positives == 0 || positives == static_cast<long>(labels.size());
+}
+
+double majority_accuracy(const std::vector<int>& labels) {
+  const auto positives =
+      static_cast<double>(std::count(labels.begin(), labels.end(), 1));
+  const double share = positives / static_cast<double>(labels.size());
+  return std::max(share, 1.0 - share);
+}
+
+}  // namespace
+
+std::vector<ModelComparisonRow> compare_models(const sweep::Dataset& dataset,
+                                               double label_threshold,
+                                               ml::ForestOptions forest_options) {
+  ml::FeatureOptions options;
+  options.include_application = true;  // per-arch grouping pools apps
+  const ml::FeatureEncoder encoder(options);
+
+  std::vector<ModelComparisonRow> rows;
+  for (const std::string& arch :
+       dataset.distinct([](const sweep::Sample& s) { return s.arch; })) {
+    const sweep::Dataset slice = dataset.filter(
+        [&arch](const sweep::Sample& s) { return s.arch == arch; });
+    const std::vector<int> labels =
+        ml::FeatureEncoder::labels(slice, label_threshold);
+    if (degenerate(labels)) continue;
+
+    const ml::Matrix raw = encoder.encode(slice);
+    ml::StandardScaler scaler;
+    const ml::Matrix scaled = scaler.fit_transform(raw);
+
+    ModelComparisonRow row;
+    row.group = arch;
+    row.samples = labels.size();
+    row.positive_share =
+        static_cast<double>(std::count(labels.begin(), labels.end(), 1)) /
+        static_cast<double>(labels.size());
+
+    ml::LogisticRegression logistic;
+    logistic.fit(scaled, labels);
+    row.logistic_accuracy = logistic.accuracy(scaled, labels);
+
+    // Trees are scale-invariant: fit on the raw features.
+    ml::DecisionTree tree(forest_options.tree);
+    tree.fit(raw, labels);
+    row.tree_accuracy = tree.accuracy(raw, labels);
+
+    ml::RandomForest forest(forest_options);
+    forest.fit(raw, labels);
+    row.forest_accuracy = forest.accuracy(raw, labels);
+    row.forest_oob_accuracy = forest.oob_accuracy();
+
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<TransferResult> leave_one_app_out(const sweep::Dataset& dataset,
+                                              double label_threshold,
+                                              ml::ForestOptions forest_options) {
+  // Environment-variable features only: application identity must not leak
+  // into a model meant to generalize to unseen applications.
+  const ml::FeatureEncoder encoder{ml::FeatureOptions{}};
+
+  std::vector<TransferResult> results;
+  for (const std::string& arch :
+       dataset.distinct([](const sweep::Sample& s) { return s.arch; })) {
+    const sweep::Dataset arch_data = dataset.filter(
+        [&arch](const sweep::Sample& s) { return s.arch == arch; });
+    for (const std::string& app :
+         arch_data.distinct([](const sweep::Sample& s) { return s.app; })) {
+      const sweep::Dataset train = arch_data.filter(
+          [&app](const sweep::Sample& s) { return s.app != app; });
+      const sweep::Dataset test = arch_data.filter(
+          [&app](const sweep::Sample& s) { return s.app == app; });
+      const std::vector<int> train_labels =
+          ml::FeatureEncoder::labels(train, label_threshold);
+      const std::vector<int> test_labels =
+          ml::FeatureEncoder::labels(test, label_threshold);
+      if (train.size() == 0 || test.size() == 0 || degenerate(train_labels)) {
+        continue;
+      }
+
+      ml::RandomForest forest(forest_options);
+      forest.fit(encoder.encode(train), train_labels);
+
+      TransferResult result;
+      result.arch = arch;
+      result.held_out_app = app;
+      result.test_samples = test_labels.size();
+      result.majority_baseline = majority_accuracy(test_labels);
+      result.forest_accuracy =
+          forest.accuracy(encoder.encode(test), test_labels);
+      results.push_back(result);
+    }
+  }
+  return results;
+}
+
+}  // namespace omptune::analysis

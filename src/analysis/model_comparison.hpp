@@ -1,0 +1,51 @@
+#pragma once
+
+// Model-comparison and transfer analyses — the paper's Section VI future
+// work, implemented: compare the interpretable linear classifier against
+// non-linear models (CART / random forest) per grouping, and quantify how
+// well knowledge transfers to *unseen* applications via leave-one-app-out
+// evaluation (the paper: "there is no guarantee this knowledge can be
+// transferred to new unseen applications").
+
+#include <string>
+#include <vector>
+
+#include "ml/logistic_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "sweep/dataset.hpp"
+
+namespace omptune::analysis {
+
+struct ModelComparisonRow {
+  std::string group;
+  std::size_t samples = 0;
+  double positive_share = 0.0;
+  double logistic_accuracy = 0.0;
+  double tree_accuracy = 0.0;
+  double forest_accuracy = 0.0;
+  double forest_oob_accuracy = 0.0;  ///< honest generalization estimate
+};
+
+/// Fit logistic regression, a single CART tree, and a random forest on each
+/// architecture's data (optimal/sub-optimal labels) and report training +
+/// out-of-bag accuracies. Degenerate single-class groups are skipped.
+std::vector<ModelComparisonRow> compare_models(const sweep::Dataset& dataset,
+                                               double label_threshold = 1.01,
+                                               ml::ForestOptions forest = {});
+
+struct TransferResult {
+  std::string arch;
+  std::string held_out_app;
+  std::size_t test_samples = 0;
+  double majority_baseline = 0.0;  ///< accuracy of always predicting the majority class
+  double forest_accuracy = 0.0;    ///< forest trained on the other apps
+};
+
+/// Leave-one-app-out transfer per architecture: train a forest on every
+/// other application's samples (environment-variable features only — no
+/// application identity) and evaluate on the held-out app.
+std::vector<TransferResult> leave_one_app_out(const sweep::Dataset& dataset,
+                                              double label_threshold = 1.01,
+                                              ml::ForestOptions forest = {});
+
+}  // namespace omptune::analysis

@@ -1,0 +1,177 @@
+#include "analysis/recommend.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/speedup.hpp"
+#include "stats/descriptive.hpp"
+
+namespace omptune::analysis {
+
+namespace {
+
+/// Variable/value pairs of one configuration, in the paper's spellings.
+std::vector<std::pair<std::string, std::string>> variable_values(
+    const rt::RtConfig& config) {
+  return {
+      {"OMP_PLACES", arch::to_string(config.places)},
+      {"OMP_PROC_BIND", arch::to_string(config.bind)},
+      {"OMP_SCHEDULE", rt::to_string(config.schedule)},
+      {"KMP_LIBRARY", rt::to_string(config.library)},
+      {"KMP_BLOCKTIME", config.blocktime_ms == rt::kBlocktimeInfinite
+                            ? std::string("infinite")
+                            : std::to_string(config.blocktime_ms)},
+      {"KMP_FORCE_REDUCTION", rt::to_string(config.reduction)},
+      {"KMP_ALIGN_ALLOC", std::to_string(config.align_alloc)},
+  };
+}
+
+}  // namespace
+
+std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
+                                              const std::string& app,
+                                              double tolerance,
+                                              double min_lift) {
+  const sweep::Dataset app_data =
+      dataset.filter([&app](const sweep::Sample& s) { return s.app == app; });
+
+  // Per-setting best speedups, to define "near-best".
+  std::map<std::string, double> setting_best;
+  auto setting_key = [](const sweep::Sample& s) {
+    return s.arch + "/" + s.input + "/" + std::to_string(s.threads);
+  };
+  for (const sweep::Sample& s : app_data.samples()) {
+    double& best = setting_best[setting_key(s)];
+    best = std::max(best, s.speedup);
+  }
+
+  const std::vector<std::string> archs =
+      app_data.distinct([](const sweep::Sample& s) { return s.arch; });
+
+  std::vector<Recommendation> recommendations;
+  std::map<std::pair<std::string, std::string>, std::set<std::string>> everywhere;
+
+  for (const std::string& arch : archs) {
+    const sweep::Dataset arch_data = app_data.filter(
+        [&arch](const sweep::Sample& s) { return s.arch == arch; });
+
+    // Count variable values overall and among near-best samples.
+    std::map<std::pair<std::string, std::string>, std::size_t> overall, best;
+    std::size_t n_best = 0;
+    for (const sweep::Sample& s : arch_data.samples()) {
+      const bool near_best =
+          s.speedup >= setting_best.at(setting_key(s)) * (1.0 - tolerance) &&
+          s.speedup > 1.01;
+      for (const auto& vv : variable_values(s.config)) {
+        ++overall[vv];
+        if (near_best) ++best[vv];
+      }
+      if (near_best) ++n_best;
+    }
+    if (n_best == 0) continue;
+
+    const auto n_total = static_cast<double>(arch_data.size());
+    for (const auto& [vv, best_count] : best) {
+      const double share_best = static_cast<double>(best_count) / n_best;
+      const double share_all = static_cast<double>(overall.at(vv)) / n_total;
+      if (share_all <= 0.0) continue;
+      const double lift = share_best / share_all;
+      if (lift >= min_lift && share_best >= 0.3) {
+        Recommendation rec;
+        rec.app = app;
+        rec.arch = arch;
+        rec.variable = vv.first;
+        rec.value = vv.second;
+        rec.lift = lift;
+        rec.share_in_best = share_best;
+        recommendations.push_back(rec);
+        everywhere[vv].insert(arch);
+      }
+    }
+  }
+
+  // Promote pairs recommended on every architecture to scope "all".
+  for (const auto& [vv, arch_set] : everywhere) {
+    if (arch_set.size() == archs.size() && archs.size() > 1) {
+      double lift = 0.0, share = 0.0;
+      for (const Recommendation& rec : recommendations) {
+        if (rec.variable == vv.first && rec.value == vv.second) {
+          lift = std::max(lift, rec.lift);
+          share = std::max(share, rec.share_in_best);
+        }
+      }
+      recommendations.push_back(
+          Recommendation{app, "all", vv.first, vv.second, lift, share});
+    }
+  }
+
+  std::sort(recommendations.begin(), recommendations.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              if (a.arch != b.arch) return a.arch < b.arch;
+              return a.lift > b.lift;
+            });
+  return recommendations;
+}
+
+std::vector<WorstTrend> worst_trends(const sweep::Dataset& dataset,
+                                     double decile) {
+  std::vector<double> speedups;
+  speedups.reserve(dataset.size());
+  for (const sweep::Sample& s : dataset.samples()) speedups.push_back(s.speedup);
+  const double cutoff = stats::quantile(speedups, decile);
+
+  struct Condition {
+    std::string name;
+    bool (*test)(const sweep::Sample&);
+  };
+  static const Condition kConditions[] = {
+      {"OMP_PROC_BIND=master with >= half the cores as threads",
+       [](const sweep::Sample& s) {
+         return s.config.bind == arch::BindKind::Master &&
+                s.threads * 2 >= arch::architecture(arch::arch_from_string(s.arch)).cores;
+       }},
+      {"OMP_PROC_BIND=master",
+       [](const sweep::Sample& s) {
+         return s.config.bind == arch::BindKind::Master;
+       }},
+      {"OMP_PROC_BIND=close",
+       [](const sweep::Sample& s) {
+         return s.config.bind == arch::BindKind::Close;
+       }},
+      {"OMP_PROC_BIND=spread",
+       [](const sweep::Sample& s) {
+         return s.config.bind == arch::BindKind::Spread;
+       }},
+      {"KMP_BLOCKTIME=0 (passive waiting)",
+       [](const sweep::Sample& s) { return s.config.blocktime_ms == 0; }},
+  };
+
+  std::vector<WorstTrend> trends;
+  const auto n = static_cast<double>(dataset.size());
+  for (const Condition& condition : kConditions) {
+    std::size_t in_worst = 0, worst_total = 0, overall = 0;
+    for (const sweep::Sample& s : dataset.samples()) {
+      const bool matches = condition.test(s);
+      overall += matches;
+      if (s.speedup <= cutoff) {
+        ++worst_total;
+        in_worst += matches;
+      }
+    }
+    WorstTrend trend;
+    trend.condition = condition.name;
+    trend.share_in_worst =
+        worst_total > 0 ? static_cast<double>(in_worst) / worst_total : 0.0;
+    trend.share_overall = static_cast<double>(overall) / n;
+    trend.lift = trend.share_overall > 0.0
+                     ? trend.share_in_worst / trend.share_overall
+                     : 0.0;
+    trends.push_back(trend);
+  }
+  std::sort(trends.begin(), trends.end(),
+            [](const WorstTrend& a, const WorstTrend& b) { return a.lift > b.lift; });
+  return trends;
+}
+
+}  // namespace omptune::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+// Recommendation extraction (paper Table VII) and worst-performance trend
+// mining (Section V.4).
+
+#include <string>
+#include <vector>
+
+#include "sweep/dataset.hpp"
+
+namespace omptune::analysis {
+
+/// One recommended variable/value pair for an (app, arch) scope, with the
+/// lift of that value among near-best configurations relative to its base
+/// rate in the whole group.
+struct Recommendation {
+  std::string app;
+  std::string arch;      ///< "all" when consistent across architectures
+  std::string variable;  ///< paper spelling, e.g. "KMP_LIBRARY"
+  std::string value;     ///< e.g. "turnaround"
+  double lift = 1.0;     ///< P(value | near-best) / P(value)
+  double share_in_best = 0.0;
+};
+
+/// Extract the dominant variable/value pairs among near-best configurations
+/// (within `tolerance` of the setting's best speedup) for one application.
+/// Returns per-arch recommendations, plus "all"-scoped entries for values
+/// dominant on every architecture (e.g. NQueens: KMP_LIBRARY=turnaround).
+std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
+                                              const std::string& app,
+                                              double tolerance = 0.01,
+                                              double min_lift = 1.3);
+
+/// Worst-performance trend (RQ4): how over-represented a condition is in
+/// the slowest decile of samples.
+struct WorstTrend {
+  std::string condition;      ///< human-readable description
+  double share_in_worst = 0;  ///< frequency within the slowest decile
+  double share_overall = 0;   ///< base rate
+  double lift = 0;            ///< ratio of the two
+};
+
+/// Mine the slowest `decile` (default bottom 10% by speedup) for the
+/// paper's reported trend: master/primary binding with large thread counts,
+/// plus the other binding conditions for comparison.
+std::vector<WorstTrend> worst_trends(const sweep::Dataset& dataset,
+                                     double decile = 0.1);
+
+}  // namespace omptune::analysis

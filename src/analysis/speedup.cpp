@@ -1,0 +1,102 @@
+#include "analysis/speedup.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "stats/descriptive.hpp"
+
+namespace omptune::analysis {
+
+std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset) {
+  std::map<std::string, SettingBest> by_setting;
+  std::vector<std::string> order;
+  for (const sweep::Sample& s : dataset.samples()) {
+    const std::string key = s.arch + "/" + s.app + "/" + s.input + "/" +
+                            std::to_string(s.threads);
+    auto it = by_setting.find(key);
+    if (it == by_setting.end()) {
+      order.push_back(key);
+      SettingBest best;
+      best.arch = s.arch;
+      best.app = s.app;
+      best.input = s.input;
+      best.threads = s.threads;
+      best.best_speedup = s.speedup;
+      best.best_config = s.config;
+      by_setting.emplace(key, std::move(best));
+    } else if (s.speedup > it->second.best_speedup) {
+      it->second.best_speedup = s.speedup;
+      it->second.best_config = s.config;
+    }
+  }
+  std::vector<SettingBest> out;
+  out.reserve(order.size());
+  for (const std::string& key : order) out.push_back(by_setting.at(key));
+  return out;
+}
+
+std::vector<ArchAppRange> speedup_ranges_by_arch(const sweep::Dataset& dataset) {
+  const auto bests = best_per_setting(dataset);
+  std::map<std::pair<std::string, std::string>, ArchAppRange> ranges;
+  std::vector<std::pair<std::string, std::string>> order;
+  for (const SettingBest& b : bests) {
+    const auto key = std::make_pair(b.app, b.arch);
+    auto it = ranges.find(key);
+    if (it == ranges.end()) {
+      order.push_back(key);
+      ranges[key] = ArchAppRange{b.app, b.arch, b.best_speedup, b.best_speedup};
+    } else {
+      it->second.lo = std::min(it->second.lo, b.best_speedup);
+      it->second.hi = std::max(it->second.hi, b.best_speedup);
+    }
+  }
+  std::vector<ArchAppRange> out;
+  out.reserve(order.size());
+  for (const auto& key : order) out.push_back(ranges.at(key));
+  std::sort(out.begin(), out.end(), [](const ArchAppRange& a, const ArchAppRange& b) {
+    return a.app != b.app ? a.app < b.app : a.arch < b.arch;
+  });
+  return out;
+}
+
+std::vector<AppRange> speedup_ranges_by_app(const sweep::Dataset& dataset) {
+  const auto bests = best_per_setting(dataset);
+  std::map<std::string, AppRange> ranges;
+  for (const SettingBest& b : bests) {
+    auto it = ranges.find(b.app);
+    if (it == ranges.end()) {
+      ranges[b.app] = AppRange{b.app, b.best_speedup, b.best_speedup};
+    } else {
+      it->second.lo = std::min(it->second.lo, b.best_speedup);
+      it->second.hi = std::max(it->second.hi, b.best_speedup);
+    }
+  }
+  std::vector<AppRange> out;
+  out.reserve(ranges.size());
+  for (const auto& [app, range] : ranges) out.push_back(range);  // sorted by app
+  return out;
+}
+
+std::vector<ArchUpshot> upshot_by_arch(const sweep::Dataset& dataset) {
+  const auto bests = best_per_setting(dataset);
+  std::map<std::string, std::vector<double>> per_arch;
+  std::vector<std::string> order;
+  for (const SettingBest& b : bests) {
+    if (per_arch.find(b.arch) == per_arch.end()) order.push_back(b.arch);
+    per_arch[b.arch].push_back(b.best_speedup);
+  }
+  std::vector<ArchUpshot> out;
+  for (const std::string& arch : order) {
+    std::vector<double>& values = per_arch.at(arch);
+    ArchUpshot upshot;
+    upshot.arch = arch;
+    upshot.min_best = stats::min_value(values);
+    upshot.median_best = stats::median(values);
+    upshot.max_best = stats::max_value(values);
+    out.push_back(upshot);
+  }
+  return out;
+}
+
+}  // namespace omptune::analysis

@@ -1,0 +1,58 @@
+#pragma once
+
+// Upshot-potential analysis (paper Section V.1, Tables V and VI):
+// per-setting best speedups and their ranges per application/architecture.
+
+#include <string>
+#include <vector>
+
+#include "sweep/dataset.hpp"
+
+namespace omptune::analysis {
+
+/// Best observed speedup within one experiment setting.
+struct SettingBest {
+  std::string arch;
+  std::string app;
+  std::string input;
+  int threads = 0;
+  double best_speedup = 1.0;
+  rt::RtConfig best_config;
+};
+
+/// Best speedup per setting across the dataset (one entry per distinct
+/// (arch, app, input, threads)).
+std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset);
+
+/// Table V row: the [min, max] over settings of the per-setting best for
+/// one (app, arch).
+struct ArchAppRange {
+  std::string app;
+  std::string arch;
+  double lo = 0;
+  double hi = 0;
+};
+
+std::vector<ArchAppRange> speedup_ranges_by_arch(const sweep::Dataset& dataset);
+
+/// Table VI row: the [min, max] over (arch, setting) for one app.
+struct AppRange {
+  std::string app;
+  double lo = 0;
+  double hi = 0;
+};
+
+std::vector<AppRange> speedup_ranges_by_app(const sweep::Dataset& dataset);
+
+/// Section V.1 headline numbers per architecture: the min / median / max of
+/// the per-setting best speedups.
+struct ArchUpshot {
+  std::string arch;
+  double min_best = 0;
+  double median_best = 0;
+  double max_best = 0;
+};
+
+std::vector<ArchUpshot> upshot_by_arch(const sweep::Dataset& dataset);
+
+}  // namespace omptune::analysis

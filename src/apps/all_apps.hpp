@@ -1,0 +1,31 @@
+#pragma once
+
+// Accessors for the 15 study applications. Each returns a singleton with
+// static storage duration.
+
+#include "apps/application.hpp"
+
+namespace omptune::apps {
+
+// NAS Parallel Benchmarks (loop parallel; input-size sweep).
+const Application& bt_app();
+const Application& cg_app();
+const Application& ep_app();
+const Application& ft_app();
+const Application& lu_app();
+const Application& mg_app();
+
+// BSC OpenMP Tasking Suite (task parallel; input-size sweep).
+const Application& alignment_app();
+const Application& health_app();
+const Application& nqueens_app();
+const Application& sort_app();
+const Application& strassen_app();
+
+// Proxy applications (loop parallel; thread-count sweep).
+const Application& rsbench_app();
+const Application& xsbench_app();
+const Application& su3bench_app();
+const Application& lulesh_app();
+
+}  // namespace omptune::apps

@@ -1,0 +1,117 @@
+#pragma once
+
+// Benchmark application interface.
+//
+// Every application of the paper's study (NPB: BT CG EP FT LU MG; BOTS:
+// Alignment Health NQueens Sort Strassen; proxies: XSBench RSBench SU3Bench
+// LULESH) is implemented twice over:
+//
+//  - `run_native` executes the real (miniaturized) kernel through the
+//    runtime substrate (src/rt), so the algorithms genuinely exercise the
+//    schedulers, reductions, tasking and wait policies being tuned;
+//  - `characteristics` exports the workload signature (memory-boundness,
+//    imbalance, task granularity, region/reduction rates, ...) that the
+//    performance model (src/sim) uses to reproduce the paper's full-scale
+//    three-architecture sweep on a single host.
+//
+// `run_reference` is the serial gold version used by tests to verify the
+// parallel kernels are computing the right answer.
+
+#include <string>
+#include <vector>
+
+#include "rt/thread_team.hpp"
+
+namespace omptune::apps {
+
+/// Dominant parallelism style (paper: NPB + proxies are loop-parallel, BOTS
+/// is task-parallel).
+enum class ParallelismKind { Loop, Task };
+
+std::string to_string(ParallelismKind kind);
+
+/// Which study dimension is swept for this app (paper IV-B: NPB and BOTS
+/// vary the input size at a fixed thread count; the proxy apps vary the
+/// thread count at the default input).
+enum class SweepMode { VaryInputSize, VaryThreads };
+
+/// Named input size. `scale` multiplies the nominal work of the default
+/// input (1.0); native runs additionally apply the harness' native scale so
+/// kernels stay test-sized.
+struct InputSize {
+  std::string name;
+  double scale = 1.0;
+};
+
+/// Workload signature consumed by the performance model. All rates are per
+/// second of serial work; fractions are in [0, 1].
+struct AppCharacteristics {
+  /// Nominal serial runtime (seconds) of the default input on the Skylake
+  /// reference machine; other architectures scale by their speed.
+  double base_seconds = 1.0;
+  /// Amdahl serial fraction.
+  double serial_fraction = 0.02;
+  /// 0 = compute bound, 1 = fully memory-bandwidth bound.
+  double mem_intensity = 0.5;
+  /// Weight of data-locality penalties (thread migration, remote NUMA
+  /// accesses). High for irregular-access kernels like XSBench.
+  double numa_sensitivity = 0.3;
+  /// Relative variance of per-iteration work (0 = perfectly balanced).
+  double load_imbalance = 0.0;
+  /// Parallel-region transitions per second of work: exposure to the
+  /// fork/join wake-up cost the wait policy controls.
+  double region_rate = 50.0;
+  /// Worksharing iterations per second of work: exposure to the per-chunk
+  /// coordination cost of dynamic/guided scheduling.
+  double iteration_rate = 2.0e5;
+  /// Reductions per second of work: exposure to KMP_FORCE_REDUCTION.
+  double reduction_rate = 0.0;
+  /// Mean task size in microseconds (task apps; 0 for loop apps).
+  double task_granularity_us = 0.0;
+  /// Working set in MB (vs. LLC and memory capacity).
+  double working_set_mb = 100.0;
+  /// Runtime-internal allocation pressure: exposure to KMP_ALIGN_ALLOC.
+  double alloc_intensity = 0.1;
+};
+
+/// A benchmark application.
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Dataset identifier, e.g. "cg", "nqueens", "xsbench".
+  virtual std::string name() const = 0;
+  /// Suite label: "npb", "bots" or "proxy".
+  virtual std::string suite() const = 0;
+  virtual ParallelismKind kind() const = 0;
+  virtual SweepMode sweep_mode() const = 0;
+
+  /// Input sizes in increasing order; the first is the smallest.
+  virtual std::vector<InputSize> input_sizes() const = 0;
+  /// The input used when sweeping threads (default: the middle size).
+  InputSize default_input() const;
+
+  /// Workload signature for the performance model at the given input.
+  virtual AppCharacteristics characteristics(const InputSize& input) const = 0;
+
+  /// Execute the real kernel through the runtime substrate. `native_scale`
+  /// in (0, 1] shrinks the problem for test hosts. Returns a checksum.
+  virtual double run_native(rt::ThreadTeam& team, const InputSize& input,
+                            double native_scale) const = 0;
+
+  /// Serial gold version; same checksum contract as run_native.
+  virtual double run_reference(const InputSize& input, double native_scale) const = 0;
+
+  /// True when the checksums of run_native/run_reference must match exactly
+  /// (deterministic kernels); false allows a small relative tolerance
+  /// (floating-point reassociation under reductions).
+  virtual bool deterministic_checksum() const { return false; }
+};
+
+/// All 15 applications, in the paper's Table VI order.
+const std::vector<const Application*>& registry();
+
+/// Find by dataset identifier; throws std::invalid_argument if unknown.
+const Application& find_application(const std::string& name);
+
+}  // namespace omptune::apps

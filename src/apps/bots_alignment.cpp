@@ -1,0 +1,149 @@
+// Alignment — the BOTS protein alignment benchmark: pairwise
+// Smith-Waterman-style local alignment of every sequence pair, one task per
+// pair. Sequence lengths vary widely, so task sizes are irregular; the
+// paper's Fig. 1 headline benchmark, with modest but architecture-portable
+// tuning potential (Table VI: 1.022 - 1.186).
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xA11A11u;
+constexpr int kAlphabet = 20;  // amino acids
+constexpr int kMatch = 5;
+constexpr int kMismatch = -2;
+constexpr int kGap = -4;
+
+std::vector<std::uint8_t> make_sequence(std::uint64_t id, std::int64_t length) {
+  std::vector<std::uint8_t> seq(static_cast<std::size_t>(length));
+  for (std::int64_t i = 0; i < length; ++i) {
+    seq[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(
+        counter_index(kSeed ^ id, static_cast<std::uint64_t>(i), kAlphabet));
+  }
+  return seq;
+}
+
+/// Smith-Waterman local alignment score with linear gap penalty, two-row DP.
+long align_pair(const std::vector<std::uint8_t>& a,
+                const std::vector<std::uint8_t>& b) {
+  const std::size_t m = b.size();
+  std::vector<long> prev(m + 1, 0), curr(m + 1, 0);
+  long best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = 0;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const long score = a[i - 1] == b[j - 1] ? kMatch : kMismatch;
+      const long diag = prev[j - 1] + score;
+      const long up = prev[j] + kGap;
+      const long left = curr[j - 1] + kGap;
+      curr[j] = std::max({0L, diag, up, left});
+      best = std::max(best, curr[j]);
+    }
+    std::swap(prev, curr);
+  }
+  return best;
+}
+
+/// Sequence lengths are drawn from a long-tailed distribution: most short,
+/// a few long — the source of the benchmark's load imbalance.
+std::int64_t sequence_length(std::uint64_t id, std::int64_t base) {
+  const double u = counter_u01(kSeed ^ 0x7777, id);
+  const double factor = 0.3 + 2.7 * u * u * u;  // cubic tail
+  return std::max<std::int64_t>(8, static_cast<std::int64_t>(base * factor));
+}
+
+class AlignmentApp final : public Application {
+ public:
+  std::string name() const override { return "alignment"; }
+  std::string suite() const override { return "bots"; }
+  ParallelismKind kind() const override { return ParallelismKind::Task; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.2}, {"medium", 0.5}, {"large", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 10.0 * input.scale;
+    c.serial_fraction = 0.02;
+    c.mem_intensity = 0.3;         // DP rows fit in cache
+    c.numa_sensitivity = 0.15;     // low architecture reliance (Fig. 2)
+    c.load_imbalance = 0.45;       // long-tailed pair costs
+    c.region_rate = 2.0;
+    c.reduction_rate = 0.2;
+    c.task_granularity_us = 36.0;
+    c.iteration_rate = 0.0;
+    c.working_set_mb = 40.0 * input.scale;
+    c.alloc_intensity = 0.3;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const auto [count, base_len] = problem(input, native_scale);
+    const std::vector<std::vector<std::uint8_t>> seqs = make_all(count, base_len);
+    std::atomic<long> total{0};
+    team.parallel([&](rt::TeamContext& ctx) {
+      ctx.run_task_root([&ctx, &seqs, &total] {
+        const std::size_t n = seqs.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            ctx.spawn([&seqs, &total, i, j] {
+              total.fetch_add(align_pair(seqs[i], seqs[j]),
+                              std::memory_order_relaxed);
+            });
+          }
+        }
+      });
+    });
+    return static_cast<double>(total.load());
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const auto [count, base_len] = problem(input, native_scale);
+    const std::vector<std::vector<std::uint8_t>> seqs = make_all(count, base_len);
+    long total = 0;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+      for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+        total += align_pair(seqs[i], seqs[j]);
+      }
+    }
+    return static_cast<double>(total);
+  }
+
+  bool deterministic_checksum() const override { return true; }
+
+ private:
+  static std::pair<std::int64_t, std::int64_t> problem(const InputSize& input,
+                                                       double native_scale) {
+    const double scale = input.scale * native_scale;
+    return {scaled_dim(40, std::sqrt(scale), 6), scaled_dim(160, std::sqrt(scale), 16)};
+  }
+
+  static std::vector<std::vector<std::uint8_t>> make_all(std::int64_t count,
+                                                         std::int64_t base_len) {
+    std::vector<std::vector<std::uint8_t>> seqs;
+    seqs.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t s = 0; s < count; ++s) {
+      seqs.push_back(make_sequence(static_cast<std::uint64_t>(s),
+                                   sequence_length(static_cast<std::uint64_t>(s), base_len)));
+    }
+    return seqs;
+  }
+};
+
+}  // namespace
+
+const Application& alignment_app() {
+  static const AlignmentApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

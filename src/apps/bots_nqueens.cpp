@@ -1,0 +1,123 @@
+// NQueens — the BOTS n-queens solution counter: a deep, extremely
+// fine-grained task tree (one task per partial placement above a cutoff
+// depth). Threads exhaust their deques constantly, so the idle/wake policy
+// dominates: this is the application where KMP_LIBRARY=turnaround wins on
+// every architecture in the paper (Table VII), with the study's largest
+// speedups (Table VI: 2.342 - 4.851).
+
+#include <atomic>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr int kTaskDepthCutoff = 3;
+
+/// Board state for the first `row` rows; columns/diagonals as bitmasks.
+struct BoardState {
+  int row = 0;
+  std::uint32_t cols = 0;
+  std::uint32_t diag1 = 0;
+  std::uint32_t diag2 = 0;
+};
+
+long count_serial(int n, BoardState s) {
+  if (s.row == n) return 1;
+  long count = 0;
+  const std::uint32_t mask = (1u << n) - 1;
+  std::uint32_t free_cells = mask & ~(s.cols | s.diag1 | s.diag2);
+  while (free_cells != 0) {
+    const std::uint32_t cell = free_cells & (~free_cells + 1);  // lowest bit
+    free_cells ^= cell;
+    count += count_serial(
+        n, BoardState{s.row + 1, s.cols | cell, ((s.diag1 | cell) << 1) & mask,
+                      (s.diag2 | cell) >> 1});
+  }
+  return count;
+}
+
+void count_tasks(rt::TeamContext& ctx, int n, BoardState s,
+                 std::atomic<long>& total) {
+  if (s.row >= kTaskDepthCutoff || s.row == n) {
+    total.fetch_add(count_serial(n, s), std::memory_order_relaxed);
+    return;
+  }
+  const std::uint32_t mask = (1u << n) - 1;
+  std::uint32_t free_cells = mask & ~(s.cols | s.diag1 | s.diag2);
+  while (free_cells != 0) {
+    const std::uint32_t cell = free_cells & (~free_cells + 1);
+    free_cells ^= cell;
+    const BoardState child{s.row + 1, s.cols | cell,
+                           ((s.diag1 | cell) << 1) & mask, (s.diag2 | cell) >> 1};
+    ctx.spawn([&ctx, n, child, &total] { count_tasks(ctx, n, child, total); });
+  }
+  ctx.taskwait();
+}
+
+class NqueensApp final : public Application {
+ public:
+  std::string name() const override { return "nqueens"; }
+  std::string suite() const override { return "bots"; }
+  ParallelismKind kind() const override { return ParallelismKind::Task; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    // Board sizes 10/12/13; work grows super-exponentially, captured by the
+    // model scale factors.
+    return {{"small", 0.05}, {"medium", 0.4}, {"large", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 25.0 * input.scale;
+    c.serial_fraction = 0.01;
+    c.mem_intensity = 0.02;        // bitboards live in registers/L1
+    c.numa_sensitivity = 0.05;
+    c.load_imbalance = 0.6;        // subtree sizes vary wildly
+    c.region_rate = 2.0;
+    c.reduction_rate = 0.1;
+    c.task_granularity_us = 1.45;   // very fine tasks: idle/wake dominated
+    c.iteration_rate = 0.0;
+    c.working_set_mb = 1.0;
+    c.alloc_intensity = 0.6;       // one runtime task record per node
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const int n = board_size(input, native_scale);
+    std::atomic<long> total{0};
+    team.parallel([&](rt::TeamContext& ctx) {
+      ctx.run_task_root([&ctx, n, &total] {
+        count_tasks(ctx, n, BoardState{}, total);
+      });
+    });
+    return static_cast<double>(total.load());
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    return static_cast<double>(count_serial(board_size(input, native_scale), BoardState{}));
+  }
+
+  bool deterministic_checksum() const override { return true; }
+
+ private:
+  static int board_size(const InputSize& input, double native_scale) {
+    const double scale = input.scale * native_scale;
+    if (scale >= 0.4) return 12;
+    if (scale >= 0.04) return 10;
+    return 8;
+  }
+};
+
+}  // namespace
+
+const Application& nqueens_app() {
+  static const NqueensApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

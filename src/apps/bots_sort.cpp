@@ -1,0 +1,116 @@
+// Sort — the BOTS parallel mergesort: recursive task decomposition down to
+// an insertion/std::sort leaf cutoff, then pairwise merges on the way up.
+// Bandwidth-bound with well-balanced halves; modest, architecture-stable
+// tuning potential (Table VI: 1.174 - 1.180; paper ran it on A64FX only).
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x50F750F7u;
+constexpr std::int64_t kBaseElements = 1 << 19;
+constexpr std::int64_t kLeafCutoff = 2048;
+
+std::vector<std::uint32_t> make_input(std::int64_t n) {
+  std::vector<std::uint32_t> data(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    data[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+        counter_index(kSeed, static_cast<std::uint64_t>(i), 0xFFFFFFFFull));
+  }
+  return data;
+}
+
+void merge_halves(std::uint32_t* data, std::uint32_t* scratch, std::int64_t lo,
+                  std::int64_t mid, std::int64_t hi) {
+  std::merge(data + lo, data + mid, data + mid, data + hi, scratch + lo);
+  std::copy(scratch + lo, scratch + hi, data + lo);
+}
+
+void sort_tasks(rt::TeamContext& ctx, std::uint32_t* data, std::uint32_t* scratch,
+                std::int64_t lo, std::int64_t hi) {
+  if (hi - lo <= kLeafCutoff) {
+    std::sort(data + lo, data + hi);
+    return;
+  }
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  ctx.spawn([&ctx, data, scratch, lo, mid] { sort_tasks(ctx, data, scratch, lo, mid); });
+  ctx.spawn([&ctx, data, scratch, mid, hi] { sort_tasks(ctx, data, scratch, mid, hi); });
+  ctx.taskwait();
+  merge_halves(data, scratch, lo, mid, hi);
+}
+
+double sample_checksum(const std::vector<std::uint32_t>& data) {
+  // Deterministic reduced signature: strided samples + sortedness count.
+  double acc = 0.0;
+  const std::int64_t n = static_cast<std::int64_t>(data.size());
+  const std::int64_t stride = std::max<std::int64_t>(1, n / 977);
+  for (std::int64_t i = 0; i < n; i += stride) {
+    acc += static_cast<double>(data[static_cast<std::size_t>(i)] % 100003);
+  }
+  return acc;
+}
+
+class SortApp final : public Application {
+ public:
+  std::string name() const override { return "sort"; }
+  std::string suite() const override { return "bots"; }
+  ParallelismKind kind() const override { return ParallelismKind::Task; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.25}, {"medium", 0.5}, {"large", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 12.0 * input.scale;
+    c.serial_fraction = 0.03;      // the top merges serialize
+    c.mem_intensity = 0.75;
+    c.numa_sensitivity = 0.3;
+    c.load_imbalance = 0.05;       // halves are balanced by construction
+    c.region_rate = 2.0;
+    c.reduction_rate = 0.0;
+    c.task_granularity_us = 7.5;   // fine leaf/merge tasks
+    c.iteration_rate = 0.0;
+    c.working_set_mb = 512.0 * input.scale;
+    c.alloc_intensity = 0.35;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const std::int64_t n = scaled_dim(kBaseElements, input.scale * native_scale, 4096);
+    std::vector<std::uint32_t> data = make_input(n);
+    std::vector<std::uint32_t> scratch(static_cast<std::size_t>(n));
+    team.parallel([&](rt::TeamContext& ctx) {
+      ctx.run_task_root([&ctx, &data, &scratch, n] {
+        sort_tasks(ctx, data.data(), scratch.data(), 0, n);
+      });
+    });
+    return sample_checksum(data);
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const std::int64_t n = scaled_dim(kBaseElements, input.scale * native_scale, 4096);
+    std::vector<std::uint32_t> data = make_input(n);
+    std::sort(data.begin(), data.end());
+    return sample_checksum(data);
+  }
+
+  bool deterministic_checksum() const override { return true; }
+};
+
+}  // namespace
+
+const Application& sort_app() {
+  static const SortApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,222 @@
+// Strassen — the BOTS Strassen matrix multiplication: seven recursive
+// sub-multiplications spawned as tasks, with a naive kernel below the
+// cutoff. Coarse-grained, compute-bound tasks — almost insensitive to the
+// runtime knobs (Table VI: 1.023 - 1.025; paper ran it on A64FX only).
+
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x57A557A5u;
+constexpr std::int64_t kCutoff = 32;
+
+/// Dense row-major matrix view with leading dimension.
+struct MatView {
+  double* data;
+  std::int64_t ld;
+  double& at(std::int64_t r, std::int64_t c) const { return data[r * ld + c]; }
+};
+
+struct ConstMatView {
+  const double* data;
+  std::int64_t ld;
+  double at(std::int64_t r, std::int64_t c) const { return data[r * ld + c]; }
+};
+
+void naive_multiply(ConstMatView a, ConstMatView b, MatView c, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) c.at(i, j) = 0.0;
+    for (std::int64_t k = 0; k < n; ++k) {
+      const double aik = a.at(i, k);
+      for (std::int64_t j = 0; j < n; ++j) c.at(i, j) += aik * b.at(k, j);
+    }
+  }
+}
+
+void add(ConstMatView a, ConstMatView b, MatView out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) + b.at(i, j);
+  }
+}
+
+void sub(ConstMatView a, ConstMatView b, MatView out, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out.at(i, j) = a.at(i, j) - b.at(i, j);
+  }
+}
+
+ConstMatView as_const(MatView m) { return ConstMatView{m.data, m.ld}; }
+
+/// C = A * B by Strassen recursion; spawns the seven products as tasks.
+void strassen(rt::TeamContext* ctx, ConstMatView a, ConstMatView b, MatView c,
+              std::int64_t n) {
+  if (n <= kCutoff) {
+    naive_multiply(a, b, c, n);
+    return;
+  }
+  const std::int64_t h = n / 2;
+  auto quad = [h](auto m, std::int64_t qr, std::int64_t qc) {
+    return decltype(m){m.data + qr * h * m.ld + qc * h, m.ld};
+  };
+  const ConstMatView a11 = quad(a, 0, 0), a12 = quad(a, 0, 1),
+                     a21 = quad(a, 1, 0), a22 = quad(a, 1, 1);
+  const ConstMatView b11 = quad(b, 0, 0), b12 = quad(b, 0, 1),
+                     b21 = quad(b, 1, 0), b22 = quad(b, 1, 1);
+
+  std::vector<double> products(static_cast<std::size_t>(7 * h * h));
+  auto prod = [&products, h](int p) {
+    return MatView{products.data() + p * h * h, h};
+  };
+
+  auto spawn_product = [&](int p, auto&& compute) {
+    if (ctx != nullptr) {
+      ctx->spawn([compute, p]() mutable { compute(p); });
+    } else {
+      compute(p);
+    }
+  };
+
+  // The temporaries for each product must be private; allocate pairwise.
+  std::vector<double> op_storage(static_cast<std::size_t>(14 * h * h));
+  auto op = [&op_storage, h](int slot) {
+    return MatView{op_storage.data() + slot * h * h, h};
+  };
+
+  spawn_product(0, [&, h](int p) {  // M1 = (A11 + A22)(B11 + B22)
+    add(a11, a22, op(0), h);
+    add(b11, b22, op(1), h);
+    strassen(ctx, as_const(op(0)), as_const(op(1)), prod(p), h);
+  });
+  spawn_product(1, [&, h](int p) {  // M2 = (A21 + A22) B11
+    add(a21, a22, op(2), h);
+    strassen(ctx, as_const(op(2)), b11, prod(p), h);
+  });
+  spawn_product(2, [&, h](int p) {  // M3 = A11 (B12 - B22)
+    sub(b12, b22, op(3), h);
+    strassen(ctx, a11, as_const(op(3)), prod(p), h);
+  });
+  spawn_product(3, [&, h](int p) {  // M4 = A22 (B21 - B11)
+    sub(b21, b11, op(4), h);
+    strassen(ctx, a22, as_const(op(4)), prod(p), h);
+  });
+  spawn_product(4, [&, h](int p) {  // M5 = (A11 + A12) B22
+    add(a11, a12, op(5), h);
+    strassen(ctx, as_const(op(5)), b22, prod(p), h);
+  });
+  spawn_product(5, [&, h](int p) {  // M6 = (A21 - A11)(B11 + B12)
+    sub(a21, a11, op(6), h);
+    add(b11, b12, op(7), h);
+    strassen(ctx, as_const(op(6)), as_const(op(7)), prod(p), h);
+  });
+  spawn_product(6, [&, h](int p) {  // M7 = (A12 - A22)(B21 + B22)
+    sub(a12, a22, op(8), h);
+    add(b21, b22, op(9), h);
+    strassen(ctx, as_const(op(8)), as_const(op(9)), prod(p), h);
+  });
+  if (ctx != nullptr) ctx->taskwait();
+
+  const MatView c11 = quad(MatView{c.data, c.ld}, 0, 0);
+  const MatView c12 = quad(MatView{c.data, c.ld}, 0, 1);
+  const MatView c21 = quad(MatView{c.data, c.ld}, 1, 0);
+  const MatView c22 = quad(MatView{c.data, c.ld}, 1, 1);
+  for (std::int64_t i = 0; i < h; ++i) {
+    for (std::int64_t j = 0; j < h; ++j) {
+      const double m1 = prod(0).at(i, j), m2 = prod(1).at(i, j),
+                   m3 = prod(2).at(i, j), m4 = prod(3).at(i, j),
+                   m5 = prod(4).at(i, j), m6 = prod(5).at(i, j),
+                   m7 = prod(6).at(i, j);
+      c11.at(i, j) = m1 + m4 - m5 + m7;
+      c12.at(i, j) = m3 + m5;
+      c21.at(i, j) = m2 + m4;
+      c22.at(i, j) = m1 - m2 + m3 + m6;
+    }
+  }
+}
+
+std::vector<double> make_matrix(std::int64_t n, std::uint64_t tag) {
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n * n; ++i) {
+    m[static_cast<std::size_t>(i)] =
+        counter_u01(kSeed ^ tag, static_cast<std::uint64_t>(i)) - 0.5;
+  }
+  return m;
+}
+
+double matrix_checksum(const std::vector<double>& m) {
+  double acc = 0.0;
+  for (const double v : m) acc += v;
+  return acc;
+}
+
+class StrassenApp final : public Application {
+ public:
+  std::string name() const override { return "strassen"; }
+  std::string suite() const override { return "bots"; }
+  ParallelismKind kind() const override { return ParallelismKind::Task; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.25}, {"medium", 0.5}, {"large", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 22.0 * input.scale;
+    c.serial_fraction = 0.03;       // the combine loops on the way up
+    c.mem_intensity = 0.35;
+    c.numa_sensitivity = 0.15;
+    c.load_imbalance = 0.1;         // recursion depths differ slightly
+    c.region_rate = 1.0;
+    c.reduction_rate = 0.0;
+    c.task_granularity_us = 65.0;  // cutoff-level products (~32^3 flops)
+    c.iteration_rate = 0.0;
+    c.working_set_mb = 600.0 * input.scale;
+    c.alloc_intensity = 0.1;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const std::int64_t n = matrix_size(input, native_scale);
+    const std::vector<double> a = make_matrix(n, 0xA);
+    const std::vector<double> b = make_matrix(n, 0xB);
+    std::vector<double> c(static_cast<std::size_t>(n * n), 0.0);
+    team.parallel([&](rt::TeamContext& ctx) {
+      ctx.run_task_root([&] {
+        strassen(&ctx, ConstMatView{a.data(), n}, ConstMatView{b.data(), n},
+                 MatView{c.data(), n}, n);
+      });
+    });
+    return matrix_checksum(c);
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const std::int64_t n = matrix_size(input, native_scale);
+    const std::vector<double> a = make_matrix(n, 0xA);
+    const std::vector<double> b = make_matrix(n, 0xB);
+    std::vector<double> c(static_cast<std::size_t>(n * n), 0.0);
+    strassen(nullptr, ConstMatView{a.data(), n}, ConstMatView{b.data(), n},
+             MatView{c.data(), n}, n);
+    return matrix_checksum(c);
+  }
+
+  bool deterministic_checksum() const override { return true; }
+
+ private:
+  static std::int64_t matrix_size(const InputSize& input, double native_scale) {
+    return next_pow2(scaled_dim(256, std::sqrt(input.scale * native_scale), 32));
+  }
+};
+
+}  // namespace
+
+const Application& strassen_app() {
+  static const StrassenApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

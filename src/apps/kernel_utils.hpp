@@ -1,0 +1,46 @@
+#pragma once
+
+// Shared helpers for the benchmark kernels: counter-based random numbers
+// (order-independent, so parallel and serial runs generate identical data),
+// and small numeric utilities.
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace omptune::apps {
+
+/// Stateless counter-based uniform in [0,1): hash(seed, index) -> double.
+/// Any iteration can compute its own randomness independent of execution
+/// order, which keeps parallel kernels deterministic.
+inline double counter_u01(std::uint64_t seed, std::uint64_t index) {
+  util::SplitMix64 sm(util::hash_combine(seed, index));
+  return static_cast<double>(sm.next() >> 11) * 0x1.0p-53;
+}
+
+/// Counter-based uniform integer in [0, n).
+inline std::uint64_t counter_index(std::uint64_t seed, std::uint64_t index,
+                                   std::uint64_t n) {
+  util::SplitMix64 sm(util::hash_combine(seed, index));
+  return sm.next() % n;
+}
+
+/// Round up to the next power of two (>= 2).
+inline std::int64_t next_pow2(std::int64_t n) {
+  std::int64_t p = 2;
+  while (p < n) p *= 2;
+  return p;
+}
+
+/// Scale a base dimension by `scale`, with a floor.
+inline std::int64_t scaled_dim(std::int64_t base, double scale,
+                               std::int64_t floor_value) {
+  const auto scaled = static_cast<std::int64_t>(std::llround(base * scale));
+  return scaled < floor_value ? floor_value : scaled;
+}
+
+using Complex = std::complex<double>;
+
+}  // namespace omptune::apps

@@ -1,0 +1,204 @@
+// BT — the NPB block-tridiagonal kernel: independent lines of 5x5 block
+// tridiagonal systems solved with the Thomas algorithm (block forward
+// elimination via small dense LU, then back substitution). Compute heavy
+// with regular access; moderate tuning potential (Table VI: 1.027 - 1.185).
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xB7B7B7u;
+constexpr int kB = 5;  // block size
+constexpr std::int64_t kBaseLines = 600;
+constexpr std::int64_t kLineLength = 24;
+
+using Block = std::array<double, kB * kB>;
+using Vec5 = std::array<double, kB>;
+
+double& at(Block& m, int r, int c) { return m[static_cast<std::size_t>(r * kB + c)]; }
+double at(const Block& m, int r, int c) { return m[static_cast<std::size_t>(r * kB + c)]; }
+
+/// Solve M * x = rhs for one 5x5 system in place (Gaussian elimination with
+/// partial pivoting). M and rhs are clobbered; x is returned in rhs.
+void solve5(Block m, Vec5& rhs) {
+  for (int col = 0; col < kB; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < kB; ++r) {
+      if (std::abs(at(m, r, col)) > std::abs(at(m, pivot, col))) pivot = r;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < kB; ++c) std::swap(at(m, col, c), at(m, pivot, c));
+      std::swap(rhs[static_cast<std::size_t>(col)], rhs[static_cast<std::size_t>(pivot)]);
+    }
+    const double inv = 1.0 / at(m, col, col);
+    for (int r = col + 1; r < kB; ++r) {
+      const double f = at(m, r, col) * inv;
+      for (int c = col; c < kB; ++c) at(m, r, c) -= f * at(m, col, c);
+      rhs[static_cast<std::size_t>(r)] -= f * rhs[static_cast<std::size_t>(col)];
+    }
+  }
+  for (int r = kB - 1; r >= 0; --r) {
+    double acc = rhs[static_cast<std::size_t>(r)];
+    for (int c = r + 1; c < kB; ++c) acc -= at(m, r, c) * rhs[static_cast<std::size_t>(c)];
+    rhs[static_cast<std::size_t>(r)] = acc / at(m, r, r);
+  }
+}
+
+/// M -= A * B (5x5).
+void gemm_sub(Block& m, const Block& a, const Block& b) {
+  for (int r = 0; r < kB; ++r) {
+    for (int c = 0; c < kB; ++c) {
+      double acc = 0.0;
+      for (int k = 0; k < kB; ++k) acc += at(a, r, k) * at(b, k, c);
+      at(m, r, c) -= acc;
+    }
+  }
+}
+
+/// rhs -= A * v.
+void gemv_sub(Vec5& rhs, const Block& a, const Vec5& v) {
+  for (int r = 0; r < kB; ++r) {
+    double acc = 0.0;
+    for (int k = 0; k < kB; ++k) acc += at(a, r, k) * v[static_cast<std::size_t>(k)];
+    rhs[static_cast<std::size_t>(r)] -= acc;
+  }
+}
+
+/// X = M^{-1} * B, column by column via solve5.
+Block solve5_matrix(const Block& m, const Block& b) {
+  Block x{};
+  for (int c = 0; c < kB; ++c) {
+    Vec5 col{};
+    for (int r = 0; r < kB; ++r) col[static_cast<std::size_t>(r)] = at(b, r, c);
+    solve5(m, col);
+    for (int r = 0; r < kB; ++r) at(x, r, c) = col[static_cast<std::size_t>(r)];
+  }
+  return x;
+}
+
+Block random_block(std::uint64_t tag, double diag_boost) {
+  Block b{};
+  for (int r = 0; r < kB; ++r) {
+    for (int c = 0; c < kB; ++c) {
+      at(b, r, c) = counter_u01(kSeed, util::hash_combine(tag, static_cast<std::uint64_t>(r * kB + c))) - 0.5;
+    }
+    at(b, r, r) += diag_boost;
+  }
+  return b;
+}
+
+/// Solve one block-tridiagonal line; returns the sum of the solution.
+double solve_line(std::int64_t line, std::int64_t length) {
+  // Build the per-cell blocks (sub/diag/super) and rhs on the fly.
+  std::vector<Block> diag(static_cast<std::size_t>(length));
+  std::vector<Block> super(static_cast<std::size_t>(length));
+  std::vector<Vec5> rhs(static_cast<std::size_t>(length));
+  Block sub{};
+
+  auto tag = [line](std::int64_t cell, int which) {
+    return util::hash_combine(static_cast<std::uint64_t>(line) * 1315423911ULL,
+                              static_cast<std::uint64_t>(cell * 4 + which));
+  };
+
+  for (std::int64_t i = 0; i < length; ++i) {
+    diag[static_cast<std::size_t>(i)] = random_block(tag(i, 0), 6.0);
+    super[static_cast<std::size_t>(i)] = random_block(tag(i, 1), 0.0);
+    for (int r = 0; r < kB; ++r) {
+      rhs[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)] =
+          counter_u01(kSeed ^ 0xF00D, tag(i, 2) + static_cast<std::uint64_t>(r));
+    }
+  }
+
+  // Forward elimination (Thomas): diag[i] -= sub * D^{-1} * super[i-1].
+  for (std::int64_t i = 1; i < length; ++i) {
+    sub = random_block(tag(i, 3), 0.0);
+    const Block factor = solve5_matrix(diag[static_cast<std::size_t>(i) - 1], super[static_cast<std::size_t>(i) - 1]);
+    Vec5 prev_rhs = rhs[static_cast<std::size_t>(i) - 1];
+    solve5(diag[static_cast<std::size_t>(i) - 1], prev_rhs);
+    gemm_sub(diag[static_cast<std::size_t>(i)], sub, factor);
+    gemv_sub(rhs[static_cast<std::size_t>(i)], sub, prev_rhs);
+  }
+
+  // Back substitution.
+  Vec5 x_next{};
+  double line_sum = 0.0;
+  for (std::int64_t i = length - 1; i >= 0; --i) {
+    Vec5 b = rhs[static_cast<std::size_t>(i)];
+    if (i != length - 1) gemv_sub(b, super[static_cast<std::size_t>(i)], x_next);
+    solve5(diag[static_cast<std::size_t>(i)], b);
+    x_next = b;
+    for (int r = 0; r < kB; ++r) line_sum += b[static_cast<std::size_t>(r)];
+  }
+  return line_sum;
+}
+
+class BtApp final : public Application {
+ public:
+  std::string name() const override { return "bt"; }
+  std::string suite() const override { return "npb"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"S", 0.25}, {"W", 0.5}, {"A", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 35.0 * input.scale;
+    c.serial_fraction = 0.02;
+    c.mem_intensity = 0.45;
+    c.numa_sensitivity = 0.26;
+    c.load_imbalance = 0.06;
+    c.region_rate = 25.0 / input.scale;
+    c.iteration_rate = 4.0e4;  // one block line per iteration, chunky
+    c.reduction_rate = 2.0;
+    c.working_set_mb = 1900.0 * input.scale;
+    c.alloc_intensity = 0.15;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const std::int64_t lines =
+        scaled_dim(kBaseLines, input.scale * native_scale, 8);
+    double total = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      const double got = ctx.parallel_for_reduce(
+          0, lines, rt::ReduceOp::Sum, [](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t line = lo; line < hi; ++line) {
+              acc += solve_line(line, kLineLength);
+            }
+            return acc;
+          });
+      if (ctx.tid() == 0) total = got;
+    });
+    return total;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const std::int64_t lines =
+        scaled_dim(kBaseLines, input.scale * native_scale, 8);
+    double total = 0.0;
+    for (std::int64_t line = 0; line < lines; ++line) {
+      total += solve_line(line, kLineLength);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+const Application& bt_app() {
+  static const BtApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,209 @@
+// CG — the NPB conjugate-gradient kernel: repeated sparse matrix-vector
+// products with two dot-product reductions per iteration on an irregular
+// (random) sparsity pattern. Memory bound, reduction heavy, and
+// NUMA-sensitive — the app for which the paper's Table VII highlights
+// KMP_FORCE_REDUCTION / KMP_ALIGN_ALLOC on Skylake.
+
+#include <cmath>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xC6C6C6u;
+constexpr std::int64_t kBaseRows = 6000;
+constexpr int kNonzerosPerRow = 8;
+constexpr int kIterations = 12;
+
+/// Symmetric-structured diagonally dominant sparse matrix in CSR form.
+struct CsrMatrix {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> row_ptr;
+  std::vector<std::int64_t> col;
+  std::vector<double> val;
+};
+
+CsrMatrix build_matrix(std::int64_t n) {
+  CsrMatrix m;
+  m.n = n;
+  m.row_ptr.resize(static_cast<std::size_t>(n) + 1);
+  m.row_ptr[0] = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double offdiag_sum = 0.0;
+    // Deterministic pseudo-random off-diagonal pattern.
+    for (int k = 0; k < kNonzerosPerRow - 1; ++k) {
+      const auto j = static_cast<std::int64_t>(counter_index(
+          kSeed, static_cast<std::uint64_t>(i * kNonzerosPerRow + k),
+          static_cast<std::uint64_t>(n)));
+      const double v =
+          counter_u01(kSeed ^ 0x5555, static_cast<std::uint64_t>(i * kNonzerosPerRow + k)) -
+          0.5;
+      m.col.push_back(j);
+      m.val.push_back(v);
+      offdiag_sum += std::abs(v);
+    }
+    // Dominant diagonal keeps the iteration well conditioned.
+    m.col.push_back(i);
+    m.val.push_back(offdiag_sum + 1.0);
+    m.row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<std::int64_t>(m.col.size());
+  }
+  return m;
+}
+
+double spmv_row_range(const CsrMatrix& m, const std::vector<double>& x,
+                      std::vector<double>& y, std::int64_t lo, std::int64_t hi) {
+  double local_dot = 0.0;
+  for (std::int64_t i = lo; i < hi; ++i) {
+    double acc = 0.0;
+    for (std::int64_t k = m.row_ptr[static_cast<std::size_t>(i)];
+         k < m.row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      acc += m.val[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(m.col[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+    local_dot += acc * x[static_cast<std::size_t>(i)];
+  }
+  return local_dot;
+}
+
+double cg_reference(std::int64_t n) {
+  const CsrMatrix m = build_matrix(n);
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> q(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] = counter_u01(kSeed ^ 0xB, static_cast<std::uint64_t>(i));
+    p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+  }
+  double rho = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    rho += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+  }
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const double pq = spmv_row_range(m, p, q, 0, n);
+    const double alpha = rho / pq;
+    double rho_next = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+      rho_next += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+    }
+    const double beta = rho_next / rho;
+    rho = rho_next;
+    for (std::int64_t i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  double norm = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    norm += x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+  }
+  return std::sqrt(norm);
+}
+
+class CgApp final : public Application {
+ public:
+  std::string name() const override { return "cg"; }
+  std::string suite() const override { return "npb"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"S", 0.3}, {"W", 0.6}, {"A", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 20.0 * input.scale;
+    c.serial_fraction = 0.015;
+    c.mem_intensity = 0.85;      // irregular gather, bandwidth bound
+    c.numa_sensitivity = 0.68;   // random column accesses cross domains
+    c.load_imbalance = 0.05;
+    c.region_rate = 90.0 / input.scale;  // fixed iterations, shrinking work
+    c.iteration_rate = 3.0e5 / input.scale;  // one row per iteration
+    c.reduction_rate = 45.0;     // two dots + norm per iteration
+    c.working_set_mb = 2600.0 * input.scale;
+    c.alloc_intensity = 0.5;     // reduction scratch is on the hot path
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const std::int64_t n = scaled_dim(kBaseRows, input.scale * native_scale, 64);
+    const CsrMatrix m = build_matrix(n);
+    std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> r(static_cast<std::size_t>(n));
+    std::vector<double> p(static_cast<std::size_t>(n));
+    std::vector<double> q(static_cast<std::size_t>(n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] = counter_u01(kSeed ^ 0xB, static_cast<std::uint64_t>(i));
+      p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)];
+    }
+
+    double norm = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      double rho = ctx.parallel_for_reduce(
+          0, n, rt::ReduceOp::Sum, [&](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+              acc += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+            }
+            return acc;
+          });
+      for (int iter = 0; iter < kIterations; ++iter) {
+        const double pq = ctx.parallel_for_reduce(
+            0, n, rt::ReduceOp::Sum, [&](std::int64_t lo, std::int64_t hi) {
+              return spmv_row_range(m, p, q, lo, hi);
+            });
+        const double alpha = rho / pq;
+        const double rho_next = ctx.parallel_for_reduce(
+            0, n, rt::ReduceOp::Sum, [&](std::int64_t lo, std::int64_t hi) {
+              double acc = 0.0;
+              for (std::int64_t i = lo; i < hi; ++i) {
+                x[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+                r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+                acc += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+              }
+              return acc;
+            });
+        const double beta = rho_next / rho;
+        rho = rho_next;
+        ctx.parallel_for(0, n, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            p[static_cast<std::size_t>(i)] =
+                r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+          }
+        });
+      }
+      const double got = ctx.parallel_for_reduce(
+          0, n, rt::ReduceOp::Sum, [&](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) {
+              acc += x[static_cast<std::size_t>(i)] * x[static_cast<std::size_t>(i)];
+            }
+            return acc;
+          });
+      if (ctx.tid() == 0) norm = std::sqrt(got);
+    });
+    return norm;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    return cg_reference(scaled_dim(kBaseRows, input.scale * native_scale, 64));
+  }
+};
+
+}  // namespace
+
+const Application& cg_app() {
+  static const CgApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

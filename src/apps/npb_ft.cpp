@@ -1,0 +1,203 @@
+// FT — the NPB 3D FFT kernel: radix-2 Cooley-Tukey transforms applied along
+// each dimension of a 3D complex array, followed by a spectral evolution
+// step. The dimension passes stream the whole array with strided access —
+// bandwidth hungry and placement sensitive (Table VI: 1.010 - 1.545).
+
+#include <cmath>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xF7F7F7u;
+
+struct Dims {
+  std::int64_t nx, ny, nz;
+};
+
+Dims dims_for(double scale) {
+  // Base W-class-like grid 64x32x32, scaled by cbrt in each dimension and
+  // rounded to powers of two (radix-2 FFT requirement).
+  const double f = std::cbrt(scale);
+  return Dims{next_pow2(scaled_dim(64, f, 4)), next_pow2(scaled_dim(32, f, 4)),
+              next_pow2(scaled_dim(32, f, 4))};
+}
+
+/// In-place radix-2 FFT of a length-n (power of two) buffer.
+void fft1d(Complex* a, std::int64_t n) {
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * M_PI / static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::int64_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::int64_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+class FtGrid {
+ public:
+  explicit FtGrid(Dims d)
+      : d_(d), data_(static_cast<std::size_t>(d.nx * d.ny * d.nz)) {
+    for (std::int64_t i = 0; i < d.nx * d.ny * d.nz; ++i) {
+      data_[static_cast<std::size_t>(i)] =
+          Complex(counter_u01(kSeed, static_cast<std::uint64_t>(2 * i)),
+                  counter_u01(kSeed, static_cast<std::uint64_t>(2 * i + 1)));
+    }
+  }
+
+  std::int64_t index(std::int64_t x, std::int64_t y, std::int64_t z) const {
+    return (z * d_.ny + y) * d_.nx + x;
+  }
+
+  /// FFT along x for pencil p in [0, ny*nz).
+  void fft_x_pencil(std::int64_t p) {
+    Complex* row = data_.data() + p * d_.nx;
+    fft1d(row, d_.nx);
+  }
+
+  /// FFT along y for pencil p in [0, nx*nz): gather-scatter via a local
+  /// buffer (the NPB work-array idiom).
+  void fft_y_pencil(std::int64_t p, std::vector<Complex>& scratch) {
+    const std::int64_t x = p % d_.nx;
+    const std::int64_t z = p / d_.nx;
+    scratch.resize(static_cast<std::size_t>(d_.ny));
+    for (std::int64_t y = 0; y < d_.ny; ++y) {
+      scratch[static_cast<std::size_t>(y)] = data_[static_cast<std::size_t>(index(x, y, z))];
+    }
+    fft1d(scratch.data(), d_.ny);
+    for (std::int64_t y = 0; y < d_.ny; ++y) {
+      data_[static_cast<std::size_t>(index(x, y, z))] = scratch[static_cast<std::size_t>(y)];
+    }
+  }
+
+  void fft_z_pencil(std::int64_t p, std::vector<Complex>& scratch) {
+    const std::int64_t x = p % d_.nx;
+    const std::int64_t y = p / d_.nx;
+    scratch.resize(static_cast<std::size_t>(d_.nz));
+    for (std::int64_t z = 0; z < d_.nz; ++z) {
+      scratch[static_cast<std::size_t>(z)] = data_[static_cast<std::size_t>(index(x, y, z))];
+    }
+    fft1d(scratch.data(), d_.nz);
+    for (std::int64_t z = 0; z < d_.nz; ++z) {
+      data_[static_cast<std::size_t>(index(x, y, z))] = scratch[static_cast<std::size_t>(z)];
+    }
+  }
+
+  /// Spectral evolution: scale each mode by exp(-alpha * k^2)-style factor.
+  void evolve(std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      const double k2 = static_cast<double>(i % 97);
+      data_[static_cast<std::size_t>(i)] *= std::exp(-1e-4 * k2);
+    }
+  }
+
+  double checksum_range(std::int64_t lo, std::int64_t hi) const {
+    double acc = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i) {
+      acc += data_[static_cast<std::size_t>(i)].real() +
+             0.5 * data_[static_cast<std::size_t>(i)].imag();
+    }
+    return acc;
+  }
+
+  const Dims& dims() const { return d_; }
+  std::int64_t total() const { return d_.nx * d_.ny * d_.nz; }
+
+ private:
+  Dims d_;
+  std::vector<Complex> data_;
+};
+
+class FtApp final : public Application {
+ public:
+  std::string name() const override { return "ft"; }
+  std::string suite() const override { return "npb"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"S", 0.125}, {"W", 0.5}, {"A", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 18.0 * input.scale;
+    c.serial_fraction = 0.03;
+    c.mem_intensity = 0.8;       // strided whole-array passes
+    c.numa_sensitivity = 0.55;   // transposed access order across passes
+    c.load_imbalance = 0.01;
+    c.region_rate = 30.0 / input.scale;
+    c.iteration_rate = 1.5e5;  // one pencil per iteration
+    c.reduction_rate = 3.0;
+    c.working_set_mb = 2600.0 * input.scale;
+    c.alloc_intensity = 0.25;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    FtGrid grid(dims_for(input.scale * native_scale));
+    const Dims& d = grid.dims();
+    double checksum = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      ctx.parallel_for(0, d.ny * d.nz, [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t p = lo; p < hi; ++p) grid.fft_x_pencil(p);
+      });
+      ctx.parallel_for(0, d.nx * d.nz, [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<Complex> scratch;
+        for (std::int64_t p = lo; p < hi; ++p) grid.fft_y_pencil(p, scratch);
+      });
+      ctx.parallel_for(0, d.nx * d.ny, [&](std::int64_t lo, std::int64_t hi) {
+        std::vector<Complex> scratch;
+        for (std::int64_t p = lo; p < hi; ++p) grid.fft_z_pencil(p, scratch);
+      });
+      ctx.parallel_for(0, grid.total(), [&](std::int64_t lo, std::int64_t hi) {
+        grid.evolve(lo, hi);
+      });
+      const double got = ctx.parallel_for_reduce(
+          0, grid.total(), rt::ReduceOp::Sum,
+          [&](std::int64_t lo, std::int64_t hi) {
+            return grid.checksum_range(lo, hi);
+          });
+      if (ctx.tid() == 0) checksum = got;
+    });
+    return checksum;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    FtGrid grid(dims_for(input.scale * native_scale));
+    const Dims& d = grid.dims();
+    std::vector<Complex> scratch;
+    for (std::int64_t p = 0; p < d.ny * d.nz; ++p) grid.fft_x_pencil(p);
+    for (std::int64_t p = 0; p < d.nx * d.nz; ++p) grid.fft_y_pencil(p, scratch);
+    for (std::int64_t p = 0; p < d.nx * d.ny; ++p) grid.fft_z_pencil(p, scratch);
+    grid.evolve(0, grid.total());
+    return grid.checksum_range(0, grid.total());
+  }
+};
+
+}  // namespace
+
+const Application& ft_app() {
+  static const FtApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

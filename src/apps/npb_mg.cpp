@@ -1,0 +1,262 @@
+// MG — the NPB multigrid kernel: V-cycles on a 3D Poisson problem with
+// Jacobi smoothing (double buffered, so every phase is deterministic and
+// race free), residual computation, injection restriction and trilinear-ish
+// prolongation. The coarse levels run tiny loops, so the fork/join and
+// worksharing overheads the environment variables control are a large
+// fraction of runtime (Table VI: 1.011 - 2.167).
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x316316u;
+constexpr int kVCycles = 2;
+constexpr int kPreSmooth = 2;
+constexpr int kPostSmooth = 1;
+constexpr int kCoarseSmooth = 8;
+
+/// One grid level: solution u, right-hand side f, and a scratch buffer.
+struct Level {
+  std::int64_t n = 0;
+  std::vector<double> u, f, scratch;
+
+  explicit Level(std::int64_t size)
+      : n(size),
+        u(static_cast<std::size_t>(size * size * size), 0.0),
+        f(static_cast<std::size_t>(size * size * size), 0.0),
+        scratch(static_cast<std::size_t>(size * size * size), 0.0) {}
+
+  std::int64_t idx(std::int64_t i, std::int64_t j, std::int64_t k) const {
+    return (i * n + j) * n + k;
+  }
+  std::int64_t total() const { return n * n * n; }
+};
+
+/// Weighted-Jacobi smoothing of planes [lo, hi): scratch <- relax(u).
+void smooth_planes(Level& lvl, std::int64_t lo, std::int64_t hi) {
+  constexpr double kWeight = 0.8;
+  for (std::int64_t i = std::max<std::int64_t>(lo, 1);
+       i < std::min(hi, lvl.n - 1); ++i) {
+    for (std::int64_t j = 1; j < lvl.n - 1; ++j) {
+      for (std::int64_t k = 1; k < lvl.n - 1; ++k) {
+        const double neighbours = lvl.u[static_cast<std::size_t>(lvl.idx(i - 1, j, k))] +
+                                  lvl.u[static_cast<std::size_t>(lvl.idx(i + 1, j, k))] +
+                                  lvl.u[static_cast<std::size_t>(lvl.idx(i, j - 1, k))] +
+                                  lvl.u[static_cast<std::size_t>(lvl.idx(i, j + 1, k))] +
+                                  lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k - 1))] +
+                                  lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k + 1))];
+        const double jac = (lvl.f[static_cast<std::size_t>(lvl.idx(i, j, k))] + neighbours) / 6.0;
+        lvl.scratch[static_cast<std::size_t>(lvl.idx(i, j, k))] =
+            (1.0 - kWeight) * lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k))] + kWeight * jac;
+      }
+    }
+  }
+}
+
+/// residual r = f - A u, into scratch of the same level, planes [lo, hi).
+void residual_planes(Level& lvl, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = std::max<std::int64_t>(lo, 1);
+       i < std::min(hi, lvl.n - 1); ++i) {
+    for (std::int64_t j = 1; j < lvl.n - 1; ++j) {
+      for (std::int64_t k = 1; k < lvl.n - 1; ++k) {
+        const double au = 6.0 * lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i - 1, j, k))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i + 1, j, k))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i, j - 1, k))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i, j + 1, k))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k - 1))] -
+                          lvl.u[static_cast<std::size_t>(lvl.idx(i, j, k + 1))];
+        lvl.scratch[static_cast<std::size_t>(lvl.idx(i, j, k))] =
+            lvl.f[static_cast<std::size_t>(lvl.idx(i, j, k))] - au;
+      }
+    }
+  }
+}
+
+/// Restrict fine.scratch (residual) to coarse.f by 2x injection averaging.
+void restrict_planes(const Level& fine, Level& coarse, std::int64_t lo,
+                     std::int64_t hi) {
+  for (std::int64_t i = std::max<std::int64_t>(lo, 1);
+       i < std::min(hi, coarse.n - 1); ++i) {
+    for (std::int64_t j = 1; j < coarse.n - 1; ++j) {
+      for (std::int64_t k = 1; k < coarse.n - 1; ++k) {
+        coarse.f[static_cast<std::size_t>(coarse.idx(i, j, k))] =
+            fine.scratch[static_cast<std::size_t>(fine.idx(2 * i, 2 * j, 2 * k))];
+      }
+    }
+  }
+}
+
+/// Prolong coarse.u onto fine.u (nearest-neighbour correction).
+void prolong_planes(Level& fine, const Level& coarse, std::int64_t lo,
+                    std::int64_t hi) {
+  for (std::int64_t i = std::max<std::int64_t>(lo, 1);
+       i < std::min(hi, fine.n - 1); ++i) {
+    for (std::int64_t j = 1; j < fine.n - 1; ++j) {
+      for (std::int64_t k = 1; k < fine.n - 1; ++k) {
+        const std::int64_t ci = std::min(i / 2, coarse.n - 2);
+        const std::int64_t cj = std::min(j / 2, coarse.n - 2);
+        const std::int64_t ck = std::min(k / 2, coarse.n - 2);
+        fine.u[static_cast<std::size_t>(fine.idx(i, j, k))] +=
+            coarse.u[static_cast<std::size_t>(coarse.idx(ci, cj, ck))];
+      }
+    }
+  }
+}
+
+/// Execution policy for the solver:
+///  - planes(level, phase_fn): apply phase_fn(lo, hi) across the level's
+///    plane range (serially or via the team's worksharing loop, ending in a
+///    team-aligned state), and
+///  - once(fn): run fn exactly once (on one thread, fenced), used for the
+///    serial control-flow mutations (buffer swaps, coarse-grid clears).
+/// When driven by a team, every thread executes the same deterministic
+/// recursion and the collective calls keep them in lockstep.
+struct MgExec {
+  std::function<void(Level&, const std::function<void(std::int64_t, std::int64_t)>&)>
+      planes;
+  std::function<void(const std::function<void()>&)> once;
+};
+
+class MgSolver {
+ public:
+  MgSolver(std::int64_t finest, int levels) {
+    std::int64_t n = finest;
+    for (int l = 0; l < levels && n >= 4; ++l, n /= 2) levels_.emplace_back(n);
+    Level& top = levels_.front();
+    for (std::int64_t i = 0; i < top.total(); ++i) {
+      top.f[static_cast<std::size_t>(i)] =
+          counter_u01(kSeed, static_cast<std::uint64_t>(i)) - 0.5;
+    }
+  }
+
+  void run(const MgExec& exec) {
+    for (int cycle = 0; cycle < kVCycles; ++cycle) {
+      v_cycle(0, exec);
+    }
+  }
+
+  void v_cycle(std::size_t level, const MgExec& exec) {
+    Level& lvl = levels_[level];
+    if (level + 1 == levels_.size()) {
+      smooth_level(lvl, kCoarseSmooth, exec);
+      return;
+    }
+    Level& next = levels_[level + 1];
+    smooth_level(lvl, kPreSmooth, exec);
+    exec.planes(lvl, [&lvl](std::int64_t lo, std::int64_t hi) {
+      residual_planes(lvl, lo, hi);
+    });
+    exec.planes(next, [&lvl, &next](std::int64_t lo, std::int64_t hi) {
+      restrict_planes(lvl, next, lo, hi);
+    });
+    exec.once([&next] { std::fill(next.u.begin(), next.u.end(), 0.0); });
+    v_cycle(level + 1, exec);
+    exec.planes(lvl, [&lvl, &next](std::int64_t lo, std::int64_t hi) {
+      prolong_planes(lvl, next, lo, hi);
+    });
+    smooth_level(lvl, kPostSmooth, exec);
+  }
+
+  void smooth_level(Level& lvl, int count, const MgExec& exec) {
+    for (int s = 0; s < count; ++s) {
+      exec.planes(lvl, [&lvl](std::int64_t lo, std::int64_t hi) {
+        smooth_planes(lvl, lo, hi);
+      });
+      exec.once([&lvl] { std::swap(lvl.u, lvl.scratch); });
+    }
+  }
+
+  double norm() const {
+    const Level& top = levels_.front();
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < top.total(); ++i) {
+      acc += top.u[static_cast<std::size_t>(i)] * top.u[static_cast<std::size_t>(i)];
+    }
+    return std::sqrt(acc);
+  }
+
+ private:
+  std::vector<Level> levels_;
+};
+
+class MgApp final : public Application {
+ public:
+  std::string name() const override { return "mg"; }
+  std::string suite() const override { return "npb"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryInputSize; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"S", 0.125}, {"W", 0.5}, {"A", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 16.0 * input.scale;
+    c.serial_fraction = 0.035;   // coarse grids barely parallelize
+    c.mem_intensity = 0.82;
+    c.numa_sensitivity = 0.95;
+    c.load_imbalance = 0.08;     // plane decomposition on small levels
+    c.region_rate = 320.0 / input.scale;  // many tiny regions per V-cycle
+    c.iteration_rate = 2.5e5;  // planes across all levels, mostly tiny
+    c.reduction_rate = 2.0;
+    c.working_set_mb = 2400.0 * input.scale;
+    c.alloc_intensity = 0.3;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    MgSolver solver(grid_size(input, native_scale), 4);
+    team.parallel([&](rt::TeamContext& ctx) {
+      const MgExec exec{
+          .planes = [&ctx](Level& lvl, const std::function<void(std::int64_t, std::int64_t)>& phase) {
+            ctx.parallel_for(0, lvl.n, phase);
+          },
+          // parallel_for's trailing barrier aligned the team; run the serial
+          // mutation on thread 0 and fence before anyone reads the result.
+          .once = [&ctx](const std::function<void()>& fn) {
+            if (ctx.tid() == 0) fn();
+            ctx.barrier();
+          },
+      };
+      solver.run(exec);
+    });
+    return solver.norm();
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    MgSolver solver(grid_size(input, native_scale), 4);
+    const MgExec exec{
+        .planes = [](Level& lvl, const std::function<void(std::int64_t, std::int64_t)>& phase) {
+          phase(0, lvl.n);
+        },
+        .once = [](const std::function<void()>& fn) { fn(); },
+    };
+    solver.run(exec);
+    return solver.norm();
+  }
+
+  bool deterministic_checksum() const override { return true; }
+
+ private:
+  static std::int64_t grid_size(const InputSize& input, double native_scale) {
+    return next_pow2(scaled_dim(64, std::cbrt(input.scale * native_scale), 8));
+  }
+};
+
+}  // namespace
+
+const Application& mg_app() {
+  static const MgApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,161 @@
+// RSBench — the multipole-method cross-section kernel: instead of table
+// lookups (XSBench), each lookup evaluates a sum over complex resonance
+// poles via the windowed multipole representation. Compute-heavy complex
+// arithmetic with small tables — far less memory pressure than XSBench,
+// hence the smaller tuning headroom (Table VI: 1.004 - 1.213).
+
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x25BE4C4u;
+constexpr int kNuclides = 32;
+constexpr int kPolesPerNuclide = 48;
+constexpr int kWindows = 8;
+constexpr std::int64_t kBaseLookups = 24000;
+constexpr int kMaterials = 12;
+constexpr int kNuclidesPerMaterial = 6;
+
+struct Pole {
+  Complex position;   // complex resonance energy
+  Complex residue_t;  // total-xs residue
+  Complex residue_a;  // absorption residue
+};
+
+struct RsData {
+  std::vector<Pole> poles;  // [nuclide][pole]
+  std::vector<double> pseudo_k0rs;  // per nuclide background
+  std::vector<std::vector<int>> material_nuclides;
+
+  const Pole& pole(int nuclide, int p) const {
+    return poles[static_cast<std::size_t>(nuclide * kPolesPerNuclide + p)];
+  }
+};
+
+RsData build_data() {
+  RsData data;
+  data.poles.resize(kNuclides * kPolesPerNuclide);
+  for (int n = 0; n < kNuclides; ++n) {
+    for (int p = 0; p < kPolesPerNuclide; ++p) {
+      const auto tag = static_cast<std::uint64_t>(n * kPolesPerNuclide + p);
+      data.poles[static_cast<std::size_t>(n * kPolesPerNuclide + p)] = Pole{
+          Complex(counter_u01(kSeed, 4 * tag) * 100.0,
+                  0.1 + counter_u01(kSeed, 4 * tag + 1)),
+          Complex(counter_u01(kSeed, 4 * tag + 2) - 0.5,
+                  counter_u01(kSeed, 4 * tag + 3) - 0.5),
+          Complex(counter_u01(kSeed ^ 0xA, 4 * tag) - 0.5,
+                  counter_u01(kSeed ^ 0xA, 4 * tag + 1) - 0.5),
+      };
+    }
+    data.pseudo_k0rs.push_back(counter_u01(kSeed ^ 0xB, static_cast<std::uint64_t>(n)));
+  }
+  data.material_nuclides.resize(kMaterials);
+  for (int m = 0; m < kMaterials; ++m) {
+    for (int k = 0; k < kNuclidesPerMaterial; ++k) {
+      data.material_nuclides[static_cast<std::size_t>(m)].push_back(
+          static_cast<int>(counter_index(
+              kSeed ^ 0xC, static_cast<std::uint64_t>(m * 100 + k), kNuclides)));
+    }
+  }
+  return data;
+}
+
+/// Windowed multipole evaluation for one nuclide at energy e.
+double evaluate_nuclide(const RsData& data, int nuclide, double e) {
+  // Select the pole window for this energy; evaluate only its poles.
+  const int window = static_cast<int>(e / 100.0 * kWindows) % kWindows;
+  const int per_window = kPolesPerNuclide / kWindows;
+  const Complex sqrt_e(std::sqrt(e), 0.0);
+  Complex sigma_t(0.0, 0.0);
+  Complex sigma_a(0.0, 0.0);
+  for (int p = window * per_window; p < (window + 1) * per_window; ++p) {
+    const Pole& pole = data.pole(nuclide, p);
+    const Complex psi = Complex(1.0, 0.0) / (pole.position - sqrt_e);
+    sigma_t += pole.residue_t * psi;
+    sigma_a += pole.residue_a * psi;
+  }
+  // Background polynomial (curve-fit term of the real kernel).
+  const double k0rs = data.pseudo_k0rs[static_cast<std::size_t>(nuclide)];
+  const double background = k0rs * (1.0 + 0.1 * e + 0.01 * e * e) / (1.0 + e);
+  return sigma_t.real() + 0.5 * sigma_a.real() + background;
+}
+
+double lookup(const RsData& data, std::int64_t id) {
+  const double e =
+      counter_u01(kSeed ^ 0xE, static_cast<std::uint64_t>(id)) * 99.0 + 0.5;
+  const int material = static_cast<int>(
+      counter_index(kSeed ^ 0xF, static_cast<std::uint64_t>(id), kMaterials));
+  double macro = 0.0;
+  for (const int nuclide : data.material_nuclides[static_cast<std::size_t>(material)]) {
+    macro += evaluate_nuclide(data, nuclide, e);
+  }
+  return macro;
+}
+
+class RsBenchApp final : public Application {
+ public:
+  std::string name() const override { return "rsbench"; }
+  std::string suite() const override { return "proxy"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryThreads; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.5}, {"default", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 24.0 * input.scale;
+    c.serial_fraction = 0.01;
+    c.mem_intensity = 0.25;      // pole tables are compact
+    c.numa_sensitivity = 0.35;
+    c.load_imbalance = 0.03;
+    c.region_rate = 0.5;
+    c.iteration_rate = 3.0e5;
+    c.reduction_rate = 0.5;
+    c.working_set_mb = 900.0;  // pole windows stream at scale
+    c.alloc_intensity = 0.05;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const RsData data = build_data();
+    const std::int64_t lookups =
+        scaled_dim(kBaseLookups, input.scale * native_scale, 512);
+    double total = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      const double got = ctx.parallel_for_reduce(
+          0, lookups, rt::ReduceOp::Sum,
+          [&data](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) acc += lookup(data, i);
+            return acc;
+          });
+      if (ctx.tid() == 0) total = got;
+    });
+    return total;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const RsData data = build_data();
+    const std::int64_t lookups =
+        scaled_dim(kBaseLookups, input.scale * native_scale, 512);
+    double total = 0.0;
+    for (std::int64_t i = 0; i < lookups; ++i) total += lookup(data, i);
+    return total;
+  }
+};
+
+}  // namespace
+
+const Application& rsbench_app() {
+  static const RsBenchApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,131 @@
+// SU3Bench — the MILC lattice-QCD SU(3) matrix-matrix multiply kernel
+// (mult_su3_nn): c = a * b for 3x3 complex matrices at every lattice site.
+// Pure streaming with a fixed arithmetic intensity (~1 flop/byte): memory
+// bandwidth and thread placement decide everything (Table VI: up to 2.279).
+
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x503503u;
+constexpr std::int64_t kBaseSites = 30000;
+constexpr int kIterations = 4;
+
+struct Su3Matrix {
+  Complex e[3][3];
+};
+
+Su3Matrix random_matrix(std::uint64_t tag) {
+  Su3Matrix m;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      m.e[r][c] = Complex(
+          counter_u01(kSeed, util::hash_combine(tag, static_cast<std::uint64_t>(2 * (3 * r + c)))) - 0.5,
+          counter_u01(kSeed, util::hash_combine(tag, static_cast<std::uint64_t>(2 * (3 * r + c) + 1))) - 0.5);
+    }
+  }
+  return m;
+}
+
+/// c = a * b (mult_su3_nn).
+void mult_su3_nn(const Su3Matrix& a, const Su3Matrix& b, Su3Matrix& c) {
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      Complex acc(0.0, 0.0);
+      for (int k = 0; k < 3; ++k) acc += a.e[i][k] * b.e[k][j];
+      c.e[i][j] = acc;
+    }
+  }
+}
+
+double trace_re(const Su3Matrix& m) {
+  return m.e[0][0].real() + m.e[1][1].real() + m.e[2][2].real();
+}
+
+class Su3BenchApp final : public Application {
+ public:
+  std::string name() const override { return "su3bench"; }
+  std::string suite() const override { return "proxy"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryThreads; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.5}, {"default", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 15.0 * input.scale;
+    c.serial_fraction = 0.005;
+    c.mem_intensity = 0.9;       // streaming, low arithmetic intensity
+    c.numa_sensitivity = 0.85;   // first-touch placement decides bandwidth
+    c.load_imbalance = 0.01;
+    c.region_rate = 4.0;
+    c.iteration_rate = 2.0e6;  // one 3x3 multiply per site
+    c.reduction_rate = 1.0;
+    c.working_set_mb = 3000.0 * input.scale;
+    c.alloc_intensity = 0.05;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const std::int64_t sites =
+        scaled_dim(kBaseSites, input.scale * native_scale, 256);
+    std::vector<Su3Matrix> a(static_cast<std::size_t>(sites));
+    std::vector<Su3Matrix> b(static_cast<std::size_t>(sites));
+    std::vector<Su3Matrix> c(static_cast<std::size_t>(sites));
+    for (std::int64_t s = 0; s < sites; ++s) {
+      a[static_cast<std::size_t>(s)] = random_matrix(static_cast<std::uint64_t>(2 * s));
+      b[static_cast<std::size_t>(s)] = random_matrix(static_cast<std::uint64_t>(2 * s + 1));
+    }
+    double total = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      for (int iter = 0; iter < kIterations; ++iter) {
+        ctx.parallel_for(0, sites, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t s = lo; s < hi; ++s) {
+            mult_su3_nn(a[static_cast<std::size_t>(s)], b[static_cast<std::size_t>(s)],
+                        c[static_cast<std::size_t>(s)]);
+          }
+        });
+      }
+      const double got = ctx.parallel_for_reduce(
+          0, sites, rt::ReduceOp::Sum, [&c](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t s = lo; s < hi; ++s) {
+              acc += trace_re(c[static_cast<std::size_t>(s)]);
+            }
+            return acc;
+          });
+      if (ctx.tid() == 0) total = got;
+    });
+    return total;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const std::int64_t sites =
+        scaled_dim(kBaseSites, input.scale * native_scale, 256);
+    double total = 0.0;
+    for (std::int64_t s = 0; s < sites; ++s) {
+      const Su3Matrix a = random_matrix(static_cast<std::uint64_t>(2 * s));
+      const Su3Matrix b = random_matrix(static_cast<std::uint64_t>(2 * s + 1));
+      Su3Matrix c;
+      mult_su3_nn(a, b, c);
+      total += trace_re(c);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+const Application& su3bench_app() {
+  static const Su3BenchApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,154 @@
+// XSBench — the Monte Carlo macroscopic cross-section lookup kernel:
+// each lookup binary-searches a unionized energy grid and gathers
+// interpolated cross sections for every nuclide of a random material.
+// Essentially pure random memory access — the most NUMA-sensitive workload
+// of the study. Table V: tuning barely helps on A64FX (HBM) and Skylake
+// (2 NUMA domains), but exceeds 2.6x on Milan (8 domains, expensive remote
+// accesses) once threads are placed and bound.
+
+#include <algorithm>
+#include <vector>
+
+#include "apps/all_apps.hpp"
+#include "apps/kernel_utils.hpp"
+
+namespace omptune::apps {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x55BE4C4u;
+constexpr int kNuclides = 68;          // "large" H-M has 355; scaled down
+constexpr int kXsChannels = 5;         // total/elastic/absorption/fission/nu-fission
+constexpr std::int64_t kBaseGrid = 4096;
+constexpr std::int64_t kBaseLookups = 40000;
+constexpr int kMaterials = 12;
+constexpr int kMaxNuclidesPerMaterial = 16;
+
+struct XsData {
+  std::vector<double> energy_grid;              // sorted, size G
+  std::vector<double> xs;                       // [nuclide][grid][channel]
+  std::vector<std::vector<int>> material_nuclides;
+  std::int64_t grid_points = 0;
+
+  double xs_at(int nuclide, std::int64_t g, int channel) const {
+    return xs[static_cast<std::size_t>(
+        (static_cast<std::int64_t>(nuclide) * grid_points + g) * kXsChannels +
+        channel)];
+  }
+};
+
+XsData build_data(std::int64_t grid_points) {
+  XsData data;
+  data.grid_points = grid_points;
+  data.energy_grid.resize(static_cast<std::size_t>(grid_points));
+  double e = 0.0;
+  for (std::int64_t g = 0; g < grid_points; ++g) {
+    e += counter_u01(kSeed, static_cast<std::uint64_t>(g)) + 1e-6;
+    data.energy_grid[static_cast<std::size_t>(g)] = e;
+  }
+  data.xs.resize(static_cast<std::size_t>(kNuclides * grid_points * kXsChannels));
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(data.xs.size()); ++i) {
+    data.xs[static_cast<std::size_t>(i)] =
+        counter_u01(kSeed ^ 0x1234, static_cast<std::uint64_t>(i));
+  }
+  data.material_nuclides.resize(kMaterials);
+  for (int m = 0; m < kMaterials; ++m) {
+    const int count = 2 + static_cast<int>(counter_index(
+                              kSeed ^ 0x99, static_cast<std::uint64_t>(m),
+                              kMaxNuclidesPerMaterial - 2));
+    for (int k = 0; k < count; ++k) {
+      data.material_nuclides[static_cast<std::size_t>(m)].push_back(
+          static_cast<int>(counter_index(
+              kSeed ^ 0xAB, static_cast<std::uint64_t>(m * 100 + k), kNuclides)));
+    }
+  }
+  return data;
+}
+
+/// One macroscopic lookup: random energy + material, gather over nuclides.
+double lookup(const XsData& data, std::int64_t id) {
+  const double max_e = data.energy_grid.back();
+  const double e = counter_u01(kSeed ^ 0xE, static_cast<std::uint64_t>(id)) * max_e;
+  const int material = static_cast<int>(
+      counter_index(kSeed ^ 0xF, static_cast<std::uint64_t>(id), kMaterials));
+
+  const auto it = std::lower_bound(data.energy_grid.begin(),
+                                   data.energy_grid.end(), e);
+  std::int64_t hi = std::distance(data.energy_grid.begin(), it);
+  hi = std::clamp<std::int64_t>(hi, 1, data.grid_points - 1);
+  const std::int64_t lo = hi - 1;
+  const double e_lo = data.energy_grid[static_cast<std::size_t>(lo)];
+  const double e_hi = data.energy_grid[static_cast<std::size_t>(hi)];
+  const double f = (e - e_lo) / (e_hi - e_lo);
+
+  double macro = 0.0;
+  for (const int nuclide : data.material_nuclides[static_cast<std::size_t>(material)]) {
+    for (int c = 0; c < kXsChannels; ++c) {
+      const double v_lo = data.xs_at(nuclide, lo, c);
+      const double v_hi = data.xs_at(nuclide, hi, c);
+      macro += v_lo + f * (v_hi - v_lo);
+    }
+  }
+  return macro;
+}
+
+class XsBenchApp final : public Application {
+ public:
+  std::string name() const override { return "xsbench"; }
+  std::string suite() const override { return "proxy"; }
+  ParallelismKind kind() const override { return ParallelismKind::Loop; }
+  SweepMode sweep_mode() const override { return SweepMode::VaryThreads; }
+
+  std::vector<InputSize> input_sizes() const override {
+    return {{"small", 0.5}, {"default", 1.0}};
+  }
+
+  AppCharacteristics characteristics(const InputSize& input) const override {
+    AppCharacteristics c;
+    c.base_seconds = 28.0 * input.scale;
+    c.serial_fraction = 0.01;
+    c.mem_intensity = 0.95;      // random gathers, no reuse
+    c.numa_sensitivity = 0.95;   // every access may be remote
+    c.load_imbalance = 0.015;    // lookups are uniform
+    c.region_rate = 0.5;         // one big lookup loop
+    c.iteration_rate = 8.0e5;  // one lookup per iteration
+    c.reduction_rate = 0.5;
+    c.working_set_mb = 5600.0 * input.scale;  // grid >> LLC
+    c.alloc_intensity = 0.05;
+    return c;
+  }
+
+  double run_native(rt::ThreadTeam& team, const InputSize& input,
+                    double native_scale) const override {
+    const XsData data = build_data(scaled_dim(kBaseGrid, input.scale * native_scale, 256));
+    const std::int64_t lookups = scaled_dim(kBaseLookups, input.scale * native_scale, 512);
+    double total = 0.0;
+    team.parallel([&](rt::TeamContext& ctx) {
+      const double got = ctx.parallel_for_reduce(
+          0, lookups, rt::ReduceOp::Sum,
+          [&data](std::int64_t lo, std::int64_t hi) {
+            double acc = 0.0;
+            for (std::int64_t i = lo; i < hi; ++i) acc += lookup(data, i);
+            return acc;
+          });
+      if (ctx.tid() == 0) total = got;
+    });
+    return total;
+  }
+
+  double run_reference(const InputSize& input, double native_scale) const override {
+    const XsData data = build_data(scaled_dim(kBaseGrid, input.scale * native_scale, 256));
+    const std::int64_t lookups = scaled_dim(kBaseLookups, input.scale * native_scale, 512);
+    double total = 0.0;
+    for (std::int64_t i = 0; i < lookups; ++i) total += lookup(data, i);
+    return total;
+  }
+};
+
+}  // namespace
+
+const Application& xsbench_app() {
+  static const XsBenchApp app;
+  return app;
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,42 @@
+#include <stdexcept>
+
+#include "apps/all_apps.hpp"
+#include "apps/application.hpp"
+
+namespace omptune::apps {
+
+std::string to_string(ParallelismKind kind) {
+  switch (kind) {
+    case ParallelismKind::Loop: return "loop";
+    case ParallelismKind::Task: return "task";
+  }
+  throw std::invalid_argument("to_string: bad ParallelismKind");
+}
+
+InputSize Application::default_input() const {
+  const auto sizes = input_sizes();
+  if (sizes.empty()) {
+    throw std::logic_error("Application::default_input: no input sizes");
+  }
+  return sizes[sizes.size() / 2];
+}
+
+const std::vector<const Application*>& registry() {
+  // Paper Table VI order (alphabetical by application name).
+  static const std::vector<const Application*> apps = {
+      &alignment_app(), &bt_app(),      &cg_app(),     &ep_app(),
+      &ft_app(),        &health_app(),  &lu_app(),     &lulesh_app(),
+      &mg_app(),        &nqueens_app(), &rsbench_app(), &sort_app(),
+      &strassen_app(),  &su3bench_app(), &xsbench_app(),
+  };
+  return apps;
+}
+
+const Application& find_application(const std::string& name) {
+  for (const Application* app : registry()) {
+    if (app->name() == name) return *app;
+  }
+  throw std::invalid_argument("find_application: unknown application '" + name + "'");
+}
+
+}  // namespace omptune::apps

@@ -1,0 +1,220 @@
+#include "arch/topology.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace omptune::arch {
+
+std::string to_string(PlacesKind kind) {
+  switch (kind) {
+    case PlacesKind::Unset: return "unset";
+    case PlacesKind::Threads: return "threads";
+    case PlacesKind::Cores: return "cores";
+    case PlacesKind::LLCaches: return "ll_caches";
+    case PlacesKind::Sockets: return "sockets";
+    case PlacesKind::NumaDomains: return "numa_domains";
+  }
+  throw std::invalid_argument("to_string: bad PlacesKind");
+}
+
+PlacesKind places_from_string(const std::string& name) {
+  if (name == "unset" || name.empty()) return PlacesKind::Unset;
+  if (name == "threads") return PlacesKind::Threads;
+  if (name == "cores") return PlacesKind::Cores;
+  if (name == "ll_caches") return PlacesKind::LLCaches;
+  if (name == "sockets") return PlacesKind::Sockets;
+  if (name == "numa_domains") return PlacesKind::NumaDomains;
+  throw std::invalid_argument("places_from_string: unknown value '" + name + "'");
+}
+
+std::string to_string(BindKind kind) {
+  switch (kind) {
+    case BindKind::Unset: return "unset";
+    case BindKind::False_: return "false";
+    case BindKind::True_: return "true";
+    case BindKind::Master: return "master";
+    case BindKind::Close: return "close";
+    case BindKind::Spread: return "spread";
+  }
+  throw std::invalid_argument("to_string: bad BindKind");
+}
+
+BindKind bind_from_string(const std::string& name) {
+  if (name == "unset" || name.empty()) return BindKind::Unset;
+  if (name == "false") return BindKind::False_;
+  if (name == "true") return BindKind::True_;
+  if (name == "master" || name == "primary") return BindKind::Master;
+  if (name == "close") return BindKind::Close;
+  if (name == "spread") return BindKind::Spread;
+  throw std::invalid_argument("bind_from_string: unknown value '" + name + "'");
+}
+
+Topology::Topology(const CpuArch& cpu) : cpu_(&cpu) {
+  if (cpu.cores <= 0) throw std::invalid_argument("Topology: cpu.cores must be > 0");
+  locations_.resize(cpu.cores);
+  const int per_socket = cpu.cores_per_socket();
+  const int per_numa = cpu.cores_per_numa();
+  const int per_llc = cpu.cores_per_llc();
+  for (int c = 0; c < cpu.cores; ++c) {
+    locations_[c] = CoreLocation{
+        .core = c,
+        .socket = c / per_socket,
+        .numa = c / per_numa,
+        .llc = c / per_llc,
+    };
+  }
+}
+
+std::vector<Place> Topology::places(PlacesKind kind) const {
+  auto group_by = [this](auto selector) {
+    std::map<int, Place> groups;
+    for (const CoreLocation& loc : locations_) {
+      groups[selector(loc)].cores.push_back(loc.core);
+    }
+    std::vector<Place> out;
+    out.reserve(groups.size());
+    for (auto& [key, place] : groups) out.push_back(std::move(place));
+    return out;
+  };
+
+  switch (kind) {
+    case PlacesKind::Unset: {
+      // One machine-wide place: threads may run (and migrate) anywhere.
+      Place all;
+      all.cores.resize(locations_.size());
+      std::iota(all.cores.begin(), all.cores.end(), 0);
+      return {all};
+    }
+    case PlacesKind::Threads:
+    case PlacesKind::Cores:
+      // No SMT on the modelled machines, so threads == cores.
+      return group_by([](const CoreLocation& l) { return l.core; });
+    case PlacesKind::LLCaches:
+      return group_by([](const CoreLocation& l) { return l.llc; });
+    case PlacesKind::Sockets:
+      return group_by([](const CoreLocation& l) { return l.socket; });
+    case PlacesKind::NumaDomains:
+      return group_by([](const CoreLocation& l) { return l.numa; });
+  }
+  throw std::invalid_argument("Topology::places: bad PlacesKind");
+}
+
+int Topology::num_places(PlacesKind kind) const {
+  return static_cast<int>(places(kind).size());
+}
+
+ThreadPlacement assign_threads(const Topology& topo, PlacesKind places,
+                               BindKind bind, int num_threads) {
+  if (num_threads <= 0) {
+    throw std::invalid_argument("assign_threads: num_threads must be > 0");
+  }
+
+  ThreadPlacement result;
+
+  const bool wants_binding = bind == BindKind::Master || bind == BindKind::Close ||
+                             bind == BindKind::Spread || bind == BindKind::True_;
+  if (!wants_binding) {
+    result.bound = false;
+    result.place_list = topo.places(PlacesKind::Unset);
+    return result;
+  }
+
+  // LLVM falls back to core granularity when binding is requested without an
+  // explicit place partition.
+  const PlacesKind effective =
+      places == PlacesKind::Unset ? PlacesKind::Cores : places;
+  result.place_list = topo.places(effective);
+  result.bound = true;
+
+  const int P = static_cast<int>(result.place_list.size());
+  result.place_of_thread.resize(num_threads);
+
+  switch (bind) {
+    case BindKind::Master:
+      // All threads on the primary thread's place.
+      std::fill(result.place_of_thread.begin(), result.place_of_thread.end(), 0);
+      break;
+    case BindKind::Close:
+    case BindKind::True_:
+      // Consecutive places from the primary's place, wrapping.
+      for (int t = 0; t < num_threads; ++t) {
+        result.place_of_thread[t] = t % P;
+      }
+      break;
+    case BindKind::Spread:
+      // Partition the place list into num_threads sub-partitions; thread i
+      // occupies the first place of partition i (OpenMP 5.x semantics).
+      for (int t = 0; t < num_threads; ++t) {
+        result.place_of_thread[t] =
+            static_cast<int>((static_cast<long long>(t) * P) / num_threads) % P;
+      }
+      break;
+    default:
+      throw std::logic_error("assign_threads: unreachable bind kind");
+  }
+  return result;
+}
+
+PlacementStats placement_stats(const Topology& topo, PlacesKind places,
+                               BindKind bind, int num_threads) {
+  const ThreadPlacement placement = assign_threads(topo, places, bind, num_threads);
+  PlacementStats stats;
+  stats.bound = placement.bound;
+
+  if (!placement.bound) {
+    // Unbound threads migrate across the whole chip over time.
+    const CpuArch& cpu = topo.cpu();
+    stats.distinct_numa = cpu.numa_nodes;
+    stats.distinct_llc = cpu.ll_caches;
+    stats.distinct_sockets = cpu.sockets > 0 ? cpu.sockets : 1;
+    stats.max_threads_per_core =
+        std::max(1.0, static_cast<double>(num_threads) / cpu.cores);
+    stats.numa_balance = 1.0;
+    return stats;
+  }
+
+  // Distribute each place's threads round-robin over its cores, then derive
+  // per-core / per-domain loads.
+  std::map<int, int> threads_in_place;
+  for (const int p : placement.place_of_thread) ++threads_in_place[p];
+
+  std::map<int, int> core_load;
+  for (const auto& [p, count] : threads_in_place) {
+    const Place& place = placement.place_list.at(p);
+    const int width = static_cast<int>(place.cores.size());
+    for (int i = 0; i < count; ++i) {
+      ++core_load[place.cores[i % width]];
+    }
+  }
+
+  std::set<int> numas, llcs, sockets;
+  std::map<int, int> numa_load;
+  int max_core_load = 0;
+  for (const auto& [core, load] : core_load) {
+    const CoreLocation& loc = topo.location(core);
+    numas.insert(loc.numa);
+    llcs.insert(loc.llc);
+    sockets.insert(loc.socket);
+    numa_load[loc.numa] += load;
+    max_core_load = std::max(max_core_load, load);
+  }
+
+  stats.distinct_numa = static_cast<int>(numas.size());
+  stats.distinct_llc = static_cast<int>(llcs.size());
+  stats.distinct_sockets = static_cast<int>(sockets.size());
+  stats.max_threads_per_core = static_cast<double>(max_core_load);
+
+  int max_numa_load = 0;
+  for (const auto& [numa, load] : numa_load) {
+    max_numa_load = std::max(max_numa_load, load);
+  }
+  const double even = static_cast<double>(num_threads) /
+                      static_cast<double>(numa_load.size());
+  stats.numa_balance = max_numa_load > 0 ? even / max_numa_load : 1.0;
+  return stats;
+}
+
+}  // namespace omptune::arch

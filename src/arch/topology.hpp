@@ -1,0 +1,126 @@
+#pragma once
+
+// Hardware topology model: cores arranged in sockets, NUMA domains and
+// last-level-cache groups. Provides the place lists for every OMP_PLACES
+// value and the OpenMP-conformant thread->place assignment for every
+// OMP_PROC_BIND policy. Used both by the native runtime (to pin logical
+// threads) and by the performance model (to score a placement).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+
+namespace omptune::arch {
+
+/// A place is a set of cores, stored as core ids (always a contiguous range
+/// for the regular topologies modelled here, but kept general).
+struct Place {
+  std::vector<int> cores;
+};
+
+/// The OMP_PLACES granularities of the paper's study. `Unset` means the OS
+/// may migrate threads freely; `Threads` is listed for completeness (the
+/// paper skips it because no SMT machines were evaluated); `NumaDomains`
+/// requires hwloc in LLVM/OpenMP and was likewise skipped in the paper's
+/// sweep, but both are implemented here.
+enum class PlacesKind {
+  Unset,
+  Threads,
+  Cores,
+  LLCaches,
+  Sockets,
+  NumaDomains,
+};
+
+std::string to_string(PlacesKind kind);
+PlacesKind places_from_string(const std::string& name);
+
+/// Thread binding policies of OMP_PROC_BIND. `Unset` resolves per the
+/// LLVM/OpenMP default derivation (see rt::RtConfig). `Master` is the
+/// deprecated spelling of `primary` and keeps threads on the primary
+/// thread's place.
+enum class BindKind {
+  Unset,
+  False_,
+  True_,
+  Master,
+  Close,
+  Spread,
+};
+
+std::string to_string(BindKind kind);
+BindKind bind_from_string(const std::string& name);
+
+/// Per-core static location within the chip.
+struct CoreLocation {
+  int core = 0;
+  int socket = 0;
+  int numa = 0;
+  int llc = 0;
+};
+
+/// Immutable topology derived from a CpuArch descriptor.
+class Topology {
+ public:
+  explicit Topology(const CpuArch& cpu);
+
+  const CpuArch& cpu() const { return *cpu_; }
+  int num_cores() const { return static_cast<int>(locations_.size()); }
+  const CoreLocation& location(int core) const { return locations_.at(core); }
+
+  /// Place list for a given granularity. For `Unset`, returns a single place
+  /// covering the whole machine (threads may migrate anywhere).
+  std::vector<Place> places(PlacesKind kind) const;
+
+  /// Number of places for the granularity.
+  int num_places(PlacesKind kind) const;
+
+ private:
+  const CpuArch* cpu_;
+  std::vector<CoreLocation> locations_;
+};
+
+/// Result of assigning an OpenMP thread team to places.
+struct ThreadPlacement {
+  /// places[i] = place index assigned to thread i (into the place list used);
+  /// empty when binding is disabled (threads float).
+  std::vector<int> place_of_thread;
+  /// The resolved place list the indices refer to.
+  std::vector<Place> place_list;
+  /// True when threads are pinned (bind != false/unset-without-places).
+  bool bound = false;
+};
+
+/// Compute the OpenMP 5.x thread->place assignment.
+///
+/// - `Close`: threads packed into consecutive places starting at the
+///   primary thread's place.
+/// - `Spread`: the place list is partitioned into `num_threads` roughly
+///   equal sub-partitions; thread i lands in the first place of partition i.
+/// - `Master`: every thread shares place 0 (the primary's place).
+/// - `True_`: binding enabled with implementation-defined policy; LLVM uses
+///   the same assignment as `Close` here.
+/// - `False_` / `Unset`: no binding (threads float across the machine).
+///
+/// When `places` is `Unset` but binding is requested, LLVM falls back to
+/// core-granularity places; this function mirrors that.
+ThreadPlacement assign_threads(const Topology& topo, PlacesKind places,
+                               BindKind bind, int num_threads);
+
+/// Summary statistics of a placement, consumed by the performance model.
+struct PlacementStats {
+  bool bound = false;
+  int distinct_numa = 1;    ///< NUMA domains covered by the team
+  int distinct_llc = 1;     ///< LLC groups covered by the team
+  int distinct_sockets = 1; ///< sockets covered by the team
+  double max_threads_per_core = 1.0;  ///< oversubscription factor (worst core)
+  double numa_balance = 1.0;  ///< 1 = perfectly even across covered domains
+};
+
+/// Compute placement statistics for a team of `num_threads` threads.
+PlacementStats placement_stats(const Topology& topo, PlacesKind places,
+                               BindKind bind, int num_threads);
+
+}  // namespace omptune::arch

@@ -1,0 +1,36 @@
+#include "core/study.hpp"
+
+namespace omptune::core {
+
+Study::Study(sim::Runner& runner, StudyOptions options)
+    : runner_(&runner), options_(options) {}
+
+StudyResult Study::run_paper_study(
+    const std::function<void(const std::string&)>& progress) const {
+  return run(sweep::StudyPlan::paper_plan(), progress);
+}
+
+StudyResult Study::run(
+    const sweep::StudyPlan& plan,
+    const std::function<void(const std::string&)>& progress) const {
+  sweep::SweepHarness harness(*runner_, options_.repetitions, options_.seed);
+  return analyze(harness.run_study(plan, progress));
+}
+
+StudyResult Study::analyze(sweep::Dataset dataset) const {
+  StudyResult result;
+  result.upshot = analysis::upshot_by_arch(dataset);
+  result.ranges_by_arch = analysis::speedup_ranges_by_arch(dataset);
+  result.ranges_by_app = analysis::speedup_ranges_by_app(dataset);
+  result.per_app_influence = analysis::influence_map(
+      dataset, analysis::Grouping::PerApplication, options_.label_threshold);
+  result.per_arch_influence = analysis::influence_map(
+      dataset, analysis::Grouping::PerArchitecture, options_.label_threshold);
+  result.per_arch_app_influence = analysis::influence_map(
+      dataset, analysis::Grouping::PerArchApplication, options_.label_threshold);
+  result.worst_trends = analysis::worst_trends(dataset);
+  result.dataset = std::move(dataset);
+  return result;
+}
+
+}  // namespace omptune::core

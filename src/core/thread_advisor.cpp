@@ -1,0 +1,52 @@
+#include "core/thread_advisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omptune::core {
+
+ThreadAdvice advise_threads(const sim::PerfModel& model,
+                            const apps::Application& app,
+                            const apps::InputSize& input,
+                            const arch::CpuArch& cpu,
+                            const rt::RtConfig& base_config,
+                            double efficiency_tolerance) {
+  if (efficiency_tolerance < 0.0) {
+    throw std::invalid_argument("advise_threads: tolerance must be >= 0");
+  }
+  // Powers of two up to the machine plus the exact core count.
+  std::vector<int> counts;
+  for (int t = 1; t < cpu.cores; t *= 2) counts.push_back(t);
+  counts.push_back(cpu.cores);
+
+  ThreadAdvice advice;
+  double t1 = 0.0;
+  for (const int threads : counts) {
+    rt::RtConfig config = base_config;
+    config.num_threads = threads;
+    ThreadPoint point;
+    point.threads = threads;
+    point.seconds = model.predict(app, input, cpu, config);
+    if (threads == 1) t1 = point.seconds;
+    point.speedup_vs_one = t1 > 0.0 ? t1 / point.seconds : 1.0;
+    point.parallel_efficiency = point.speedup_vs_one / threads;
+    advice.curve.push_back(point);
+  }
+
+  const auto fastest = std::min_element(
+      advice.curve.begin(), advice.curve.end(),
+      [](const ThreadPoint& a, const ThreadPoint& b) { return a.seconds < b.seconds; });
+  advice.fastest_threads = fastest->threads;
+
+  // Smallest team within tolerance of the fastest runtime.
+  advice.recommended_threads = fastest->threads;
+  for (const ThreadPoint& point : advice.curve) {
+    if (point.seconds <= fastest->seconds * (1.0 + efficiency_tolerance)) {
+      advice.recommended_threads = point.threads;
+      break;
+    }
+  }
+  return advice;
+}
+
+}  // namespace omptune::core

@@ -1,0 +1,45 @@
+#pragma once
+
+// Thread-count recommendation — the paper's acknowledged limitation
+// ("reduced exploration of thread counts... we direct the user to other
+// studies that can recommend thread counts") filled in: a dense model-based
+// thread sweep per (application, architecture) that finds the efficient
+// team size, including the bandwidth-saturation plateaus on which extra
+// threads only add contention (the Milan/XSBench mechanism).
+
+#include <vector>
+
+#include "apps/application.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/config.hpp"
+#include "sim/perf_model.hpp"
+
+namespace omptune::core {
+
+struct ThreadPoint {
+  int threads = 0;
+  double seconds = 0;
+  double speedup_vs_one = 1.0;        ///< t(1) / t(n)
+  double parallel_efficiency = 1.0;   ///< speedup / threads
+};
+
+struct ThreadAdvice {
+  std::vector<ThreadPoint> curve;  ///< dense sweep, ascending thread counts
+  int fastest_threads = 1;         ///< argmin runtime
+  /// Smallest team within `efficiency_tolerance` of the fastest runtime —
+  /// the recommended count (same speed, fewer burnt cores).
+  int recommended_threads = 1;
+};
+
+/// Sweep thread counts {1, 2, 4, ..., cores} (plus the exact core count)
+/// under the given base configuration and derive the recommendation.
+/// `efficiency_tolerance` is the acceptable slowdown vs the fastest point
+/// (default 5%).
+ThreadAdvice advise_threads(const sim::PerfModel& model,
+                            const apps::Application& app,
+                            const apps::InputSize& input,
+                            const arch::CpuArch& cpu,
+                            const rt::RtConfig& base_config,
+                            double efficiency_tolerance = 0.05);
+
+}  // namespace omptune::core

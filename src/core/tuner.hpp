@@ -1,0 +1,115 @@
+#pragma once
+
+// The tuner: what a downstream user adopts.
+//
+// Two modes:
+//  1. Knowledge-based (instant): query the study's dataset/influence maps
+//     for the best known configuration and the per-variable influence
+//     ordering for an (application, architecture) pair — the paper's
+//     "recommendations" and "search-space pruning" contributions.
+//  2. Search-based (measured): tune an arbitrary workload with a Runner,
+//     using exhaustive, random, or influence-ordered hill-climbing search —
+//     the pruned-search strategy the paper's conclusion proposes.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/influence.hpp"
+#include "sim/executor.hpp"
+#include "sweep/config_space.hpp"
+#include "sweep/dataset.hpp"
+
+namespace omptune::core {
+
+/// Knowledge-based recommendations backed by a study dataset.
+class KnowledgeBase {
+ public:
+  explicit KnowledgeBase(const sweep::Dataset& dataset,
+                         double label_threshold = 1.01);
+
+  /// Environment variables ordered by decreasing influence for the pair
+  /// (falls back to the per-architecture, then global ordering when the
+  /// pair was not studied). Names use the paper's spellings.
+  std::vector<std::string> variable_priority(const std::string& app,
+                                             const std::string& arch) const;
+
+  /// Best known configuration for (app, arch) across the studied settings;
+  /// throws std::invalid_argument if the pair has no samples.
+  rt::RtConfig best_known_config(const std::string& app,
+                                 const std::string& arch) const;
+
+  /// Expected speedup of best_known_config over the default.
+  double best_known_speedup(const std::string& app, const std::string& arch) const;
+
+  const analysis::InfluenceMap& pair_influence() const { return pair_influence_; }
+
+ private:
+  const sweep::Dataset* dataset_;
+  analysis::InfluenceMap pair_influence_;
+  analysis::InfluenceMap arch_influence_;
+};
+
+/// Search-based tuning over a Runner.
+class Tuner {
+ public:
+  struct SearchResult {
+    rt::RtConfig best_config;
+    double best_seconds = 0;
+    double default_seconds = 0;
+    double speedup = 1.0;
+    std::size_t evaluations = 0;
+  };
+
+  Tuner(sim::Runner& runner, const apps::Application& app,
+        apps::InputSize input, const arch::CpuArch& cpu,
+        std::uint64_t seed = 1);
+
+  /// Evaluate every configuration of the space (ground truth; expensive).
+  SearchResult exhaustive(const sweep::ConfigSpace& space, int num_threads);
+
+  /// Evaluate `budget` random configurations (always includes the default).
+  SearchResult random_search(const sweep::ConfigSpace& space, int num_threads,
+                             std::size_t budget);
+
+  /// One-variable-at-a-time hill climbing in the given variable order
+  /// (most influential first — the pruned search of the paper's
+  /// conclusion). `variable_order` uses the paper's variable spellings;
+  /// unknown names are ignored, omitted variables keep their defaults.
+  SearchResult hill_climb(const sweep::ConfigSpace& space, int num_threads,
+                          const std::vector<std::string>& variable_order);
+
+  /// Hill climbing repeated with randomly shuffled variable orders — the
+  /// paper's suggestion for reducing the local-minimum risk when variable
+  /// dependencies are unknown. Returns the best result over all restarts;
+  /// evaluation counts accumulate.
+  SearchResult hill_climb_restarts(const sweep::ConfigSpace& space,
+                                   int num_threads, int restarts);
+
+  /// Simulated annealing over the discrete configuration space (one of the
+  /// global strategies the related work compares): random single-variable
+  /// mutations, Metropolis acceptance, geometric cooling.
+  SearchResult simulated_annealing(const sweep::ConfigSpace& space,
+                                   int num_threads, std::size_t budget);
+
+  /// Surrogate-guided search (the Bayesian-optimization-style strategy of
+  /// the related-work comparisons, with a k-NN runtime surrogate): after a
+  /// small random warm-up, each step scores a random candidate pool with an
+  /// inverse-distance-weighted k-NN prediction over the observations and
+  /// evaluates the most promising candidate (with epsilon exploration).
+  SearchResult surrogate_search(const sweep::ConfigSpace& space,
+                                int num_threads, std::size_t budget);
+
+ private:
+  double evaluate(const rt::RtConfig& config);
+
+  sim::Runner* runner_;
+  const apps::Application* app_;
+  apps::InputSize input_;
+  const arch::CpuArch* cpu_;
+  std::uint64_t seed_;
+  std::uint64_t evaluation_index_ = 0;
+};
+
+}  // namespace omptune::core

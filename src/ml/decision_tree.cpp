@@ -1,0 +1,196 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace omptune::ml {
+
+/// Small helper wrapping the feature-subset choice per split.
+class SplitRng {
+ public:
+  explicit SplitRng(std::uint64_t seed) : rng_(seed) {}
+
+  /// Candidate features for one split: all of them, or a random subset.
+  std::vector<int> candidates(std::size_t num_features, int max_features) {
+    std::vector<int> all(num_features);
+    std::iota(all.begin(), all.end(), 0);
+    if (max_features <= 0 ||
+        static_cast<std::size_t>(max_features) >= num_features) {
+      return all;
+    }
+    // Partial Fisher-Yates: first max_features entries are the subset.
+    for (int i = 0; i < max_features; ++i) {
+      const std::size_t j =
+          i + rng_.uniform_index(num_features - static_cast<std::size_t>(i));
+      std::swap(all[static_cast<std::size_t>(i)], all[j]);
+    }
+    all.resize(static_cast<std::size_t>(max_features));
+    return all;
+  }
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+namespace {
+
+double gini(std::size_t positives, std::size_t total) {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Matrix& x, const std::vector<int>& y) {
+  std::vector<std::size_t> rows(x.rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  fit_rows(x, y, rows);
+}
+
+void DecisionTree::fit_rows(const Matrix& x, const std::vector<int>& y,
+                            const std::vector<std::size_t>& rows) {
+  if (x.rows() != y.size() || rows.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: bad dimensions");
+  }
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("DecisionTree::fit: labels must be 0/1");
+    }
+  }
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  depth_ = 0;
+  std::vector<std::size_t> working = rows;
+  SplitRng rng(options_.seed);
+  build(x, y, working, 0, working.size(), 0, rng);
+}
+
+int DecisionTree::build(const Matrix& x, const std::vector<int>& y,
+                        std::vector<std::size_t>& rows, std::size_t begin,
+                        std::size_t end, int depth, SplitRng& rng) {
+  const std::size_t n = end - begin;
+  std::size_t positives = 0;
+  for (std::size_t i = begin; i < end; ++i) positives += static_cast<std::size_t>(y[rows[i]]);
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_.back().positive_fraction =
+      static_cast<double>(positives) / static_cast<double>(n);
+  depth_ = std::max(depth_, depth);
+
+  const bool pure = positives == 0 || positives == n;
+  if (pure || depth >= options_.max_depth || n < options_.min_samples_split) {
+    return node_index;
+  }
+
+  // Best split search over the candidate features.
+  const double parent_impurity = gini(positives, n);
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> order(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                                 rows.begin() + static_cast<std::ptrdiff_t>(end));
+  for (const int feature : rng.candidates(x.cols(), options_.max_features)) {
+    std::sort(order.begin(), order.end(), [&x, feature](std::size_t a, std::size_t b) {
+      return x.at(a, static_cast<std::size_t>(feature)) <
+             x.at(b, static_cast<std::size_t>(feature));
+    });
+    std::size_t left_pos = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_pos += static_cast<std::size_t>(y[order[i]]);
+      const double v = x.at(order[i], static_cast<std::size_t>(feature));
+      const double next = x.at(order[i + 1], static_cast<std::size_t>(feature));
+      if (v == next) continue;  // can only split between distinct values
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < options_.min_samples_leaf || right_n < options_.min_samples_leaf) {
+        continue;
+      }
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_pos, left_n) +
+           static_cast<double>(right_n) * gini(positives - left_pos, right_n)) /
+          static_cast<double>(n);
+      const double gain = parent_impurity - weighted;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = feature;
+        best_threshold = 0.5 * (v + next);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;  // no usable split
+
+  // Partition rows in place around the threshold.
+  const auto middle = std::partition(
+      rows.begin() + static_cast<std::ptrdiff_t>(begin),
+      rows.begin() + static_cast<std::ptrdiff_t>(end),
+      [&x, best_feature, best_threshold](std::size_t r) {
+        return x.at(r, static_cast<std::size_t>(best_feature)) <= best_threshold;
+      });
+  const std::size_t split =
+      static_cast<std::size_t>(middle - rows.begin());
+  if (split == begin || split == end) return node_index;  // degenerate
+
+  importance_[static_cast<std::size_t>(best_feature)] +=
+      best_gain * static_cast<double>(n);
+
+  nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best_threshold;
+  const int left = build(x, y, rows, begin, split, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  const int right = build(x, y, rows, split, end, depth + 1, rng);
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+std::vector<double> DecisionTree::predict_proba(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("DecisionTree: not fitted");
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    int node = 0;
+    while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+      const Node& current = nodes_[static_cast<std::size_t>(node)];
+      node = x.at(r, static_cast<std::size_t>(current.feature)) <= current.threshold
+                 ? current.left
+                 : current.right;
+    }
+    out[r] = nodes_[static_cast<std::size_t>(node)].positive_fraction;
+  }
+  return out;
+}
+
+std::vector<int> DecisionTree::predict(const Matrix& x) const {
+  const auto proba = predict_proba(x);
+  std::vector<int> out(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+double DecisionTree::accuracy(const Matrix& x, const std::vector<int>& y) const {
+  const auto pred = predict(x);
+  if (pred.size() != y.size() || y.empty()) {
+    throw std::invalid_argument("DecisionTree::accuracy: size mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) correct += (pred[i] == y[i]);
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+std::vector<double> DecisionTree::feature_importance() const {
+  if (!fitted()) throw std::logic_error("DecisionTree: not fitted");
+  std::vector<double> out = importance_;
+  double total = 0.0;
+  for (const double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace omptune::ml

@@ -1,0 +1,68 @@
+#pragma once
+
+// CART decision-tree classifier — the paper's proposed "non-linear
+// approaches to model such data" (Section VI future work). Greedy binary
+// splits on Gini impurity; feature importance = normalized total impurity
+// decrease, the non-linear counterpart of the logistic heat maps.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/linalg.hpp"
+
+namespace omptune::ml {
+
+struct TreeOptions {
+  int max_depth = 10;
+  std::size_t min_samples_split = 8;
+  std::size_t min_samples_leaf = 4;
+  /// 0 = consider every feature at each split; otherwise a random subset of
+  /// this size (used by the random forest).
+  int max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+class DecisionTree {
+ public:
+  explicit DecisionTree(TreeOptions options = {}) : options_(options) {}
+
+  /// Fit on features x and binary labels y (0/1).
+  void fit(const Matrix& x, const std::vector<int>& y);
+
+  /// Fit on a subset of rows (bootstrap support for the forest).
+  void fit_rows(const Matrix& x, const std::vector<int>& y,
+                const std::vector<std::size_t>& rows);
+
+  /// P(y=1 | x) per row (leaf positive fraction).
+  std::vector<double> predict_proba(const Matrix& x) const;
+  std::vector<int> predict(const Matrix& x) const;
+  double accuracy(const Matrix& x, const std::vector<int>& y) const;
+
+  /// Per-feature share of the total Gini-impurity decrease; sums to 1
+  /// (all zeros if the tree is a single leaf).
+  std::vector<double> feature_importance() const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+  bool fitted() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;          ///< -1 = leaf
+    double threshold = 0.0;    ///< go left if x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    double positive_fraction = 0.0;
+  };
+
+  int build(const Matrix& x, const std::vector<int>& y,
+            std::vector<std::size_t>& rows, std::size_t begin, std::size_t end,
+            int depth, class SplitRng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;  ///< raw impurity decrease per feature
+  int depth_ = 0;
+};
+
+}  // namespace omptune::ml

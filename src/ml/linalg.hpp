@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal dense linear algebra for the linear-model analysis: row-major
+// matrices, the handful of BLAS-1/2 operations the solvers need, and a
+// partial-pivot Gaussian solve for the normal equations.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace omptune::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Row view as a pointer (contiguous row-major storage).
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+
+  /// A^T * A (for the normal equations).
+  Matrix gram() const;
+
+  /// A^T * v.
+  std::vector<double> transpose_times(const std::vector<double>& v) const;
+
+  /// A * w.
+  std::vector<double> times(const std::vector<double>& w) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve the square system M x = b by Gaussian elimination with partial
+/// pivoting; throws std::runtime_error on (near-)singular systems.
+std::vector<double> solve_linear_system(Matrix m, std::vector<double> b);
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace omptune::ml

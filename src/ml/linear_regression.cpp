@@ -1,0 +1,63 @@
+#include "ml/linear_regression.hpp"
+
+#include <stdexcept>
+
+namespace omptune::ml {
+
+void LinearRegression::fit(const Matrix& x, const std::vector<double>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("LinearRegression::fit: dimension mismatch");
+  }
+  // Augment with the intercept column by centring: solve on centred data,
+  // recover the intercept from the means.
+  std::vector<double> x_mean(x.cols(), 0.0);
+  double y_mean = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) x_mean[c] += x.at(r, c);
+    y_mean += y[r];
+  }
+  for (double& m : x_mean) m /= static_cast<double>(x.rows());
+  y_mean /= static_cast<double>(x.rows());
+
+  Matrix centred(x.rows(), x.cols());
+  std::vector<double> y_centred(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      centred.at(r, c) = x.at(r, c) - x_mean[c];
+    }
+    y_centred[r] = y[r] - y_mean;
+  }
+
+  Matrix gram = centred.gram();
+  for (std::size_t i = 0; i < gram.rows(); ++i) gram.at(i, i) += ridge_;
+  coef_ = solve_linear_system(std::move(gram), centred.transpose_times(y_centred));
+
+  intercept_ = y_mean;
+  for (std::size_t c = 0; c < coef_.size(); ++c) {
+    intercept_ -= coef_[c] * x_mean[c];
+  }
+}
+
+std::vector<double> LinearRegression::predict(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("LinearRegression::predict: not fitted");
+  std::vector<double> out = x.times(coef_);
+  for (double& v : out) v += intercept_;
+  return out;
+}
+
+double LinearRegression::r_squared(const Matrix& x,
+                                   const std::vector<double>& y) const {
+  const std::vector<double> pred = predict(x);
+  double y_mean = 0.0;
+  for (const double v : y) y_mean += v;
+  y_mean /= static_cast<double>(y.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ss_res += (y[i] - pred[i]) * (y[i] - pred[i]);
+    ss_tot += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace omptune::ml

@@ -1,0 +1,37 @@
+#pragma once
+
+// Ordinary least squares via the (ridge-stabilized) normal equations —
+// the first linear technique the paper tries before observing that the
+// non-normal runtime distributions fit poorly (low R²) and pivoting to the
+// classification formulation.
+
+#include <vector>
+
+#include "ml/linalg.hpp"
+
+namespace omptune::ml {
+
+class LinearRegression {
+ public:
+  /// `ridge` adds lambda*I to the Gram matrix for numerical stability.
+  explicit LinearRegression(double ridge = 1e-8) : ridge_(ridge) {}
+
+  /// Fit y ~ X w + b. Throws on dimension mismatch or singular systems.
+  void fit(const Matrix& x, const std::vector<double>& y);
+
+  std::vector<double> predict(const Matrix& x) const;
+
+  /// Coefficient of determination on (x, y).
+  double r_squared(const Matrix& x, const std::vector<double>& y) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  bool fitted() const { return !coef_.empty(); }
+
+ private:
+  double ridge_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace omptune::ml

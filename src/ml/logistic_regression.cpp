@@ -1,0 +1,105 @@
+#include "ml/logistic_regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace omptune::ml {
+
+double sigmoid(double z) {
+  if (z >= 0.0) {
+    return 1.0 / (1.0 + std::exp(-z));
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("LogisticRegression::fit: dimension mismatch");
+  }
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("LogisticRegression::fit: labels must be 0/1");
+    }
+  }
+
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  coef_.assign(d, 0.0);
+  intercept_ = 0.0;
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  std::vector<double> grad(d, 0.0);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_b = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* xr = x.row(r);
+      double z = intercept_;
+      for (std::size_t c = 0; c < d; ++c) z += coef_[c] * xr[c];
+      const double err = sigmoid(z) - static_cast<double>(y[r]);
+      for (std::size_t c = 0; c < d; ++c) grad[c] += err * xr[c];
+      grad_b += err;
+    }
+    double grad_norm2 = grad_b * inv_n * grad_b * inv_n;
+    for (std::size_t c = 0; c < d; ++c) {
+      grad[c] = grad[c] * inv_n + options_.l2 * coef_[c];
+      grad_norm2 += grad[c] * grad[c];
+    }
+    grad_b *= inv_n;
+    for (std::size_t c = 0; c < d; ++c) {
+      coef_[c] -= options_.learning_rate * grad[c];
+    }
+    intercept_ -= options_.learning_rate * grad_b;
+    if (grad_norm2 < options_.tolerance * options_.tolerance) break;
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("LogisticRegression: not fitted");
+  if (x.cols() != coef_.size()) {
+    throw std::invalid_argument("LogisticRegression::predict_proba: width mismatch");
+  }
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* xr = x.row(r);
+    double z = intercept_;
+    for (std::size_t c = 0; c < coef_.size(); ++c) z += coef_[c] * xr[c];
+    out[r] = sigmoid(z);
+  }
+  return out;
+}
+
+std::vector<int> LogisticRegression::predict(const Matrix& x) const {
+  const std::vector<double> proba = predict_proba(x);
+  std::vector<int> out(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+double LogisticRegression::accuracy(const Matrix& x,
+                                    const std::vector<int>& y) const {
+  const std::vector<int> pred = predict(x);
+  if (pred.size() != y.size() || y.empty()) {
+    throw std::invalid_argument("LogisticRegression::accuracy: size mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) correct += (pred[i] == y[i]);
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+std::vector<double> LogisticRegression::normalized_influence() const {
+  if (!fitted()) throw std::logic_error("LogisticRegression: not fitted");
+  std::vector<double> influence(coef_.size());
+  double total = 0.0;
+  for (std::size_t c = 0; c < coef_.size(); ++c) {
+    influence[c] = std::abs(coef_[c]);
+    total += influence[c];
+  }
+  if (total > 0.0) {
+    for (double& v : influence) v /= total;
+  }
+  return influence;
+}
+
+}  // namespace omptune::ml

@@ -1,0 +1,59 @@
+#pragma once
+
+// L2-regularized logistic regression trained by batch gradient descent —
+// the paper's analysis workhorse: samples are labelled optimal
+// (speedup > 1.01) vs sub-optimal, the model is fitted per grouping, and
+// the weight-normalized |coefficients| become the feature-influence heat
+// maps (Figs 2, 3, 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/linalg.hpp"
+
+namespace omptune::ml {
+
+struct LogisticOptions {
+  double learning_rate = 0.5;
+  int epochs = 300;
+  double l2 = 1e-3;
+  /// Stop early when the gradient norm falls below this.
+  double tolerance = 1e-7;
+};
+
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticOptions options = {})
+      : options_(options) {}
+
+  /// Fit on features x and binary labels y (0/1). Inputs should be
+  /// standardized (see StandardScaler) so coefficients are comparable.
+  void fit(const Matrix& x, const std::vector<int>& y);
+
+  /// P(y=1 | x) per row.
+  std::vector<double> predict_proba(const Matrix& x) const;
+
+  /// Hard predictions at threshold 0.5.
+  std::vector<int> predict(const Matrix& x) const;
+
+  /// Classification accuracy on (x, y).
+  double accuracy(const Matrix& x, const std::vector<int>& y) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+  bool fitted() const { return !coef_.empty(); }
+
+  /// |coefficients|, normalized to sum to 1 — the influence vector the heat
+  /// maps display (darker = larger share).
+  std::vector<double> normalized_influence() const;
+
+ private:
+  LogisticOptions options_;
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+/// Numerically-stable logistic sigmoid.
+double sigmoid(double z);
+
+}  // namespace omptune::ml

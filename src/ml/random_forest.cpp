@@ -1,0 +1,107 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace omptune::ml {
+
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+  if (x.rows() != y.size() || x.rows() == 0) {
+    throw std::invalid_argument("RandomForest::fit: bad dimensions");
+  }
+  trees_.clear();
+  num_features_ = x.cols();
+
+  TreeOptions tree_options = options_.tree;
+  if (tree_options.max_features <= 0) {
+    tree_options.max_features = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(x.cols()))));
+  }
+
+  const std::size_t n = x.rows();
+  // Out-of-bag vote accumulators.
+  std::vector<double> oob_votes(n, 0.0);
+  std::vector<int> oob_counts(n, 0);
+
+  util::Xoshiro256 rng(options_.seed);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement).
+    std::vector<std::size_t> rows(n);
+    std::vector<char> in_bag(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i] = rng.uniform_index(n);
+      in_bag[rows[i]] = 1;
+    }
+    tree_options.seed = util::hash_combine(options_.seed, static_cast<std::uint64_t>(t) + 1);
+    DecisionTree tree(tree_options);
+    tree.fit_rows(x, y, rows);
+
+    // Out-of-bag votes.
+    const auto proba = tree.predict_proba(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!in_bag[i]) {
+        oob_votes[i] += proba[i];
+        ++oob_counts[i];
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  std::size_t correct = 0, scored = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oob_counts[i] == 0) continue;
+    const int pred = oob_votes[i] / oob_counts[i] >= 0.5 ? 1 : 0;
+    correct += (pred == y[i]);
+    ++scored;
+  }
+  oob_accuracy_ = scored > 0
+                      ? static_cast<double>(correct) / static_cast<double>(scored)
+                      : 0.0;
+}
+
+std::vector<double> RandomForest::predict_proba(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> out(x.rows(), 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto proba = tree.predict_proba(x);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += proba[i];
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::vector<int> RandomForest::predict(const Matrix& x) const {
+  const auto proba = predict_proba(x);
+  std::vector<int> out(proba.size());
+  for (std::size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5 ? 1 : 0;
+  return out;
+}
+
+double RandomForest::accuracy(const Matrix& x, const std::vector<int>& y) const {
+  const auto pred = predict(x);
+  if (pred.size() != y.size() || y.empty()) {
+    throw std::invalid_argument("RandomForest::accuracy: size mismatch");
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) correct += (pred[i] == y[i]);
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+std::vector<double> RandomForest::feature_importance() const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  std::vector<double> out(num_features_, 0.0);
+  for (const DecisionTree& tree : trees_) {
+    const auto importance = tree.feature_importance();
+    for (std::size_t c = 0; c < out.size(); ++c) out[c] += importance[c];
+  }
+  double total = 0.0;
+  for (const double v : out) total += v;
+  if (total > 0.0) {
+    for (double& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace omptune::ml

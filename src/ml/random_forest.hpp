@@ -1,0 +1,49 @@
+#pragma once
+
+// Random forest over the CART trees: bootstrap rows + random feature
+// subsets per split, probability averaging, aggregated impurity importance,
+// and out-of-bag accuracy (the honest generalization estimate the paper's
+// future-work section asks for when transferring to unseen data).
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace omptune::ml {
+
+struct ForestOptions {
+  int num_trees = 30;
+  TreeOptions tree;     ///< tree.max_features 0 => sqrt(#features)
+  std::uint64_t seed = 7;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestOptions options = {}) : options_(options) {}
+
+  void fit(const Matrix& x, const std::vector<int>& y);
+
+  /// Mean of the trees' leaf probabilities.
+  std::vector<double> predict_proba(const Matrix& x) const;
+  std::vector<int> predict(const Matrix& x) const;
+  double accuracy(const Matrix& x, const std::vector<int>& y) const;
+
+  /// Out-of-bag accuracy computed during fit (rows predicted only by trees
+  /// that did not see them). NaN-free: rows never out of bag are skipped.
+  double oob_accuracy() const { return oob_accuracy_; }
+
+  /// Mean of the trees' normalized importances; sums to 1.
+  std::vector<double> feature_importance() const;
+
+  std::size_t size() const { return trees_.size(); }
+  bool fitted() const { return !trees_.empty(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  double oob_accuracy_ = 0.0;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace omptune::ml

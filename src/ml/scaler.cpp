@@ -1,0 +1,43 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace omptune::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler::fit: empty");
+  means_.assign(x.cols(), 0.0);
+  scales_.assign(x.cols(), 1.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) means_[c] += x.at(r, c);
+  }
+  for (double& m : means_) m /= static_cast<double>(x.rows());
+  std::vector<double> ss(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x.at(r, c) - means_[c];
+      ss[c] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const double variance = ss[c] / static_cast<double>(x.rows());
+    scales_[c] = variance > 1e-24 ? std::sqrt(variance) : 1.0;
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted()) throw std::logic_error("StandardScaler::transform: not fitted");
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument("StandardScaler::transform: width mismatch");
+  }
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out.at(r, c) = (x.at(r, c) - means_[c]) / scales_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace omptune::ml

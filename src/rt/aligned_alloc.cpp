@@ -1,0 +1,62 @@
+#include "rt/aligned_alloc.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+namespace {
+
+bool is_power_of_two(std::size_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+}  // namespace
+
+KmpAllocator::KmpAllocator(std::size_t alignment) : alignment_(alignment) {
+  if (!is_power_of_two(alignment) || alignment < sizeof(void*)) {
+    throw std::invalid_argument(
+        "KmpAllocator: alignment must be a power of two >= pointer size");
+  }
+}
+
+// Layout: [header: one alignment-sized slot holding the payload size]
+//         [payload: size rounded up to the alignment]
+// The returned pointer is the payload start, so both the header slot and the
+// payload honour the configured alignment (mirroring __kmp_allocate, which
+// over-allocates and stashes bookkeeping ahead of the returned pointer).
+void* KmpAllocator::allocate(std::size_t bytes) {
+  const std::size_t payload = round_up(bytes == 0 ? 1 : bytes, alignment_);
+  const std::size_t total = alignment_ + payload;
+  char* raw = static_cast<char*>(std::aligned_alloc(alignment_, total));
+  if (raw == nullptr) throw std::bad_alloc();
+  std::memcpy(raw, &payload, sizeof(payload));
+  char* user = raw + alignment_;
+  std::memset(user, 0, payload);
+  live_allocations_.fetch_add(1, std::memory_order_relaxed);
+  total_allocations_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_add(payload, std::memory_order_relaxed);
+  return user;
+}
+
+void KmpAllocator::deallocate(void* ptr) noexcept {
+  if (ptr == nullptr) return;
+  char* raw = static_cast<char*>(ptr) - alignment_;
+  std::size_t payload = 0;
+  std::memcpy(&payload, raw, sizeof(payload));
+  live_allocations_.fetch_sub(1, std::memory_order_relaxed);
+  live_bytes_.fetch_sub(payload, std::memory_order_relaxed);
+  std::free(raw);
+}
+
+AllocStats KmpAllocator::stats() const {
+  return AllocStats{
+      .live_allocations = live_allocations_.load(std::memory_order_relaxed),
+      .total_allocations = total_allocations_.load(std::memory_order_relaxed),
+      .live_bytes = live_bytes_.load(std::memory_order_relaxed),
+  };
+}
+
+}  // namespace omptune::rt

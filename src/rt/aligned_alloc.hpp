@@ -1,0 +1,124 @@
+#pragma once
+
+// __kmp_allocate-style aligned allocation. KMP_ALIGN_ALLOC controls the
+// alignment of the runtime's internal data structures (team scratch, the
+// per-thread reduction slots, task records); the default is the cache-line
+// size of the architecture. Alignment below one cache line can place two
+// threads' hot words on the same line (false sharing); alignment above it
+// spaces structures out at the cost of memory.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace omptune::rt {
+
+/// Allocation statistics, for tests and the allocator micro-benchmark.
+struct AllocStats {
+  std::size_t live_allocations = 0;
+  std::size_t total_allocations = 0;
+  std::size_t live_bytes = 0;
+};
+
+/// Aligned arena used by the runtime for its internal structures.
+/// Thread-safe; all allocations share the configured alignment.
+class KmpAllocator {
+ public:
+  /// `alignment` must be a power of two >= sizeof(void*).
+  explicit KmpAllocator(std::size_t alignment);
+
+  std::size_t alignment() const { return alignment_; }
+
+  /// Allocate `bytes` rounded up to a multiple of the alignment, aligned to
+  /// the alignment, zero-initialized (matching __kmp_allocate). Throws
+  /// std::bad_alloc on failure.
+  void* allocate(std::size_t bytes);
+
+  /// Release a pointer returned by allocate().
+  void deallocate(void* ptr) noexcept;
+
+  AllocStats stats() const;
+
+  /// Typed helper: allocate an array of `count` Ts, each element padded to
+  /// start on its own aligned boundary when `padded` is true (used for
+  /// per-thread slots to avoid false sharing).
+  template <typename T>
+  T* allocate_array(std::size_t count, bool padded) {
+    const std::size_t stride = padded ? padded_stride<T>() : sizeof(T);
+    return static_cast<T*>(allocate(stride * count));
+  }
+
+  /// Bytes between consecutive padded elements of type T.
+  template <typename T>
+  std::size_t padded_stride() const {
+    return round_up(sizeof(T), alignment_);
+  }
+
+  static std::size_t round_up(std::size_t value, std::size_t multiple) {
+    return (value + multiple - 1) / multiple * multiple;
+  }
+
+ private:
+  std::size_t alignment_;
+  std::atomic<std::size_t> live_allocations_{0};
+  std::atomic<std::size_t> total_allocations_{0};
+  std::atomic<std::size_t> live_bytes_{0};
+};
+
+/// RAII view over an allocation from a KmpAllocator.
+template <typename T>
+class KmpArray {
+ public:
+  KmpArray() = default;
+  KmpArray(KmpAllocator& alloc, std::size_t count, bool padded)
+      : alloc_(&alloc),
+        data_(alloc.allocate_array<T>(count, padded)),
+        stride_(padded ? alloc.padded_stride<T>() : sizeof(T)),
+        count_(count) {}
+  ~KmpArray() { reset(); }
+
+  KmpArray(const KmpArray&) = delete;
+  KmpArray& operator=(const KmpArray&) = delete;
+  KmpArray(KmpArray&& other) noexcept { swap(other); }
+  KmpArray& operator=(KmpArray&& other) noexcept {
+    if (this != &other) {
+      reset();
+      swap(other);
+    }
+    return *this;
+  }
+
+  /// Element accessor honouring the padded stride.
+  T& operator[](std::size_t i) {
+    return *reinterpret_cast<T*>(reinterpret_cast<char*>(data_) + i * stride_);
+  }
+  const T& operator[](std::size_t i) const {
+    return *reinterpret_cast<const T*>(reinterpret_cast<const char*>(data_) +
+                                       i * stride_);
+  }
+
+  std::size_t size() const { return count_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  void reset() {
+    if (alloc_ != nullptr && data_ != nullptr) alloc_->deallocate(data_);
+    alloc_ = nullptr;
+    data_ = nullptr;
+    count_ = 0;
+  }
+  void swap(KmpArray& other) noexcept {
+    std::swap(alloc_, other.alloc_);
+    std::swap(data_, other.data_);
+    std::swap(stride_, other.stride_);
+    std::swap(count_, other.count_);
+  }
+
+  KmpAllocator* alloc_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t stride_ = sizeof(T);
+  std::size_t count_ = 0;
+};
+
+}  // namespace omptune::rt

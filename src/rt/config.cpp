@@ -1,0 +1,238 @@
+#include "rt/config.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace omptune::rt {
+
+using util::parse_int;
+using util::to_lower;
+using util::trim;
+
+std::string to_string(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::Static: return "static";
+    case ScheduleKind::Dynamic: return "dynamic";
+    case ScheduleKind::Guided: return "guided";
+    case ScheduleKind::Auto: return "auto";
+  }
+  throw std::invalid_argument("to_string: bad ScheduleKind");
+}
+
+ScheduleKind schedule_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "static") return ScheduleKind::Static;
+  if (n == "dynamic") return ScheduleKind::Dynamic;
+  if (n == "guided") return ScheduleKind::Guided;
+  if (n == "auto") return ScheduleKind::Auto;
+  throw std::invalid_argument("schedule_from_string: unknown value '" + name + "'");
+}
+
+std::string to_string(LibraryMode mode) {
+  switch (mode) {
+    case LibraryMode::Serial: return "serial";
+    case LibraryMode::Throughput: return "throughput";
+    case LibraryMode::Turnaround: return "turnaround";
+  }
+  throw std::invalid_argument("to_string: bad LibraryMode");
+}
+
+LibraryMode library_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "serial") return LibraryMode::Serial;
+  if (n == "throughput") return LibraryMode::Throughput;
+  if (n == "turnaround") return LibraryMode::Turnaround;
+  throw std::invalid_argument("library_from_string: unknown value '" + name + "'");
+}
+
+std::string to_string(ReductionMethod method) {
+  switch (method) {
+    case ReductionMethod::Default: return "unset";
+    case ReductionMethod::Tree: return "tree";
+    case ReductionMethod::Critical: return "critical";
+    case ReductionMethod::Atomic: return "atomic";
+  }
+  throw std::invalid_argument("to_string: bad ReductionMethod");
+}
+
+ReductionMethod reduction_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "unset" || n.empty()) return ReductionMethod::Default;
+  if (n == "tree") return ReductionMethod::Tree;
+  if (n == "critical") return ReductionMethod::Critical;
+  if (n == "atomic") return ReductionMethod::Atomic;
+  throw std::invalid_argument("reduction_from_string: unknown value '" + name + "'");
+}
+
+RtConfig RtConfig::defaults_for(const arch::CpuArch& cpu) {
+  RtConfig config;  // field initializers are the variable defaults
+  config.align_alloc = cpu.cacheline_bytes;
+  return config;
+}
+
+RtConfig RtConfig::from_env(const arch::CpuArch& cpu) {
+  RtConfig config = defaults_for(cpu);
+
+  if (const auto v = util::get_env("OMP_NUM_THREADS")) {
+    const auto n = parse_int(*v);
+    if (!n || *n <= 0) {
+      throw std::invalid_argument("OMP_NUM_THREADS: expected positive integer, got '" + *v + "'");
+    }
+    config.num_threads = static_cast<int>(*n);
+  }
+  if (const auto v = util::get_env("OMP_PLACES")) {
+    config.places = arch::places_from_string(to_lower(trim(*v)));
+  }
+  if (const auto v = util::get_env("OMP_PROC_BIND")) {
+    config.bind = arch::bind_from_string(to_lower(trim(*v)));
+  }
+  if (const auto v = util::get_env("OMP_SCHEDULE")) {
+    // Syntax: kind[,chunk]
+    const auto parts = util::split(*v, ',');
+    if (parts.empty() || parts.size() > 2) {
+      throw std::invalid_argument("OMP_SCHEDULE: malformed value '" + *v + "'");
+    }
+    config.schedule = schedule_from_string(parts[0]);
+    if (parts.size() == 2) {
+      const auto chunk = parse_int(parts[1]);
+      if (!chunk || *chunk <= 0) {
+        throw std::invalid_argument("OMP_SCHEDULE: bad chunk in '" + *v + "'");
+      }
+      config.chunk = static_cast<int>(*chunk);
+    }
+  }
+  // OMP_WAIT_POLICY is the standardized alias of the KMP pair (the paper
+  // sweeps the KMP_* variables instead, since the policy derives from
+  // them): ACTIVE maps to an infinite blocktime, PASSIVE to zero. Explicit
+  // KMP_LIBRARY / KMP_BLOCKTIME settings take precedence below.
+  if (const auto v = util::get_env("OMP_WAIT_POLICY")) {
+    const std::string n = to_lower(trim(*v));
+    if (n == "active") {
+      config.blocktime_ms = kBlocktimeInfinite;
+    } else if (n == "passive") {
+      config.blocktime_ms = 0;
+    } else {
+      throw std::invalid_argument(
+          "OMP_WAIT_POLICY: expected 'active' or 'passive', got '" + *v + "'");
+    }
+  }
+  if (const auto v = util::get_env("KMP_LIBRARY")) {
+    config.library = library_from_string(*v);
+  }
+  if (const auto v = util::get_env("KMP_BLOCKTIME")) {
+    const std::string n = to_lower(trim(*v));
+    if (n == "infinite") {
+      config.blocktime_ms = kBlocktimeInfinite;
+    } else {
+      const auto ms = parse_int(n);
+      if (!ms || *ms < 0 || *ms > std::numeric_limits<std::int32_t>::max()) {
+        throw std::invalid_argument("KMP_BLOCKTIME: expected [0, INT32_MAX] or 'infinite', got '" + *v + "'");
+      }
+      config.blocktime_ms = *ms;
+    }
+  }
+  if (const auto v = util::get_env("KMP_FORCE_REDUCTION")) {
+    config.reduction = reduction_from_string(*v);
+  }
+  if (const auto v = util::get_env("KMP_ALIGN_ALLOC")) {
+    const auto align = parse_int(*v);
+    const bool power_of_two = align && *align > 0 && (*align & (*align - 1)) == 0;
+    if (!power_of_two || *align < static_cast<long long>(sizeof(void*))) {
+      throw std::invalid_argument("KMP_ALIGN_ALLOC: expected power-of-two >= pointer size, got '" + *v + "'");
+    }
+    config.align_alloc = static_cast<int>(*align);
+  }
+  return config;
+}
+
+arch::BindKind RtConfig::effective_bind() const {
+  if (bind != arch::BindKind::Unset) return bind;
+  // The documented LLVM/OpenMP derivation: unset behaves as `false`, unless
+  // places were requested, in which case the default becomes `spread`.
+  return places == arch::PlacesKind::Unset ? arch::BindKind::False_
+                                           : arch::BindKind::Spread;
+}
+
+int RtConfig::effective_num_threads(const arch::CpuArch& cpu) const {
+  return num_threads > 0 ? num_threads : cpu.cores;
+}
+
+int RtConfig::effective_align(const arch::CpuArch& cpu) const {
+  return align_alloc > 0 ? align_alloc : cpu.cacheline_bytes;
+}
+
+WaitPolicy RtConfig::wait_policy() const {
+  // Turnaround mode keeps workers actively spinning regardless of blocktime;
+  // otherwise blocktime selects between immediate sleep, bounded spin, and
+  // infinite spin. This is the behaviour OMP_WAIT_POLICY would map onto.
+  if (library == LibraryMode::Turnaround) return WaitPolicy::Active;
+  if (blocktime_ms == kBlocktimeInfinite) return WaitPolicy::Active;
+  if (blocktime_ms == 0) return WaitPolicy::Passive;
+  return WaitPolicy::SpinThenSleep;
+}
+
+ReductionMethod RtConfig::reduction_method_for(int team_size) const {
+  if (team_size <= 0) {
+    throw std::invalid_argument("reduction_method_for: team_size must be > 0");
+  }
+  if (reduction != ReductionMethod::Default) return reduction;
+  // Paper Section III.6: one thread needs no synchronization (the Tree
+  // implementation degenerates to the serial special path), 2..4 threads use
+  // the critical method, larger teams use the tree method.
+  if (team_size == 1) return ReductionMethod::Tree;
+  if (team_size <= 4) return ReductionMethod::Critical;
+  return ReductionMethod::Tree;
+}
+
+std::vector<util::ScopedEnv::Assignment> RtConfig::to_env(const arch::CpuArch& cpu) const {
+  std::vector<util::ScopedEnv::Assignment> env;
+  auto set = [&env](std::string name, std::string value) {
+    env.push_back({std::move(name), std::move(value)});
+  };
+  auto unset = [&env](std::string name) {
+    env.push_back({std::move(name), std::nullopt});
+  };
+
+  if (num_threads > 0) set("OMP_NUM_THREADS", std::to_string(num_threads));
+  else unset("OMP_NUM_THREADS");
+
+  if (places != arch::PlacesKind::Unset) set("OMP_PLACES", to_string(places));
+  else unset("OMP_PLACES");
+
+  if (bind != arch::BindKind::Unset) set("OMP_PROC_BIND", to_string(bind));
+  else unset("OMP_PROC_BIND");
+
+  if (chunk > 0) set("OMP_SCHEDULE", to_string(schedule) + "," + std::to_string(chunk));
+  else set("OMP_SCHEDULE", to_string(schedule));
+
+  set("KMP_LIBRARY", to_string(library));
+  set("KMP_BLOCKTIME", blocktime_ms == kBlocktimeInfinite
+                           ? std::string("infinite")
+                           : std::to_string(blocktime_ms));
+
+  if (reduction != ReductionMethod::Default) set("KMP_FORCE_REDUCTION", to_string(reduction));
+  else unset("KMP_FORCE_REDUCTION");
+
+  set("KMP_ALIGN_ALLOC", std::to_string(effective_align(cpu)));
+  return env;
+}
+
+std::string RtConfig::key() const {
+  std::string out;
+  out += "threads=" + (num_threads > 0 ? std::to_string(num_threads) : std::string("default"));
+  out += ";places=" + to_string(places);
+  out += ";bind=" + to_string(bind);
+  out += ";schedule=" + to_string(schedule);
+  if (chunk > 0) out += "," + std::to_string(chunk);
+  out += ";library=" + to_string(library);
+  out += ";blocktime=" + (blocktime_ms == kBlocktimeInfinite
+                              ? std::string("infinite")
+                              : std::to_string(blocktime_ms));
+  out += ";reduction=" + to_string(reduction);
+  out += ";align=" + (align_alloc > 0 ? std::to_string(align_alloc) : std::string("default"));
+  return out;
+}
+
+}  // namespace omptune::rt

@@ -1,0 +1,127 @@
+#pragma once
+
+// Runtime configuration: the environment-variable surface of the study.
+//
+// This mirrors Section III of the paper — the same variables, the same value
+// sets, and crucially the same *default derivation rules*:
+//
+//   OMP_PLACES          threads | cores | ll_caches | sockets | numa_domains
+//                       default: unset (threads may migrate)
+//   OMP_PROC_BIND       master | close | spread | true | false
+//                       default: unset == false, BUT spread if OMP_PLACES set
+//   OMP_SCHEDULE        static | dynamic | guided | auto [, chunk]
+//                       default: static
+//   OMP_NUM_THREADS     default: number of cores
+//   KMP_LIBRARY         serial | throughput | turnaround
+//                       default: throughput
+//   KMP_BLOCKTIME       [0, INT32_MAX] ms | infinite; default: 200
+//   KMP_FORCE_REDUCTION tree | critical | atomic; default: unset (heuristic:
+//                       1 thread -> none, 2..4 -> critical, >4 -> tree)
+//   KMP_ALIGN_ALLOC     default: the architecture's cache-line size
+//
+// OMP_WAIT_POLICY is intentionally not an independent knob: LLVM/OpenMP
+// derives the waiting behaviour from KMP_BLOCKTIME and KMP_LIBRARY, which is
+// why the paper sweeps the two KMP_* variables instead.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+#include "arch/topology.hpp"
+#include "util/env.hpp"
+
+namespace omptune::rt {
+
+/// Worksharing-loop schedule kinds (OMP_SCHEDULE).
+enum class ScheduleKind { Static, Dynamic, Guided, Auto };
+
+std::string to_string(ScheduleKind kind);
+ScheduleKind schedule_from_string(const std::string& name);
+
+/// Runtime execution modes (KMP_LIBRARY).
+enum class LibraryMode {
+  Serial,      ///< run parallel constructs serially (excluded from the sweep)
+  Throughput,  ///< yield while spinning; default, fits shared machines
+  Turnaround,  ///< spin without yielding; fits dedicated machines
+};
+
+std::string to_string(LibraryMode mode);
+LibraryMode library_from_string(const std::string& name);
+
+/// Cross-thread reduction algorithms (KMP_FORCE_REDUCTION).
+enum class ReductionMethod {
+  Default,   ///< unset: heuristic selects per team size
+  Tree,      ///< log2(team) combining tree
+  Critical,  ///< serialize combination under one lock
+  Atomic,    ///< per-thread atomic read-modify-write on the target
+};
+
+std::string to_string(ReductionMethod method);
+ReductionMethod reduction_from_string(const std::string& name);
+
+/// Waiting behaviour derived from KMP_BLOCKTIME x KMP_LIBRARY
+/// (the LLVM/OpenMP replacement for OMP_WAIT_POLICY).
+enum class WaitPolicy {
+  Passive,       ///< sleep immediately (blocktime 0)
+  SpinThenSleep, ///< spin `blocktime` ms, then sleep
+  Active,        ///< spin forever (blocktime infinite or turnaround mode)
+};
+
+/// Sentinel for KMP_BLOCKTIME=infinite.
+inline constexpr std::int64_t kBlocktimeInfinite = -1;
+
+/// A complete runtime configuration. Value 0 for `num_threads`, `chunk` and
+/// `align_alloc` means "use the derived default".
+struct RtConfig {
+  int num_threads = 0;  ///< OMP_NUM_THREADS; 0 = number of cores
+  arch::PlacesKind places = arch::PlacesKind::Unset;
+  arch::BindKind bind = arch::BindKind::Unset;
+  ScheduleKind schedule = ScheduleKind::Static;
+  int chunk = 0;  ///< 0 = schedule-defined default chunking
+  LibraryMode library = LibraryMode::Throughput;
+  std::int64_t blocktime_ms = 200;  ///< kBlocktimeInfinite for "infinite"
+  ReductionMethod reduction = ReductionMethod::Default;
+  int align_alloc = 0;  ///< bytes; 0 = cache-line size of the architecture
+
+  bool operator==(const RtConfig&) const = default;
+
+  /// The paper's default configuration for an architecture (everything at
+  /// its derived default; align resolves to the cache-line size).
+  static RtConfig defaults_for(const arch::CpuArch& cpu);
+
+  /// Parse the process environment (OMP_* / KMP_* variables) into a config.
+  /// Unset variables keep their defaults. Throws std::invalid_argument on
+  /// malformed values, matching libomp's strictness for these variables.
+  static RtConfig from_env(const arch::CpuArch& cpu);
+
+  /// OMP_PROC_BIND default derivation: unset resolves to `false` unless
+  /// OMP_PLACES is set, in which case it resolves to `spread`.
+  arch::BindKind effective_bind() const;
+
+  /// OMP_NUM_THREADS default: the architecture's core count.
+  int effective_num_threads(const arch::CpuArch& cpu) const;
+
+  /// KMP_ALIGN_ALLOC default: the architecture's cache-line size.
+  int effective_align(const arch::CpuArch& cpu) const;
+
+  /// Waiting behaviour derived from library mode and blocktime.
+  WaitPolicy wait_policy() const;
+
+  /// Reduction method after applying the team-size heuristic: forced method
+  /// if set; otherwise 1 thread -> no synchronization needed (reported as
+  /// Tree, whose single-leaf form is the special code path), 2..4 threads ->
+  /// Critical, >4 -> Tree.
+  ReductionMethod reduction_method_for(int team_size) const;
+
+  /// Environment assignments equivalent to this config, as the sweep harness
+  /// exports them to a child/native run. Derived-default fields are exported
+  /// as unset so the runtime re-derives them, exactly as the study's batch
+  /// scripts did.
+  std::vector<util::ScopedEnv::Assignment> to_env(const arch::CpuArch& cpu) const;
+
+  /// Stable human-readable key, used in dataset rows and logs.
+  std::string key() const;
+};
+
+}  // namespace omptune::rt

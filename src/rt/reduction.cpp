@@ -1,0 +1,106 @@
+#include "rt/reduction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+double reduce_identity(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum: return 0.0;
+    case ReduceOp::Prod: return 1.0;
+    case ReduceOp::Max: return -std::numeric_limits<double>::infinity();
+    case ReduceOp::Min: return std::numeric_limits<double>::infinity();
+  }
+  throw std::invalid_argument("reduce_identity: bad op");
+}
+
+double reduce_apply(ReduceOp op, double a, double b) {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Prod: return a * b;
+    case ReduceOp::Max: return std::max(a, b);
+    case ReduceOp::Min: return std::min(a, b);
+  }
+  throw std::invalid_argument("reduce_apply: bad op");
+}
+
+Reducer::Reducer(KmpAllocator& alloc, int team_size, Barrier& barrier)
+    : team_size_(team_size),
+      barrier_(&barrier),
+      slots_(alloc, static_cast<std::size_t>(team_size), /*padded=*/true) {
+  if (team_size <= 0) {
+    throw std::invalid_argument("Reducer: team_size must be > 0");
+  }
+}
+
+double Reducer::reduce(int tid, double local, ReduceOp op,
+                       ReductionMethod method) {
+  if (tid < 0 || tid >= team_size_) {
+    throw std::out_of_range("Reducer::reduce: bad tid");
+  }
+  if (team_size_ == 1) {
+    // Single-thread special path: no synchronization (paper III.6).
+    return local;
+  }
+  switch (method) {
+    case ReductionMethod::Tree: return reduce_tree(tid, local, op);
+    case ReductionMethod::Critical: return reduce_critical(tid, local, op);
+    case ReductionMethod::Atomic: return reduce_atomic(tid, local, op);
+    case ReductionMethod::Default:
+      throw std::invalid_argument(
+          "Reducer::reduce: resolve Default via RtConfig::reduction_method_for "
+          "before calling");
+  }
+  throw std::logic_error("Reducer::reduce: bad method");
+}
+
+double Reducer::reduce_tree(int tid, double local, ReduceOp op) {
+  slots_[static_cast<std::size_t>(tid)] = local;
+  barrier_->arrive_and_wait();
+  for (int stride = 1; stride < team_size_; stride *= 2) {
+    if (tid % (2 * stride) == 0 && tid + stride < team_size_) {
+      slots_[static_cast<std::size_t>(tid)] =
+          reduce_apply(op, slots_[static_cast<std::size_t>(tid)],
+                       slots_[static_cast<std::size_t>(tid + stride)]);
+    }
+    barrier_->arrive_and_wait();
+  }
+  const double result = slots_[0];
+  // Trailing barrier: nobody may start the next round (overwriting slot 0)
+  // until every thread has read the result.
+  barrier_->arrive_and_wait();
+  return result;
+}
+
+double Reducer::reduce_critical(int tid, double local, ReduceOp op) {
+  barrier_->arrive_and_wait();  // previous round fully consumed
+  if (tid == 0) shared_scalar_ = reduce_identity(op);
+  barrier_->arrive_and_wait();
+  {
+    std::lock_guard<std::mutex> lock(critical_mutex_);
+    shared_scalar_ = reduce_apply(op, shared_scalar_, local);
+    contended_combines_.fetch_add(1, std::memory_order_relaxed);
+  }
+  barrier_->arrive_and_wait();
+  return shared_scalar_;
+}
+
+double Reducer::reduce_atomic(int tid, double local, ReduceOp op) {
+  barrier_->arrive_and_wait();
+  if (tid == 0) {
+    atomic_scalar_.store(reduce_identity(op), std::memory_order_relaxed);
+  }
+  barrier_->arrive_and_wait();
+  double expected = atomic_scalar_.load(std::memory_order_relaxed);
+  while (!atomic_scalar_.compare_exchange_weak(
+      expected, reduce_apply(op, expected, local), std::memory_order_relaxed)) {
+    contended_combines_.fetch_add(1, std::memory_order_relaxed);
+  }
+  contended_combines_.fetch_add(1, std::memory_order_relaxed);
+  barrier_->arrive_and_wait();
+  return atomic_scalar_.load(std::memory_order_relaxed);
+}
+
+}  // namespace omptune::rt

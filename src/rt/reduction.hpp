@@ -1,0 +1,71 @@
+#pragma once
+
+// Cross-thread reductions (KMP_FORCE_REDUCTION).
+//
+// Three algorithms, matching the LLVM/OpenMP choices:
+//  - tree:     per-thread slots combined pairwise in log2(team) rounds.
+//  - critical: every thread folds its value into one shared scalar under a
+//              lock; O(team) serialized combines.
+//  - atomic:   every thread folds via an atomic compare-exchange loop on the
+//              shared scalar; contention grows with the team.
+//
+// When no method is forced, the heuristic of the paper's Section III.6
+// applies (1 thread: no synchronization; 2..4: critical; >4: tree) — see
+// RtConfig::reduction_method_for.
+//
+// The per-thread slots live in KMP_ALIGN_ALLOC-aligned storage, so the
+// alignment variable directly controls whether two threads' slots share a
+// cache line.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "rt/aligned_alloc.hpp"
+#include "rt/barrier.hpp"
+#include "rt/config.hpp"
+
+namespace omptune::rt {
+
+/// Reduction combiners supported by the runtime entry point.
+enum class ReduceOp { Sum, Prod, Max, Min };
+
+/// Identity element of an operation.
+double reduce_identity(ReduceOp op);
+
+/// Apply a combiner.
+double reduce_apply(ReduceOp op, double a, double b);
+
+/// Team-wide reduction arena. One instance per team; reusable across any
+/// number of reduction rounds. All team threads must call `reduce` the same
+/// number of times with the same (op, method) arguments — the usual OpenMP
+/// worksharing discipline.
+class Reducer {
+ public:
+  Reducer(KmpAllocator& alloc, int team_size, Barrier& barrier);
+
+  /// Perform one reduction round; every team thread contributes `local` and
+  /// receives the combined value.
+  double reduce(int tid, double local, ReduceOp op, ReductionMethod method);
+
+  /// Serialized/atomic combine operations observed (cost proxy for tests
+  /// and the reduction micro-benchmark).
+  std::uint64_t contended_combines() const {
+    return contended_combines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  double reduce_tree(int tid, double local, ReduceOp op);
+  double reduce_critical(int tid, double local, ReduceOp op);
+  double reduce_atomic(int tid, double local, ReduceOp op);
+
+  int team_size_;
+  Barrier* barrier_;
+  KmpArray<double> slots_;  ///< padded per-thread slots (tree)
+  double shared_scalar_ = 0.0;           ///< critical target
+  std::atomic<double> atomic_scalar_{0}; ///< atomic target
+  std::mutex critical_mutex_;
+  std::atomic<std::uint64_t> contended_combines_{0};
+};
+
+}  // namespace omptune::rt

@@ -1,0 +1,101 @@
+#include "rt/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+LoopScheduler::LoopScheduler(ScheduleKind kind, int chunk, std::int64_t lo,
+                             std::int64_t hi, int team_size)
+    : kind_(kind),
+      chunk_(chunk > 0 ? chunk : 1),
+      chunk_requested_(chunk > 0),
+      lo_(lo),
+      hi_(std::max(lo, hi)),
+      team_size_(team_size),
+      cursor_(lo) {
+  if (team_size <= 0) {
+    throw std::invalid_argument("LoopScheduler: team_size must be > 0");
+  }
+  per_thread_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(team_size));
+  for (int t = 0; t < team_size; ++t) {
+    per_thread_[t].store(
+        kind == ScheduleKind::Static && chunk_requested_ ? t : 0,
+        std::memory_order_relaxed);
+  }
+}
+
+std::optional<LoopSlice> LoopScheduler::next(int tid) {
+  if (tid < 0 || tid >= team_size_) {
+    throw std::out_of_range("LoopScheduler::next: bad tid");
+  }
+  switch (kind_) {
+    case ScheduleKind::Static:
+      // With an explicit chunk the iterations are dealt round-robin in
+      // chunk-sized pieces; otherwise one block per thread.
+      return chunk_requested_ ? next_static_chunked(tid)
+                              : next_static_block(tid);
+    case ScheduleKind::Auto:
+      // Implementation-defined: static_greedy — one contiguous block.
+      return next_static_block(tid);
+    case ScheduleKind::Dynamic:
+      return next_dynamic();
+    case ScheduleKind::Guided:
+      return next_guided();
+  }
+  throw std::logic_error("LoopScheduler::next: bad kind");
+}
+
+std::optional<LoopSlice> LoopScheduler::next_static_block(int tid) {
+  if (per_thread_[tid].exchange(1, std::memory_order_relaxed) != 0) {
+    return std::nullopt;
+  }
+  const std::int64_t n = hi_ - lo_;
+  if (n == 0) return std::nullopt;
+  // Split as evenly as possible: the first (n % team) threads get one extra.
+  const std::int64_t base = n / team_size_;
+  const std::int64_t extra = n % team_size_;
+  const std::int64_t begin =
+      lo_ + tid * base + std::min<std::int64_t>(tid, extra);
+  const std::int64_t len = base + (tid < extra ? 1 : 0);
+  if (len == 0) return std::nullopt;
+  return LoopSlice{begin, begin + len};
+}
+
+std::optional<LoopSlice> LoopScheduler::next_static_chunked(int tid) {
+  // Chunk indices are dealt round-robin: thread t owns chunks t, t+T, t+2T...
+  const std::int64_t chunk_index =
+      per_thread_[tid].fetch_add(team_size_, std::memory_order_relaxed);
+  const std::int64_t begin = lo_ + chunk_index * chunk_;
+  if (begin >= hi_) return std::nullopt;
+  return LoopSlice{begin, std::min(begin + chunk_, hi_)};
+}
+
+std::optional<LoopSlice> LoopScheduler::next_dynamic() {
+  const std::int64_t begin =
+      cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+  sync_ops_.fetch_add(1, std::memory_order_relaxed);
+  if (begin >= hi_) return std::nullopt;
+  return LoopSlice{begin, std::min(begin + chunk_, hi_)};
+}
+
+std::optional<LoopSlice> LoopScheduler::next_guided() {
+  // Piece size = max(remaining / (2 * team), chunk); claimed via CAS so the
+  // size decision and the claim are one atomic step.
+  std::int64_t begin = cursor_.load(std::memory_order_relaxed);
+  while (true) {
+    if (begin >= hi_) return std::nullopt;
+    const std::int64_t remaining = hi_ - begin;
+    const std::int64_t size =
+        std::max<std::int64_t>(chunk_, remaining / (2 * team_size_));
+    const std::int64_t end = std::min(begin + size, hi_);
+    sync_ops_.fetch_add(1, std::memory_order_relaxed);
+    if (cursor_.compare_exchange_weak(begin, end, std::memory_order_relaxed)) {
+      return LoopSlice{begin, end};
+    }
+    // CAS failure reloaded `begin`; retry with the fresh cursor.
+  }
+}
+
+}  // namespace omptune::rt

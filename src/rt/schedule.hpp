@@ -1,0 +1,78 @@
+#pragma once
+
+// Worksharing-loop scheduling (OMP_SCHEDULE).
+//
+//  - static (no chunk): one contiguous block per thread, computed up front;
+//    zero runtime coordination.
+//  - static,chunk: chunk-sized pieces dealt round-robin to threads.
+//  - dynamic: threads grab chunk-sized pieces (default 1) from a shared
+//    atomic counter; best load balance, highest coordination cost.
+//  - guided: like dynamic but the piece size starts at remaining/team and
+//    decays geometrically toward the chunk minimum.
+//  - auto: implementation-defined; like LLVM/OpenMP's static_greedy we hand
+//    each thread one contiguous block (equivalent to plain static here).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "rt/config.hpp"
+
+namespace omptune::rt {
+
+/// Half-open iteration range [begin, end).
+struct LoopSlice {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  std::int64_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool operator==(const LoopSlice&) const = default;
+};
+
+/// Shared per-loop scheduler state. One instance is created per worksharing
+/// loop and shared by the whole team; each thread repeatedly calls
+/// `next(tid)` until it returns nullopt.
+class LoopScheduler {
+ public:
+  /// Schedules iterations of [lo, hi) across `team_size` threads.
+  /// `chunk` <= 0 selects the schedule kind's default chunking.
+  LoopScheduler(ScheduleKind kind, int chunk, std::int64_t lo, std::int64_t hi,
+                int team_size);
+
+  /// Next slice for thread `tid`, or nullopt when the loop is exhausted for
+  /// that thread. Thread-safe across the team.
+  std::optional<LoopSlice> next(int tid);
+
+  ScheduleKind kind() const { return kind_; }
+  std::int64_t chunk() const { return chunk_; }
+
+  /// Number of shared-counter operations performed so far (coordination
+  /// cost proxy used by tests and the schedule micro-benchmark).
+  std::uint64_t sync_operations() const {
+    return sync_ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::optional<LoopSlice> next_static_block(int tid);
+  std::optional<LoopSlice> next_static_chunked(int tid);
+  std::optional<LoopSlice> next_dynamic();
+  std::optional<LoopSlice> next_guided();
+
+  ScheduleKind kind_;
+  std::int64_t chunk_;
+  bool chunk_requested_;
+  std::int64_t lo_;
+  std::int64_t hi_;
+  int team_size_;
+
+  /// Per-thread cursor: next chunk index for static,chunk; 0/1 "block taken"
+  /// flag for static block and auto.
+  std::unique_ptr<std::atomic<std::int64_t>[]> per_thread_;
+  /// Shared progress cursor for dynamic and guided.
+  std::atomic<std::int64_t> cursor_;
+  std::atomic<std::uint64_t> sync_ops_{0};
+};
+
+}  // namespace omptune::rt

@@ -1,0 +1,186 @@
+#include "rt/task.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace omptune::rt {
+
+namespace {
+// Which pool the calling OS thread is registered with, and as which rank.
+thread_local const TaskPool* tls_pool = nullptr;
+thread_local int tls_tid = -1;
+}  // namespace
+
+TaskPool::TaskPool(int team_size, WaitBehavior wait)
+    : team_size_(team_size), wait_(wait) {
+  if (team_size <= 0) {
+    throw std::invalid_argument("TaskPool: team_size must be > 0");
+  }
+  workers_.reserve(static_cast<std::size_t>(team_size));
+  for (int t = 0; t < team_size; ++t) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+}
+
+TaskPool::~TaskPool() {
+  // Regions must have been drained; free any implicit tasks defensively.
+  for (auto& worker : workers_) {
+    if (worker->current != nullptr && worker->current->parent == nullptr) {
+      delete worker->current;
+      worker->current = nullptr;
+    }
+  }
+}
+
+void TaskPool::enter_region(int tid) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  if (me.current != nullptr) {
+    throw std::logic_error("TaskPool::enter_region: region already active");
+  }
+  me.current = new Task();  // implicit task; no fn, no parent
+  tls_pool = this;
+  tls_tid = tid;
+}
+
+void TaskPool::leave_region(int tid) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  if (me.current == nullptr || me.current->parent != nullptr) {
+    throw std::logic_error("TaskPool::leave_region: not at an implicit task");
+  }
+  release(me.current);
+  me.current = nullptr;
+  tls_pool = nullptr;
+  tls_tid = -1;
+}
+
+int TaskPool::resolve_tid(int fallback) const {
+  return tls_pool == this ? tls_tid : fallback;
+}
+
+void TaskPool::spawn(int tid, std::function<void()> fn) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  if (me.current == nullptr) {
+    throw std::logic_error("TaskPool::spawn: no active region (call enter_region)");
+  }
+  Task* child = new Task();
+  child->fn = std::move(fn);
+  child->parent = me.current;
+  me.current->unfinished_children.fetch_add(1, std::memory_order_relaxed);
+  me.current->refs.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_release);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(me.mutex);
+    me.deque.push_back(child);
+  }
+}
+
+void TaskPool::taskwait(int tid) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  if (me.current == nullptr) {
+    throw std::logic_error("TaskPool::taskwait: no active region");
+  }
+  Task* waiting_on = me.current;
+  while (waiting_on->unfinished_children.load(std::memory_order_acquire) > 0) {
+    execute_one_or_idle(tid);
+  }
+}
+
+void TaskPool::drain(int tid) {
+  while (outstanding_.load(std::memory_order_acquire) > 0) {
+    execute_one_or_idle(tid);
+  }
+}
+
+void TaskPool::drain_until(int tid, const std::atomic<bool>& producer_done) {
+  while (!producer_done.load(std::memory_order_acquire) ||
+         outstanding_.load(std::memory_order_acquire) > 0) {
+    execute_one_or_idle(tid);
+  }
+}
+
+TaskStats TaskPool::stats() const {
+  return TaskStats{
+      .spawned = spawned_.load(std::memory_order_relaxed),
+      .executed = executed_.load(std::memory_order_relaxed),
+      .steals = steals_.load(std::memory_order_relaxed),
+      .idle_polls = idle_polls_.load(std::memory_order_relaxed),
+  };
+}
+
+void TaskPool::release(Task* task) {
+  if (task->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete task;
+  }
+}
+
+void TaskPool::run_task(int tid, Task* task) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  Task* previous = me.current;
+  me.current = task;
+  task->fn();
+  me.current = previous;
+
+  // Completion: all of this task's own children must finish before the task
+  // counts as complete for its parent's taskwait. OpenMP taskwait only waits
+  // for direct children, so completion does NOT require grandchildren; the
+  // child-counter decrement below is exactly the direct-child signal.
+  Task* parent = task->parent;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_sub(1, std::memory_order_release);
+  if (parent != nullptr) {
+    parent->unfinished_children.fetch_sub(1, std::memory_order_release);
+    release(parent);
+  }
+  release(task);
+}
+
+TaskPool::Task* TaskPool::try_pop_local(int tid) {
+  WorkerState& me = *workers_.at(static_cast<std::size_t>(tid));
+  std::lock_guard<std::mutex> lock(me.mutex);
+  if (me.deque.empty()) return nullptr;
+  Task* task = me.deque.back();
+  me.deque.pop_back();
+  return task;
+}
+
+TaskPool::Task* TaskPool::try_steal(int tid) {
+  for (int offset = 1; offset < team_size_; ++offset) {
+    const int victim = (tid + offset) % team_size_;
+    WorkerState& other = *workers_.at(static_cast<std::size_t>(victim));
+    std::lock_guard<std::mutex> lock(other.mutex);
+    if (other.deque.empty()) continue;
+    Task* task = other.deque.front();
+    other.deque.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+  return nullptr;
+}
+
+bool TaskPool::execute_one_or_idle(int tid) {
+  Task* task = try_pop_local(tid);
+  if (task == nullptr) task = try_steal(tid);
+  if (task != nullptr) {
+    run_task(tid, task);
+    return true;
+  }
+  // Idle: honour the wait policy. Passive naps to free the core; throughput
+  // yields; turnaround spins hot.
+  idle_polls_.fetch_add(1, std::memory_order_relaxed);
+  switch (wait_.policy) {
+    case WaitPolicy::Active:
+      if (wait_.yield_while_spinning) std::this_thread::yield();
+      break;
+    case WaitPolicy::SpinThenSleep:
+      std::this_thread::yield();
+      break;
+    case WaitPolicy::Passive:
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      break;
+  }
+  return false;
+}
+
+}  // namespace omptune::rt

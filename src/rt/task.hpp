@@ -1,0 +1,113 @@
+#pragma once
+
+// Unstructured task parallelism: per-thread deques with work stealing.
+//
+// Each team thread owns a deque; `spawn` pushes to the owner's tail, the
+// owner pops from the tail (LIFO, cache-friendly for recursive
+// decomposition), and thieves steal from the head (FIFO, steals the largest
+// remaining subtrees). `taskwait` blocks until the current task's children
+// have completed, executing other ready tasks meanwhile; `drain` empties the
+// pool at the end of a parallel region.
+//
+// The idle loop honours the team's wait policy: turnaround spins, throughput
+// yields between polls, passive naps — the mechanism behind the large
+// KMP_LIBRARY effect the paper measures on task-parallel benchmarks
+// (NQueens: turnaround wins on every architecture, Table VII).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rt/barrier.hpp"
+#include "rt/config.hpp"
+
+namespace omptune::rt {
+
+/// Task-pool counters for tests and the tasking micro-benchmark.
+struct TaskStats {
+  std::uint64_t spawned = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t idle_polls = 0;
+};
+
+/// Work-stealing task pool shared by one team.
+class TaskPool {
+ public:
+  TaskPool(int team_size, WaitBehavior wait);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Called by each team thread when the parallel region starts/ends;
+  /// establishes the thread's implicit task and registers the calling OS
+  /// thread so spawn/taskwait can resolve the *executing* thread even when
+  /// a closure captured another thread's context (stolen tasks).
+  void enter_region(int tid);
+  void leave_region(int tid);
+
+  /// The pool rank of the calling OS thread if it is registered with this
+  /// pool (via enter_region); `fallback` otherwise. Tasks that migrate via
+  /// work stealing MUST act on the executing thread, not on whichever
+  /// thread's context their closure captured — waiting on the wrong
+  /// thread's current task can deadlock.
+  int resolve_tid(int fallback) const;
+
+  /// Create a child task of the calling thread's current task.
+  void spawn(int tid, std::function<void()> fn);
+
+  /// Wait until the current task's children are complete, executing other
+  /// ready tasks while waiting.
+  void taskwait(int tid);
+
+  /// Execute until no tasks remain anywhere in the pool. Every team thread
+  /// must call this (it is the region-end join); does NOT include a barrier.
+  void drain(int tid);
+
+  /// Execute until `producer_done` is set AND the pool is empty. Used when
+  /// one thread is still seeding tasks: an empty pool alone must not release
+  /// the helpers.
+  void drain_until(int tid, const std::atomic<bool>& producer_done);
+
+  TaskStats stats() const;
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    Task* parent = nullptr;
+    std::atomic<int> unfinished_children{0};
+    /// 1 for the task itself until executed, +1 per live child (children
+    /// keep the parent record alive to decrement unfinished_children).
+    std::atomic<int> refs{1};
+  };
+
+  struct WorkerState {
+    std::deque<Task*> deque;
+    std::mutex mutex;
+    Task* current = nullptr;  ///< innermost task this thread is executing
+  };
+
+  void release(Task* task);
+  void run_task(int tid, Task* task);
+  Task* try_pop_local(int tid);
+  Task* try_steal(int tid);
+  /// Execute one ready task if any; otherwise perform one idle poll.
+  /// Returns true if a task was executed.
+  bool execute_one_or_idle(int tid);
+
+  int team_size_;
+  WaitBehavior wait_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> idle_polls_{0};
+};
+
+}  // namespace omptune::rt

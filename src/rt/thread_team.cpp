@@ -1,0 +1,194 @@
+#include "rt/thread_team.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+void TeamContext::parallel_for(
+    std::int64_t lo, std::int64_t hi,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  team_->setup_loop(tid_, lo, hi);
+  LoopScheduler& sched = *team_->loop_;
+  while (const auto slice = sched.next(tid_)) {
+    body(slice->begin, slice->end);
+  }
+  barrier();  // implicit end-of-worksharing barrier
+}
+
+double TeamContext::parallel_for_reduce(
+    std::int64_t lo, std::int64_t hi, ReduceOp op,
+    const std::function<double(std::int64_t, std::int64_t)>& body) {
+  team_->setup_loop(tid_, lo, hi);
+  LoopScheduler& sched = *team_->loop_;
+  double local = reduce_identity(op);
+  while (const auto slice = sched.next(tid_)) {
+    local = reduce_apply(op, local, body(slice->begin, slice->end));
+  }
+  return reduce(local, op);
+}
+
+double TeamContext::reduce(double local, ReduceOp op) {
+  const ReductionMethod method =
+      team_->config_.reduction_method_for(num_threads_);
+  return team_->reducer_->reduce(tid_, local, op, method);
+}
+
+void TeamContext::barrier() { team_->team_barrier_.arrive_and_wait(); }
+
+void TeamContext::spawn(std::function<void()> fn) {
+  // Resolve the EXECUTING thread: a stolen task's closure may have captured
+  // another thread's context, but task operations must act on the thread
+  // actually running the task (waiting on another thread's current task can
+  // deadlock).
+  team_->tasks_->spawn(team_->tasks_->resolve_tid(tid_), std::move(fn));
+}
+
+void TeamContext::taskwait() {
+  team_->tasks_->taskwait(team_->tasks_->resolve_tid(tid_));
+}
+
+void TeamContext::run_task_root(const std::function<void()>& root) {
+  if (tid_ == 0) {
+    team_->task_root_done_.store(false, std::memory_order_relaxed);
+  }
+  barrier();  // helpers must not observe a stale done flag
+  if (tid_ == 0) {
+    root();
+    team_->task_root_done_.store(true, std::memory_order_release);
+  }
+  // Everyone (including thread 0 after seeding) executes until the root has
+  // finished producing AND the pool is empty.
+  team_->tasks_->drain_until(tid_, team_->task_root_done_);
+  barrier();
+}
+
+namespace {
+
+// KMP_LIBRARY=serial runs parallel constructs with a team of one.
+int resolve_team_size(const arch::CpuArch& cpu, const RtConfig& config) {
+  if (config.library == LibraryMode::Serial) return 1;
+  return config.effective_num_threads(cpu);
+}
+
+}  // namespace
+
+void TeamContext::taskloop(
+    std::int64_t lo, std::int64_t hi, std::int64_t grainsize,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  std::int64_t grain = grainsize;
+  if (grain <= 0) {
+    const std::int64_t chunks = 4LL * num_threads_;
+    grain = std::max<std::int64_t>(1, (std::max<std::int64_t>(0, hi - lo) + chunks - 1) / chunks);
+  }
+  run_task_root([this, lo, hi, grain, &body] {
+    for (std::int64_t begin = lo; begin < hi; begin += grain) {
+      const std::int64_t end = std::min(begin + grain, hi);
+      spawn([&body, begin, end] { body(begin, end); });
+    }
+  });
+}
+
+void TeamContext::critical(const std::function<void()>& body) {
+  std::lock_guard<std::mutex> lock(team_->critical_mutex_);
+  body();
+}
+
+void TeamContext::single(const std::function<void()>& body) {
+  // All team threads call this the same number of times (collective), so
+  // every thread arrives with the same call index; exactly one CAS wins.
+  const std::uint64_t ticket = single_calls_++;
+  std::uint64_t expected = ticket;
+  if (team_->single_ticket_.compare_exchange_strong(expected, ticket + 1,
+                                                    std::memory_order_acq_rel)) {
+    body();
+  }
+  barrier();  // implicit end-of-single barrier
+}
+
+void TeamContext::master(const std::function<void()>& body) {
+  if (tid_ == 0) body();
+}
+
+ThreadTeam::ThreadTeam(const arch::CpuArch& cpu, RtConfig config)
+    : cpu_(&cpu),
+      config_(config),
+      num_threads_(resolve_team_size(cpu, config)),
+      topology_(cpu),
+      placement_(arch::assign_threads(topology_, config.places,
+                                      config.effective_bind(), num_threads_)),
+      wait_(WaitBehavior::from_config(config)),
+      allocator_(static_cast<std::size_t>(config.effective_align(cpu))),
+      fork_barrier_(num_threads_, wait_),
+      join_barrier_(num_threads_, wait_),
+      team_barrier_(num_threads_, wait_) {
+  reducer_ = std::make_unique<Reducer>(allocator_, num_threads_, team_barrier_);
+  tasks_ = std::make_unique<TaskPool>(num_threads_, wait_);
+
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  shutdown_ = true;
+  fork_barrier_.arrive_and_wait();
+  // jthread joins in the member destructor.
+}
+
+void ThreadTeam::parallel(const std::function<void(TeamContext&)>& body) {
+  job_ = &body;
+  ++parallel_regions_;
+  single_ticket_.store(0, std::memory_order_relaxed);
+  fork_barrier_.arrive_and_wait();
+
+  tasks_->enter_region(0);
+  TeamContext ctx(this, 0, num_threads_);
+  body(ctx);
+  tasks_->drain(0);
+  tasks_->leave_region(0);
+
+  join_barrier_.arrive_and_wait();
+  job_ = nullptr;
+}
+
+void ThreadTeam::worker_loop(int tid) {
+  while (true) {
+    fork_barrier_.arrive_and_wait();
+    if (shutdown_) return;
+    tasks_->enter_region(tid);
+    TeamContext ctx(this, tid, num_threads_);
+    (*job_)(ctx);
+    tasks_->drain(tid);
+    tasks_->leave_region(tid);
+    join_barrier_.arrive_and_wait();
+  }
+}
+
+void ThreadTeam::setup_loop(int tid, std::int64_t lo, std::int64_t hi) {
+  // Collective: align the team, let thread 0 (re)create the shared
+  // scheduler, then release everyone onto it.
+  team_barrier_.arrive_and_wait();
+  if (tid == 0) {
+    if (loop_ != nullptr) loop_sync_total_ += loop_->sync_operations();
+    loop_ = std::make_unique<LoopScheduler>(config_.schedule, config_.chunk, lo,
+                                            hi, num_threads_);
+  }
+  team_barrier_.arrive_and_wait();
+}
+
+TeamStats ThreadTeam::stats() const {
+  TeamStats stats;
+  stats.parallel_regions = parallel_regions_;
+  stats.loop_sync_operations =
+      loop_sync_total_ + (loop_ != nullptr ? loop_->sync_operations() : 0);
+  stats.barrier_sleeps = fork_barrier_.sleep_count() +
+                         join_barrier_.sleep_count() +
+                         team_barrier_.sleep_count();
+  stats.tasks = tasks_->stats();
+  stats.contended_combines = reducer_->contended_combines();
+  return stats;
+}
+
+}  // namespace omptune::rt

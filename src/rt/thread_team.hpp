@@ -1,0 +1,177 @@
+#pragma once
+
+// Fork-join thread team: the core execution engine of the runtime.
+//
+// A ThreadTeam owns `num_threads - 1` persistent worker threads plus the
+// calling (primary) thread. `parallel(body)` runs `body` on every team
+// member. Between regions, workers wait at the fork barrier under the
+// configured wait policy — the exact mechanism KMP_BLOCKTIME/KMP_LIBRARY
+// control: an expensive OS wake-up on fork when workers slept, versus hot
+// cores while idle when they spin.
+//
+// Inside a region the TeamContext exposes the worksharing loop (scheduled
+// per OMP_SCHEDULE), reductions (per KMP_FORCE_REDUCTION), explicit tasks,
+// and the team barrier. Thread placement is computed from
+// OMP_PLACES x OMP_PROC_BIND against the architecture topology; on hosts
+// whose CPU count matches the modelled topology the team pins threads, and
+// otherwise the placement is retained for inspection and modelling.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+#include "arch/topology.hpp"
+#include "rt/aligned_alloc.hpp"
+#include "rt/barrier.hpp"
+#include "rt/config.hpp"
+#include "rt/reduction.hpp"
+#include "rt/schedule.hpp"
+#include "rt/task.hpp"
+
+namespace omptune::rt {
+
+class ThreadTeam;
+
+/// Per-thread handle passed to the parallel body.
+class TeamContext {
+ public:
+  int tid() const { return tid_; }
+  int num_threads() const { return num_threads_; }
+  ThreadTeam& team() const { return *team_; }
+
+  /// Worksharing loop over [lo, hi): the team splits iterations per the
+  /// configured schedule; `body(begin, end)` receives contiguous slices.
+  /// Collective: every team thread must call it with the same bounds.
+  /// Ends with the implicit worksharing barrier.
+  void parallel_for(std::int64_t lo, std::int64_t hi,
+                    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// As parallel_for, but additionally reduces `body`'s returned partial
+  /// value across the team with the configured reduction method.
+  double parallel_for_reduce(
+      std::int64_t lo, std::int64_t hi, ReduceOp op,
+      const std::function<double(std::int64_t, std::int64_t)>& body);
+
+  /// Reduce a per-thread value across the team (collective).
+  double reduce(double local, ReduceOp op);
+
+  /// Team barrier (collective).
+  void barrier();
+
+  /// Spawn an explicit task (child of the current task).
+  void spawn(std::function<void()> fn);
+
+  /// Wait for the current task's children, executing ready tasks meanwhile.
+  void taskwait();
+
+  /// Task-region idiom: thread 0 runs `root` (typically spawning a task
+  /// tree); all threads then participate in execution until the pool is
+  /// empty. Collective.
+  void run_task_root(const std::function<void()>& root);
+
+  /// Task-based loop (the OpenMP `taskloop` construct): the iteration space
+  /// is divided into grain-sized chunks, each spawned as a task and executed
+  /// by whichever thread steals it. Collective. `grainsize` <= 0 selects
+  /// one chunk per team thread times four (the libomp-style default).
+  void taskloop(std::int64_t lo, std::int64_t hi, std::int64_t grainsize,
+                const std::function<void(std::int64_t, std::int64_t)>& body);
+
+  /// Mutual exclusion across the team (the `critical` construct). May be
+  /// called by any subset of threads.
+  void critical(const std::function<void()>& body);
+
+  /// The `single` construct: exactly one (unspecified) thread executes
+  /// `body`; ends with the implicit barrier. Collective.
+  void single(const std::function<void()>& body);
+
+  /// The `master` construct: thread 0 executes `body`; no implied barrier.
+  void master(const std::function<void()>& body);
+
+ private:
+  friend class ThreadTeam;
+  TeamContext(ThreadTeam* team, int tid, int num_threads)
+      : team_(team), tid_(tid), num_threads_(num_threads) {}
+
+  ThreadTeam* team_;
+  int tid_;
+  int num_threads_;
+  std::uint64_t single_calls_ = 0;  ///< this thread's collective single count
+};
+
+/// Aggregate runtime statistics for one team, exposed for tests and the
+/// micro-benchmarks.
+struct TeamStats {
+  std::uint64_t parallel_regions = 0;
+  std::uint64_t loop_sync_operations = 0;
+  std::uint64_t barrier_sleeps = 0;
+  TaskStats tasks;
+  std::uint64_t contended_combines = 0;
+};
+
+class ThreadTeam {
+ public:
+  /// Creates the team for `cpu` under `config`; spawns the workers
+  /// immediately so that repeated `parallel` calls reuse them.
+  ThreadTeam(const arch::CpuArch& cpu, RtConfig config);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  /// Execute `body` on all team threads (fork-join).
+  void parallel(const std::function<void(TeamContext&)>& body);
+
+  int num_threads() const { return num_threads_; }
+  const RtConfig& config() const { return config_; }
+  const arch::CpuArch& cpu() const { return *cpu_; }
+  const arch::Topology& topology() const { return topology_; }
+  const arch::ThreadPlacement& placement() const { return placement_; }
+
+  /// The runtime-internal allocator (alignment = KMP_ALIGN_ALLOC).
+  KmpAllocator& allocator() { return allocator_; }
+
+  TeamStats stats() const;
+
+ private:
+  friend class TeamContext;
+
+  void worker_loop(int tid);
+  void setup_loop(int tid, std::int64_t lo, std::int64_t hi);
+
+  std::mutex critical_mutex_;
+  /// Monotone ticket for `single`: the n-th collective single call is
+  /// executed by whichever thread wins the CAS from n to n+1. Reset per
+  /// region (contexts count their own calls from zero).
+  std::atomic<std::uint64_t> single_ticket_{0};
+
+  const arch::CpuArch* cpu_;
+  RtConfig config_;
+  int num_threads_;
+  arch::Topology topology_;
+  arch::ThreadPlacement placement_;
+  WaitBehavior wait_;
+  KmpAllocator allocator_;
+
+  Barrier fork_barrier_;
+  Barrier join_barrier_;
+  Barrier team_barrier_;  ///< user-visible + worksharing barrier
+  std::unique_ptr<Reducer> reducer_;
+  std::unique_ptr<TaskPool> tasks_;
+
+  // Job slot, written by the primary before releasing the fork barrier.
+  const std::function<void(TeamContext&)>* job_ = nullptr;
+  bool shutdown_ = false;
+  std::atomic<bool> task_root_done_{false};
+
+  // Current worksharing loop; (re)created by thread 0 inside setup_loop.
+  std::unique_ptr<LoopScheduler> loop_;
+  std::uint64_t loop_sync_total_ = 0;
+
+  std::uint64_t parallel_regions_ = 0;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace omptune::rt

@@ -1,0 +1,51 @@
+#pragma once
+
+// Combining-tree barrier: an alternative to the centralized sense-reversing
+// barrier for large teams. Arrivals propagate up a binary tree (each parent
+// waits for its two children), the release propagates down — O(log n)
+// contention per hot word instead of one shared counter hammered by the
+// whole team. LLVM/OpenMP selects among such barrier algorithms with
+// KMP_*_BARRIER_PATTERN; this is the ablation substrate for that choice
+// (see bench/micro_barrier).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "rt/barrier.hpp"
+
+namespace omptune::rt {
+
+class TreeBarrier {
+ public:
+  explicit TreeBarrier(int team_size, WaitBehavior wait = {});
+
+  /// Block until all team threads have arrived. `tid` must be the caller's
+  /// stable team rank in [0, team_size).
+  void arrive_and_wait(int tid);
+
+  int team_size() const { return team_size_; }
+  std::uint64_t sleep_count() const {
+    return sleeps_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    std::atomic<int> arrived{0};
+    std::atomic<std::uint64_t> release_epoch{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+
+  void wait_for_epoch(Node& node, std::uint64_t epoch);
+
+  int team_size_;
+  WaitBehavior wait_;
+  /// One node per internal tree position; node i has children 2i+1, 2i+2.
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> sleeps_{0};
+};
+
+}  // namespace omptune::rt

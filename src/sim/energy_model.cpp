@@ -1,0 +1,78 @@
+#include "sim/energy_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace omptune::sim {
+
+double idle_watts(const arch::CpuArch& cpu) {
+  // Roughly: big HPC packages idle at 60-100 W total.
+  switch (cpu.id) {
+    case arch::ArchId::A64FX: return 60.0;   // TDP ~160 W, efficient idle
+    case arch::ArchId::Skylake: return 90.0; // 2 sockets
+    case arch::ArchId::Milan: return 100.0;  // 2 sockets, big IO die
+  }
+  return 80.0;
+}
+
+double core_watts(const arch::CpuArch& cpu) {
+  // (TDP - idle) / cores, approximately.
+  switch (cpu.id) {
+    case arch::ArchId::A64FX: return (160.0 - 60.0) / 48.0;
+    case arch::ArchId::Skylake: return (2 * 150.0 - 90.0) / 40.0;
+    case arch::ArchId::Milan: return (2 * 225.0 - 100.0) / 96.0;
+  }
+  return 3.0;
+}
+
+double spin_power_factor(const rt::RtConfig& config) {
+  switch (config.wait_policy()) {
+    case rt::WaitPolicy::Active:
+      // Turnaround spins a tight load-compare loop: nearly full power.
+      return config.library == rt::LibraryMode::Turnaround ? 0.9 : 0.7;
+    case rt::WaitPolicy::SpinThenSleep:
+      // Yield-spin with an eventual sleep: a blend.
+      return 0.6;
+    case rt::WaitPolicy::Passive:
+      return 0.05;  // parked in the OS
+  }
+  return 0.5;
+}
+
+EnergyEstimate EnergyModel::estimate(const apps::Application& app,
+                                     const apps::InputSize& input,
+                                     const arch::CpuArch& cpu,
+                                     const rt::RtConfig& config) const {
+  const ModelBreakdown breakdown = perf_.breakdown(app, input, cpu, config);
+  const int threads = config.effective_num_threads(cpu);
+
+  // Thread business: ideal parallel time over actual time on the used
+  // cores — the rest of the team is waiting (imbalance, saturation, serial
+  // sections, idle polling). The task-idle factor inflates the parallel
+  // component with *waiting* time, so divide it back out: waiting threads
+  // must be billed at the spin rate, not as busy cores.
+  const double parallel_seconds =
+      (breakdown.compute_seconds + breakdown.memory_seconds) /
+      std::max(1.0, breakdown.task_idle_factor);
+  const double total = breakdown.total_seconds;
+  const double busy_share = total > 0.0
+                                ? std::clamp((breakdown.serial_seconds / threads +
+                                              parallel_seconds) /
+                                                 total,
+                                             0.0, 1.0)
+                                : 1.0;
+  const double busy_threads = busy_share * threads;
+  const double waiting_threads = threads - busy_threads;
+
+  EnergyEstimate estimate;
+  estimate.seconds = total;
+  estimate.spin_watts =
+      core_watts(cpu) * waiting_threads * spin_power_factor(config);
+  estimate.avg_watts =
+      idle_watts(cpu) + core_watts(cpu) * busy_threads + estimate.spin_watts;
+  estimate.joules = estimate.avg_watts * estimate.seconds;
+  estimate.edp = estimate.joules * estimate.seconds;
+  return estimate;
+}
+
+}  // namespace omptune::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+// Energy model — an extension grounded in the paper's related work
+// (Nornir, OpenMPE, EDP thread-throttling studies): estimates package
+// energy for a configuration from the runtime prediction plus the
+// wait-policy behaviour. Its headline effect: busy-wait policies
+// (turnaround / infinite blocktime) can win time but lose energy, since
+// idle threads burn near-active power while spinning — the classic
+// performance/energy tension the energy-tuning literature optimizes.
+
+#include "apps/application.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/config.hpp"
+#include "sim/perf_model.hpp"
+
+namespace omptune::sim {
+
+struct EnergyEstimate {
+  double seconds = 0;        ///< predicted runtime
+  double avg_watts = 0;      ///< average package power
+  double joules = 0;         ///< energy = power x time
+  double edp = 0;            ///< energy-delay product (J*s)
+  double spin_watts = 0;     ///< share of power burnt by waiting threads
+};
+
+/// Simple package-power model:
+///   P = P_idle + P_core * (busy_threads + spin_factor * waiting_threads)
+/// where waiting threads burn spin_factor of an active core's power when
+/// spinning (turnaround ~0.9, yield-spin ~0.6) and almost nothing when
+/// sleeping (~0.05). Thread business is derived from the perf-model
+/// breakdown (parallel efficiency of the configuration).
+class EnergyModel {
+ public:
+  explicit EnergyModel(PerfModel perf = PerfModel()) : perf_(perf) {}
+
+  EnergyEstimate estimate(const apps::Application& app,
+                          const apps::InputSize& input,
+                          const arch::CpuArch& cpu,
+                          const rt::RtConfig& config) const;
+
+  const PerfModel& perf() const { return perf_; }
+
+ private:
+  PerfModel perf_;
+};
+
+/// Idle package power (uncore + fans share attributed to the socket), W.
+double idle_watts(const arch::CpuArch& cpu);
+
+/// Active power of one busy core, W.
+double core_watts(const arch::CpuArch& cpu);
+
+/// Fraction of an active core's power a *waiting* thread burns under the
+/// configuration's wait policy.
+double spin_power_factor(const rt::RtConfig& config);
+
+}  // namespace omptune::sim

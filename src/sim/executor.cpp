@@ -1,0 +1,33 @@
+#include "sim/executor.hpp"
+
+#include <chrono>
+
+#include "rt/thread_team.hpp"
+
+namespace omptune::sim {
+
+double ModelRunner::run(const apps::Application& app,
+                        const apps::InputSize& input, const arch::CpuArch& cpu,
+                        const rt::RtConfig& config, std::uint64_t batch_seed,
+                        int repetition, std::uint64_t sample_index) {
+  return model_.measure(app, input, cpu, config, batch_seed, repetition,
+                        sample_index);
+}
+
+double NativeRunner::run(const apps::Application& app,
+                         const apps::InputSize& input, const arch::CpuArch& cpu,
+                         const rt::RtConfig& config, std::uint64_t /*batch_seed*/,
+                         int /*repetition*/, std::uint64_t /*sample_index*/) {
+  rt::RtConfig capped = config;
+  const int threads = config.effective_num_threads(cpu);
+  if (max_threads_ > 0 && threads > max_threads_) {
+    capped.num_threads = max_threads_;
+  }
+  rt::ThreadTeam team(cpu, capped);
+  const auto start = std::chrono::steady_clock::now();
+  last_checksum_ = app.run_native(team, input, native_scale_);
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace omptune::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+// The machine performance model — the substitute for the paper's three
+// physical testbeds (see DESIGN.md §2).
+//
+// Given an application's workload signature (apps::AppCharacteristics), a
+// CPU descriptor (arch::CpuArch) and a full runtime configuration
+// (rt::RtConfig), the model predicts the wall-clock runtime by composing:
+//
+//   1. an Amdahl/roofline core: serial fraction + compute part scaling with
+//      usable cores + memory part scaling up to the bandwidth-saturation
+//      thread count (with queueing contention past it);
+//   2. placement effects from OMP_PLACES x OMP_PROC_BIND via
+//      arch::placement_stats: NUMA locality, per-core oversubscription
+//      (master binding!), bandwidth share of the covered domains;
+//   3. schedule effects from OMP_SCHEDULE: residual load imbalance per kind
+//      plus the shared-counter coordination cost of dynamic/guided;
+//   4. wait-policy effects from KMP_LIBRARY x KMP_BLOCKTIME: per-region
+//      fork/join wake-up costs for loop apps, and per-steal idle latencies
+//      for task apps (the NQueens "turnaround" mechanism);
+//   5. reduction-algorithm costs from KMP_FORCE_REDUCTION;
+//   6. a small KMP_ALIGN_ALLOC term on runtime-internal structures.
+//
+// `predict` is pure and deterministic. `measure` adds the architecture's
+// calibrated measurement-noise model: log-normal per-sample noise plus a
+// systematic per-repetition drift on the (shared-cluster) X86 machines —
+// the behaviour the paper's Wilcoxon analysis detects in Tables III/IV.
+
+#include <cstdint>
+
+#include "apps/application.hpp"
+#include "arch/cpu_arch.hpp"
+#include "arch/topology.hpp"
+#include "rt/config.hpp"
+
+namespace omptune::sim {
+
+/// Additive/multiplicative components of one prediction, exposed so tests
+/// and the ablation benches can attribute runtime to mechanisms.
+struct ModelBreakdown {
+  double serial_seconds = 0;
+  double compute_seconds = 0;
+  double memory_seconds = 0;
+  double region_overhead_seconds = 0;
+  double reduction_overhead_seconds = 0;
+  double schedule_coordination_seconds = 0;
+  double task_idle_factor = 1.0;   ///< multiplier on the parallel part
+  double imbalance_factor = 1.0;   ///< multiplier on the parallel part
+  double locality_factor = 1.0;    ///< multiplier on the memory part
+  double contention_factor = 1.0;  ///< multiplier on the memory part
+  double align_factor = 1.0;       ///< multiplier on the total
+  double oversubscription_factor = 1.0;
+  double total_seconds = 0;
+};
+
+class PerfModel {
+ public:
+  PerfModel() = default;
+
+  /// Noiseless runtime prediction (seconds).
+  double predict(const apps::Application& app, const apps::InputSize& input,
+                 const arch::CpuArch& cpu, const rt::RtConfig& config) const;
+
+  /// Full component attribution for one prediction.
+  ModelBreakdown breakdown(const apps::Application& app,
+                           const apps::InputSize& input,
+                           const arch::CpuArch& cpu,
+                           const rt::RtConfig& config) const;
+
+  /// One noisy measurement, as the sweep harness records it.
+  /// `batch_seed` identifies the experiment batch (app/arch/setting);
+  /// `repetition` is the run index within the batch (R0, R1, ...);
+  /// `sample_index` distinguishes configs within the batch.
+  double measure(const apps::Application& app, const apps::InputSize& input,
+                 const arch::CpuArch& cpu, const rt::RtConfig& config,
+                 std::uint64_t batch_seed, int repetition,
+                 std::uint64_t sample_index) const;
+};
+
+}  // namespace omptune::sim

@@ -1,0 +1,69 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace omptune::stats {
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty input");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double min_value(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(const std::vector<double>& values) {
+  if (values.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+Summary summarize(std::vector<double> values) {
+  if (values.empty()) throw std::invalid_argument("summarize: empty input");
+  Summary s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  auto q = [&values](double p) {
+    const double pos = p * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+  };
+  s.q25 = q(0.25);
+  s.median = q(0.5);
+  s.q75 = q(0.75);
+  return s;
+}
+
+}  // namespace omptune::stats

@@ -1,0 +1,37 @@
+#pragma once
+
+// Descriptive statistics used throughout the analysis (Tables IV, V, VI and
+// the per-architecture medians of Section V.1).
+
+#include <vector>
+
+namespace omptune::stats {
+
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double stddev(const std::vector<double>& values);
+
+double min_value(const std::vector<double>& values);
+double max_value(const std::vector<double>& values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Throws on empty input.
+double quantile(std::vector<double> values, double q);
+
+double median(std::vector<double> values);
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double q25 = 0;
+  double median = 0;
+  double q75 = 0;
+  double max = 0;
+};
+
+/// All of the above in one pass (plus sorting for the quantiles).
+Summary summarize(std::vector<double> values);
+
+}  // namespace omptune::stats

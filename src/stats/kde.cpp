@@ -1,0 +1,87 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/descriptive.hpp"
+#include "util/strings.hpp"
+
+namespace omptune::stats {
+
+double silverman_bandwidth(const std::vector<double>& values) {
+  const double sd = stddev(values);
+  const double iqr = quantile(values, 0.75) - quantile(values, 0.25);
+  const double spread = iqr > 0.0 ? std::min(sd, iqr / 1.34) : sd;
+  const double n = static_cast<double>(values.size());
+  const double h = 0.9 * spread * std::pow(n, -0.2);
+  // Degenerate distributions (all equal): fall back to a tiny positive h.
+  return h > 0.0 ? h : 1e-9;
+}
+
+ViolinData kernel_density(const std::vector<double>& values, int grid_points) {
+  if (values.size() < 2) {
+    throw std::invalid_argument("kernel_density: need at least 2 values");
+  }
+  if (grid_points < 2) {
+    throw std::invalid_argument("kernel_density: need at least 2 grid points");
+  }
+  ViolinData out;
+  out.bandwidth = silverman_bandwidth(values);
+  const double lo = min_value(values) - 3.0 * out.bandwidth;
+  const double hi = max_value(values) + 3.0 * out.bandwidth;
+  const double step = (hi - lo) / static_cast<double>(grid_points - 1);
+  const double norm =
+      1.0 / (static_cast<double>(values.size()) * out.bandwidth *
+             std::sqrt(2.0 * M_PI));
+  out.grid.resize(static_cast<std::size_t>(grid_points));
+  out.density.resize(static_cast<std::size_t>(grid_points));
+  for (int g = 0; g < grid_points; ++g) {
+    const double x = lo + step * g;
+    double acc = 0.0;
+    for (const double v : values) {
+      const double u = (x - v) / out.bandwidth;
+      acc += std::exp(-0.5 * u * u);
+    }
+    out.grid[static_cast<std::size_t>(g)] = x;
+    out.density[static_cast<std::size_t>(g)] = acc * norm;
+  }
+  return out;
+}
+
+std::vector<int> histogram(const std::vector<double>& values, double lo,
+                           double hi, int bins) {
+  if (bins <= 0) throw std::invalid_argument("histogram: bins must be > 0");
+  if (hi <= lo) throw std::invalid_argument("histogram: hi must exceed lo");
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  const double width = (hi - lo) / bins;
+  for (const double v : values) {
+    if (v < lo || v > hi) continue;
+    const int bin = std::min(bins - 1, static_cast<int>((v - lo) / width));
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  return counts;
+}
+
+std::string render_ascii_violin(const std::vector<double>& values, int bins,
+                                int max_width) {
+  const double lo = min_value(values);
+  const double hi = max_value(values);
+  const double span = hi > lo ? hi - lo : 1.0;
+  const auto counts = histogram(values, lo, lo + span, bins);
+  const int peak = std::max(1, *std::max_element(counts.begin(), counts.end()));
+
+  std::string out;
+  for (int b = bins - 1; b >= 0; --b) {
+    const double bin_value = lo + span * (b + 0.5) / bins;
+    const int width =
+        counts[static_cast<std::size_t>(b)] * max_width / peak;
+    out += util::format_double(bin_value, 3) + " |";
+    out.append(static_cast<std::size_t>(width), '#');
+    out += "  (" + std::to_string(counts[static_cast<std::size_t>(b)]) + ")\n";
+  }
+  return out;
+}
+
+}  // namespace omptune::stats

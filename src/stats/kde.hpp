@@ -1,0 +1,35 @@
+#pragma once
+
+// Gaussian kernel density estimation: the violin-plot engine behind the
+// paper's Figs 1, 5, 6 and 7 (performance-distribution violins per
+// architecture and input size).
+
+#include <string>
+#include <vector>
+
+namespace omptune::stats {
+
+struct ViolinData {
+  std::vector<double> grid;     ///< evaluation points (runtime/speedup axis)
+  std::vector<double> density;  ///< estimated density at each grid point
+  double bandwidth = 0;
+};
+
+/// Silverman's rule-of-thumb bandwidth.
+double silverman_bandwidth(const std::vector<double>& values);
+
+/// Evaluate the Gaussian KDE of `values` on `grid_points` evenly spaced
+/// points spanning [min - 3h, max + 3h]. Throws on fewer than 2 values.
+ViolinData kernel_density(const std::vector<double>& values, int grid_points);
+
+/// Plain histogram (for textual violin rendering): `bins` equal-width bins
+/// over [lo, hi]; returns per-bin counts.
+std::vector<int> histogram(const std::vector<double>& values, double lo,
+                           double hi, int bins);
+
+/// Render a vertical ASCII violin: one row per bin, bar width proportional
+/// to density — the terminal stand-in for the paper's violin plots.
+std::string render_ascii_violin(const std::vector<double>& values, int bins,
+                                int max_width);
+
+}  // namespace omptune::stats

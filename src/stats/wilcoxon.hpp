@@ -1,0 +1,39 @@
+#pragma once
+
+// Wilcoxon signed-rank test for paired samples (paper IV-C, Table III):
+// used to decide whether repeated runs of the same configurations differ
+// significantly — i.e. whether a machine's measurements are consistent.
+//
+// Implementation follows the classic two-sided test with the normal
+// approximation (appropriate here: the paper's pairings have thousands of
+// samples), including tie-average ranking, zero-difference removal
+// (Wilcoxon's original treatment, matching scipy's default), and the tie
+// variance correction.
+
+#include <vector>
+
+namespace omptune::stats {
+
+struct WilcoxonResult {
+  /// Sum of ranks of the positive differences (the commonly reported W+;
+  /// scipy reports min(W+, W-), available below).
+  double w_plus = 0;
+  double w_minus = 0;
+  /// Test statistic: min(W+, W-).
+  double statistic = 0;
+  /// Two-sided p-value (normal approximation).
+  double p_value = 1.0;
+  /// Number of non-zero differences used.
+  std::size_t n_used = 0;
+};
+
+/// Paired test of x vs y. Throws std::invalid_argument if the lengths
+/// differ or fewer than 10 usable (non-equal) pairs remain — below that the
+/// normal approximation is meaningless.
+WilcoxonResult wilcoxon_signed_rank(const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+}  // namespace omptune::stats

@@ -1,0 +1,110 @@
+#include "sweep/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace omptune::sweep {
+
+namespace {
+
+std::string blocktime_to_string(std::int64_t ms) {
+  return ms == rt::kBlocktimeInfinite ? "infinite" : std::to_string(ms);
+}
+
+std::int64_t blocktime_from_string(const std::string& text) {
+  if (text == "infinite") return rt::kBlocktimeInfinite;
+  const auto value = util::parse_int(text);
+  if (!value) throw std::invalid_argument("bad blocktime '" + text + "'");
+  return *value;
+}
+
+}  // namespace
+
+void Dataset::append(Dataset other) {
+  samples_.reserve(samples_.size() + other.samples_.size());
+  for (Sample& s : other.samples_) samples_.push_back(std::move(s));
+}
+
+util::CsvTable Dataset::to_csv() const {
+  // Fixed repetition count across a dataset.
+  std::size_t reps = 0;
+  for (const Sample& s : samples_) reps = std::max(reps, s.runtimes.size());
+
+  std::vector<std::string> header = {
+      "arch",   "app",      "suite",     "kind",      "input",
+      "threads", "places",  "proc_bind", "schedule",  "library",
+      "blocktime", "reduction", "align", "mean_runtime", "default_runtime",
+      "speedup", "is_default"};
+  for (std::size_t r = 0; r < reps; ++r) {
+    header.push_back("runtime_" + std::to_string(r));
+  }
+
+  util::CsvTable table(std::move(header));
+  for (const Sample& s : samples_) {
+    std::vector<std::string> row = {
+        s.arch,
+        s.app,
+        s.suite,
+        s.kind,
+        s.input,
+        std::to_string(s.threads),
+        arch::to_string(s.config.places),
+        arch::to_string(s.config.bind),
+        rt::to_string(s.config.schedule),
+        rt::to_string(s.config.library),
+        blocktime_to_string(s.config.blocktime_ms),
+        rt::to_string(s.config.reduction),
+        std::to_string(s.config.align_alloc),
+        util::format_double(s.mean_runtime, 9),
+        util::format_double(s.default_runtime, 9),
+        util::format_double(s.speedup, 6),
+        s.is_default ? "1" : "0",
+    };
+    for (std::size_t r = 0; r < reps; ++r) {
+      row.push_back(r < s.runtimes.size()
+                        ? util::format_double(s.runtimes[r], 9)
+                        : std::string("0"));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Dataset Dataset::from_csv(const util::CsvTable& table) {
+  Dataset out;
+  // Repetition columns are the trailing runtime_N columns.
+  std::vector<std::size_t> rep_cols;
+  for (std::size_t c = 0; c < table.header().size(); ++c) {
+    if (util::starts_with(table.header()[c], "runtime_")) rep_cols.push_back(c);
+  }
+  for (std::size_t i = 0; i < table.num_rows(); ++i) {
+    Sample s;
+    s.arch = table.cell(i, "arch");
+    s.app = table.cell(i, "app");
+    s.suite = table.cell(i, "suite");
+    s.kind = table.cell(i, "kind");
+    s.input = table.cell(i, "input");
+    s.threads = static_cast<int>(table.cell_as_double(i, "threads"));
+    s.config.num_threads = s.threads;
+    s.config.places = arch::places_from_string(table.cell(i, "places"));
+    s.config.bind = arch::bind_from_string(table.cell(i, "proc_bind"));
+    s.config.schedule = rt::schedule_from_string(table.cell(i, "schedule"));
+    s.config.library = rt::library_from_string(table.cell(i, "library"));
+    s.config.blocktime_ms = blocktime_from_string(table.cell(i, "blocktime"));
+    s.config.reduction = rt::reduction_from_string(table.cell(i, "reduction"));
+    s.config.align_alloc = static_cast<int>(table.cell_as_double(i, "align"));
+    s.mean_runtime = table.cell_as_double(i, "mean_runtime");
+    s.default_runtime = table.cell_as_double(i, "default_runtime");
+    s.speedup = table.cell_as_double(i, "speedup");
+    s.is_default = table.cell(i, "is_default") == "1";
+    for (const std::size_t c : rep_cols) {
+      s.runtimes.push_back(table.cell_as_double(i, table.header()[c]));
+    }
+    out.add(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace omptune::sweep

@@ -1,0 +1,79 @@
+#pragma once
+
+// The study dataset: one Sample per unique (architecture, application,
+// input/threads setting, configuration), carrying all repetition runtimes
+// and the derived speedup over the setting's default configuration — the
+// tabular files the paper open-sources.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/config.hpp"
+#include "util/csv.hpp"
+
+namespace omptune::sweep {
+
+struct Sample {
+  std::string arch;
+  std::string app;
+  std::string suite;
+  std::string kind;        ///< "loop" or "task"
+  std::string input;       ///< input-size name
+  int threads = 0;         ///< resolved team size
+  rt::RtConfig config;
+  std::vector<double> runtimes;  ///< R0..Rk
+  double mean_runtime = 0.0;
+  double default_runtime = 0.0;  ///< mean runtime of the setting's default
+  double speedup = 0.0;          ///< default_runtime / mean_runtime
+  bool is_default = false;
+};
+
+/// Column-stable dataset container.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  void add(Sample sample) { samples_.push_back(std::move(sample)); }
+  void append(Dataset other);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Samples matching a predicate, by value (grouping helper).
+  template <typename Pred>
+  Dataset filter(Pred&& pred) const {
+    Dataset out;
+    for (const Sample& s : samples_) {
+      if (pred(s)) out.add(s);
+    }
+    return out;
+  }
+
+  /// Distinct values of a string field selector across the dataset,
+  /// in first-appearance order.
+  template <typename Selector>
+  std::vector<std::string> distinct(Selector&& sel) const {
+    std::vector<std::string> out;
+    for (const Sample& s : samples_) {
+      const std::string value = sel(s);
+      if (std::find(out.begin(), out.end(), value) == out.end()) {
+        out.push_back(value);
+      }
+    }
+    return out;
+  }
+
+  /// Serialize to the open-data CSV schema (one row per sample, one column
+  /// per variable plus all repetition runtimes).
+  util::CsvTable to_csv() const;
+
+  /// Parse a dataset back from its CSV form.
+  static Dataset from_csv(const util::CsvTable& table);
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace omptune::sweep

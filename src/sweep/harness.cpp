@@ -1,0 +1,194 @@
+#include "sweep/harness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace omptune::sweep {
+
+namespace {
+
+using apps::Application;
+using apps::SweepMode;
+
+/// Table II sample totals.
+constexpr std::size_t kA64fxSamples = 53822;
+constexpr std::size_t kMilanSamples = 99707;
+constexpr std::size_t kSkylakeSamples = 90230;
+
+bool app_runs_on(const Application& app, arch::ArchId arch) {
+  // Sort and Strassen ran only on A64FX; Skylake additionally lacks one app
+  // (12 vs 15) — we drop EP there (see harness.hpp).
+  if (app.name() == "sort" || app.name() == "strassen") {
+    return arch == arch::ArchId::A64FX;
+  }
+  if (app.name() == "ep" && arch == arch::ArchId::Skylake) return false;
+  return true;
+}
+
+std::vector<StudySetting> settings_for(const arch::CpuArch& cpu) {
+  std::vector<StudySetting> settings;
+  for (const Application* app : apps::registry()) {
+    if (!app_runs_on(*app, cpu.id)) continue;
+    if (app->sweep_mode() == SweepMode::VaryInputSize) {
+      for (const apps::InputSize& input : app->input_sizes()) {
+        settings.push_back(StudySetting{app, input, 0});
+      }
+    } else {
+      for (const int threads : thread_sweep(cpu)) {
+        settings.push_back(StudySetting{app, app->default_input(), threads});
+      }
+    }
+  }
+  return settings;
+}
+
+std::vector<std::size_t> distribute(std::size_t total, std::size_t buckets,
+                                    std::size_t cap) {
+  if (buckets == 0) throw std::invalid_argument("distribute: no buckets");
+  const std::size_t base = std::min(cap, total / buckets);
+  std::size_t remainder = total - base * buckets;
+  std::vector<std::size_t> out(buckets, base);
+  for (std::size_t i = 0; i < buckets && remainder > 0; ++i) {
+    const std::size_t extra = std::min(remainder, cap - out[i]);
+    out[i] += extra;
+    remainder -= extra;
+  }
+  return out;
+}
+
+ArchPlan arch_plan(arch::ArchId id, std::size_t total_samples) {
+  const arch::CpuArch& cpu = arch::architecture(id);
+  ArchPlan plan;
+  plan.arch = id;
+  plan.settings = settings_for(cpu);
+  const std::size_t space = ConfigSpace::paper_space(cpu).size();
+  plan.configs_per_setting =
+      distribute(total_samples, plan.settings.size(), space);
+  return plan;
+}
+
+}  // namespace
+
+std::size_t ArchPlan::total_samples() const {
+  std::size_t total = 0;
+  for (const std::size_t c : configs_per_setting) total += c;
+  return total;
+}
+
+StudyPlan StudyPlan::paper_plan() {
+  StudyPlan plan;
+  plan.arch_plans.push_back(arch_plan(arch::ArchId::A64FX, kA64fxSamples));
+  plan.arch_plans.push_back(arch_plan(arch::ArchId::Milan, kMilanSamples));
+  plan.arch_plans.push_back(arch_plan(arch::ArchId::Skylake, kSkylakeSamples));
+  return plan;
+}
+
+StudyPlan StudyPlan::mini_plan(std::size_t apps_per_arch,
+                               std::size_t configs_per_setting) {
+  StudyPlan plan;
+  for (const arch::ArchId id :
+       {arch::ArchId::A64FX, arch::ArchId::Milan, arch::ArchId::Skylake}) {
+    const arch::CpuArch& cpu = arch::architecture(id);
+    ArchPlan arch_plan;
+    arch_plan.arch = id;
+    std::size_t taken = 0;
+    for (const StudySetting& setting : settings_for(cpu)) {
+      // One setting per distinct app.
+      const bool seen = std::any_of(
+          arch_plan.settings.begin(), arch_plan.settings.end(),
+          [&setting](const StudySetting& s) { return s.app == setting.app; });
+      if (seen) continue;
+      arch_plan.settings.push_back(setting);
+      arch_plan.configs_per_setting.push_back(configs_per_setting);
+      if (++taken == apps_per_arch) break;
+    }
+    plan.arch_plans.push_back(std::move(arch_plan));
+  }
+  return plan;
+}
+
+SweepHarness::SweepHarness(sim::Runner& runner, int repetitions,
+                           std::uint64_t seed)
+    : runner_(&runner), repetitions_(repetitions), seed_(seed) {
+  if (repetitions <= 0) {
+    throw std::invalid_argument("SweepHarness: repetitions must be > 0");
+  }
+}
+
+Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
+                                  const StudySetting& setting,
+                                  std::size_t config_count) {
+  const ConfigSpace space = ConfigSpace::paper_space(cpu);
+  const std::uint64_t batch_seed = util::hash_combine(
+      util::hash_combine(seed_, util::stable_hash(cpu.name)),
+      util::hash_combine(util::stable_hash(setting.app->name()),
+                         util::hash_combine(util::stable_hash(setting.input.name),
+                                            static_cast<std::uint64_t>(setting.num_threads))));
+
+  const std::vector<rt::RtConfig> configs =
+      space.sample(setting.num_threads, config_count, batch_seed);
+
+  Dataset dataset;
+  // The paper's batching: all configurations of a setting are explored
+  // iteratively within the batch, repetition by repetition, preserving
+  // relative performance under slow cluster drift.
+  std::vector<Sample> samples(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Sample& s = samples[i];
+    s.arch = cpu.name;
+    s.app = setting.app->name();
+    s.suite = setting.app->suite();
+    s.kind = apps::to_string(setting.app->kind());
+    s.input = setting.input.name;
+    s.config = configs[i];
+    s.threads = configs[i].effective_num_threads(cpu);
+    s.is_default = (i == 0);  // ConfigSpace::sample pins the default first
+  }
+  for (int rep = 0; rep < repetitions_; ++rep) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      samples[i].runtimes.push_back(runner_->run(*setting.app, setting.input,
+                                                 cpu, configs[i], batch_seed,
+                                                 rep, i));
+    }
+  }
+
+  // Averaging across repetitions mitigates the measured variation (paper
+  // IV-C), then speedup = default mean / config mean.
+  for (Sample& s : samples) {
+    double sum = 0.0;
+    for (const double r : s.runtimes) sum += r;
+    s.mean_runtime = sum / static_cast<double>(s.runtimes.size());
+  }
+  const double default_mean = samples.front().mean_runtime;
+  for (Sample& s : samples) {
+    s.default_runtime = default_mean;
+    s.speedup = default_mean / s.mean_runtime;
+    dataset.add(std::move(s));
+  }
+  return dataset;
+}
+
+Dataset SweepHarness::run_study(
+    const StudyPlan& plan,
+    const std::function<void(const std::string&)>& progress) {
+  Dataset dataset;
+  for (const ArchPlan& arch_plan : plan.arch_plans) {
+    const arch::CpuArch& cpu = arch::architecture(arch_plan.arch);
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
+      const StudySetting& setting = arch_plan.settings[i];
+      dataset.append(
+          run_setting(cpu, setting, arch_plan.configs_per_setting[i]));
+      if (progress) {
+        progress(cpu.name + "/" + setting.app->name() + "/" +
+                 setting.input.name + " threads=" +
+                 std::to_string(setting.num_threads) + " -> " +
+                 std::to_string(dataset.size()) + " samples");
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace omptune::sweep

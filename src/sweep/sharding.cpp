@@ -1,0 +1,82 @@
+#include "sweep/sharding.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace omptune::sweep {
+
+StudyPlan shard_plan(const StudyPlan& plan, std::size_t index, std::size_t count) {
+  if (count == 0 || index >= count) {
+    throw std::invalid_argument("shard_plan: need index < count, count > 0");
+  }
+  StudyPlan shard;
+  std::size_t position = 0;  // global setting position across architectures
+  for (const ArchPlan& arch_plan : plan.arch_plans) {
+    ArchPlan kept;
+    kept.arch = arch_plan.arch;
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i, ++position) {
+      if (position % count != index) continue;
+      kept.settings.push_back(arch_plan.settings[i]);
+      kept.configs_per_setting.push_back(arch_plan.configs_per_setting[i]);
+    }
+    if (!kept.settings.empty()) shard.arch_plans.push_back(std::move(kept));
+  }
+  return shard;
+}
+
+namespace {
+
+std::string setting_key(const std::string& arch, const StudySetting& setting) {
+  return arch + "/" + setting.app->name() + "/" + setting.input.name + "/" +
+         std::to_string(setting.num_threads);
+}
+
+std::string sample_key(const Sample& sample) {
+  // The sample stores the resolved team size; recover the plan's
+  // num_threads: VaryInputSize settings use 0 (all cores).
+  const auto& cpu = arch::architecture(arch::arch_from_string(sample.arch));
+  const int plan_threads = sample.threads == cpu.cores &&
+                                   apps::find_application(sample.app).sweep_mode() ==
+                                       apps::SweepMode::VaryInputSize
+                               ? 0
+                               : sample.threads;
+  return sample.arch + "/" + sample.app + "/" + sample.input + "/" +
+         std::to_string(plan_threads);
+}
+
+}  // namespace
+
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards) {
+  // Bucket every shard's samples by setting.
+  std::map<std::string, std::vector<const Sample*>> buckets;
+  for (const Dataset& shard : shards) {
+    for (const Sample& sample : shard.samples()) {
+      buckets[sample_key(sample)].push_back(&sample);
+    }
+  }
+
+  Dataset merged;
+  for (const ArchPlan& arch_plan : plan.arch_plans) {
+    const std::string arch_name = arch::architecture(arch_plan.arch).name;
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
+      const std::string key = setting_key(arch_name, arch_plan.settings[i]);
+      const auto it = buckets.find(key);
+      if (it == buckets.end()) {
+        throw std::invalid_argument("merge_shards: setting '" + key +
+                                    "' missing from the shards");
+      }
+      // A setting duplicated across shards doubles its bucket and fails
+      // the size check below.
+      if (it->second.size() != arch_plan.configs_per_setting[i]) {
+        throw std::invalid_argument(
+            "merge_shards: setting '" + key + "' has " +
+            std::to_string(it->second.size()) + " samples, plan expects " +
+            std::to_string(arch_plan.configs_per_setting[i]));
+      }
+      for (const Sample* sample : it->second) merged.add(*sample);
+    }
+  }
+  return merged;
+}
+
+}  // namespace omptune::sweep

@@ -1,0 +1,27 @@
+#pragma once
+
+// Study sharding: the paper collected its 240k samples in cluster batches;
+// this utility splits a StudyPlan into independent shards (one per batch
+// job) whose datasets merge back into the exact single-run result —
+// sharding must not change the collected data, only who collects it.
+
+#include <cstddef>
+
+#include "sweep/harness.hpp"
+
+namespace omptune::sweep {
+
+/// The `index`-th of `count` shards of `plan`: settings are dealt
+/// round-robin across shards (so every shard gets a mix of architectures
+/// and cheap/expensive settings). Throws std::invalid_argument on
+/// index >= count or count == 0.
+StudyPlan shard_plan(const StudyPlan& plan, std::size_t index, std::size_t count);
+
+/// Merge shard datasets (in any order) into one dataset ordered exactly as
+/// the unsharded run would produce: samples are keyed by
+/// (arch, app, input, threads) setting in `plan` order. Throws
+/// std::invalid_argument if a setting of the plan is missing from the
+/// shards or appears twice.
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards);
+
+}  // namespace omptune::sweep

@@ -1,0 +1,42 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace omptune::util {
+
+std::optional<std::string> get_env(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+void set_env(const std::string& name, const std::string& value) {
+  ::setenv(name.c_str(), value.c_str(), /*overwrite=*/1);
+}
+
+void unset_env(const std::string& name) { ::unsetenv(name.c_str()); }
+
+ScopedEnv::ScopedEnv(std::vector<Assignment> assignments) {
+  saved_.reserve(assignments.size());
+  for (auto& a : assignments) {
+    saved_.push_back(Saved{a.name, get_env(a.name)});
+    if (a.value) {
+      set_env(a.name, *a.value);
+    } else {
+      unset_env(a.name);
+    }
+  }
+}
+
+ScopedEnv::~ScopedEnv() {
+  // Restore in reverse order so nested guards compose.
+  for (auto it = saved_.rbegin(); it != saved_.rend(); ++it) {
+    if (it->previous) {
+      set_env(it->name, *it->previous);
+    } else {
+      unset_env(it->name);
+    }
+  }
+}
+
+}  // namespace omptune::util

@@ -1,0 +1,51 @@
+#pragma once
+
+// Environment-variable access helpers. The runtime consumes its
+// configuration from process environment variables exactly like
+// LLVM/OpenMP; ScopedEnv provides an RAII mechanism for tests and the
+// sweep harness to set and restore variables deterministically.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace omptune::util {
+
+/// Read an environment variable; nullopt if unset.
+std::optional<std::string> get_env(const std::string& name);
+
+/// Set (or overwrite) an environment variable for this process.
+void set_env(const std::string& name, const std::string& value);
+
+/// Remove an environment variable from this process.
+void unset_env(const std::string& name);
+
+/// RAII guard: applies a set of variable assignments on construction and
+/// restores the previous values (including "unset") on destruction.
+/// Not thread-safe — callers must not mutate the environment concurrently,
+/// mirroring POSIX setenv constraints.
+class ScopedEnv {
+ public:
+  struct Assignment {
+    std::string name;
+    /// nullopt means "unset the variable".
+    std::optional<std::string> value;
+  };
+
+  explicit ScopedEnv(std::vector<Assignment> assignments);
+  ScopedEnv(std::initializer_list<Assignment> assignments)
+      : ScopedEnv(std::vector<Assignment>(assignments)) {}
+  ~ScopedEnv();
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  struct Saved {
+    std::string name;
+    std::optional<std::string> previous;
+  };
+  std::vector<Saved> saved_;
+};
+
+}  // namespace omptune::util

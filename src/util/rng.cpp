@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace omptune::util {
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // A state of all zeros is the only invalid state; SplitMix64 cannot
+  // produce four consecutive zeros, so no further checks are needed.
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
+  // Rejection-free multiply-shift; bias is negligible for n << 2^64.
+  return static_cast<std::uint64_t>(uniform() * static_cast<double>(n)) %
+         n;
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller transform.
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Xoshiro256::lognormal_factor(double sigma) {
+  return std::exp(normal(0.0, sigma));
+}
+
+std::uint64_t stable_hash(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace omptune::util

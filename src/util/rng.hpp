@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component of the study (noise models, subsampling,
+// shuffling) derives its stream from an explicit seed so that the full
+// 240k-sample sweep is bit-reproducible across runs and machines.
+
+#include <cstdint>
+#include <string_view>
+
+namespace omptune::util {
+
+/// SplitMix64 — used to expand a single seed into independent stream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — the workhorse generator. Small state, excellent quality,
+/// and fully deterministic given a seed.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal deviate (Box–Muller; one value per call, cached pair).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative factor: exp(normal(0, sigma)).
+  double lognormal_factor(double sigma);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a). Used to derive per-entity seeds
+/// (e.g. per application or architecture) that do not depend on enumeration
+/// order.
+std::uint64_t stable_hash(std::string_view text);
+
+/// Combine two seeds/hashes into one (boost::hash_combine style, 64-bit).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace omptune::util

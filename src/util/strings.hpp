@@ -1,0 +1,40 @@
+#pragma once
+
+// Small string utilities used across the library. All functions are pure and
+// allocation behaviour is explicit in the signatures.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omptune::util {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parse a decimal integer; returns nullopt on any trailing garbage.
+std::optional<long long> parse_int(std::string_view text);
+
+/// Parse a floating point number; returns nullopt on any trailing garbage.
+std::optional<double> parse_double(std::string_view text);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+/// printf-style double formatting with fixed precision.
+std::string format_double(double value, int precision);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace omptune::util

@@ -1,0 +1,92 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace omptune::util {
+
+TextTable::TextTable(std::string caption, std::vector<std::string> header)
+    : caption_(std::move(caption)), header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& row) {
+    std::string line = "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " | ";
+    }
+    line.pop_back();  // trailing space
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "|";
+  for (const std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '|';
+  }
+  sep += '\n';
+
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  out += render_row(header_);
+  out += sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+HeatMapRenderer::HeatMapRenderer(std::string caption, std::vector<std::string> col_names)
+    : caption_(std::move(caption)), cols_(std::move(col_names)) {}
+
+void HeatMapRenderer::add_row(const std::string& row_name,
+                              const std::vector<double>& values) {
+  if (values.size() != cols_.size()) {
+    throw std::invalid_argument("HeatMapRenderer::add_row: width mismatch");
+  }
+  rows_.emplace_back(row_name, values);
+}
+
+std::string HeatMapRenderer::render() const {
+  // Shade glyphs from light to dark, mirroring the paper's colour scale.
+  static const char* kShades[] = {" .", "..", "::", "**", "##"};
+
+  TextTable table(caption_, [this] {
+    std::vector<std::string> header{"group"};
+    header.insert(header.end(), cols_.begin(), cols_.end());
+    return header;
+  }());
+
+  for (const auto& [name, values] : rows_) {
+    std::vector<std::string> row{name};
+    for (const double v : values) {
+      const double clamped = std::clamp(v, 0.0, 1.0);
+      const int shade = std::min(4, static_cast<int>(clamped * 5.0));
+      row.push_back(format_double(clamped, 3) + " " + kShades[shade]);
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace omptune::util

@@ -1,0 +1,49 @@
+#pragma once
+
+// Fixed-width text table rendering for the bench harness binaries, which
+// print the same rows the paper's tables report.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace omptune::util {
+
+/// A text table with a caption, header row, and aligned columns.
+class TextTable {
+ public:
+  TextTable(std::string caption, std::vector<std::string> header);
+
+  /// Append a row; width must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with box-drawing-free ASCII alignment.
+  std::string render() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a labelled heat map as text: one row per entity, one column per
+/// feature, with each cell showing the normalized influence in [0,1] and a
+/// shade glyph so the "darker = more influential" reading of the paper's
+/// figures carries over to terminal output.
+class HeatMapRenderer {
+ public:
+  HeatMapRenderer(std::string caption, std::vector<std::string> col_names);
+
+  void add_row(const std::string& row_name, const std::vector<double>& values);
+
+  std::string render() const;
+
+ private:
+  std::string caption_;
+  std::vector<std::string> cols_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+}  // namespace omptune::util

@@ -1,0 +1,102 @@
+// Numerical sanity of the benchmark kernels beyond checksum equality:
+// known closed-form results (NQueens solution counts), statistical
+// properties (EP's Marsaglia acceptance rate), scaling behaviour, and
+// cross-thread-count determinism of the deterministic kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/application.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+
+namespace omptune::apps {
+namespace {
+
+using arch::ArchId;
+using arch::architecture;
+
+rt::RtConfig threads_config(int threads) {
+  rt::RtConfig config = rt::RtConfig::defaults_for(architecture(ArchId::Skylake));
+  config.num_threads = threads;
+  config.blocktime_ms = 0;
+  return config;
+}
+
+TEST(NqueensNumeric, KnownSolutionCounts) {
+  const Application& nq = find_application("nqueens");
+  // board_size: small(0.05) * 0.5 = 0.025 -> 8x8 board; * 1.0 = 0.05 -> 10x10.
+  const InputSize small = nq.input_sizes().front();
+  EXPECT_DOUBLE_EQ(nq.run_reference(small, 0.5), 92.0);    // 8-queens
+  EXPECT_DOUBLE_EQ(nq.run_reference(small, 1.0), 724.0);   // 10-queens
+
+  rt::ThreadTeam team(architecture(ArchId::Skylake), threads_config(4));
+  EXPECT_DOUBLE_EQ(nq.run_native(team, small, 1.0), 724.0);
+}
+
+TEST(EpNumeric, MarsagliaAcceptanceRateIsPiOverFour) {
+  // EP's checksum is sx + 2*sy + 0.5*accepted; sx and sy are Gaussian sums
+  // centred at zero, so checksum/pairs -> 0.5 * (pi/4) ~ 0.3927.
+  const Application& ep = find_application("ep");
+  const InputSize input = ep.input_sizes().back();  // A: scale 1.0
+  const double native_scale = 0.25;
+  const double pairs = std::llround(262144.0 * native_scale);
+  const double checksum = ep.run_reference(input, native_scale);
+  EXPECT_NEAR(checksum / pairs, 0.5 * M_PI / 4.0, 0.02);
+}
+
+TEST(ScalingNumeric, LookupKernelsScaleRoughlyLinearly) {
+  // Doubling the lookup count roughly doubles the accumulated cross
+  // sections (values are positive and identically distributed).
+  for (const char* name : {"rsbench"}) {
+    const Application& app = find_application(name);
+    const InputSize input = app.default_input();
+    const double small = app.run_reference(input, 0.05);
+    const double large = app.run_reference(input, 0.10);
+    EXPECT_GT(small, 0.0) << name;
+    EXPECT_NEAR(large / small, 2.0, 0.35) << name;
+  }
+}
+
+TEST(DeterminismNumeric, DeterministicAppsAgreeAcrossTeamSizes) {
+  for (const char* name : {"nqueens", "sort", "health", "mg", "lulesh"}) {
+    const Application& app = find_application(name);
+    ASSERT_TRUE(app.deterministic_checksum()) << name;
+    const InputSize input = app.input_sizes().front();
+    double first = 0.0;
+    for (const int threads : {1, 2, 5}) {
+      rt::ThreadTeam team(architecture(ArchId::Skylake), threads_config(threads));
+      const double checksum = app.run_native(team, input, 0.03);
+      if (threads == 1) {
+        first = checksum;
+      } else {
+        EXPECT_DOUBLE_EQ(checksum, first) << name << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(DeterminismNumeric, RepeatedRunsAreBitIdentical) {
+  const Application& strassen = find_application("strassen");
+  const InputSize input = strassen.input_sizes().front();
+  rt::ThreadTeam team(architecture(ArchId::Skylake), threads_config(3));
+  const double a = strassen.run_native(team, input, 0.05);
+  const double b = strassen.run_native(team, input, 0.05);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(InputScaling, LargerInputsMeanMoreWork) {
+  // base_seconds (the model's work measure) grows with the input scale.
+  for (const Application* app : registry()) {
+    const auto sizes = app->input_sizes();
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      EXPECT_LT(app->characteristics(sizes[i - 1]).base_seconds,
+                app->characteristics(sizes[i]).base_seconds)
+          << app->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omptune::apps

@@ -1,0 +1,187 @@
+// Application kernel validation: every benchmark's parallel implementation
+// must reproduce its serial reference checksum, across schedules and
+// reduction methods; registry metadata must match the paper's app roster.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/all_apps.hpp"
+#include "apps/application.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+
+namespace omptune::apps {
+namespace {
+
+using arch::ArchId;
+using arch::architecture;
+
+// Tiny problems: this suite verifies correctness, not performance.
+constexpr double kNativeScale = 0.03;
+
+rt::RtConfig test_config(int threads) {
+  rt::RtConfig config = rt::RtConfig::defaults_for(architecture(ArchId::Skylake));
+  config.num_threads = threads;
+  config.blocktime_ms = 0;
+  return config;
+}
+
+void expect_checksum_match(const Application& app, double native, double reference) {
+  if (app.deterministic_checksum()) {
+    EXPECT_DOUBLE_EQ(native, reference) << app.name();
+  } else {
+    const double tol = 1e-9 * std::max(1.0, std::abs(reference));
+    EXPECT_NEAR(native, reference, tol) << app.name();
+  }
+}
+
+TEST(Registry, HasAllFifteenStudyApplications) {
+  const auto& apps = registry();
+  ASSERT_EQ(apps.size(), 15u);
+  const std::set<std::string> expected = {
+      "alignment", "bt",      "cg",       "ep",   "ft",
+      "health",    "lu",      "lulesh",   "mg",   "nqueens",
+      "rsbench",   "sort",    "strassen", "su3bench", "xsbench"};
+  std::set<std::string> actual;
+  for (const Application* app : apps) actual.insert(app->name());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Registry, SuitesAndKindsMatchThePaper) {
+  const std::set<std::string> npb = {"bt", "cg", "ep", "ft", "lu", "mg"};
+  const std::set<std::string> bots = {"alignment", "health", "nqueens", "sort",
+                                      "strassen"};
+  for (const Application* app : registry()) {
+    if (npb.count(app->name()) != 0) {
+      EXPECT_EQ(app->suite(), "npb") << app->name();
+      EXPECT_EQ(app->kind(), ParallelismKind::Loop) << app->name();
+      EXPECT_EQ(app->sweep_mode(), SweepMode::VaryInputSize) << app->name();
+    } else if (bots.count(app->name()) != 0) {
+      EXPECT_EQ(app->suite(), "bots") << app->name();
+      EXPECT_EQ(app->kind(), ParallelismKind::Task) << app->name();
+      EXPECT_EQ(app->sweep_mode(), SweepMode::VaryInputSize) << app->name();
+    } else {
+      EXPECT_EQ(app->suite(), "proxy") << app->name();
+      EXPECT_EQ(app->kind(), ParallelismKind::Loop) << app->name();
+      EXPECT_EQ(app->sweep_mode(), SweepMode::VaryThreads) << app->name();
+    }
+  }
+}
+
+TEST(Registry, FindByNameAndUnknownName) {
+  EXPECT_EQ(find_application("cg").name(), "cg");
+  EXPECT_THROW(find_application("hpl"), std::invalid_argument);
+}
+
+TEST(Registry, CharacteristicsAreWithinDomain) {
+  for (const Application* app : registry()) {
+    for (const InputSize& input : app->input_sizes()) {
+      const AppCharacteristics c = app->characteristics(input);
+      EXPECT_GT(c.base_seconds, 0.0) << app->name();
+      EXPECT_GE(c.serial_fraction, 0.0) << app->name();
+      EXPECT_LT(c.serial_fraction, 0.5) << app->name();
+      EXPECT_GE(c.mem_intensity, 0.0) << app->name();
+      EXPECT_LE(c.mem_intensity, 1.0) << app->name();
+      EXPECT_GE(c.numa_sensitivity, 0.0) << app->name();
+      EXPECT_LE(c.numa_sensitivity, 1.0) << app->name();
+      EXPECT_GE(c.load_imbalance, 0.0) << app->name();
+      EXPECT_GE(c.region_rate, 0.0) << app->name();
+      EXPECT_GE(c.working_set_mb, 0.0) << app->name();
+      if (app->kind() == ParallelismKind::Task) {
+        EXPECT_GT(c.task_granularity_us, 0.0) << app->name();
+      }
+    }
+  }
+}
+
+TEST(Registry, InputSizesAreOrderedAndNamed) {
+  for (const Application* app : registry()) {
+    const auto sizes = app->input_sizes();
+    ASSERT_GE(sizes.size(), 2u) << app->name();
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      EXPECT_LT(sizes[i - 1].scale, sizes[i].scale) << app->name();
+      EXPECT_FALSE(sizes[i].name.empty()) << app->name();
+    }
+    EXPECT_FALSE(app->default_input().name.empty());
+  }
+}
+
+// ---- Native-vs-reference validation over the whole roster ----------------
+
+class AppCorrectness : public ::testing::TestWithParam<const Application*> {};
+
+TEST_P(AppCorrectness, SmallestInputMatchesReferenceWith3Threads) {
+  const Application& app = *GetParam();
+  const InputSize input = app.input_sizes().front();
+  const double reference = app.run_reference(input, kNativeScale);
+  rt::ThreadTeam team(architecture(ArchId::Skylake), test_config(3));
+  const double native = app.run_native(team, input, kNativeScale);
+  expect_checksum_match(app, native, reference);
+}
+
+TEST_P(AppCorrectness, SingleThreadMatchesReference) {
+  const Application& app = *GetParam();
+  const InputSize input = app.input_sizes().front();
+  const double reference = app.run_reference(input, kNativeScale);
+  rt::ThreadTeam team(architecture(ArchId::Skylake), test_config(1));
+  const double native = app.run_native(team, input, kNativeScale);
+  expect_checksum_match(app, native, reference);
+}
+
+TEST_P(AppCorrectness, DynamicScheduleAndAtomicReductionMatchReference) {
+  const Application& app = *GetParam();
+  const InputSize input = app.input_sizes().front();
+  const double reference = app.run_reference(input, kNativeScale);
+  rt::RtConfig config = test_config(4);
+  config.schedule = rt::ScheduleKind::Dynamic;
+  config.chunk = 2;
+  config.reduction = rt::ReductionMethod::Atomic;
+  rt::ThreadTeam team(architecture(ArchId::Skylake), config);
+  const double native = app.run_native(team, input, kNativeScale);
+  // Atomic reductions commute for Min/Max but reassociate sums: always use
+  // the tolerant comparison here.
+  const double tol = 1e-9 * std::max(1.0, std::abs(reference));
+  if (app.deterministic_checksum()) {
+    EXPECT_DOUBLE_EQ(native, reference) << app.name();
+  } else {
+    EXPECT_NEAR(native, reference, tol) << app.name();
+  }
+}
+
+TEST_P(AppCorrectness, TurnaroundGuidedMatchesReference) {
+  const Application& app = *GetParam();
+  const InputSize input = app.input_sizes().front();
+  const double reference = app.run_reference(input, kNativeScale);
+  rt::RtConfig config = test_config(2);
+  config.schedule = rt::ScheduleKind::Guided;
+  config.library = rt::LibraryMode::Turnaround;
+  rt::ThreadTeam team(architecture(ArchId::Skylake), config);
+  const double native = app.run_native(team, input, kNativeScale);
+  expect_checksum_match(app, native, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, AppCorrectness,
+                         ::testing::ValuesIn(registry()),
+                         [](const auto& info) { return info.param->name(); });
+
+TEST(AppCorrectness, LargerInputStillMatches) {
+  // One heavier sanity point on a representative pair (loop + task).
+  for (const std::string name : {"cg", "nqueens"}) {
+    const Application& app = find_application(name);
+    const InputSize input = app.input_sizes().back();
+    const double reference = app.run_reference(input, kNativeScale);
+    rt::ThreadTeam team(architecture(ArchId::Skylake), test_config(4));
+    const double native = app.run_native(team, input, kNativeScale);
+    if (app.deterministic_checksum()) {
+      EXPECT_DOUBLE_EQ(native, reference) << name;
+    } else {
+      EXPECT_NEAR(native, reference, 1e-9 * std::max(1.0, std::abs(reference)))
+          << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace omptune::apps

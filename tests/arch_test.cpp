@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/cpu_arch.hpp"
+#include "arch/topology.hpp"
+
+namespace omptune::arch {
+namespace {
+
+// ---- Table I facts -------------------------------------------------------
+
+TEST(CpuArch, TableOneRows) {
+  const auto& archs = all_architectures();
+  ASSERT_EQ(archs.size(), 3u);
+
+  const CpuArch& a64fx = architecture(ArchId::A64FX);
+  EXPECT_EQ(a64fx.cores, 48);
+  EXPECT_EQ(a64fx.numa_nodes, 4);
+  EXPECT_DOUBLE_EQ(a64fx.clock_ghz, 1.8);
+  EXPECT_EQ(a64fx.memory_type, "HBM");
+  EXPECT_EQ(a64fx.memory_gb, 32);
+  EXPECT_EQ(a64fx.cacheline_bytes, 256);
+
+  const CpuArch& skylake = architecture(ArchId::Skylake);
+  EXPECT_EQ(skylake.cores, 40);
+  EXPECT_EQ(skylake.sockets, 2);
+  EXPECT_EQ(skylake.numa_nodes, 2);
+  EXPECT_DOUBLE_EQ(skylake.clock_ghz, 2.4);
+  EXPECT_EQ(skylake.memory_type, "DDR4");
+  EXPECT_EQ(skylake.memory_gb, 188);
+  EXPECT_EQ(skylake.cacheline_bytes, 64);
+
+  const CpuArch& milan = architecture(ArchId::Milan);
+  EXPECT_EQ(milan.cores, 96);
+  EXPECT_EQ(milan.sockets, 2);
+  EXPECT_EQ(milan.numa_nodes, 8);
+  EXPECT_DOUBLE_EQ(milan.clock_ghz, 2.3);
+  EXPECT_EQ(milan.memory_gb, 251);
+  EXPECT_EQ(milan.cacheline_bytes, 64);
+}
+
+TEST(CpuArch, NamesRoundTrip) {
+  for (const CpuArch& cpu : all_architectures()) {
+    EXPECT_EQ(arch_from_string(to_string(cpu.id)), cpu.id);
+    EXPECT_EQ(arch_from_string(cpu.name), cpu.id);
+  }
+  EXPECT_THROW(arch_from_string("pentium"), std::invalid_argument);
+}
+
+TEST(CpuArch, NoiseCalibrationMatchesWilcoxonFindings) {
+  // Table III: A64FX repetitions are consistent, the X86 machines are not.
+  EXPECT_LT(architecture(ArchId::A64FX).noise_sigma, 0.01);
+  EXPECT_GT(architecture(ArchId::Skylake).noise_sigma, 0.01);
+  EXPECT_GT(architecture(ArchId::Milan).noise_sigma, 0.01);
+}
+
+// ---- Topology invariants -------------------------------------------------
+
+class TopologyInvariants : public ::testing::TestWithParam<ArchId> {};
+
+TEST_P(TopologyInvariants, EveryCoreInExactlyOnePlacePerKind) {
+  const Topology topo(architecture(GetParam()));
+  for (const PlacesKind kind :
+       {PlacesKind::Cores, PlacesKind::LLCaches, PlacesKind::Sockets,
+        PlacesKind::NumaDomains, PlacesKind::Threads}) {
+    const auto places = topo.places(kind);
+    std::set<int> seen;
+    for (const Place& p : places) {
+      for (const int core : p.cores) {
+        EXPECT_TRUE(seen.insert(core).second)
+            << "core " << core << " appears twice for " << to_string(kind);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), topo.num_cores())
+        << "place kind " << to_string(kind);
+  }
+}
+
+TEST_P(TopologyInvariants, PlaceCountsMatchArchitecture) {
+  const CpuArch& cpu = architecture(GetParam());
+  const Topology topo(cpu);
+  EXPECT_EQ(topo.num_places(PlacesKind::Cores), cpu.cores);
+  EXPECT_EQ(topo.num_places(PlacesKind::Sockets), cpu.sockets);
+  EXPECT_EQ(topo.num_places(PlacesKind::NumaDomains), cpu.numa_nodes);
+  EXPECT_EQ(topo.num_places(PlacesKind::LLCaches), cpu.ll_caches);
+  EXPECT_EQ(topo.num_places(PlacesKind::Unset), 1);
+}
+
+TEST_P(TopologyInvariants, NumaNestsInsideSocket) {
+  const Topology topo(architecture(GetParam()));
+  for (int c = 0; c < topo.num_cores(); ++c) {
+    const CoreLocation& loc = topo.location(c);
+    EXPECT_GE(loc.socket, 0);
+    EXPECT_GE(loc.numa, 0);
+    // Cores of one NUMA domain never straddle sockets on these machines.
+    for (int d = 0; d < topo.num_cores(); ++d) {
+      if (topo.location(d).numa == loc.numa) {
+        EXPECT_EQ(topo.location(d).socket, loc.socket);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, TopologyInvariants,
+                         ::testing::Values(ArchId::A64FX, ArchId::Skylake,
+                                           ArchId::Milan),
+                         [](const auto& info) { return to_string(info.param); });
+
+// ---- Thread placement semantics -------------------------------------------
+
+TEST(Placement, UnboundWhenBindFalseOrUnset) {
+  const Topology topo(architecture(ArchId::Skylake));
+  for (const BindKind bind : {BindKind::False_, BindKind::Unset}) {
+    const auto placement = assign_threads(topo, PlacesKind::Cores, bind, 8);
+    EXPECT_FALSE(placement.bound);
+    EXPECT_TRUE(placement.place_of_thread.empty());
+  }
+}
+
+TEST(Placement, MasterPutsAllThreadsOnPlaceZero) {
+  const Topology topo(architecture(ArchId::Milan));
+  const auto placement =
+      assign_threads(topo, PlacesKind::Cores, BindKind::Master, 16);
+  ASSERT_TRUE(placement.bound);
+  for (const int p : placement.place_of_thread) EXPECT_EQ(p, 0);
+}
+
+TEST(Placement, ClosePacksConsecutivePlaces) {
+  const Topology topo(architecture(ArchId::Skylake));
+  const auto placement =
+      assign_threads(topo, PlacesKind::Cores, BindKind::Close, 8);
+  ASSERT_TRUE(placement.bound);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(placement.place_of_thread[t], t);
+}
+
+TEST(Placement, SpreadCoversSocketsEvenly) {
+  const Topology topo(architecture(ArchId::Skylake));  // 40 cores, 2 sockets
+  const auto placement =
+      assign_threads(topo, PlacesKind::Cores, BindKind::Spread, 2);
+  ASSERT_TRUE(placement.bound);
+  // Two threads spread over 40 core-places: places 0 and 20 (socket 0 and 1).
+  EXPECT_EQ(placement.place_of_thread[0], 0);
+  EXPECT_EQ(placement.place_of_thread[1], 20);
+}
+
+TEST(Placement, BindingWithoutPlacesFallsBackToCores) {
+  const Topology topo(architecture(ArchId::A64FX));
+  const auto placement =
+      assign_threads(topo, PlacesKind::Unset, BindKind::Close, 4);
+  ASSERT_TRUE(placement.bound);
+  EXPECT_EQ(placement.place_list.size(), 48u);  // core-granularity fallback
+}
+
+TEST(Placement, RejectsNonPositiveThreadCount) {
+  const Topology topo(architecture(ArchId::A64FX));
+  EXPECT_THROW(assign_threads(topo, PlacesKind::Cores, BindKind::Close, 0),
+               std::invalid_argument);
+}
+
+// ---- Placement statistics (consumed by the performance model) -------------
+
+TEST(PlacementStats, MasterConcentratesLoadOnOneCore) {
+  const Topology topo(architecture(ArchId::Milan));
+  const auto stats =
+      placement_stats(topo, PlacesKind::Cores, BindKind::Master, 96);
+  EXPECT_TRUE(stats.bound);
+  EXPECT_EQ(stats.distinct_numa, 1);
+  // All 96 threads bound to one core place: massive oversubscription —
+  // exactly the worst-performance trend of the paper's RQ4.
+  EXPECT_DOUBLE_EQ(stats.max_threads_per_core, 96.0);
+}
+
+TEST(PlacementStats, SpreadBalancesNumaDomains) {
+  const Topology topo(architecture(ArchId::Milan));
+  const auto stats =
+      placement_stats(topo, PlacesKind::Cores, BindKind::Spread, 96);
+  EXPECT_TRUE(stats.bound);
+  EXPECT_EQ(stats.distinct_numa, 8);
+  EXPECT_DOUBLE_EQ(stats.max_threads_per_core, 1.0);
+  EXPECT_NEAR(stats.numa_balance, 1.0, 1e-9);
+}
+
+TEST(PlacementStats, UnboundCoversWholeChip) {
+  const Topology topo(architecture(ArchId::Skylake));
+  const auto stats =
+      placement_stats(topo, PlacesKind::Unset, BindKind::False_, 40);
+  EXPECT_FALSE(stats.bound);
+  EXPECT_EQ(stats.distinct_numa, 2);
+  EXPECT_EQ(stats.distinct_sockets, 2);
+}
+
+TEST(PlacementStats, SocketPlacesKeepThreadsWithinOneSocketWhenMaster) {
+  const Topology topo(architecture(ArchId::Skylake));
+  const auto stats =
+      placement_stats(topo, PlacesKind::Sockets, BindKind::Master, 20);
+  EXPECT_TRUE(stats.bound);
+  EXPECT_EQ(stats.distinct_sockets, 1);
+  // 20 threads over a 20-core socket place: one thread per core.
+  EXPECT_DOUBLE_EQ(stats.max_threads_per_core, 1.0);
+}
+
+class PlacementProperty
+    : public ::testing::TestWithParam<std::tuple<ArchId, PlacesKind, BindKind, int>> {};
+
+TEST_P(PlacementProperty, AssignmentsAreWellFormed) {
+  const auto [arch_id, places, bind, threads] = GetParam();
+  const Topology topo(architecture(arch_id));
+  const auto placement = assign_threads(topo, places, bind, threads);
+  if (!placement.bound) {
+    EXPECT_TRUE(placement.place_of_thread.empty());
+    return;
+  }
+  ASSERT_EQ(placement.place_of_thread.size(), static_cast<std::size_t>(threads));
+  for (const int p : placement.place_of_thread) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, static_cast<int>(placement.place_list.size()));
+  }
+  const auto stats = placement_stats(topo, places, bind, threads);
+  EXPECT_GE(stats.distinct_numa, 1);
+  EXPECT_LE(stats.distinct_numa, architecture(arch_id).numa_nodes);
+  EXPECT_GE(stats.numa_balance, 0.0);
+  EXPECT_LE(stats.numa_balance, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementProperty,
+    ::testing::Combine(
+        ::testing::Values(ArchId::A64FX, ArchId::Skylake, ArchId::Milan),
+        ::testing::Values(PlacesKind::Unset, PlacesKind::Cores,
+                          PlacesKind::LLCaches, PlacesKind::Sockets,
+                          PlacesKind::NumaDomains),
+        ::testing::Values(BindKind::Unset, BindKind::False_, BindKind::True_,
+                          BindKind::Master, BindKind::Close, BindKind::Spread),
+        ::testing::Values(1, 2, 7, 48, 96, 200)));
+
+TEST(PlacesKindStrings, RoundTrip) {
+  for (const PlacesKind kind :
+       {PlacesKind::Unset, PlacesKind::Threads, PlacesKind::Cores,
+        PlacesKind::LLCaches, PlacesKind::Sockets, PlacesKind::NumaDomains}) {
+    EXPECT_EQ(places_from_string(to_string(kind)), kind);
+  }
+  EXPECT_THROW(places_from_string("gpu"), std::invalid_argument);
+}
+
+TEST(BindKindStrings, RoundTripAndPrimaryAlias) {
+  for (const BindKind kind :
+       {BindKind::Unset, BindKind::False_, BindKind::True_, BindKind::Master,
+        BindKind::Close, BindKind::Spread}) {
+    EXPECT_EQ(bind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_EQ(bind_from_string("primary"), BindKind::Master);
+  EXPECT_THROW(bind_from_string("sideways"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omptune::arch

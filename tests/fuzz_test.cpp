@@ -1,0 +1,171 @@
+// Property/fuzz tests over randomized inputs: configuration round trips
+// through the process environment, random task trees against serial
+// reference counts, random loop bounds through every scheduler, and random
+// datasets through the analysis plumbing. Every case is seeded, so
+// failures reproduce deterministically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+
+#include "analysis/speedup.hpp"
+#include "arch/cpu_arch.hpp"
+#include "rt/schedule.hpp"
+#include "rt/thread_team.hpp"
+#include "sweep/config_space.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+namespace omptune {
+namespace {
+
+using arch::ArchId;
+using arch::architecture;
+
+rt::RtConfig random_config(util::Xoshiro256& rng, const arch::CpuArch& cpu) {
+  const sweep::ConfigSpace space = sweep::ConfigSpace::paper_space(cpu);
+  rt::RtConfig config;
+  config.num_threads = 1 + static_cast<int>(rng.uniform_index(8));
+  config.places = space.places[rng.uniform_index(space.places.size())];
+  config.bind = space.binds[rng.uniform_index(space.binds.size())];
+  config.schedule = space.schedules[rng.uniform_index(space.schedules.size())];
+  config.chunk = static_cast<int>(rng.uniform_index(4)) * 3;  // 0,3,6,9
+  config.library = space.libraries[rng.uniform_index(space.libraries.size())];
+  config.blocktime_ms = space.blocktimes_ms[rng.uniform_index(space.blocktimes_ms.size())];
+  config.reduction = space.reductions[rng.uniform_index(space.reductions.size())];
+  config.align_alloc = space.aligns[rng.uniform_index(space.aligns.size())];
+  return config;
+}
+
+class ConfigEnvFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConfigEnvFuzz, RandomConfigsRoundTripThroughTheEnvironment) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 3);
+  const auto& cpu = architecture(ArchId::Milan);
+  for (int i = 0; i < 25; ++i) {
+    const rt::RtConfig original = random_config(rng, cpu);
+    const util::ScopedEnv env(original.to_env(cpu));
+    const rt::RtConfig parsed = rt::RtConfig::from_env(cpu);
+    EXPECT_EQ(parsed, original) << original.key();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigEnvFuzz, ::testing::Range(0, 8));
+
+class ScheduleFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleFuzz, RandomBoundsAlwaysPartitionExactly) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 1);
+  for (int i = 0; i < 40; ++i) {
+    const auto kind = static_cast<rt::ScheduleKind>(rng.uniform_index(4));
+    const int chunk = static_cast<int>(rng.uniform_index(20));
+    const auto lo = static_cast<std::int64_t>(rng.uniform_index(1000)) - 500;
+    const auto len = static_cast<std::int64_t>(rng.uniform_index(3000));
+    const int team = 1 + static_cast<int>(rng.uniform_index(7));
+
+    rt::LoopScheduler sched(kind, chunk, lo, lo + len, team);
+    std::int64_t covered = 0;
+    std::int64_t min_seen = lo + len, max_seen = lo;
+    for (int t = 0; t < team; ++t) {
+      while (const auto slice = sched.next(t)) {
+        covered += slice->size();
+        min_seen = std::min(min_seen, slice->begin);
+        max_seen = std::max(max_seen, slice->end);
+      }
+    }
+    ASSERT_EQ(covered, len) << "kind=" << static_cast<int>(kind)
+                            << " chunk=" << chunk << " lo=" << lo
+                            << " len=" << len << " team=" << team;
+    if (len > 0) {
+      ASSERT_EQ(min_seen, lo);
+      ASSERT_EQ(max_seen, lo + len);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleFuzz, ::testing::Range(0, 8));
+
+// ---- random task trees ------------------------------------------------------
+
+/// Deterministic irregular tree: child count derived from the node id.
+int children_of(std::uint64_t node, std::uint64_t seed, int depth) {
+  if (depth >= 6) return 0;
+  return static_cast<int>(util::hash_combine(seed, node) % 4u);  // 0..3
+}
+
+long count_serial(std::uint64_t node, std::uint64_t seed, int depth) {
+  long total = 1;
+  const int kids = children_of(node, seed, depth);
+  for (int k = 0; k < kids; ++k) {
+    total += count_serial(node * 4 + 1 + static_cast<std::uint64_t>(k), seed, depth + 1);
+  }
+  return total;
+}
+
+void count_tasks(rt::TeamContext& ctx, std::uint64_t node, std::uint64_t seed,
+                 int depth, std::atomic<long>& total) {
+  total.fetch_add(1, std::memory_order_relaxed);
+  const int kids = children_of(node, seed, depth);
+  for (int k = 0; k < kids; ++k) {
+    const std::uint64_t child = node * 4 + 1 + static_cast<std::uint64_t>(k);
+    ctx.spawn([&ctx, child, seed, depth, &total] {
+      count_tasks(ctx, child, seed, depth + 1, total);
+    });
+  }
+  if (kids > 0) ctx.taskwait();
+}
+
+class TaskTreeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TaskTreeFuzz, RandomTreesVisitEveryNodeExactlyOnce) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) * 2654435761u + 17;
+  const long expected = count_serial(0, seed, 0);
+
+  rt::RtConfig config = rt::RtConfig::defaults_for(architecture(ArchId::Skylake));
+  config.num_threads = 3;
+  config.blocktime_ms = 0;
+  rt::ThreadTeam team(architecture(ArchId::Skylake), config);
+  std::atomic<long> total{0};
+  team.parallel([&](rt::TeamContext& ctx) {
+    ctx.run_task_root([&ctx, seed, &total] { count_tasks(ctx, 0, seed, 0, total); });
+  });
+  EXPECT_EQ(total.load(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskTreeFuzz, ::testing::Range(0, 10));
+
+// ---- random datasets through the analysis plumbing -------------------------
+
+TEST(DatasetFuzz, BestPerSettingInvariantsOnRandomData) {
+  util::Xoshiro256 rng(99);
+  sweep::Dataset dataset;
+  const char* archs[] = {"a64fx", "milan", "skylake"};
+  const char* apps[] = {"cg", "mg", "nqueens"};
+  for (int i = 0; i < 2000; ++i) {
+    sweep::Sample s;
+    s.arch = archs[rng.uniform_index(3)];
+    s.app = apps[rng.uniform_index(3)];
+    s.input = rng.uniform() < 0.5 ? "small" : "large";
+    s.threads = 8;
+    s.mean_runtime = rng.uniform(0.1, 10.0);
+    s.default_runtime = 1.0;
+    s.speedup = s.default_runtime / s.mean_runtime;
+    dataset.add(s);
+  }
+  const auto bests = analysis::best_per_setting(dataset);
+  EXPECT_LE(bests.size(), 18u);  // 3 archs x 3 apps x 2 inputs
+  for (const auto& b : bests) {
+    // The reported best config must actually attain the best speedup.
+    double max_speedup = 0.0;
+    for (const auto& s : dataset.samples()) {
+      if (s.arch == b.arch && s.app == b.app && s.input == b.input) {
+        max_speedup = std::max(max_speedup, s.speedup);
+      }
+    }
+    EXPECT_DOUBLE_EQ(b.best_speedup, max_speedup);
+  }
+}
+
+}  // namespace
+}  // namespace omptune

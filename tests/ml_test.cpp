@@ -1,0 +1,262 @@
+// Linear-model tests: linear algebra kernels, standardization, OLS against
+// closed-form expectations, logistic regression on separable data, and the
+// feature encoding of sweep samples.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/features.hpp"
+#include "ml/linalg.hpp"
+#include "ml/linear_regression.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/scaler.hpp"
+#include "util/rng.hpp"
+
+namespace omptune::ml {
+namespace {
+
+TEST(Linalg, SolveKnownSystem) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 3;
+  const auto x = solve_linear_system(m, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Linalg, SolveRequiresPivoting) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 0;  // zero pivot without row exchange
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 0;
+  const auto x = solve_linear_system(m, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, SingularSystemThrows) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1;
+  m.at(0, 1) = 2;
+  m.at(1, 0) = 2;
+  m.at(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(m, {1, 2}), std::runtime_error);
+}
+
+TEST(Linalg, GramAndTransposeTimes) {
+  Matrix a(3, 2);
+  // [[1,2],[3,4],[5,6]]
+  a.at(0, 0) = 1; a.at(0, 1) = 2;
+  a.at(1, 0) = 3; a.at(1, 1) = 4;
+  a.at(2, 0) = 5; a.at(2, 1) = 6;
+  const Matrix g = a.gram();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 0), 44.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 56.0);
+  const auto v = a.transpose_times({1, 1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 9.0);
+  EXPECT_DOUBLE_EQ(v[1], 12.0);
+  const auto w = a.times({1.0, 0.5});
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 8.0);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix x(4, 2);
+  x.at(0, 0) = 1; x.at(1, 0) = 2; x.at(2, 0) = 3; x.at(3, 0) = 4;
+  for (int r = 0; r < 4; ++r) x.at(static_cast<std::size_t>(r), 1) = 7.0;  // constant column
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  double mean0 = 0, var0 = 0;
+  for (int r = 0; r < 4; ++r) mean0 += z.at(static_cast<std::size_t>(r), 0);
+  mean0 /= 4;
+  for (int r = 0; r < 4; ++r) {
+    var0 += (z.at(static_cast<std::size_t>(r), 0) - mean0) * (z.at(static_cast<std::size_t>(r), 0) - mean0);
+  }
+  var0 /= 4;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(var0, 1.0, 1e-12);
+  // Constant column standardizes to zeros, not NaNs.
+  for (int r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(z.at(static_cast<std::size_t>(r), 1), 0.0);
+}
+
+TEST(Scaler, RequiresFitBeforeTransform) {
+  StandardScaler scaler;
+  EXPECT_THROW(scaler.transform(Matrix(1, 1)), std::logic_error);
+}
+
+TEST(LinearRegressionTest, RecoversPlantedCoefficients) {
+  util::Xoshiro256 rng(3);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (int r = 0; r < 200; ++r) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    x.at(static_cast<std::size_t>(r), 0) = a;
+    x.at(static_cast<std::size_t>(r), 1) = b;
+    y[static_cast<std::size_t>(r)] = 3.0 * a - 2.0 * b + 0.5;
+  }
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_NEAR(model.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.coefficients()[1], -2.0, 1e-6);
+  EXPECT_NEAR(model.intercept(), 0.5, 1e-6);
+  EXPECT_NEAR(model.r_squared(x, y), 1.0, 1e-9);
+}
+
+TEST(LinearRegressionTest, PoorFitOnNonLinearData) {
+  // The paper's observation: runtimes are not linear in the naive numeric
+  // features; R^2 collapses. Reproduce with a V-shaped target.
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (int r = 0; r < 100; ++r) {
+    const double v = -1.0 + 2.0 * r / 99.0;
+    x.at(static_cast<std::size_t>(r), 0) = v;
+    y[static_cast<std::size_t>(r)] = std::abs(v);
+  }
+  LinearRegression model;
+  model.fit(x, y);
+  EXPECT_LT(model.r_squared(x, y), 0.1);
+}
+
+TEST(LogisticRegressionTest, SeparatesLinearlySeparableData) {
+  util::Xoshiro256 rng(9);
+  Matrix x(300, 2);
+  std::vector<int> y(300);
+  for (int r = 0; r < 300; ++r) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x.at(static_cast<std::size_t>(r), 0) = a;
+    x.at(static_cast<std::size_t>(r), 1) = b;
+    y[static_cast<std::size_t>(r)] = (2.0 * a - b > 0.0) ? 1 : 0;
+  }
+  LogisticRegression model;
+  model.fit(x, y);
+  EXPECT_GT(model.accuracy(x, y), 0.97);
+  // Influence proportions reflect the planted 2:1 weight ratio.
+  const auto influence = model.normalized_influence();
+  EXPECT_NEAR(influence[0] + influence[1], 1.0, 1e-12);
+  EXPECT_GT(influence[0], influence[1]);
+}
+
+TEST(LogisticRegressionTest, IrrelevantFeatureGetsLowInfluence) {
+  util::Xoshiro256 rng(21);
+  Matrix x(400, 2);
+  std::vector<int> y(400);
+  for (int r = 0; r < 400; ++r) {
+    const double signal = rng.normal();
+    x.at(static_cast<std::size_t>(r), 0) = signal;
+    x.at(static_cast<std::size_t>(r), 1) = rng.normal();  // noise
+    y[static_cast<std::size_t>(r)] = signal > 0 ? 1 : 0;
+  }
+  LogisticRegression model;
+  model.fit(x, y);
+  const auto influence = model.normalized_influence();
+  EXPECT_GT(influence[0], 0.85);
+  EXPECT_LT(influence[1], 0.15);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreCalibratedlyMonotone) {
+  Matrix x(100, 1);
+  std::vector<int> y(100);
+  for (int r = 0; r < 100; ++r) {
+    x.at(static_cast<std::size_t>(r), 0) = -2.0 + 4.0 * r / 99.0;
+    y[static_cast<std::size_t>(r)] = x.at(static_cast<std::size_t>(r), 0) > 0 ? 1 : 0;
+  }
+  LogisticRegression model;
+  model.fit(x, y);
+  const auto proba = model.predict_proba(x);
+  for (std::size_t i = 1; i < proba.size(); ++i) {
+    EXPECT_GE(proba[i], proba[i - 1] - 1e-12);
+  }
+}
+
+TEST(LogisticRegressionTest, RejectsBadLabels) {
+  Matrix x(2, 1);
+  LogisticRegression model;
+  EXPECT_THROW(model.fit(x, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(model.fit(x, {0}), std::invalid_argument);
+  EXPECT_THROW(model.predict(x), std::logic_error);
+}
+
+TEST(Sigmoid, StableAtExtremes) {
+  EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(sigmoid(800.0), 1.0, 1e-12);
+  EXPECT_NEAR(sigmoid(-800.0), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(sigmoid(-1000.0)));
+}
+
+TEST(Features, EncodingIsInjectivePerVariable) {
+  EXPECT_NE(encode_places(arch::PlacesKind::Cores),
+            encode_places(arch::PlacesKind::Sockets));
+  EXPECT_NE(encode_bind(arch::BindKind::Master), encode_bind(arch::BindKind::Spread));
+  EXPECT_NE(encode_blocktime(0), encode_blocktime(200));
+  EXPECT_NE(encode_blocktime(200), encode_blocktime(rt::kBlocktimeInfinite));
+  EXPECT_DOUBLE_EQ(encode_align(64), 6.0);
+  EXPECT_DOUBLE_EQ(encode_align(512), 9.0);
+  EXPECT_LT(encode_input("S"), encode_input("A"));
+  EXPECT_NE(encode_arch("a64fx"), encode_arch("milan"));
+  EXPECT_NE(encode_app("cg"), encode_app("mg"));
+}
+
+TEST(Features, EncoderColumnsFollowOptions) {
+  const FeatureEncoder plain{FeatureOptions{}};
+  EXPECT_EQ(plain.names().front(), "Input Size");
+  EXPECT_EQ(plain.num_features(), 9u);
+
+  FeatureOptions with_arch;
+  with_arch.include_architecture = true;
+  const FeatureEncoder arch_encoder{with_arch};
+  EXPECT_EQ(arch_encoder.names().front(), "Architecture");
+  EXPECT_EQ(arch_encoder.num_features(), 10u);
+
+  FeatureOptions with_app;
+  with_app.include_application = true;
+  const FeatureEncoder app_encoder{with_app};
+  EXPECT_EQ(app_encoder.names().front(), "Application");
+}
+
+TEST(Features, EncodeSampleAndLabels) {
+  sweep::Sample s;
+  s.arch = "milan";
+  s.app = "xsbench";
+  s.input = "large";
+  s.threads = 96;
+  s.config.places = arch::PlacesKind::Cores;
+  s.config.bind = arch::BindKind::Spread;
+  s.config.schedule = rt::ScheduleKind::Guided;
+  s.config.library = rt::LibraryMode::Turnaround;
+  s.config.blocktime_ms = rt::kBlocktimeInfinite;
+  s.config.reduction = rt::ReductionMethod::Atomic;
+  s.config.align_alloc = 128;
+  s.speedup = 1.5;
+
+  FeatureOptions options;
+  options.include_architecture = true;
+  const FeatureEncoder encoder(options);
+  const auto row = encoder.encode_sample(s);
+  ASSERT_EQ(row.size(), encoder.num_features());
+  EXPECT_DOUBLE_EQ(row[0], encode_arch("milan"));
+  EXPECT_DOUBLE_EQ(row[1], encode_input("large"));
+  EXPECT_DOUBLE_EQ(row[2], 96.0);  // OMP_NUM_THREADS column
+  EXPECT_DOUBLE_EQ(row[3], encode_places(arch::PlacesKind::Cores));
+
+  sweep::Dataset dataset;
+  dataset.add(s);
+  s.speedup = 1.0;
+  dataset.add(s);
+  const auto labels = FeatureEncoder::labels(dataset);
+  EXPECT_EQ(labels, (std::vector<int>{1, 0}));
+  const Matrix x = encoder.encode(dataset);
+  EXPECT_EQ(x.rows(), 2u);
+  EXPECT_EQ(x.cols(), encoder.num_features());
+}
+
+}  // namespace
+}  // namespace omptune::ml

@@ -1,0 +1,178 @@
+// Tests for the non-linear models (the paper's future-work extension):
+// CART decision tree and random forest, including the cases linear models
+// fail on (the paper's motivation for non-linear approaches).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic_regression.hpp"
+#include "ml/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace omptune::ml {
+namespace {
+
+/// XOR-style data: not linearly separable, trivial for a depth-2 tree.
+void make_xor(Matrix& x, std::vector<int>& y, int n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  x = Matrix(static_cast<std::size_t>(n), 2);
+  y.assign(static_cast<std::size_t>(n), 0);
+  for (int r = 0; r < n; ++r) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    x.at(static_cast<std::size_t>(r), 0) = a;
+    x.at(static_cast<std::size_t>(r), 1) = b;
+    y[static_cast<std::size_t>(r)] = (a > 0) != (b > 0) ? 1 : 0;
+  }
+}
+
+TEST(DecisionTreeTest, SeparatesAxisAlignedData) {
+  Matrix x(100, 1);
+  std::vector<int> y(100);
+  for (int r = 0; r < 100; ++r) {
+    x.at(static_cast<std::size_t>(r), 0) = static_cast<double>(r);
+    y[static_cast<std::size_t>(r)] = r >= 37 ? 1 : 0;
+  }
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_DOUBLE_EQ(tree.accuracy(x, y), 1.0);
+  EXPECT_LE(tree.depth(), 2);
+  // The single informative feature takes all the importance.
+  EXPECT_DOUBLE_EQ(tree.feature_importance()[0], 1.0);
+}
+
+TEST(DecisionTreeTest, SolvesXorWhereLogisticFails) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 600, 3);
+
+  LogisticRegression logistic;
+  logistic.fit(x, y);
+  EXPECT_LT(logistic.accuracy(x, y), 0.65);  // linear model: near chance
+
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_GT(tree.accuracy(x, y), 0.95);  // the paper's non-linear fix
+}
+
+TEST(DecisionTreeTest, RespectsDepthAndLeafConstraints) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 400, 5);
+  TreeOptions options;
+  options.max_depth = 1;
+  DecisionTree stump(options);
+  stump.fit(x, y);
+  EXPECT_LE(stump.depth(), 1);
+  EXPECT_LE(stump.node_count(), 3u);
+
+  options.max_depth = 10;
+  options.min_samples_leaf = 200;  // forbids any split of 400 rows but one
+  DecisionTree fat_leaves(options);
+  fat_leaves.fit(x, y);
+  EXPECT_LE(fat_leaves.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, PureLabelsYieldSingleLeaf) {
+  Matrix x(50, 2);
+  std::vector<int> y(50, 1);
+  DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1u);
+  const auto proba = tree.predict_proba(x);
+  for (const double p : proba) EXPECT_DOUBLE_EQ(p, 1.0);
+  // No splits: importance is all zeros.
+  for (const double imp : tree.feature_importance()) EXPECT_DOUBLE_EQ(imp, 0.0);
+}
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  Matrix x(2, 1);
+  DecisionTree tree;
+  EXPECT_THROW(tree.fit(x, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(tree.fit(x, {0}), std::invalid_argument);
+  EXPECT_THROW(tree.predict(x), std::logic_error);
+}
+
+TEST(DecisionTreeTest, DeterministicGivenSeed) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 300, 11);
+  TreeOptions options;
+  options.max_features = 1;
+  options.seed = 42;
+  DecisionTree a(options), b(options);
+  a.fit(x, y);
+  b.fit(x, y);
+  EXPECT_EQ(a.predict(x), b.predict(x));
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(RandomForestTest, BeatsSingleTreeOnNoisyData) {
+  util::Xoshiro256 rng(13);
+  Matrix x(800, 4);
+  std::vector<int> y(800);
+  for (int r = 0; r < 800; ++r) {
+    double signal = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      x.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) = rng.normal();
+      signal += (c < 2 ? 1.0 : 0.0) * x.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+    }
+    // Noisy labels: 12% flipped.
+    const int clean = signal > 0 ? 1 : 0;
+    y[static_cast<std::size_t>(r)] = rng.uniform() < 0.12 ? 1 - clean : clean;
+  }
+  RandomForest forest;
+  forest.fit(x, y);
+  EXPECT_GT(forest.oob_accuracy(), 0.75);
+  // The informative features dominate the aggregated importance.
+  const auto importance = forest.feature_importance();
+  EXPECT_GT(importance[0] + importance[1], 0.7);
+}
+
+TEST(RandomForestTest, SolvesXor) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 600, 17);
+  RandomForest forest;
+  forest.fit(x, y);
+  EXPECT_GT(forest.accuracy(x, y), 0.95);
+  EXPECT_GT(forest.oob_accuracy(), 0.85);
+}
+
+TEST(RandomForestTest, ProbabilitiesAverageTrees) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 300, 19);
+  ForestOptions options;
+  options.num_trees = 5;
+  RandomForest forest(options);
+  forest.fit(x, y);
+  EXPECT_EQ(forest.size(), 5u);
+  for (const double p : forest.predict_proba(x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForestTest, RejectsBadInput) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict(Matrix(1, 1)), std::logic_error);
+  Matrix x(2, 1);
+  EXPECT_THROW(forest.fit(x, {0}), std::invalid_argument);
+}
+
+TEST(RandomForestTest, ImportanceSumsToOne) {
+  Matrix x;
+  std::vector<int> y;
+  make_xor(x, y, 400, 23);
+  RandomForest forest;
+  forest.fit(x, y);
+  double total = 0.0;
+  for (const double v : forest.feature_importance()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace omptune::ml

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "rt/aligned_alloc.hpp"
+
+namespace omptune::rt {
+namespace {
+
+TEST(KmpAllocator, RejectsBadAlignment) {
+  EXPECT_THROW(KmpAllocator(0), std::invalid_argument);
+  EXPECT_THROW(KmpAllocator(3), std::invalid_argument);
+  EXPECT_THROW(KmpAllocator(48), std::invalid_argument);
+  EXPECT_NO_THROW(KmpAllocator(64));
+  EXPECT_NO_THROW(KmpAllocator(512));
+}
+
+class KmpAllocatorAlignment : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KmpAllocatorAlignment, PointerHonoursAlignment) {
+  KmpAllocator alloc(GetParam());
+  for (const std::size_t bytes : {1u, 7u, 64u, 100u, 4096u}) {
+    void* p = alloc.allocate(bytes);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % GetParam(), 0u)
+        << "bytes=" << bytes;
+    alloc.deallocate(p);
+  }
+}
+
+TEST_P(KmpAllocatorAlignment, MemoryIsZeroInitialized) {
+  KmpAllocator alloc(GetParam());
+  char* p = static_cast<char*>(alloc.allocate(333));
+  for (int i = 0; i < 333; ++i) ASSERT_EQ(p[i], 0) << "offset " << i;
+  alloc.deallocate(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlignments, KmpAllocatorAlignment,
+                         ::testing::Values(64, 128, 256, 512));
+
+TEST(KmpAllocator, StatsTrackLiveAllocations) {
+  KmpAllocator alloc(64);
+  EXPECT_EQ(alloc.stats().live_allocations, 0u);
+  void* a = alloc.allocate(10);
+  void* b = alloc.allocate(100);
+  EXPECT_EQ(alloc.stats().live_allocations, 2u);
+  EXPECT_EQ(alloc.stats().total_allocations, 2u);
+  EXPECT_EQ(alloc.stats().live_bytes, 64u + 128u);  // rounded to alignment
+  alloc.deallocate(a);
+  EXPECT_EQ(alloc.stats().live_allocations, 1u);
+  EXPECT_EQ(alloc.stats().live_bytes, 128u);
+  alloc.deallocate(b);
+  EXPECT_EQ(alloc.stats().live_allocations, 0u);
+  EXPECT_EQ(alloc.stats().live_bytes, 0u);
+  EXPECT_EQ(alloc.stats().total_allocations, 2u);
+}
+
+TEST(KmpAllocator, DeallocateNullIsNoop) {
+  KmpAllocator alloc(64);
+  alloc.deallocate(nullptr);
+  EXPECT_EQ(alloc.stats().live_allocations, 0u);
+}
+
+TEST(KmpArray, PaddedStrideSeparatesElementsByAlignment) {
+  KmpAllocator alloc(256);
+  KmpArray<double> padded(alloc, 8, /*padded=*/true);
+  EXPECT_EQ(padded.stride(), 256u);
+  padded[0] = 1.5;
+  padded[7] = 2.5;
+  EXPECT_DOUBLE_EQ(padded[0], 1.5);
+  EXPECT_DOUBLE_EQ(padded[7], 2.5);
+  // Each padded element starts on its own cache line.
+  const auto addr0 = reinterpret_cast<std::uintptr_t>(&padded[0]);
+  const auto addr1 = reinterpret_cast<std::uintptr_t>(&padded[1]);
+  EXPECT_EQ(addr1 - addr0, 256u);
+}
+
+TEST(KmpArray, UnpaddedIsDense) {
+  KmpAllocator alloc(64);
+  KmpArray<double> dense(alloc, 4, /*padded=*/false);
+  EXPECT_EQ(dense.stride(), sizeof(double));
+  for (std::size_t i = 0; i < 4; ++i) dense[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(dense[i], i);
+}
+
+TEST(KmpArray, MoveTransfersOwnership) {
+  KmpAllocator alloc(64);
+  KmpArray<int> a(alloc, 4, false);
+  a[0] = 42;
+  KmpArray<int> b = std::move(a);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(alloc.stats().live_allocations, 1u);
+  KmpArray<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c[0], 42);
+  EXPECT_EQ(alloc.stats().live_allocations, 1u);
+}
+
+TEST(KmpArray, DestructionReleasesMemory) {
+  KmpAllocator alloc(64);
+  {
+    KmpArray<double> scoped(alloc, 16, true);
+    EXPECT_EQ(alloc.stats().live_allocations, 1u);
+  }
+  EXPECT_EQ(alloc.stats().live_allocations, 0u);
+}
+
+TEST(KmpAllocator, RoundUpHelper) {
+  EXPECT_EQ(KmpAllocator::round_up(1, 64), 64u);
+  EXPECT_EQ(KmpAllocator::round_up(64, 64), 64u);
+  EXPECT_EQ(KmpAllocator::round_up(65, 64), 128u);
+}
+
+}  // namespace
+}  // namespace omptune::rt

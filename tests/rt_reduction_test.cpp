@@ -1,0 +1,207 @@
+// Reduction correctness across every method, operation and team size: all
+// three algorithms must agree with the serial fold, from real threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "rt/aligned_alloc.hpp"
+#include "rt/barrier.hpp"
+#include "rt/reduction.hpp"
+
+namespace omptune::rt {
+namespace {
+
+TEST(ReduceOps, IdentityAndApply) {
+  EXPECT_DOUBLE_EQ(reduce_identity(ReduceOp::Sum), 0.0);
+  EXPECT_DOUBLE_EQ(reduce_identity(ReduceOp::Prod), 1.0);
+  EXPECT_TRUE(std::isinf(reduce_identity(ReduceOp::Max)));
+  EXPECT_TRUE(std::isinf(reduce_identity(ReduceOp::Min)));
+  EXPECT_DOUBLE_EQ(reduce_apply(ReduceOp::Sum, 2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(reduce_apply(ReduceOp::Prod, 2, 3), 6.0);
+  EXPECT_DOUBLE_EQ(reduce_apply(ReduceOp::Max, 2, 3), 3.0);
+  EXPECT_DOUBLE_EQ(reduce_apply(ReduceOp::Min, 2, 3), 2.0);
+}
+
+/// Run one reduction round on `team` real threads; every thread contributes
+/// f(tid) and the result must equal the serial fold.
+void check_reduction(int team, ReductionMethod method, ReduceOp op,
+                     double (*f)(int)) {
+  KmpAllocator alloc(64);
+  Barrier barrier(team);
+  Reducer reducer(alloc, team, barrier);
+
+  double expected = reduce_identity(op);
+  for (int t = 0; t < team; ++t) expected = reduce_apply(op, expected, f(t));
+
+  std::vector<double> results(static_cast<std::size_t>(team), 0.0);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&, t] {
+        results[static_cast<std::size_t>(t)] = reducer.reduce(t, f(t), op, method);
+      });
+    }
+  }
+  for (int t = 0; t < team; ++t) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(t)], expected)
+        << "method=" << to_string(method) << " op=" << static_cast<int>(op)
+        << " team=" << team << " tid=" << t;
+  }
+}
+
+struct ReductionCase {
+  int team;
+  ReductionMethod method;
+  ReduceOp op;
+};
+
+class ReductionCorrectness : public ::testing::TestWithParam<ReductionCase> {};
+
+TEST_P(ReductionCorrectness, AgreesWithSerialFold) {
+  const auto& c = GetParam();
+  check_reduction(c.team, c.method, c.op,
+                  [](int t) { return 1.25 * t + 1.0; });
+}
+
+std::string reduction_case_name(const ::testing::TestParamInfo<ReductionCase>& info) {
+  const auto& c = info.param;
+  const char* op_names[] = {"sum", "prod", "max", "min"};
+  return to_string(c.method) + "_" + op_names[static_cast<int>(c.op)] +
+         "_team" + std::to_string(c.team);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionCorrectness,
+    ::testing::ValuesIn([] {
+      std::vector<ReductionCase> cases;
+      for (const int team : {1, 2, 3, 4, 5, 8}) {
+        for (const ReductionMethod method :
+             {ReductionMethod::Tree, ReductionMethod::Critical,
+              ReductionMethod::Atomic}) {
+          for (const ReduceOp op :
+               {ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min}) {
+            cases.push_back({team, method, op});
+          }
+        }
+      }
+      return cases;
+    }()),
+    reduction_case_name);
+
+TEST(Reducer, RepeatedRoundsAreIndependent) {
+  constexpr int kTeam = 4;
+  KmpAllocator alloc(64);
+  Barrier barrier(kTeam);
+  Reducer reducer(alloc, kTeam, barrier);
+
+  std::vector<std::vector<double>> results(3, std::vector<double>(kTeam, 0.0));
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kTeam; ++t) {
+      threads.emplace_back([&, t] {
+        results[0][static_cast<std::size_t>(t)] =
+            reducer.reduce(t, t + 1.0, ReduceOp::Sum, ReductionMethod::Tree);
+        results[1][static_cast<std::size_t>(t)] =
+            reducer.reduce(t, t + 1.0, ReduceOp::Sum, ReductionMethod::Critical);
+        results[2][static_cast<std::size_t>(t)] =
+            reducer.reduce(t, t + 1.0, ReduceOp::Max, ReductionMethod::Atomic);
+      });
+    }
+  }
+  for (int t = 0; t < kTeam; ++t) {
+    EXPECT_DOUBLE_EQ(results[0][static_cast<std::size_t>(t)], 10.0);
+    EXPECT_DOUBLE_EQ(results[1][static_cast<std::size_t>(t)], 10.0);
+    EXPECT_DOUBLE_EQ(results[2][static_cast<std::size_t>(t)], 4.0);
+  }
+}
+
+TEST(Reducer, SingleThreadSkipsSynchronization) {
+  KmpAllocator alloc(64);
+  Barrier barrier(1);
+  Reducer reducer(alloc, 1, barrier);
+  // The special path returns the local value untouched, for any method.
+  EXPECT_DOUBLE_EQ(reducer.reduce(0, 7.5, ReduceOp::Sum, ReductionMethod::Tree), 7.5);
+  EXPECT_DOUBLE_EQ(
+      reducer.reduce(0, 7.5, ReduceOp::Sum, ReductionMethod::Critical), 7.5);
+  EXPECT_EQ(reducer.contended_combines(), 0u);
+}
+
+TEST(Reducer, CriticalCountsSerializedCombines) {
+  constexpr int kTeam = 4;
+  KmpAllocator alloc(64);
+  Barrier barrier(kTeam);
+  Reducer reducer(alloc, kTeam, barrier);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kTeam; ++t) {
+      threads.emplace_back([&, t] {
+        reducer.reduce(t, 1.0, ReduceOp::Sum, ReductionMethod::Critical);
+      });
+    }
+  }
+  EXPECT_EQ(reducer.contended_combines(), static_cast<std::uint64_t>(kTeam));
+}
+
+TEST(Reducer, RejectsBadArguments) {
+  KmpAllocator alloc(64);
+  Barrier barrier(2);
+  Reducer reducer(alloc, 2, barrier);
+  EXPECT_THROW(reducer.reduce(-1, 0.0, ReduceOp::Sum, ReductionMethod::Tree),
+               std::out_of_range);
+  EXPECT_THROW(reducer.reduce(2, 0.0, ReduceOp::Sum, ReductionMethod::Tree),
+               std::out_of_range);
+  EXPECT_THROW(Reducer(alloc, 0, barrier), std::invalid_argument);
+}
+
+TEST(Barrier, ReleasesAllThreadsRepeatedly) {
+  constexpr int kTeam = 4;
+  Barrier barrier(kTeam);
+  std::atomic<int> phase_counts[3] = {{0}, {0}, {0}};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kTeam; ++t) {
+      threads.emplace_back([&] {
+        for (int phase = 0; phase < 3; ++phase) {
+          phase_counts[phase].fetch_add(1);
+          barrier.arrive_and_wait();
+          // After the barrier, everyone must have bumped this phase.
+          EXPECT_EQ(phase_counts[phase].load(), kTeam);
+        }
+      });
+    }
+  }
+}
+
+TEST(Barrier, PassivePolicySleeps) {
+  WaitBehavior wait;
+  wait.policy = WaitPolicy::Passive;
+  Barrier barrier(2, wait);
+  std::jthread other([&barrier] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    barrier.arrive_and_wait();
+  });
+  barrier.arrive_and_wait();
+  EXPECT_GE(barrier.sleep_count(), 1u);
+}
+
+TEST(Barrier, ActivePolicyNeverSleeps) {
+  WaitBehavior wait;
+  wait.policy = WaitPolicy::Active;
+  Barrier barrier(2, wait);
+  std::jthread other([&barrier] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    barrier.arrive_and_wait();
+  });
+  barrier.arrive_and_wait();
+  EXPECT_EQ(barrier.sleep_count(), 0u);
+}
+
+TEST(Barrier, RejectsEmptyTeam) {
+  EXPECT_THROW(Barrier(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omptune::rt

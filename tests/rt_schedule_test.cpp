@@ -1,0 +1,226 @@
+// Property tests of the worksharing-loop scheduler: for every schedule kind,
+// chunk size, team size and trip count, the dealt slices must exactly
+// partition the iteration space (coverage + disjointness), and per-kind
+// structural properties must hold.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "rt/schedule.hpp"
+
+namespace omptune::rt {
+namespace {
+
+struct ScheduleCase {
+  ScheduleKind kind;
+  int chunk;
+  std::int64_t lo;
+  std::int64_t hi;
+  int team;
+};
+
+std::string case_name(const ::testing::TestParamInfo<ScheduleCase>& info) {
+  const ScheduleCase& c = info.param;
+  std::string name = to_string(c.kind) + "_chunk" + std::to_string(c.chunk) +
+                     "_lo" + std::to_string(c.lo) + "_hi" + std::to_string(c.hi) +
+                     "_team" + std::to_string(c.team);
+  std::replace(name.begin(), name.end(), '-', 'm');
+  return name;
+}
+
+class SchedulePartition : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(SchedulePartition, SlicesExactlyPartitionIterationSpace) {
+  const ScheduleCase& c = GetParam();
+  LoopScheduler sched(c.kind, c.chunk, c.lo, c.hi, c.team);
+
+  // Sequentially drain every thread's stream of slices (round-robin to mix
+  // orders for the shared-cursor schedules).
+  std::map<std::int64_t, int> covered;
+  std::vector<bool> exhausted(static_cast<std::size_t>(c.team), false);
+  int remaining_threads = c.team;
+  int turn = 0;
+  while (remaining_threads > 0) {
+    const int tid = turn % c.team;
+    ++turn;
+    if (exhausted[static_cast<std::size_t>(tid)]) continue;
+    const auto slice = sched.next(tid);
+    if (!slice) {
+      exhausted[static_cast<std::size_t>(tid)] = true;
+      --remaining_threads;
+      continue;
+    }
+    ASSERT_FALSE(slice->empty());
+    ASSERT_GE(slice->begin, c.lo);
+    ASSERT_LE(slice->end, c.hi);
+    for (std::int64_t i = slice->begin; i < slice->end; ++i) ++covered[i];
+  }
+
+  ASSERT_EQ(covered.size(), static_cast<std::size_t>(std::max<std::int64_t>(0, c.hi - c.lo)));
+  for (const auto& [iter, count] : covered) {
+    ASSERT_EQ(count, 1) << "iteration " << iter << " dealt " << count << " times";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulePartition,
+    ::testing::ValuesIn([] {
+      std::vector<ScheduleCase> cases;
+      for (const ScheduleKind kind : {ScheduleKind::Static, ScheduleKind::Dynamic,
+                                      ScheduleKind::Guided, ScheduleKind::Auto}) {
+        for (const int chunk : {0, 1, 3, 16}) {
+          for (const auto& [lo, hi] : std::vector<std::pair<std::int64_t, std::int64_t>>{
+                   {0, 0}, {0, 1}, {0, 7}, {0, 100}, {5, 104}, {-10, 10}, {0, 1000}}) {
+            for (const int team : {1, 2, 3, 8}) {
+              cases.push_back({kind, chunk, lo, hi, team});
+            }
+          }
+        }
+      }
+      return cases;
+    }()),
+    case_name);
+
+TEST(ScheduleStatic, BlockFormIsContiguousAndBalanced) {
+  LoopScheduler sched(ScheduleKind::Static, 0, 0, 103, 4);
+  std::vector<LoopSlice> slices;
+  for (int tid = 0; tid < 4; ++tid) {
+    const auto s = sched.next(tid);
+    ASSERT_TRUE(s.has_value());
+    slices.push_back(*s);
+    EXPECT_FALSE(sched.next(tid).has_value()) << "static block: one slice per thread";
+  }
+  // 103 = 26+26+26+25; blocks in thread order, contiguous.
+  EXPECT_EQ(slices[0], (LoopSlice{0, 26}));
+  EXPECT_EQ(slices[1], (LoopSlice{26, 52}));
+  EXPECT_EQ(slices[2], (LoopSlice{52, 78}));
+  EXPECT_EQ(slices[3], (LoopSlice{78, 103}));
+}
+
+TEST(ScheduleStatic, ChunkedFormDealsRoundRobin) {
+  LoopScheduler sched(ScheduleKind::Static, 10, 0, 50, 2);
+  // Thread 0 owns chunks 0, 2, 4 -> [0,10) [20,30) [40,50).
+  EXPECT_EQ(sched.next(0), (LoopSlice{0, 10}));
+  EXPECT_EQ(sched.next(0), (LoopSlice{20, 30}));
+  EXPECT_EQ(sched.next(0), (LoopSlice{40, 50}));
+  EXPECT_FALSE(sched.next(0).has_value());
+  // Thread 1 owns chunks 1, 3 -> [10,20) [30,40).
+  EXPECT_EQ(sched.next(1), (LoopSlice{10, 20}));
+  EXPECT_EQ(sched.next(1), (LoopSlice{30, 40}));
+  EXPECT_FALSE(sched.next(1).has_value());
+}
+
+TEST(ScheduleDynamic, DefaultChunkIsOne) {
+  LoopScheduler sched(ScheduleKind::Dynamic, 0, 0, 5, 2);
+  for (int i = 0; i < 5; ++i) {
+    const auto s = sched.next(i % 2);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->size(), 1);
+  }
+  EXPECT_FALSE(sched.next(0).has_value());
+}
+
+TEST(ScheduleDynamic, CountsSyncOperations) {
+  LoopScheduler sched(ScheduleKind::Dynamic, 1, 0, 100, 4);
+  while (sched.next(0)) {
+  }
+  // One shared-counter operation per grab (plus the final failing grabs).
+  EXPECT_GE(sched.sync_operations(), 100u);
+}
+
+TEST(ScheduleGuided, PieceSizesDecayGeometrically) {
+  const int team = 4;
+  LoopScheduler sched(ScheduleKind::Guided, 1, 0, 1024, team);
+  std::vector<std::int64_t> sizes;
+  while (const auto s = sched.next(0)) sizes.push_back(s->size());
+  // First piece = remaining/(2*team) = 128; sizes never increase.
+  EXPECT_EQ(sizes.front(), 1024 / (2 * team));
+  EXPECT_TRUE(std::is_sorted(sizes.rbegin(), sizes.rend()));
+  EXPECT_EQ(sizes.back(), 1);
+}
+
+TEST(ScheduleGuided, RespectsChunkMinimum) {
+  LoopScheduler sched(ScheduleKind::Guided, 8, 0, 1000, 4);
+  std::int64_t total = 0;
+  while (const auto s = sched.next(0)) {
+    // Every piece is at least the chunk minimum except possibly the last.
+    if (total + s->size() < 1000) {
+      EXPECT_GE(s->size(), 8);
+    }
+    total += s->size();
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ScheduleAuto, BehavesLikeStaticBlocks) {
+  LoopScheduler sched(ScheduleKind::Auto, 0, 0, 40, 4);
+  const auto s = sched.next(1);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(*s, (LoopSlice{10, 20}));
+  EXPECT_FALSE(sched.next(1).has_value());
+}
+
+TEST(Schedule, EmptyLoopYieldsNothing) {
+  for (const ScheduleKind kind : {ScheduleKind::Static, ScheduleKind::Dynamic,
+                                  ScheduleKind::Guided, ScheduleKind::Auto}) {
+    LoopScheduler sched(kind, 0, 10, 10, 3);
+    for (int tid = 0; tid < 3; ++tid) {
+      EXPECT_FALSE(sched.next(tid).has_value()) << to_string(kind);
+    }
+  }
+}
+
+TEST(Schedule, InvertedBoundsTreatedAsEmpty) {
+  LoopScheduler sched(ScheduleKind::Dynamic, 1, 10, 0, 2);
+  EXPECT_FALSE(sched.next(0).has_value());
+}
+
+TEST(Schedule, RejectsBadArguments) {
+  EXPECT_THROW(LoopScheduler(ScheduleKind::Static, 0, 0, 10, 0),
+               std::invalid_argument);
+  LoopScheduler sched(ScheduleKind::Static, 0, 0, 10, 2);
+  EXPECT_THROW(sched.next(-1), std::out_of_range);
+  EXPECT_THROW(sched.next(2), std::out_of_range);
+}
+
+TEST(Schedule, ConcurrentDynamicDrainCoversAllIterations) {
+  // Hammer the shared cursor from real threads.
+  constexpr int kTeam = 4;
+  constexpr std::int64_t kIters = 20000;
+  LoopScheduler sched(ScheduleKind::Dynamic, 3, 0, kIters, kTeam);
+  std::vector<std::int64_t> counts(kTeam, 0);
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kTeam; ++t) {
+      threads.emplace_back([&sched, &counts, t] {
+        while (const auto s = sched.next(t)) counts[static_cast<std::size_t>(t)] += s->size();
+      });
+    }
+  }
+  std::int64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, kIters);
+}
+
+TEST(Schedule, ConcurrentGuidedDrainCoversAllIterations) {
+  constexpr int kTeam = 4;
+  constexpr std::int64_t kIters = 50000;
+  LoopScheduler sched(ScheduleKind::Guided, 1, 0, kIters, kTeam);
+  std::atomic<std::int64_t> total{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kTeam; ++t) {
+      threads.emplace_back([&sched, &total, t] {
+        while (const auto s = sched.next(t)) total.fetch_add(s->size());
+      });
+    }
+  }
+  EXPECT_EQ(total.load(), kIters);
+}
+
+}  // namespace
+}  // namespace omptune::rt

@@ -1,0 +1,155 @@
+// Tree barrier tests: synchronization correctness over repeated rounds,
+// varied team sizes and wait policies, plus the taskloop construct that
+// complements the worksharing loop.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+#include "rt/thread_team.hpp"
+#include "rt/tree_barrier.hpp"
+
+namespace omptune::rt {
+namespace {
+
+class TreeBarrierRounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeBarrierRounds, SynchronizesEveryRound) {
+  const int team = GetParam();
+  constexpr int kRounds = 25;
+  TreeBarrier barrier(team);
+  std::atomic<int> counter{0};
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&barrier, &counter, t, team] {
+        for (int round = 0; round < kRounds; ++round) {
+          counter.fetch_add(1);
+          barrier.arrive_and_wait(t);
+          // After each round every thread must have contributed.
+          ASSERT_EQ(counter.load() % team, 0);
+          barrier.arrive_and_wait(t);
+        }
+      });
+    }
+  }
+  EXPECT_EQ(counter.load(), team * kRounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(TeamSizes, TreeBarrierRounds,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(TreeBarrier, PassivePolicySleepsActiveDoesNot) {
+  WaitBehavior passive;
+  passive.policy = WaitPolicy::Passive;
+  TreeBarrier sleepy(2, passive);
+  {
+    std::jthread other([&sleepy] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      sleepy.arrive_and_wait(1);
+    });
+    sleepy.arrive_and_wait(0);
+  }
+  EXPECT_GE(sleepy.sleep_count(), 1u);
+
+  WaitBehavior active;
+  active.policy = WaitPolicy::Active;
+  TreeBarrier spinner(2, active);
+  {
+    std::jthread other([&spinner] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      spinner.arrive_and_wait(1);
+    });
+    spinner.arrive_and_wait(0);
+  }
+  EXPECT_EQ(spinner.sleep_count(), 0u);
+}
+
+TEST(TreeBarrier, RejectsBadArguments) {
+  EXPECT_THROW(TreeBarrier(0), std::invalid_argument);
+  TreeBarrier barrier(2);
+  EXPECT_THROW(barrier.arrive_and_wait(-1), std::out_of_range);
+  EXPECT_THROW(barrier.arrive_and_wait(2), std::out_of_range);
+}
+
+TEST(TreeBarrier, SingleThreadPassesImmediately) {
+  TreeBarrier barrier(1);
+  for (int i = 0; i < 100; ++i) barrier.arrive_and_wait(0);
+  EXPECT_EQ(barrier.sleep_count(), 0u);
+}
+
+// ---- taskloop -------------------------------------------------------------
+
+RtConfig taskloop_config(int threads) {
+  RtConfig config = RtConfig::defaults_for(
+      arch::architecture(arch::ArchId::Skylake));
+  config.num_threads = threads;
+  config.blocktime_ms = 0;
+  return config;
+}
+
+TEST(Taskloop, CoversIterationSpaceExactlyOnce) {
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  ThreadTeam team(cpu, taskloop_config(4));
+  constexpr std::int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  team.parallel([&hits](TeamContext& ctx) {
+    ctx.taskloop(0, kN, /*grainsize=*/97, [&hits](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(Taskloop, DefaultGrainSpawnsAboutFourChunksPerThread) {
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  ThreadTeam team(cpu, taskloop_config(4));
+  std::atomic<int> chunks{0};
+  team.parallel([&chunks](TeamContext& ctx) {
+    ctx.taskloop(0, 1 << 16, 0, [&chunks](std::int64_t, std::int64_t) {
+      chunks.fetch_add(1);
+    });
+  });
+  EXPECT_GE(chunks.load(), 15);
+  EXPECT_LE(chunks.load(), 17);
+}
+
+TEST(Taskloop, EmptyRangeSpawnsNothing) {
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  ThreadTeam team(cpu, taskloop_config(2));
+  std::atomic<int> calls{0};
+  team.parallel([&calls](TeamContext& ctx) {
+    ctx.taskloop(5, 5, 1, [&calls](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+    ctx.taskloop(7, 3, 1, [&calls](std::int64_t, std::int64_t) { calls.fetch_add(1); });
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Taskloop, MatchesParallelForResult) {
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  constexpr std::int64_t kN = 4096;
+  std::vector<double> a(kN), b(kN);
+  for (std::int64_t i = 0; i < kN; ++i) a[static_cast<std::size_t>(i)] = static_cast<double>(i);
+
+  ThreadTeam team(cpu, taskloop_config(3));
+  team.parallel([&](TeamContext& ctx) {
+    ctx.taskloop(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        b[static_cast<std::size_t>(i)] = 2.0 * a[static_cast<std::size_t>(i)];
+      }
+    });
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_DOUBLE_EQ(b[static_cast<std::size_t>(i)], 2.0 * static_cast<double>(i));
+  }
+}
+
+}  // namespace
+}  // namespace omptune::rt

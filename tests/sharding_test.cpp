@@ -1,0 +1,82 @@
+// Sharded collection must be invisible in the data: shards partition the
+// plan, and merging their datasets reproduces the single-run dataset
+// exactly (the paper's cluster-batch collection, formalized).
+
+#include <gtest/gtest.h>
+
+#include "sim/executor.hpp"
+#include "sweep/sharding.hpp"
+
+namespace omptune::sweep {
+namespace {
+
+StudyPlan reduced_plan() {
+  StudyPlan plan = StudyPlan::paper_plan();
+  for (auto& arch_plan : plan.arch_plans) {
+    for (auto& count : arch_plan.configs_per_setting) count = 40;
+  }
+  return plan;
+}
+
+TEST(Sharding, ShardsPartitionTheSettings) {
+  const StudyPlan plan = reduced_plan();
+  std::size_t total_settings = 0;
+  for (const auto& arch_plan : plan.arch_plans) {
+    total_settings += arch_plan.settings.size();
+  }
+  std::size_t sharded_settings = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const StudyPlan shard = shard_plan(plan, i, 5);
+    for (const auto& arch_plan : shard.arch_plans) {
+      sharded_settings += arch_plan.settings.size();
+    }
+  }
+  EXPECT_EQ(sharded_settings, total_settings);
+  EXPECT_THROW(shard_plan(plan, 5, 5), std::invalid_argument);
+  EXPECT_THROW(shard_plan(plan, 0, 0), std::invalid_argument);
+}
+
+TEST(Sharding, MergedShardsEqualTheUnshardedRun) {
+  const StudyPlan plan = reduced_plan();
+
+  sim::ModelRunner runner_a;
+  SweepHarness single(runner_a, 2);
+  const Dataset reference = single.run_study(plan);
+
+  std::vector<Dataset> shard_data;
+  for (std::size_t i = 0; i < 4; ++i) {
+    sim::ModelRunner runner_b;  // fresh runner per "batch job"
+    SweepHarness harness(runner_b, 2);
+    shard_data.push_back(harness.run_study(shard_plan(plan, i, 4)));
+  }
+  const Dataset merged = merge_shards(plan, shard_data);
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    const Sample& a = merged.samples()[i];
+    const Sample& b = reference.samples()[i];
+    EXPECT_EQ(a.arch, b.arch);
+    EXPECT_EQ(a.app, b.app);
+    EXPECT_EQ(a.input, b.input);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.runtimes, b.runtimes);  // bit-identical collection
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+  }
+}
+
+TEST(Sharding, MergeDetectsMissingAndDuplicatedSettings) {
+  const StudyPlan plan = reduced_plan();
+  sim::ModelRunner runner;
+  SweepHarness harness(runner, 2);
+
+  // Missing: only one of two shards provided.
+  const Dataset half = harness.run_study(shard_plan(plan, 0, 2));
+  EXPECT_THROW(merge_shards(plan, {half}), std::invalid_argument);
+
+  // Duplicated: the same shard twice.
+  const Dataset other = harness.run_study(shard_plan(plan, 1, 2));
+  EXPECT_THROW(merge_shards(plan, {half, half, other}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omptune::sweep

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace omptune::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Xoshiro256 rng(9);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[rng.uniform_index(5)] = true;
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Xoshiro256 rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalFactorCentersAtOne) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += std::log(rng.lognormal_factor(0.1));
+  EXPECT_NEAR(sum / 20000.0, 0.0, 0.01);
+}
+
+TEST(Rng, StableHashIsStableAndSensitive) {
+  EXPECT_EQ(stable_hash("a64fx"), stable_hash("a64fx"));
+  EXPECT_NE(stable_hash("a64fx"), stable_hash("milan"));
+  EXPECT_NE(stable_hash(""), stable_hash("x"));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseIntRejectsGarbage) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("42x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("4.2").has_value());
+}
+
+TEST(Strings, ParseDoubleRejectsGarbage) {
+  EXPECT_DOUBLE_EQ(*parse_double("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-3e2"), -300.0);
+  EXPECT_FALSE(parse_double("1.5.3").has_value());
+  EXPECT_FALSE(parse_double("abc").has_value());
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("TurnAround"), "turnaround");
+  EXPECT_TRUE(iequals("INFINITE", "infinite"));
+  EXPECT_FALSE(iequals("inf", "infinite"));
+  EXPECT_TRUE(starts_with("KMP_BLOCKTIME", "KMP_"));
+  EXPECT_FALSE(starts_with("OMP", "OMP_"));
+}
+
+TEST(Csv, RoundTripWithQuoting) {
+  CsvTable table({"app", "config", "runtime"});
+  table.add_row({"alignment", "schedule=static,chunk=4", "0.131"});
+  table.add_row({"he\"alth", "line1\nline2", "1.0"});
+
+  std::ostringstream os;
+  table.write(os);
+  // Note: embedded newline rows are quoted, so a line-based reader must see
+  // one logical row. Our reader is line-based; verify the quoting instead.
+  EXPECT_NE(os.str().find("\"schedule=static,chunk=4\""), std::string::npos);
+
+  CsvTable simple({"a", "b"});
+  simple.add_row({"1", "x,y"});
+  std::ostringstream os2;
+  simple.write(os2);
+  std::istringstream is(os2.str());
+  const CsvTable parsed = CsvTable::read(is);
+  ASSERT_EQ(parsed.num_rows(), 1u);
+  EXPECT_EQ(parsed.cell(0, "b"), "x,y");
+  EXPECT_DOUBLE_EQ(parsed.cell_as_double(0, "a"), 1.0);
+}
+
+TEST(Csv, SplitLineHandlesEscapedQuotes) {
+  const auto fields = csv_split_line("a,\"b\"\"c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b\"c");
+}
+
+TEST(Csv, SplitLineRejectsUnterminatedQuote) {
+  EXPECT_THROW(csv_split_line("\"abc"), std::runtime_error);
+}
+
+TEST(Csv, AddRowRejectsWidthMismatch) {
+  CsvTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  CsvTable table({"a"});
+  table.add_row({"1"});
+  EXPECT_THROW(table.col_index("nope"), std::out_of_range);
+  EXPECT_THROW(table.cell_as_double(0, "nope"), std::out_of_range);
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  CsvTable table({"a"});
+  table.add_row({"abc"});
+  EXPECT_THROW(table.cell_as_double(0, "a"), std::invalid_argument);
+}
+
+TEST(Env, ScopedEnvSetsAndRestores) {
+  unset_env("OMPTUNE_TEST_VAR");
+  {
+    ScopedEnv guard({{"OMPTUNE_TEST_VAR", "hello"}});
+    EXPECT_EQ(get_env("OMPTUNE_TEST_VAR"), "hello");
+    {
+      ScopedEnv inner({{"OMPTUNE_TEST_VAR", std::nullopt}});
+      EXPECT_FALSE(get_env("OMPTUNE_TEST_VAR").has_value());
+    }
+    EXPECT_EQ(get_env("OMPTUNE_TEST_VAR"), "hello");
+  }
+  EXPECT_FALSE(get_env("OMPTUNE_TEST_VAR").has_value());
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table("TABLE X: demo", {"col", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"long-name", "2"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("TABLE X: demo"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), std::invalid_argument);
+}
+
+TEST(Table, HeatMapShadesScaleWithValue) {
+  HeatMapRenderer map("Fig X", {"f1", "f2"});
+  map.add_row("app", {0.05, 0.95});
+  const std::string out = map.render();
+  EXPECT_NE(out.find("##"), std::string::npos);   // dark cell
+  EXPECT_NE(out.find(" ."), std::string::npos);   // light cell
+  EXPECT_THROW(map.add_row("bad", {1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace omptune::util

@@ -1,0 +1,338 @@
+// omptune — command-line front end for the study and the tuner.
+//
+//   omptune list                       applications and architectures
+//   omptune study [N] [out.csv]       run the study (N configs/setting;
+//                                      0 or omitted = full Table II scale)
+//   omptune analyze <dataset.csv>     re-derive every artefact from a CSV
+//   omptune recommend <app> <arch>    variable priority + best known config
+//   omptune tune <app> <arch> [strategy] [budget]
+//                                      strategy: hill|random|anneal|exhaustive
+//   omptune violin <app>              ASCII violins per (arch, setting)
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/recommend.hpp"
+#include "core/study.hpp"
+#include "core/thread_advisor.hpp"
+#include "core/tuner.hpp"
+#include "sim/energy_model.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kde.hpp"
+#include "util/env.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace omptune;
+
+int usage() {
+  std::printf(
+      "usage: omptune <command> [args]\n"
+      "  list                              applications and architectures\n"
+      "  study [configs] [out.csv]         run the sweep (0 = full scale)\n"
+      "  analyze <dataset.csv>             derive artefacts from a dataset\n"
+      "  recommend <app> <arch>            knowledge-based recommendation\n"
+      "  tune <app> <arch> [strategy] [budget]\n"
+      "                                    strategy: hill|random|anneal|exhaustive\n"
+      "  violin <app>                      distribution per (arch, setting)\n"
+      "  model <app> <arch> [config...]    runtime/energy breakdown; config\n"
+      "                                    tokens like KMP_LIBRARY=turnaround\n"
+      "  threads <app> <arch>              thread-count scaling + advice\n");
+  return 2;
+}
+
+sweep::Dataset quick_study(std::size_t configs_per_setting) {
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  if (configs_per_setting > 0) {
+    for (auto& arch_plan : plan.arch_plans) {
+      for (auto& count : arch_plan.configs_per_setting) {
+        count = configs_per_setting;
+      }
+    }
+  }
+  return harness.run_study(plan);
+}
+
+void print_artifacts(const core::StudyResult& result) {
+  std::printf("\nper-architecture upshot (Section V.1):\n");
+  for (const auto& u : result.upshot) {
+    std::printf("  %-8s min %.3f  median %.3f  max %.3f\n", u.arch.c_str(),
+                u.min_best, u.median_best, u.max_best);
+  }
+
+  util::TextTable ranges("\nspeedup ranges per application (Table VI):",
+                         {"app", "range"});
+  for (const auto& r : result.ranges_by_app) {
+    ranges.add_row({r.app, util::format_double(r.lo, 3) + " - " +
+                               util::format_double(r.hi, 3)});
+  }
+  std::printf("%s", ranges.render().c_str());
+
+  std::printf("\nfeature influence per architecture (Fig 3):\n");
+  util::HeatMapRenderer heat("", result.per_arch_influence.feature_names);
+  for (const auto& row : result.per_arch_influence.rows) {
+    heat.add_row(row.group, row.influence);
+  }
+  std::printf("%s", heat.render().c_str());
+
+  std::printf("\nworst-performance trends (Section V.4):\n");
+  for (const auto& t : result.worst_trends) {
+    std::printf("  lift %5.2f  %s\n", t.lift, t.condition.c_str());
+  }
+}
+
+int cmd_list() {
+  util::TextTable apps_table("applications:", {"name", "suite", "parallelism",
+                                               "sweeps", "inputs"});
+  for (const apps::Application* app : apps::registry()) {
+    std::string inputs;
+    for (const auto& input : app->input_sizes()) {
+      if (!inputs.empty()) inputs += ",";
+      inputs += input.name;
+    }
+    apps_table.add_row({app->name(), app->suite(), to_string(app->kind()),
+                        app->sweep_mode() == apps::SweepMode::VaryInputSize
+                            ? "input sizes"
+                            : "thread counts",
+                        inputs});
+  }
+  std::printf("%s\n", apps_table.render().c_str());
+
+  util::TextTable archs("architectures:",
+                        {"name", "description", "cores", "numa", "cacheline"});
+  for (const auto& cpu : arch::all_architectures()) {
+    archs.add_row({cpu.name, cpu.description, std::to_string(cpu.cores),
+                   std::to_string(cpu.numa_nodes),
+                   std::to_string(cpu.cacheline_bytes)});
+  }
+  std::printf("%s", archs.render().c_str());
+  return 0;
+}
+
+int cmd_study(int argc, char** argv) {
+  const std::size_t configs = argc > 2 ? std::stoul(argv[2]) : 0;
+  sim::ModelRunner runner;
+  core::Study study(runner);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  if (configs > 0) {
+    for (auto& arch_plan : plan.arch_plans) {
+      for (auto& count : arch_plan.configs_per_setting) count = configs;
+    }
+  }
+  const core::StudyResult result = study.run(plan);
+  std::printf("collected %zu samples\n", result.dataset.size());
+  if (argc > 3) {
+    result.dataset.to_csv().write_file(argv[3]);
+    std::printf("dataset written to %s\n", argv[3]);
+  }
+  print_artifacts(result);
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const sweep::Dataset dataset =
+      sweep::Dataset::from_csv(util::CsvTable::read_file(argv[2]));
+  std::printf("loaded %zu samples\n", dataset.size());
+  sim::ModelRunner runner;
+  core::Study study(runner);
+  print_artifacts(study.analyze(dataset));
+  return 0;
+}
+
+int cmd_recommend(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string app = argv[2];
+  const std::string arch = argv[3];
+  apps::find_application(app);                  // validate
+  arch::arch_from_string(arch);                 // validate
+
+  const sweep::Dataset dataset = quick_study(200);
+  const core::KnowledgeBase kb(dataset);
+  std::printf("variable priority (most influential first):\n ");
+  for (const auto& v : kb.variable_priority(app, arch)) std::printf(" %s", v.c_str());
+  std::printf("\n\n");
+  try {
+    std::printf("best known configuration (%.3fx over default):\n  %s\n",
+                kb.best_known_speedup(app, arch),
+                kb.best_known_config(app, arch).key().c_str());
+  } catch (const std::invalid_argument&) {
+    std::printf("no study samples for this (app, arch) pair\n");
+  }
+  const auto recs = analysis::recommend_for_app(dataset, app);
+  if (!recs.empty()) {
+    util::TextTable table("\nstrong variable/value pairs (lift >= 1.5):",
+                          {"arch", "variable", "value", "lift"});
+    for (const auto& rec : recs) {
+      if (rec.lift < 1.5) continue;
+      table.add_row({rec.arch, rec.variable, rec.value,
+                     util::format_double(rec.lift, 2)});
+    }
+    std::printf("%s", table.render().c_str());
+  }
+  return 0;
+}
+
+int cmd_tune(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string app_name = argv[2];
+  const std::string arch_name = argv[3];
+  const std::string strategy = argc > 4 ? argv[4] : "hill";
+  const std::size_t budget = argc > 5 ? std::stoul(argv[5]) : 64;
+
+  const apps::Application& app = apps::find_application(app_name);
+  const arch::CpuArch& cpu = arch::architecture(arch::arch_from_string(arch_name));
+  const sweep::ConfigSpace space = sweep::ConfigSpace::paper_space(cpu);
+
+  sim::ModelRunner runner;
+  core::Tuner tuner(runner, app, app.default_input(), cpu);
+
+  core::Tuner::SearchResult result;
+  if (strategy == "hill") {
+    const core::KnowledgeBase kb(quick_study(150));
+    result = tuner.hill_climb(space, cpu.cores,
+                              kb.variable_priority(app_name, arch_name));
+  } else if (strategy == "random") {
+    result = tuner.random_search(space, cpu.cores, budget);
+  } else if (strategy == "anneal") {
+    result = tuner.simulated_annealing(space, cpu.cores, budget);
+  } else if (strategy == "exhaustive") {
+    result = tuner.exhaustive(space, cpu.cores);
+  } else {
+    return usage();
+  }
+  std::printf("%s: %zu evaluations, speedup %.3fx over the default\n",
+              strategy.c_str(), result.evaluations, result.speedup);
+  std::printf("best configuration: %s\n", result.best_config.key().c_str());
+  std::printf("export:\n");
+  for (const auto& assignment : result.best_config.to_env(cpu)) {
+    if (assignment.value) {
+      std::printf("  export %s=%s\n", assignment.name.c_str(),
+                  assignment.value->c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_violin(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string app_name = argv[2];
+  apps::find_application(app_name);  // validate
+
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner);
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  for (auto& arch_plan : plan.arch_plans) {
+    std::vector<sweep::StudySetting> kept;
+    std::vector<std::size_t> counts;
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
+      if (arch_plan.settings[i].app->name() == app_name) {
+        kept.push_back(arch_plan.settings[i]);
+        counts.push_back(arch_plan.configs_per_setting[i]);
+      }
+    }
+    arch_plan.settings = std::move(kept);
+    arch_plan.configs_per_setting = std::move(counts);
+  }
+  const sweep::Dataset dataset = harness.run_study(plan);
+
+  std::map<std::string, std::vector<double>> groups;
+  for (const auto& s : dataset.samples()) {
+    groups[s.arch + "/" + s.input + "/t" + std::to_string(s.threads)].push_back(
+        s.mean_runtime);
+  }
+  for (const auto& [key, runtimes] : groups) {
+    std::printf("\n--- %s (%zu configs, median %.3fs) ---\n", key.c_str(),
+                runtimes.size(), stats::median(runtimes));
+    std::printf("%s", stats::render_ascii_violin(runtimes, 10, 44).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+rt::RtConfig parse_config_tokens(int argc, char** argv, int first,
+                                 const arch::CpuArch& cpu) {
+  std::vector<util::ScopedEnv::Assignment> assignments;
+  for (int i = first; i < argc; ++i) {
+    const auto parts = util::split(argv[i], '=');
+    if (parts.size() != 2) {
+      throw std::invalid_argument(std::string("bad config token '") + argv[i] +
+                                  "' (expected NAME=value)");
+    }
+    assignments.push_back({parts[0], parts[1]});
+  }
+  const util::ScopedEnv env(std::move(assignments));
+  return rt::RtConfig::from_env(cpu);
+}
+
+int cmd_model(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const apps::Application& app = apps::find_application(argv[2]);
+  const arch::CpuArch& cpu = arch::architecture(arch::arch_from_string(argv[3]));
+  const rt::RtConfig config = parse_config_tokens(argc, argv, 4, cpu);
+
+  sim::PerfModel model;
+  const sim::ModelBreakdown b =
+      model.breakdown(app, app.default_input(), cpu, config);
+  std::printf("config: %s\n\n", config.key().c_str());
+  std::printf("predicted runtime: %.4f s\n", b.total_seconds);
+  std::printf("  serial              %.4f s\n", b.serial_seconds);
+  std::printf("  compute (parallel)  %.4f s\n", b.compute_seconds);
+  std::printf("  memory  (parallel)  %.4f s\n", b.memory_seconds);
+  std::printf("  region overhead     %.5f s\n", b.region_overhead_seconds);
+  std::printf("  reductions          %.5f s\n", b.reduction_overhead_seconds);
+  std::printf("  loop coordination   %.5f s\n", b.schedule_coordination_seconds);
+  std::printf("factors: idle %.3f  imbalance %.3f  locality %.3f  contention %.3f"
+              "  oversubscription %.3f  align %.3f\n",
+              b.task_idle_factor, b.imbalance_factor, b.locality_factor,
+              b.contention_factor, b.oversubscription_factor, b.align_factor);
+
+  const sim::EnergyModel energy(model);
+  const auto e = energy.estimate(app, app.default_input(), cpu, config);
+  std::printf("\nenergy: %.0f W avg (%.0f W spinning) -> %.1f kJ, EDP %.1f kJ*s\n",
+              e.avg_watts, e.spin_watts, e.joules / 1000.0, e.edp / 1000.0);
+  return 0;
+}
+
+int cmd_threads(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const apps::Application& app = apps::find_application(argv[2]);
+  const arch::CpuArch& cpu = arch::architecture(arch::arch_from_string(argv[3]));
+  sim::PerfModel model;
+  const auto advice = core::advise_threads(model, app, app.default_input(), cpu,
+                                           rt::RtConfig::defaults_for(cpu));
+  for (const auto& point : advice.curve) {
+    std::printf("  %3d threads: %8.3f s  speedup %6.2f  efficiency %.2f\n",
+                point.threads, point.seconds, point.speedup_vs_one,
+                point.parallel_efficiency);
+  }
+  std::printf("fastest: %d threads; recommended (within 5%%): %d threads\n",
+              advice.fastest_threads, advice.recommended_threads);
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "study") return cmd_study(argc, argv);
+    if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "recommend") return cmd_recommend(argc, argv);
+    if (command == "tune") return cmd_tune(argc, argv);
+    if (command == "violin") return cmd_violin(argc, argv);
+    if (command == "model") return cmd_model(argc, argv);
+    if (command == "threads") return cmd_threads(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "omptune: %s\n", error.what());
+    return 1;
+  }
+  return usage();
+}
