@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_chunk_sizes.dir/ext_chunk_sizes.cpp.o"
+  "CMakeFiles/ext_chunk_sizes.dir/ext_chunk_sizes.cpp.o.d"
+  "ext_chunk_sizes"
+  "ext_chunk_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_chunk_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_model_comparison.dir/ext_model_comparison.cpp.o"
+  "CMakeFiles/ext_model_comparison.dir/ext_model_comparison.cpp.o.d"
+  "ext_model_comparison"
+  "ext_model_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

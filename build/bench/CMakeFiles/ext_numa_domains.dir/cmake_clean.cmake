@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_numa_domains.dir/ext_numa_domains.cpp.o"
+  "CMakeFiles/ext_numa_domains.dir/ext_numa_domains.cpp.o.d"
+  "ext_numa_domains"
+  "ext_numa_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_numa_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_thread_counts.dir/ext_thread_counts.cpp.o"
+  "CMakeFiles/ext_thread_counts.dir/ext_thread_counts.cpp.o.d"
+  "ext_thread_counts"
+  "ext_thread_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_thread_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

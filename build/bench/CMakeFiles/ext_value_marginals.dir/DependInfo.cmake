@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_value_marginals.cpp" "bench/CMakeFiles/ext_value_marginals.dir/ext_value_marginals.cpp.o" "gcc" "bench/CMakeFiles/ext_value_marginals.dir/ext_value_marginals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/omptune_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/omptune_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/omptune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/omptune_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sweep/CMakeFiles/omptune_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omptune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/omptune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/omptune_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_value_marginals.dir/ext_value_marginals.cpp.o"
+  "CMakeFiles/ext_value_marginals.dir/ext_value_marginals.cpp.o.d"
+  "ext_value_marginals"
+  "ext_value_marginals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_value_marginals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

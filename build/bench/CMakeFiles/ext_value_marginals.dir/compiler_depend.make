@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_value_marginals.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_alignment_violin.dir/fig1_alignment_violin.cpp.o"
+  "CMakeFiles/fig1_alignment_violin.dir/fig1_alignment_violin.cpp.o.d"
+  "fig1_alignment_violin"
+  "fig1_alignment_violin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_alignment_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

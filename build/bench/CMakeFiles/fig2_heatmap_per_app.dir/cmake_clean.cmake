@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_heatmap_per_app.dir/fig2_heatmap_per_app.cpp.o"
+  "CMakeFiles/fig2_heatmap_per_app.dir/fig2_heatmap_per_app.cpp.o.d"
+  "fig2_heatmap_per_app"
+  "fig2_heatmap_per_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_heatmap_per_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

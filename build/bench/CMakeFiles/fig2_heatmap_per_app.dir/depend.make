@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_heatmap_per_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_heatmap_per_arch.dir/fig3_heatmap_per_arch.cpp.o"
+  "CMakeFiles/fig3_heatmap_per_arch.dir/fig3_heatmap_per_arch.cpp.o.d"
+  "fig3_heatmap_per_arch"
+  "fig3_heatmap_per_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_heatmap_per_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

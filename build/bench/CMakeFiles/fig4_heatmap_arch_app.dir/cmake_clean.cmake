@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_heatmap_arch_app.dir/fig4_heatmap_arch_app.cpp.o"
+  "CMakeFiles/fig4_heatmap_arch_app.dir/fig4_heatmap_arch_app.cpp.o.d"
+  "fig4_heatmap_arch_app"
+  "fig4_heatmap_arch_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_heatmap_arch_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

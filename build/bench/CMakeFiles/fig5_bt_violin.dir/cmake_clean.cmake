@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bt_violin.dir/fig5_bt_violin.cpp.o"
+  "CMakeFiles/fig5_bt_violin.dir/fig5_bt_violin.cpp.o.d"
+  "fig5_bt_violin"
+  "fig5_bt_violin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bt_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

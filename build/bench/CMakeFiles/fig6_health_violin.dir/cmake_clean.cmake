@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_health_violin.dir/fig6_health_violin.cpp.o"
+  "CMakeFiles/fig6_health_violin.dir/fig6_health_violin.cpp.o.d"
+  "fig6_health_violin"
+  "fig6_health_violin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_health_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

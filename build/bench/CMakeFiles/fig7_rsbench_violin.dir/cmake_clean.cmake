@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rsbench_violin.dir/fig7_rsbench_violin.cpp.o"
+  "CMakeFiles/fig7_rsbench_violin.dir/fig7_rsbench_violin.cpp.o.d"
+  "fig7_rsbench_violin"
+  "fig7_rsbench_violin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rsbench_violin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

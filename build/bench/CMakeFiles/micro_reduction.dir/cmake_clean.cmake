@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reduction.dir/micro_reduction.cpp.o"
+  "CMakeFiles/micro_reduction.dir/micro_reduction.cpp.o.d"
+  "micro_reduction"
+  "micro_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tasking.dir/micro_tasking.cpp.o"
+  "CMakeFiles/micro_tasking.dir/micro_tasking.cpp.o.d"
+  "micro_tasking"
+  "micro_tasking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tasking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_waitpolicy.dir/micro_waitpolicy.cpp.o"
+  "CMakeFiles/micro_waitpolicy.dir/micro_waitpolicy.cpp.o.d"
+  "micro_waitpolicy"
+  "micro_waitpolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_waitpolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rq4_worst_trends.dir/rq4_worst_trends.cpp.o"
+  "CMakeFiles/rq4_worst_trends.dir/rq4_worst_trends.cpp.o.d"
+  "rq4_worst_trends"
+  "rq4_worst_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rq4_worst_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_wilcoxon.dir/table3_wilcoxon.cpp.o"
+  "CMakeFiles/table3_wilcoxon.dir/table3_wilcoxon.cpp.o.d"
+  "table3_wilcoxon"
+  "table3_wilcoxon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_wilcoxon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_speedup_by_arch.dir/table5_speedup_by_arch.cpp.o"
+  "CMakeFiles/table5_speedup_by_arch.dir/table5_speedup_by_arch.cpp.o.d"
+  "table5_speedup_by_arch"
+  "table5_speedup_by_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_speedup_by_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_speedup_by_arch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_speedup_by_app.dir/table6_speedup_by_app.cpp.o"
+  "CMakeFiles/table6_speedup_by_app.dir/table6_speedup_by_app.cpp.o.d"
+  "table6_speedup_by_app"
+  "table6_speedup_by_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_speedup_by_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_best_configs.dir/table7_best_configs.cpp.o"
+  "CMakeFiles/table7_best_configs.dir/table7_best_configs.cpp.o.d"
+  "table7_best_configs"
+  "table7_best_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_best_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collect_dataset.dir/collect_dataset.cpp.o"
+  "CMakeFiles/collect_dataset.dir/collect_dataset.cpp.o.d"
+  "collect_dataset"
+  "collect_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collect_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

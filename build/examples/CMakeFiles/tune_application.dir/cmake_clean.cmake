@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_application.dir/tune_application.cpp.o"
+  "CMakeFiles/tune_application.dir/tune_application.cpp.o.d"
+  "tune_application"
+  "tune_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

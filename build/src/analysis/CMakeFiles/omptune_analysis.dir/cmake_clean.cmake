@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_analysis.dir/export.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/omptune_analysis.dir/influence.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/influence.cpp.o.d"
+  "CMakeFiles/omptune_analysis.dir/marginals.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/marginals.cpp.o.d"
+  "CMakeFiles/omptune_analysis.dir/model_comparison.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/model_comparison.cpp.o.d"
+  "CMakeFiles/omptune_analysis.dir/recommend.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/recommend.cpp.o.d"
+  "CMakeFiles/omptune_analysis.dir/speedup.cpp.o"
+  "CMakeFiles/omptune_analysis.dir/speedup.cpp.o.d"
+  "libomptune_analysis.a"
+  "libomptune_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

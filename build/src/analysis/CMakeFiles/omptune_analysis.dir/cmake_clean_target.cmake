@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libomptune_analysis.a"
+)

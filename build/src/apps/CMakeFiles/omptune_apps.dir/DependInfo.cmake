@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bots_alignment.cpp" "src/apps/CMakeFiles/omptune_apps.dir/bots_alignment.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/bots_alignment.cpp.o.d"
+  "/root/repo/src/apps/bots_health.cpp" "src/apps/CMakeFiles/omptune_apps.dir/bots_health.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/bots_health.cpp.o.d"
+  "/root/repo/src/apps/bots_nqueens.cpp" "src/apps/CMakeFiles/omptune_apps.dir/bots_nqueens.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/bots_nqueens.cpp.o.d"
+  "/root/repo/src/apps/bots_sort.cpp" "src/apps/CMakeFiles/omptune_apps.dir/bots_sort.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/bots_sort.cpp.o.d"
+  "/root/repo/src/apps/bots_strassen.cpp" "src/apps/CMakeFiles/omptune_apps.dir/bots_strassen.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/bots_strassen.cpp.o.d"
+  "/root/repo/src/apps/npb_bt.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_bt.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_bt.cpp.o.d"
+  "/root/repo/src/apps/npb_cg.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_cg.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_cg.cpp.o.d"
+  "/root/repo/src/apps/npb_ep.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_ep.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_ep.cpp.o.d"
+  "/root/repo/src/apps/npb_ft.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_ft.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_ft.cpp.o.d"
+  "/root/repo/src/apps/npb_lu.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_lu.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_lu.cpp.o.d"
+  "/root/repo/src/apps/npb_mg.cpp" "src/apps/CMakeFiles/omptune_apps.dir/npb_mg.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/npb_mg.cpp.o.d"
+  "/root/repo/src/apps/proxy_lulesh.cpp" "src/apps/CMakeFiles/omptune_apps.dir/proxy_lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/proxy_lulesh.cpp.o.d"
+  "/root/repo/src/apps/proxy_rsbench.cpp" "src/apps/CMakeFiles/omptune_apps.dir/proxy_rsbench.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/proxy_rsbench.cpp.o.d"
+  "/root/repo/src/apps/proxy_su3bench.cpp" "src/apps/CMakeFiles/omptune_apps.dir/proxy_su3bench.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/proxy_su3bench.cpp.o.d"
+  "/root/repo/src/apps/proxy_xsbench.cpp" "src/apps/CMakeFiles/omptune_apps.dir/proxy_xsbench.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/proxy_xsbench.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/omptune_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/omptune_apps.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/omptune_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_arch.dir/cpu_arch.cpp.o"
+  "CMakeFiles/omptune_arch.dir/cpu_arch.cpp.o.d"
+  "CMakeFiles/omptune_arch.dir/topology.cpp.o"
+  "CMakeFiles/omptune_arch.dir/topology.cpp.o.d"
+  "libomptune_arch.a"
+  "libomptune_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_core.dir/study.cpp.o"
+  "CMakeFiles/omptune_core.dir/study.cpp.o.d"
+  "CMakeFiles/omptune_core.dir/thread_advisor.cpp.o"
+  "CMakeFiles/omptune_core.dir/thread_advisor.cpp.o.d"
+  "CMakeFiles/omptune_core.dir/tuner.cpp.o"
+  "CMakeFiles/omptune_core.dir/tuner.cpp.o.d"
+  "libomptune_core.a"
+  "libomptune_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/omptune_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/omptune_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/linalg.cpp" "src/ml/CMakeFiles/omptune_ml.dir/linalg.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/linalg.cpp.o.d"
+  "/root/repo/src/ml/linear_regression.cpp" "src/ml/CMakeFiles/omptune_ml.dir/linear_regression.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/ml/logistic_regression.cpp" "src/ml/CMakeFiles/omptune_ml.dir/logistic_regression.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/logistic_regression.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/omptune_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/omptune_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/omptune_ml.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sweep/CMakeFiles/omptune_sweep.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/omptune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/omptune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/omptune_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/omptune_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/features.cpp.o"
+  "CMakeFiles/omptune_ml.dir/features.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/linalg.cpp.o"
+  "CMakeFiles/omptune_ml.dir/linalg.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/linear_regression.cpp.o"
+  "CMakeFiles/omptune_ml.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/logistic_regression.cpp.o"
+  "CMakeFiles/omptune_ml.dir/logistic_regression.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/omptune_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/omptune_ml.dir/scaler.cpp.o"
+  "CMakeFiles/omptune_ml.dir/scaler.cpp.o.d"
+  "libomptune_ml.a"
+  "libomptune_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/aligned_alloc.cpp" "src/rt/CMakeFiles/omptune_rt.dir/aligned_alloc.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/aligned_alloc.cpp.o.d"
+  "/root/repo/src/rt/barrier.cpp" "src/rt/CMakeFiles/omptune_rt.dir/barrier.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/barrier.cpp.o.d"
+  "/root/repo/src/rt/config.cpp" "src/rt/CMakeFiles/omptune_rt.dir/config.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/config.cpp.o.d"
+  "/root/repo/src/rt/reduction.cpp" "src/rt/CMakeFiles/omptune_rt.dir/reduction.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/reduction.cpp.o.d"
+  "/root/repo/src/rt/schedule.cpp" "src/rt/CMakeFiles/omptune_rt.dir/schedule.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/schedule.cpp.o.d"
+  "/root/repo/src/rt/task.cpp" "src/rt/CMakeFiles/omptune_rt.dir/task.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/task.cpp.o.d"
+  "/root/repo/src/rt/thread_team.cpp" "src/rt/CMakeFiles/omptune_rt.dir/thread_team.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/thread_team.cpp.o.d"
+  "/root/repo/src/rt/tree_barrier.cpp" "src/rt/CMakeFiles/omptune_rt.dir/tree_barrier.cpp.o" "gcc" "src/rt/CMakeFiles/omptune_rt.dir/tree_barrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

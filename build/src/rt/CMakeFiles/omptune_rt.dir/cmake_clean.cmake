@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_rt.dir/aligned_alloc.cpp.o"
+  "CMakeFiles/omptune_rt.dir/aligned_alloc.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/barrier.cpp.o"
+  "CMakeFiles/omptune_rt.dir/barrier.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/config.cpp.o"
+  "CMakeFiles/omptune_rt.dir/config.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/reduction.cpp.o"
+  "CMakeFiles/omptune_rt.dir/reduction.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/schedule.cpp.o"
+  "CMakeFiles/omptune_rt.dir/schedule.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/task.cpp.o"
+  "CMakeFiles/omptune_rt.dir/task.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/thread_team.cpp.o"
+  "CMakeFiles/omptune_rt.dir/thread_team.cpp.o.d"
+  "CMakeFiles/omptune_rt.dir/tree_barrier.cpp.o"
+  "CMakeFiles/omptune_rt.dir/tree_barrier.cpp.o.d"
+  "libomptune_rt.a"
+  "libomptune_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/energy_model.cpp" "src/sim/CMakeFiles/omptune_sim.dir/energy_model.cpp.o" "gcc" "src/sim/CMakeFiles/omptune_sim.dir/energy_model.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/omptune_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/omptune_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/perf_model.cpp" "src/sim/CMakeFiles/omptune_sim.dir/perf_model.cpp.o" "gcc" "src/sim/CMakeFiles/omptune_sim.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/omptune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/omptune_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_sim.dir/energy_model.cpp.o"
+  "CMakeFiles/omptune_sim.dir/energy_model.cpp.o.d"
+  "CMakeFiles/omptune_sim.dir/executor.cpp.o"
+  "CMakeFiles/omptune_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/omptune_sim.dir/perf_model.cpp.o"
+  "CMakeFiles/omptune_sim.dir/perf_model.cpp.o.d"
+  "libomptune_sim.a"
+  "libomptune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

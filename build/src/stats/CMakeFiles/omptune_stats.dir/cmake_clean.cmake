@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/omptune_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/omptune_stats.dir/kde.cpp.o"
+  "CMakeFiles/omptune_stats.dir/kde.cpp.o.d"
+  "CMakeFiles/omptune_stats.dir/wilcoxon.cpp.o"
+  "CMakeFiles/omptune_stats.dir/wilcoxon.cpp.o.d"
+  "libomptune_stats.a"
+  "libomptune_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sweep/config_space.cpp" "src/sweep/CMakeFiles/omptune_sweep.dir/config_space.cpp.o" "gcc" "src/sweep/CMakeFiles/omptune_sweep.dir/config_space.cpp.o.d"
+  "/root/repo/src/sweep/dataset.cpp" "src/sweep/CMakeFiles/omptune_sweep.dir/dataset.cpp.o" "gcc" "src/sweep/CMakeFiles/omptune_sweep.dir/dataset.cpp.o.d"
+  "/root/repo/src/sweep/harness.cpp" "src/sweep/CMakeFiles/omptune_sweep.dir/harness.cpp.o" "gcc" "src/sweep/CMakeFiles/omptune_sweep.dir/harness.cpp.o.d"
+  "/root/repo/src/sweep/sharding.cpp" "src/sweep/CMakeFiles/omptune_sweep.dir/sharding.cpp.o" "gcc" "src/sweep/CMakeFiles/omptune_sweep.dir/sharding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/omptune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/omptune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/omptune_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/omptune_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/omptune_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

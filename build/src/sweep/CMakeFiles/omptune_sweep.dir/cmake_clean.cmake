@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_sweep.dir/config_space.cpp.o"
+  "CMakeFiles/omptune_sweep.dir/config_space.cpp.o.d"
+  "CMakeFiles/omptune_sweep.dir/dataset.cpp.o"
+  "CMakeFiles/omptune_sweep.dir/dataset.cpp.o.d"
+  "CMakeFiles/omptune_sweep.dir/harness.cpp.o"
+  "CMakeFiles/omptune_sweep.dir/harness.cpp.o.d"
+  "CMakeFiles/omptune_sweep.dir/sharding.cpp.o"
+  "CMakeFiles/omptune_sweep.dir/sharding.cpp.o.d"
+  "libomptune_sweep.a"
+  "libomptune_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

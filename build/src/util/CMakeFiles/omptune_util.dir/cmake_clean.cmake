@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune_util.dir/csv.cpp.o"
+  "CMakeFiles/omptune_util.dir/csv.cpp.o.d"
+  "CMakeFiles/omptune_util.dir/env.cpp.o"
+  "CMakeFiles/omptune_util.dir/env.cpp.o.d"
+  "CMakeFiles/omptune_util.dir/rng.cpp.o"
+  "CMakeFiles/omptune_util.dir/rng.cpp.o.d"
+  "CMakeFiles/omptune_util.dir/strings.cpp.o"
+  "CMakeFiles/omptune_util.dir/strings.cpp.o.d"
+  "CMakeFiles/omptune_util.dir/table.cpp.o"
+  "CMakeFiles/omptune_util.dir/table.cpp.o.d"
+  "libomptune_util.a"
+  "libomptune_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

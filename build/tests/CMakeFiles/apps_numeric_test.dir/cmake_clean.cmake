@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_numeric_test.dir/apps_numeric_test.cpp.o"
+  "CMakeFiles/apps_numeric_test.dir/apps_numeric_test.cpp.o.d"
+  "apps_numeric_test"
+  "apps_numeric_test.pdb"
+  "apps_numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_native_test.dir/integration_native_test.cpp.o"
+  "CMakeFiles/integration_native_test.dir/integration_native_test.cpp.o.d"
+  "integration_native_test"
+  "integration_native_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_alloc_test.dir/rt_alloc_test.cpp.o"
+  "CMakeFiles/rt_alloc_test.dir/rt_alloc_test.cpp.o.d"
+  "rt_alloc_test"
+  "rt_alloc_test.pdb"
+  "rt_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_config_test.dir/rt_config_test.cpp.o"
+  "CMakeFiles/rt_config_test.dir/rt_config_test.cpp.o.d"
+  "rt_config_test"
+  "rt_config_test.pdb"
+  "rt_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_reduction_test.dir/rt_reduction_test.cpp.o"
+  "CMakeFiles/rt_reduction_test.dir/rt_reduction_test.cpp.o.d"
+  "rt_reduction_test"
+  "rt_reduction_test.pdb"
+  "rt_reduction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_reduction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_schedule_test.dir/rt_schedule_test.cpp.o"
+  "CMakeFiles/rt_schedule_test.dir/rt_schedule_test.cpp.o.d"
+  "rt_schedule_test"
+  "rt_schedule_test.pdb"
+  "rt_schedule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_schedule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_task_test.dir/rt_task_test.cpp.o"
+  "CMakeFiles/rt_task_test.dir/rt_task_test.cpp.o.d"
+  "rt_task_test"
+  "rt_task_test.pdb"
+  "rt_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

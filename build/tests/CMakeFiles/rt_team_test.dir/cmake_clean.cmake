@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_team_test.dir/rt_team_test.cpp.o"
+  "CMakeFiles/rt_team_test.dir/rt_team_test.cpp.o.d"
+  "rt_team_test"
+  "rt_team_test.pdb"
+  "rt_team_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_team_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_tree_barrier_test.dir/rt_tree_barrier_test.cpp.o"
+  "CMakeFiles/rt_tree_barrier_test.dir/rt_tree_barrier_test.cpp.o.d"
+  "rt_tree_barrier_test"
+  "rt_tree_barrier_test.pdb"
+  "rt_tree_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_tree_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seed_robustness_test.dir/seed_robustness_test.cpp.o"
+  "CMakeFiles/seed_robustness_test.dir/seed_robustness_test.cpp.o.d"
+  "seed_robustness_test"
+  "seed_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seed_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omptune.dir/omptune_cli.cpp.o"
+  "CMakeFiles/omptune.dir/omptune_cli.cpp.o.d"
+  "omptune"
+  "omptune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omptune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
