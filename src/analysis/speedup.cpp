@@ -12,6 +12,9 @@ std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset) {
   std::map<std::string, SettingBest> by_setting;
   std::vector<std::string> order;
   for (const sweep::Sample& s : dataset.samples()) {
+    // Quarantined samples carry placeholder runtimes/speedups, not
+    // measurements — they must not seed or win a setting's best.
+    if (s.is_quarantined()) continue;
     const std::string key = s.arch + "/" + s.app + "/" + s.input + "/" +
                             std::to_string(s.threads);
     auto it = by_setting.find(key);

@@ -19,16 +19,26 @@ StudyResult Study::run(
 
 StudyResult Study::analyze(sweep::Dataset dataset) const {
   StudyResult result;
-  result.upshot = analysis::upshot_by_arch(dataset);
-  result.ranges_by_arch = analysis::speedup_ranges_by_arch(dataset);
-  result.ranges_by_app = analysis::speedup_ranges_by_app(dataset);
+  // Quarantined samples (failed collection, placeholder values) stay in
+  // result.dataset for provenance but are excluded from every derived
+  // artefact — their zeroed runtimes/speedups are not measurements.
+  sweep::Dataset clean_copy;
+  const sweep::Dataset* analysed = &dataset;
+  if (dataset.quarantined_count() > 0) {
+    clean_copy = dataset.ok_samples();
+    analysed = &clean_copy;
+  }
+  result.upshot = analysis::upshot_by_arch(*analysed);
+  result.ranges_by_arch = analysis::speedup_ranges_by_arch(*analysed);
+  result.ranges_by_app = analysis::speedup_ranges_by_app(*analysed);
   result.per_app_influence = analysis::influence_map(
-      dataset, analysis::Grouping::PerApplication, options_.label_threshold);
+      *analysed, analysis::Grouping::PerApplication, options_.label_threshold);
   result.per_arch_influence = analysis::influence_map(
-      dataset, analysis::Grouping::PerArchitecture, options_.label_threshold);
+      *analysed, analysis::Grouping::PerArchitecture, options_.label_threshold);
   result.per_arch_app_influence = analysis::influence_map(
-      dataset, analysis::Grouping::PerArchApplication, options_.label_threshold);
-  result.worst_trends = analysis::worst_trends(dataset);
+      *analysed, analysis::Grouping::PerArchApplication,
+      options_.label_threshold);
+  result.worst_trends = analysis::worst_trends(*analysed);
   result.dataset = std::move(dataset);
   return result;
 }

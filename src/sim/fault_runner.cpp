@@ -1,0 +1,69 @@
+#include "sim/fault_runner.hpp"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace omptune::sim {
+
+double FaultInjectingRunner::run(const apps::Application& app,
+                                 const apps::InputSize& input,
+                                 const arch::CpuArch& cpu,
+                                 const rt::RtConfig& config,
+                                 std::uint64_t batch_seed, int repetition,
+                                 std::uint64_t sample_index) {
+  const std::string sample_id = std::to_string(batch_seed) + "/" +
+                                std::to_string(sample_index) + "/" +
+                                std::to_string(repetition);
+  const int attempt = spec_.sticky ? 0 : attempts_[sample_id]++;
+
+  // One uniform draw decides the fault; the same (sample, attempt) always
+  // draws the same value, independent of execution order.
+  std::uint64_t h = util::hash_combine(spec_.seed, batch_seed);
+  h = util::hash_combine(h, sample_index);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(repetition) + 1);
+  h = util::hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
+  // hash_combine alone leaves small-integer differences in the low bits;
+  // SplitMix64 finalizes with full avalanche so the draw is uniform.
+  const double draw =
+      static_cast<double>(util::SplitMix64(h).next() >> 11) * 0x1.0p-53;
+
+  double threshold = spec_.crash_rate;
+  if (draw < threshold) {
+    ++injected_;
+    throw util::TransientError("injected crash (sample " + sample_id + ")");
+  }
+  if (draw < (threshold += spec_.hang_rate)) {
+    ++injected_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec_.hang_ms));
+    // Fall through and return the real value: the watchdog has already
+    // given up, and a late result from an abandoned attempt must not be
+    // mistaken for success.
+  } else if (draw < (threshold += spec_.nan_rate)) {
+    ++injected_;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
+  double runtime = inner_->run(app, input, cpu, config, batch_seed, repetition,
+                               sample_index);
+
+  if (draw >= threshold && draw < (threshold += spec_.negative_rate)) {
+    ++injected_;
+    return -runtime;
+  }
+  if (draw >= threshold && draw < (threshold += spec_.spike_rate)) {
+    ++injected_;
+    runtime *= spec_.spike_factor;
+  }
+
+  ++completed_;
+  if (spec_.kill_after_runs > 0 && completed_ >= spec_.kill_after_runs) {
+    throw util::StudyAbort("simulated process death after " +
+                           std::to_string(completed_) + " runs");
+  }
+  return runtime;
+}
+
+}  // namespace omptune::sim

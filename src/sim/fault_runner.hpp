@@ -1,0 +1,73 @@
+#pragma once
+
+// Deterministic fault injection for resilience testing.
+//
+// FaultInjectingRunner wraps any Runner and, based purely on a seeded hash
+// of (batch_seed, sample_index, repetition, per-sample attempt number),
+// injects the cluster failure modes the resilience layer must survive:
+//   - crashes:   throws util::TransientError (a preempted/killed run),
+//   - hangs:     sleeps past the watchdog deadline before returning,
+//   - NaN / negative runtimes (a garbage reading),
+//   - noise spikes: multiplies the runtime by spike_factor.
+// Because the decision includes the attempt number, a fault that fires on
+// attempt 1 deterministically clears (or not) on retry — every test run
+// reproduces the same schedule of failures.
+//
+// `kill_after_runs` additionally simulates process death: after N
+// successful forwarded runs the decorator throws util::StudyAbort, which
+// the resilience policy deliberately lets escape. Tests use this to kill a
+// journaled study at an arbitrary point and exercise resume.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/executor.hpp"
+#include "util/errors.hpp"
+
+namespace omptune::sim {
+
+struct FaultSpec {
+  std::uint64_t seed = 0;        ///< fault stream seed (independent of data)
+  double crash_rate = 0.0;       ///< P(throw TransientError)
+  double hang_rate = 0.0;        ///< P(sleep hang_ms before returning)
+  double nan_rate = 0.0;         ///< P(return NaN)
+  double negative_rate = 0.0;    ///< P(return -runtime)
+  double spike_rate = 0.0;       ///< P(runtime *= spike_factor)
+  std::int64_t hang_ms = 50;     ///< injected hang duration (bounded!)
+  double spike_factor = 25.0;
+  /// Sticky faults: triples listed here fail on EVERY attempt (exercises
+  /// quarantine). Key format: "<arch>/<app>/<sample_index>".
+  bool sticky = false;
+  /// > 0: throw util::StudyAbort after this many successful runs.
+  std::uint64_t kill_after_runs = 0;
+};
+
+class FaultInjectingRunner final : public Runner {
+ public:
+  FaultInjectingRunner(Runner& inner, FaultSpec spec)
+      : inner_(&inner), spec_(spec) {}
+
+  double run(const apps::Application& app, const apps::InputSize& input,
+             const arch::CpuArch& cpu, const rt::RtConfig& config,
+             std::uint64_t batch_seed, int repetition,
+             std::uint64_t sample_index) override;
+
+  /// Successful (non-faulted) runs forwarded so far.
+  std::uint64_t completed_runs() const { return completed_; }
+  std::uint64_t injected_faults() const { return injected_; }
+
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  Runner* inner_;
+  FaultSpec spec_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t injected_ = 0;
+  /// Attempt counters per (batch_seed, sample_index, repetition) so retries
+  /// of the same sample see a fresh (but deterministic) fault draw.
+  std::map<std::string, int> attempts_;
+};
+
+}  // namespace omptune::sim

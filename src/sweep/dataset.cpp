@@ -1,8 +1,10 @@
 #include "sweep/dataset.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "util/errors.hpp"
 #include "util/strings.hpp"
 
 namespace omptune::sweep {
@@ -20,11 +22,44 @@ std::int64_t blocktime_from_string(const std::string& text) {
   return *value;
 }
 
+/// Numeric field that must be finite (runtime/speedup columns).
+double finite_cell(const util::CsvTable& table, std::size_t row,
+                   const std::string& col) {
+  const double value = table.cell_as_double(row, col);
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("column '" + col + "' has non-finite value '" +
+                                table.cell(row, col) + "'");
+  }
+  return value;
+}
+
 }  // namespace
+
+std::string to_string(SampleStatus status) {
+  switch (status) {
+    case SampleStatus::Ok: return "ok";
+    case SampleStatus::Retried: return "retried";
+    case SampleStatus::Quarantined: return "quarantined";
+  }
+  return "ok";
+}
+
+SampleStatus sample_status_from_string(const std::string& text) {
+  if (text == "ok" || text.empty()) return SampleStatus::Ok;
+  if (text == "retried") return SampleStatus::Retried;
+  if (text == "quarantined") return SampleStatus::Quarantined;
+  throw std::invalid_argument("bad sample status '" + text + "'");
+}
 
 void Dataset::append(Dataset other) {
   samples_.reserve(samples_.size() + other.samples_.size());
   for (Sample& s : other.samples_) samples_.push_back(std::move(s));
+}
+
+std::size_t Dataset::quarantined_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(samples_.begin(), samples_.end(),
+                    [](const Sample& s) { return s.is_quarantined(); }));
 }
 
 util::CsvTable Dataset::to_csv() const {
@@ -36,7 +71,7 @@ util::CsvTable Dataset::to_csv() const {
       "arch",   "app",      "suite",     "kind",      "input",
       "threads", "places",  "proc_bind", "schedule",  "library",
       "blocktime", "reduction", "align", "mean_runtime", "default_runtime",
-      "speedup", "is_default"};
+      "speedup", "is_default", "status", "attempts", "error"};
   for (std::size_t r = 0; r < reps; ++r) {
     header.push_back("runtime_" + std::to_string(r));
   }
@@ -61,6 +96,9 @@ util::CsvTable Dataset::to_csv() const {
         util::format_double(s.default_runtime, 9),
         util::format_double(s.speedup, 6),
         s.is_default ? "1" : "0",
+        to_string(s.status),
+        std::to_string(s.attempts),
+        s.error,
     };
     for (std::size_t r = 0; r < reps; ++r) {
       row.push_back(r < s.runtimes.size()
@@ -72,39 +110,74 @@ util::CsvTable Dataset::to_csv() const {
   return table;
 }
 
-Dataset Dataset::from_csv(const util::CsvTable& table) {
+Dataset Dataset::from_csv(const util::CsvTable& table,
+                          const std::string& source) {
   Dataset out;
+  const auto has_col = [&table](const std::string& name) {
+    const auto& header = table.header();
+    return std::find(header.begin(), header.end(), name) != header.end();
+  };
+  // Datasets written before the resilience layer lack the status columns;
+  // default those to a clean first-try measurement.
+  const bool has_status = has_col("status");
+  const bool has_attempts = has_col("attempts");
+  const bool has_error = has_col("error");
+
   // Repetition columns are the trailing runtime_N columns.
   std::vector<std::size_t> rep_cols;
   for (std::size_t c = 0; c < table.header().size(); ++c) {
     if (util::starts_with(table.header()[c], "runtime_")) rep_cols.push_back(c);
   }
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
-    Sample s;
-    s.arch = table.cell(i, "arch");
-    s.app = table.cell(i, "app");
-    s.suite = table.cell(i, "suite");
-    s.kind = table.cell(i, "kind");
-    s.input = table.cell(i, "input");
-    s.threads = static_cast<int>(table.cell_as_double(i, "threads"));
-    s.config.num_threads = s.threads;
-    s.config.places = arch::places_from_string(table.cell(i, "places"));
-    s.config.bind = arch::bind_from_string(table.cell(i, "proc_bind"));
-    s.config.schedule = rt::schedule_from_string(table.cell(i, "schedule"));
-    s.config.library = rt::library_from_string(table.cell(i, "library"));
-    s.config.blocktime_ms = blocktime_from_string(table.cell(i, "blocktime"));
-    s.config.reduction = rt::reduction_from_string(table.cell(i, "reduction"));
-    s.config.align_alloc = static_cast<int>(table.cell_as_double(i, "align"));
-    s.mean_runtime = table.cell_as_double(i, "mean_runtime");
-    s.default_runtime = table.cell_as_double(i, "default_runtime");
-    s.speedup = table.cell_as_double(i, "speedup");
-    s.is_default = table.cell(i, "is_default") == "1";
-    for (const std::size_t c : rep_cols) {
-      s.runtimes.push_back(table.cell_as_double(i, table.header()[c]));
+    try {
+      Sample s;
+      s.arch = table.cell(i, "arch");
+      s.app = table.cell(i, "app");
+      s.suite = table.cell(i, "suite");
+      s.kind = table.cell(i, "kind");
+      s.input = table.cell(i, "input");
+      s.threads = static_cast<int>(table.cell_as_double(i, "threads"));
+      s.config.num_threads = s.threads;
+      s.config.places = arch::places_from_string(table.cell(i, "places"));
+      s.config.bind = arch::bind_from_string(table.cell(i, "proc_bind"));
+      s.config.schedule = rt::schedule_from_string(table.cell(i, "schedule"));
+      s.config.library = rt::library_from_string(table.cell(i, "library"));
+      s.config.blocktime_ms = blocktime_from_string(table.cell(i, "blocktime"));
+      s.config.reduction = rt::reduction_from_string(table.cell(i, "reduction"));
+      s.config.align_alloc = static_cast<int>(table.cell_as_double(i, "align"));
+      s.mean_runtime = finite_cell(table, i, "mean_runtime");
+      s.default_runtime = finite_cell(table, i, "default_runtime");
+      s.speedup = finite_cell(table, i, "speedup");
+      s.is_default = table.cell(i, "is_default") == "1";
+      s.status = has_status ? sample_status_from_string(table.cell(i, "status"))
+                            : SampleStatus::Ok;
+      s.attempts = has_attempts
+                       ? static_cast<int>(table.cell_as_double(i, "attempts"))
+                       : 1;
+      s.error = has_error ? table.cell(i, "error") : std::string();
+      for (const std::size_t c : rep_cols) {
+        s.runtimes.push_back(finite_cell(table, i, table.header()[c]));
+      }
+      out.add(std::move(s));
+    } catch (const util::DataCorruptionError&) {
+      throw;
+    } catch (const std::exception& error) {
+      throw util::DataCorruptionError(
+          (source.empty() ? std::string("<dataset>") : source) + " row " +
+          std::to_string(i + 1) + ": " + error.what());
     }
-    out.add(std::move(s));
   }
   return out;
+}
+
+Dataset Dataset::load_csv_file(const std::string& path) {
+  try {
+    return from_csv(util::CsvTable::read_file(path), path);
+  } catch (const util::DataCorruptionError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw util::DataCorruptionError(path + ": " + error.what());
+  }
 }
 
 }  // namespace omptune::sweep

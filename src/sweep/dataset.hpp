@@ -15,6 +15,19 @@
 
 namespace omptune::sweep {
 
+/// Collection status of one sample. Anything other than Ok means the
+/// measurement pipeline intervened; Quarantined samples carry no valid
+/// runtime and MUST be excluded from speedup enrichment and downstream
+/// statistics/ML (see analysis::best_per_setting, core::Study::analyze).
+enum class SampleStatus {
+  Ok,          ///< measured first try
+  Retried,     ///< measured after >= 1 transient failure
+  Quarantined  ///< all attempts failed; runtimes are placeholders (0)
+};
+
+std::string to_string(SampleStatus status);
+SampleStatus sample_status_from_string(const std::string& text);
+
 struct Sample {
   std::string arch;
   std::string app;
@@ -28,6 +41,11 @@ struct Sample {
   double default_runtime = 0.0;  ///< mean runtime of the setting's default
   double speedup = 0.0;          ///< default_runtime / mean_runtime
   bool is_default = false;
+  SampleStatus status = SampleStatus::Ok;
+  int attempts = 1;        ///< measurement attempts consumed (max over reps)
+  std::string error;       ///< last failure message when status != Ok
+
+  bool is_quarantined() const { return status == SampleStatus::Quarantined; }
 };
 
 /// Column-stable dataset container.
@@ -65,12 +83,31 @@ class Dataset {
     return out;
   }
 
+  /// Samples whose status is not Quarantined — the only rows statistics and
+  /// ML paths may consume.
+  Dataset ok_samples() const {
+    return filter([](const Sample& s) { return !s.is_quarantined(); });
+  }
+
+  /// Number of quarantined samples.
+  std::size_t quarantined_count() const;
+
   /// Serialize to the open-data CSV schema (one row per sample, one column
   /// per variable plus all repetition runtimes).
   util::CsvTable to_csv() const;
 
-  /// Parse a dataset back from its CSV form.
-  static Dataset from_csv(const util::CsvTable& table);
+  /// Parse a dataset back from its CSV form. `source` names the origin
+  /// (file name) for error messages. Malformed rows raise
+  /// util::DataCorruptionError carrying `source` and the 1-based data row
+  /// number; non-finite runtime/speedup fields are rejected the same way.
+  static Dataset from_csv(const util::CsvTable& table,
+                          const std::string& source = "");
+
+  /// Load a dataset CSV file. Every failure mode — unreadable file, broken
+  /// quoting, short rows, non-numeric or non-finite fields — surfaces as
+  /// util::DataCorruptionError; this never returns a silently truncated
+  /// dataset.
+  static Dataset load_csv_file(const std::string& path);
 
  private:
   std::vector<Sample> samples_;

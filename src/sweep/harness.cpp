@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/errors.hpp"
 #include "util/rng.hpp"
 
 namespace omptune::sweep {
@@ -71,6 +72,12 @@ ArchPlan arch_plan(arch::ArchId id, std::size_t total_samples) {
 
 }  // namespace
 
+std::string setting_key(const std::string& arch_name,
+                        const StudySetting& setting) {
+  return arch_name + "/" + setting.app->name() + "/" + setting.input.name +
+         "/" + std::to_string(setting.num_threads);
+}
+
 std::size_t ArchPlan::total_samples() const {
   std::size_t total = 0;
   for (const std::size_t c : configs_per_setting) total += c;
@@ -119,7 +126,8 @@ SweepHarness::SweepHarness(sim::Runner& runner, int repetitions,
 
 Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
                                   const StudySetting& setting,
-                                  std::size_t config_count) {
+                                  std::size_t config_count,
+                                  ResiliencePolicy* policy) {
   const ConfigSpace space = ConfigSpace::paper_space(cpu);
   const std::uint64_t batch_seed = util::hash_combine(
       util::hash_combine(seed_, util::stable_hash(cpu.name)),
@@ -148,23 +156,65 @@ Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
   }
   for (int rep = 0; rep < repetitions_; ++rep) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
-      samples[i].runtimes.push_back(runner_->run(*setting.app, setting.input,
-                                                 cpu, configs[i], batch_seed,
-                                                 rep, i));
+      Sample& s = samples[i];
+      if (s.is_quarantined()) continue;  // one bad repetition voids the mean
+      if (policy == nullptr) {
+        s.runtimes.push_back(runner_->run(*setting.app, setting.input, cpu,
+                                          configs[i], batch_seed, rep, i));
+        continue;
+      }
+      const MeasureOutcome outcome =
+          policy->measure(*runner_, *setting.app, setting.input, cpu,
+                          configs[i], batch_seed, rep, i);
+      s.attempts = std::max(s.attempts, outcome.attempts);
+      if (outcome.status == SampleStatus::Quarantined) {
+        s.status = SampleStatus::Quarantined;
+        s.error = outcome.error;
+      } else {
+        s.runtimes.push_back(outcome.runtime);
+        if (outcome.status == SampleStatus::Retried &&
+            s.status == SampleStatus::Ok) {
+          s.status = SampleStatus::Retried;
+          s.error = outcome.error;
+        }
+      }
+    }
+  }
+
+  // The paper's speedups are defined against the setting's default
+  // configuration: if the default itself quarantined, no sample of the
+  // setting can be enriched, so the whole batch is quarantined.
+  if (samples.front().is_quarantined()) {
+    for (Sample& s : samples) {
+      if (!s.is_quarantined()) {
+        s.status = SampleStatus::Quarantined;
+        s.error = "setting default quarantined: " + samples.front().error;
+      }
+    }
+  }
+
+  // Quarantined samples carry placeholder runtimes so the CSV schema stays
+  // rectangular (and loadable: the loader rejects non-finite cells).
+  for (Sample& s : samples) {
+    if (s.is_quarantined()) {
+      s.runtimes.assign(static_cast<std::size_t>(repetitions_), 0.0);
+      s.mean_runtime = 0.0;
     }
   }
 
   // Averaging across repetitions mitigates the measured variation (paper
   // IV-C), then speedup = default mean / config mean.
   for (Sample& s : samples) {
+    if (s.is_quarantined()) continue;
     double sum = 0.0;
     for (const double r : s.runtimes) sum += r;
     s.mean_runtime = sum / static_cast<double>(s.runtimes.size());
   }
-  const double default_mean = samples.front().mean_runtime;
+  const bool default_ok = !samples.front().is_quarantined();
+  const double default_mean = default_ok ? samples.front().mean_runtime : 0.0;
   for (Sample& s : samples) {
     s.default_runtime = default_mean;
-    s.speedup = default_mean / s.mean_runtime;
+    s.speedup = s.is_quarantined() ? 0.0 : default_mean / s.mean_runtime;
     dataset.add(std::move(s));
   }
   return dataset;
@@ -173,18 +223,55 @@ Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
 Dataset SweepHarness::run_study(
     const StudyPlan& plan,
     const std::function<void(const std::string&)>& progress) {
+  StudyRunOptions options;
+  options.progress = progress;
+  return run_study(plan, options);
+}
+
+Dataset SweepHarness::run_study(const StudyPlan& plan,
+                                const StudyRunOptions& options) {
+  std::unique_ptr<StudyJournal> journal;
+  if (!options.journal_dir.empty()) {
+    journal = std::make_unique<StudyJournal>(options.journal_dir);
+  }
+  ResiliencePolicy* policy = nullptr;
+  if (options.resilient) {
+    last_policy_ = std::make_unique<ResiliencePolicy>(options.resilience);
+    policy = last_policy_.get();
+  }
+
   Dataset dataset;
   for (const ArchPlan& arch_plan : plan.arch_plans) {
     const arch::CpuArch& cpu = arch::architecture(arch_plan.arch);
     for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
       const StudySetting& setting = arch_plan.settings[i];
-      dataset.append(
-          run_setting(cpu, setting, arch_plan.configs_per_setting[i]));
-      if (progress) {
-        progress(cpu.name + "/" + setting.app->name() + "/" +
-                 setting.input.name + " threads=" +
-                 std::to_string(setting.num_threads) + " -> " +
-                 std::to_string(dataset.size()) + " samples");
+      const std::size_t config_count = arch_plan.configs_per_setting[i];
+      const std::string key = setting_key(cpu.name, setting);
+
+      bool resumed = false;
+      if (journal && options.resume && journal->contains(key)) {
+        try {
+          dataset.append(journal->load(key, config_count));
+          resumed = true;
+        } catch (const util::DataCorruptionError& error) {
+          // A garbled or short entry is discarded and the setting
+          // recollected — never silently trusted.
+          journal->discard(key);
+          if (options.progress) {
+            options.progress(key + " journal entry invalid, recollecting (" +
+                            error.what() + ")");
+          }
+        }
+      }
+      if (!resumed) {
+        Dataset batch = run_setting(cpu, setting, config_count, policy);
+        // Write-ahead: persist before the study depends on the data.
+        if (journal) journal->record(key, batch);
+        dataset.append(std::move(batch));
+      }
+      if (options.progress) {
+        options.progress(key + " -> " + std::to_string(dataset.size()) +
+                         " samples" + (resumed ? " (resumed)" : ""));
       }
     }
   }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "sim/executor.hpp"
 #include "sweep/config_space.hpp"
 #include "sweep/dataset.hpp"
+#include "sweep/journal.hpp"
+#include "sweep/resilience.hpp"
 
 namespace omptune::sweep {
 
@@ -37,6 +40,13 @@ struct StudySetting {
   apps::InputSize input;
   int num_threads = 0;  ///< 0 = architecture default (all cores)
 };
+
+/// Canonical identity of a setting: "arch/app/input/threads". Used as the
+/// journal key and the sharding merge key — and, crucially, as the basis of
+/// the per-setting RNG seed, so a setting collects identical samples
+/// regardless of where in a (possibly resumed or sharded) study it runs.
+std::string setting_key(const std::string& arch_name,
+                        const StudySetting& setting);
 
 /// Per-architecture slice of the study.
 struct ArchPlan {
@@ -62,6 +72,25 @@ struct StudyPlan {
                              std::size_t configs_per_setting);
 };
 
+/// Fault-tolerance knobs for run_study. Default-constructed options behave
+/// exactly like the bare overload: no journal, no resume, direct runner
+/// calls.
+struct StudyRunOptions {
+  /// Journal directory; empty disables journaling. With a journal, each
+  /// completed setting is persisted via an atomic write before the study
+  /// moves on (write-ahead: a crash loses at most the in-flight setting).
+  std::string journal_dir;
+  /// Replay settings already completed in the journal instead of
+  /// recollecting them. Because per-setting seeds derive from setting_key,
+  /// the resumed dataset is bit-identical to an uninterrupted run.
+  bool resume = false;
+  /// Guard every Runner call with retry/timeout/quarantine handling. When
+  /// false, runner exceptions propagate (the seed behaviour).
+  bool resilient = false;
+  ResilienceOptions resilience;
+  std::function<void(const std::string&)> progress;
+};
+
 /// Runs a plan against a Runner and produces the dataset.
 class SweepHarness {
  public:
@@ -71,12 +100,29 @@ class SweepHarness {
                         std::uint64_t seed = 0x0417D5EEDull);
 
   /// Sweep one setting: every sampled configuration, `repetitions` times.
+  /// With a `policy`, failed measurements are retried and finally
+  /// quarantined (status column) rather than thrown; if the setting's
+  /// default configuration quarantines, the whole setting is quarantined,
+  /// since the paper's speedups are defined against that default.
   Dataset run_setting(const arch::CpuArch& cpu, const StudySetting& setting,
-                      std::size_t config_count);
+                      std::size_t config_count,
+                      ResiliencePolicy* policy = nullptr);
 
   /// Run a whole plan. `progress` (optional) is called after each setting.
   Dataset run_study(const StudyPlan& plan,
                     const std::function<void(const std::string&)>& progress = {});
+
+  /// Run a whole plan with fault tolerance (journaling / resume /
+  /// retry+quarantine). With `options.resilient`, no runner failure escapes:
+  /// exhausted samples are quarantined and the study completes
+  /// (util::StudyAbort — simulated process death — still escapes, by
+  /// design). A journal entry that fails validation on resume is discarded
+  /// and its setting recollected.
+  Dataset run_study(const StudyPlan& plan, const StudyRunOptions& options);
+
+  /// The policy of the last resilient run_study (quarantine list, retry
+  /// totals); nullptr before the first resilient run.
+  const ResiliencePolicy* last_policy() const { return last_policy_.get(); }
 
   int repetitions() const { return repetitions_; }
 
@@ -84,6 +130,7 @@ class SweepHarness {
   sim::Runner* runner_;
   int repetitions_;
   std::uint64_t seed_;
+  std::unique_ptr<ResiliencePolicy> last_policy_;
 };
 
 }  // namespace omptune::sweep

@@ -1,0 +1,60 @@
+#pragma once
+
+// Write-ahead journal for resumable studies.
+//
+// A study is a sequence of settings; the journal persists each setting's
+// samples to its own CSV file the moment the setting completes, via an
+// atomic temp-file + fsync + rename write (util::atomic_write_file). A
+// crash therefore loses at most the in-flight setting; on resume the
+// harness replays completed settings from disk and recollects only the
+// rest. Because per-setting RNG seeds derive from the setting key (not the
+// global sequence position), a resumed study is bit-identical to an
+// uninterrupted one.
+//
+// Layout: <dir>/<sanitized-key>-<hash16>.csv — human-greppable prefix plus
+// a stable 64-bit hash so distinct keys can never collide after
+// sanitization. Loading validates the CSV and, when the caller knows it,
+// the sample count; every validation failure surfaces as
+// util::DataCorruptionError, never as a silently short dataset.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/dataset.hpp"
+
+namespace omptune::sweep {
+
+class StudyJournal {
+ public:
+  /// Opens (and creates, if needed) the journal directory.
+  explicit StudyJournal(std::string directory);
+
+  const std::string& directory() const { return directory_; }
+
+  /// Whether a completed entry for `key` exists.
+  bool contains(const std::string& key) const;
+
+  /// Persist a setting's samples under `key` (atomic replace).
+  void record(const std::string& key, const Dataset& dataset) const;
+
+  /// Load the entry for `key`. `expected_samples` > 0 additionally asserts
+  /// the stored sample count (a clean-boundary truncation is otherwise
+  /// undetectable). Throws util::DataCorruptionError on a missing,
+  /// malformed, or short entry.
+  Dataset load(const std::string& key, std::size_t expected_samples = 0) const;
+
+  /// Remove the entry for `key` if present.
+  void discard(const std::string& key) const;
+
+  /// Keys with completed entries, sorted by file name.
+  std::vector<std::string> entry_files() const;
+
+  /// File path backing `key` (exposed for tests that corrupt entries).
+  std::string entry_path(const std::string& key) const;
+
+ private:
+  std::string directory_;
+};
+
+}  // namespace omptune::sweep

@@ -26,11 +26,6 @@ StudyPlan shard_plan(const StudyPlan& plan, std::size_t index, std::size_t count
 
 namespace {
 
-std::string setting_key(const std::string& arch, const StudySetting& setting) {
-  return arch + "/" + setting.app->name() + "/" + setting.input.name + "/" +
-         std::to_string(setting.num_threads);
-}
-
 std::string sample_key(const Sample& sample) {
   // The sample stores the resolved team size; recover the plan's
   // num_threads: VaryInputSize settings use 0 (all cores).
@@ -46,7 +41,8 @@ std::string sample_key(const Sample& sample) {
 
 }  // namespace
 
-Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards) {
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
+                     MergeReport* report) {
   // Bucket every shard's samples by setting.
   std::map<std::string, std::vector<const Sample*>> buckets;
   for (const Dataset& shard : shards) {
@@ -55,6 +51,7 @@ Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards) 
     }
   }
 
+  if (report) *report = MergeReport{};
   Dataset merged;
   for (const ArchPlan& arch_plan : plan.arch_plans) {
     const std::string arch_name = arch::architecture(arch_plan.arch).name;
@@ -73,7 +70,19 @@ Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards) 
             std::to_string(it->second.size()) + " samples, plan expects " +
             std::to_string(arch_plan.configs_per_setting[i]));
       }
-      for (const Sample* sample : it->second) merged.add(*sample);
+      std::size_t quarantined = 0;
+      for (const Sample* sample : it->second) {
+        if (sample->is_quarantined()) ++quarantined;
+        merged.add(*sample);
+      }
+      if (report) {
+        report->total_samples += it->second.size();
+        report->quarantined_samples += quarantined;
+        if (quarantined > 0) {
+          report->quarantined_settings.push_back(
+              QuarantinedSetting{key, quarantined, it->second.size()});
+        }
+      }
     }
   }
   return merged;

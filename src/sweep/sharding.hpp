@@ -4,8 +4,26 @@
 // this utility splits a StudyPlan into independent shards (one per batch
 // job) whose datasets merge back into the exact single-run result —
 // sharding must not change the collected data, only who collects it.
+//
+// Invariants:
+//  - shard_plan partitions the settings: every setting of `plan` appears in
+//    exactly one shard, and shard counts may exceed the number of settings
+//    (the surplus shards are simply empty plans — running one yields an
+//    empty dataset, and merge_shards tolerates empty shard datasets).
+//  - merge_shards reorders samples by the plan's setting order, keyed by
+//    setting_key(arch, setting); it validates that every setting is present
+//    exactly once with exactly the planned sample count, and throws
+//    std::invalid_argument (a caller/plan mismatch, not data corruption)
+//    otherwise.
+//  - Shards collected under a resilience policy may contain quarantined
+//    samples; those merge like any other sample (the quarantine status
+//    column survives the merge) and are surfaced through MergeReport
+//    instead of invalidating the shard — a flaky batch job loses its bad
+//    samples, never its good ones.
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "sweep/harness.hpp"
 
@@ -17,11 +35,25 @@ namespace omptune::sweep {
 /// index >= count or count == 0.
 StudyPlan shard_plan(const StudyPlan& plan, std::size_t index, std::size_t count);
 
+/// Per-setting quarantine tally surfaced by merge_shards.
+struct QuarantinedSetting {
+  std::string key;               ///< setting_key(arch, setting)
+  std::size_t quarantined = 0;   ///< quarantined samples in the setting
+  std::size_t total = 0;         ///< planned samples in the setting
+};
+
+struct MergeReport {
+  std::vector<QuarantinedSetting> quarantined_settings;
+  std::size_t quarantined_samples = 0;
+  std::size_t total_samples = 0;
+};
+
 /// Merge shard datasets (in any order) into one dataset ordered exactly as
-/// the unsharded run would produce: samples are keyed by
-/// (arch, app, input, threads) setting in `plan` order. Throws
-/// std::invalid_argument if a setting of the plan is missing from the
-/// shards or appears twice.
-Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards);
+/// the unsharded run would produce. Throws std::invalid_argument if a
+/// setting of the plan is missing from the shards or appears twice.
+/// `report` (optional) receives the quarantine tally — quarantined samples
+/// are merged and flagged, never dropped.
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
+                     MergeReport* report = nullptr);
 
 }  // namespace omptune::sweep

@@ -1,0 +1,81 @@
+#pragma once
+
+// Error taxonomy for the fault-tolerant collection pipeline.
+//
+// The study distinguishes three failure classes, because they demand three
+// different reactions:
+//  - Transient:       a retry may succeed (timeouts, spurious crashes,
+//                     non-finite measurements). The resilience policy retries
+//                     these with bounded deterministic backoff.
+//  - Permanent:       retrying is pointless (unsupported configuration,
+//                     invalid request). The offending sample is quarantined
+//                     immediately.
+//  - DataCorruption:  persisted state failed validation (garbled journal
+//                     entry, malformed dataset CSV). Never retried and never
+//                     silently dropped — the caller must decide whether to
+//                     recollect or abort.
+//
+// StudyAbort sits outside the taxonomy: it models process death or external
+// cancellation and is deliberately NEVER absorbed by the resilience layer,
+// so tests can kill a study at an arbitrary point and exercise resume.
+
+#include <stdexcept>
+#include <string>
+
+namespace omptune::util {
+
+enum class ErrorClass { Transient, Permanent, DataCorruption };
+
+inline const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::Transient: return "transient";
+    case ErrorClass::Permanent: return "permanent";
+    case ErrorClass::DataCorruption: return "data-corruption";
+  }
+  return "unknown";
+}
+
+/// Base of the taxonomy; carries its class for coarse dispatch.
+class TuneError : public std::runtime_error {
+ public:
+  TuneError(ErrorClass cls, const std::string& message)
+      : std::runtime_error(std::string(to_string(cls)) + ": " + message),
+        cls_(cls) {}
+
+  ErrorClass error_class() const { return cls_; }
+
+ private:
+  ErrorClass cls_;
+};
+
+/// A failure where retrying may succeed (timeout, flaky run, bad sample).
+class TransientError : public TuneError {
+ public:
+  explicit TransientError(const std::string& message)
+      : TuneError(ErrorClass::Transient, message) {}
+};
+
+/// A failure where retrying cannot succeed; quarantine instead.
+class PermanentError : public TuneError {
+ public:
+  explicit PermanentError(const std::string& message)
+      : TuneError(ErrorClass::Permanent, message) {}
+};
+
+/// Persisted data failed validation (journal entry, dataset CSV).
+class DataCorruptionError : public TuneError {
+ public:
+  explicit DataCorruptionError(const std::string& message)
+      : TuneError(ErrorClass::DataCorruption, message) {}
+};
+
+/// Simulated process death / external cancellation. Not a TuneError on
+/// purpose: the resilience layer must let it escape so an interrupted study
+/// stops exactly where a real crash would.
+class StudyAbort : public std::runtime_error {
+ public:
+  explicit StudyAbort(const std::string& message)
+      : std::runtime_error("study aborted: " + message) {}
+};
+
+}  // namespace omptune::util

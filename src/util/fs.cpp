@@ -1,0 +1,131 @@
+#include "util/fs.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace omptune::util {
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// fsync a path opened read-only (used for directories after rename).
+void fsync_path(const std::string& path) {
+#ifdef O_DIRECTORY
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+#endif
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  const stdfs::path target(path);
+  const std::string dir =
+      target.has_parent_path() ? target.parent_path().string() : std::string(".");
+  // The temp file must live in the same directory as the target, or the
+  // final rename() could cross filesystems and lose atomicity.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("atomic_write_file: open '" + tmp + "'");
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_errno("atomic_write_file: write '" + tmp + "'");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: fsync '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: close '" + tmp + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno("atomic_write_file: rename '" + tmp + "' -> '" + path + "'");
+  }
+  // Persist the directory entry so the rename survives a power loss.
+  fsync_path(dir);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (!file_exists(path)) return std::nullopt;
+    throw std::runtime_error("read_file: cannot open '" + path + "'");
+  }
+  std::ostringstream out;
+  out << is.rdbuf();
+  if (is.bad()) throw std::runtime_error("read_file: read of '" + path + "' failed");
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return stdfs::exists(path, ec);
+}
+
+void create_directories(const std::string& path) {
+  std::error_code ec;
+  stdfs::create_directories(path, ec);
+  if (ec) {
+    throw std::runtime_error("create_directories: '" + path + "': " + ec.message());
+  }
+}
+
+std::vector<std::string> list_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (!stdfs::is_directory(dir, ec)) return out;
+  for (const auto& entry : stdfs::directory_iterator(dir, ec)) {
+    std::error_code entry_ec;
+    if (entry.is_regular_file(entry_ec)) {
+      out.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  return stdfs::remove(path, ec);
+}
+
+std::string path_join(const std::string& a, const std::string& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const bool sep = a.back() == '/';
+  return sep ? a + b : a + "/" + b;
+}
+
+}  // namespace omptune::util

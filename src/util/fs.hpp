@@ -1,0 +1,39 @@
+#pragma once
+
+// Crash-safe filesystem helpers for the write-ahead journal: a reader must
+// never observe a half-written file, even if the process dies mid-write.
+// The standard recipe — write to a temp file in the same directory, fsync
+// the file, rename() over the destination, fsync the directory — makes the
+// replacement atomic on POSIX filesystems.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace omptune::util {
+
+/// Atomically replace `path` with `content` (temp file + fsync + rename).
+/// Throws std::runtime_error on any I/O failure; on failure the previous
+/// contents of `path` (if any) are left intact.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Whole-file read; nullopt if the file does not exist, throws
+/// std::runtime_error on other I/O failures.
+std::optional<std::string> read_file(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+/// mkdir -p. Throws std::runtime_error on failure.
+void create_directories(const std::string& path);
+
+/// Regular files directly inside `dir` (not recursive), sorted by name.
+/// Returns an empty list if `dir` does not exist.
+std::vector<std::string> list_files(const std::string& dir);
+
+/// Remove a file if present; returns whether anything was removed.
+bool remove_file(const std::string& path);
+
+/// `a + "/" + b` with separator de-duplication.
+std::string path_join(const std::string& a, const std::string& b);
+
+}  // namespace omptune::util

@@ -6,15 +6,25 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cmath>
+#include <filesystem>
 #include <functional>
+#include <sstream>
 
 #include "analysis/speedup.hpp"
 #include "arch/cpu_arch.hpp"
 #include "rt/schedule.hpp"
 #include "rt/thread_team.hpp"
+#include "sim/executor.hpp"
 #include "sweep/config_space.hpp"
+#include "sweep/harness.hpp"
+#include "sweep/journal.hpp"
 #include "util/env.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
 #include "util/rng.hpp"
 
 namespace omptune {
@@ -164,6 +174,182 @@ TEST(DatasetFuzz, BestPerSettingInvariantsOnRandomData) {
       }
     }
     EXPECT_DOUBLE_EQ(b.best_speedup, max_speedup);
+  }
+}
+
+// ---- journal / dataset CSV corruption fuzz ---------------------------------
+
+/// A crash mid-append can leave a journal entry truncated at any byte, or
+/// (disk/firmware faults) with garbled bytes. Loading such an entry must
+/// either succeed with ALL samples intact or throw the taxonomy's
+/// data-corruption error — never UB, never a silently shorter dataset.
+class JournalCorruptionFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JournalCorruptionFuzz, TruncatedOrGarbledEntriesNeverLoseSamplesSilently) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 6151u + 13);
+
+  // One pristine journal entry to mutilate.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_fuzz_journal_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+  sweep::StudyJournal journal(dir);
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 2, 3);
+  const auto& cpu = architecture(ArchId::Milan);
+  sweep::StudySetting setting{&apps::find_application("xsbench"),
+                              apps::find_application("xsbench").default_input(),
+                              48};
+  const std::size_t count = 15;
+  journal.record("fuzz", harness.run_setting(cpu, setting, count));
+  const std::string pristine = util::read_file(journal.entry_path("fuzz")).value();
+
+  for (int i = 0; i < 40; ++i) {
+    std::string mutated = pristine;
+    if (rng.uniform() < 0.5) {
+      // Truncate at a random byte (crash mid-append).
+      mutated.resize(rng.uniform_index(mutated.size() + 1));
+    } else {
+      // Garble a random run of bytes.
+      const std::size_t at = rng.uniform_index(mutated.size());
+      const std::size_t len =
+          std::min<std::size_t>(1 + rng.uniform_index(24), mutated.size() - at);
+      for (std::size_t b = 0; b < len; ++b) {
+        mutated[at + b] = static_cast<char>(rng.uniform_index(256));
+      }
+    }
+    util::atomic_write_file(journal.entry_path("fuzz"), mutated);
+    try {
+      const sweep::Dataset loaded = journal.load("fuzz", count);
+      // Success is only acceptable with every sample present and finite.
+      ASSERT_EQ(loaded.size(), count);
+      for (const auto& s : loaded.samples()) {
+        ASSERT_TRUE(std::isfinite(s.mean_runtime));
+        ASSERT_TRUE(std::isfinite(s.speedup));
+      }
+    } catch (const util::DataCorruptionError&) {
+      // The only acceptable failure mode.
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JournalCorruptionFuzz, ::testing::Range(0, 4));
+
+TEST(DatasetCsvFuzz, RoundTripSurvivesAndCorruptionIsTyped) {
+  // Dataset::load_csv_file normalizes every parse failure (bad quoting,
+  // short rows, non-numeric cells, non-finite values) to
+  // util::DataCorruptionError.
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 2, 3);
+  const auto& cpu = architecture(ArchId::A64FX);
+  sweep::StudySetting setting{
+      &apps::find_application("nqueens"),
+      apps::find_application("nqueens").input_sizes().front(), 0};
+  const sweep::Dataset dataset = harness.run_setting(cpu, setting, 20);
+
+  std::ostringstream os;
+  dataset.to_csv().write(os);
+  const std::string text = os.str();
+
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("omptune_fuzz_csv_" + std::to_string(::getpid())))
+                              .string();
+  std::filesystem::remove_all(dir);
+  util::create_directories(dir);
+  const std::string path = util::path_join(dir, "d.csv");
+
+  // Pristine file round-trips.
+  util::atomic_write_file(path, text);
+  EXPECT_EQ(sweep::Dataset::load_csv_file(path).size(), dataset.size());
+
+  util::Xoshiro256 rng(1234);
+  int rejected = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::string mutated = text;
+    const std::size_t at = rng.uniform_index(mutated.size());
+    if (rng.uniform() < 0.4) {
+      mutated.resize(at);
+    } else {
+      mutated[at] = static_cast<char>(rng.uniform_index(256));
+    }
+    util::atomic_write_file(path, mutated);
+    try {
+      const sweep::Dataset loaded = sweep::Dataset::load_csv_file(path);
+      for (const auto& s : loaded.samples()) {
+        ASSERT_TRUE(std::isfinite(s.mean_runtime));
+      }
+    } catch (const util::DataCorruptionError& error) {
+      ++rejected;
+      // Errors must carry the file name for operator forensics.
+      EXPECT_NE(std::string(error.what()).find("d.csv"), std::string::npos);
+    }
+  }
+  EXPECT_GT(rejected, 0);  // mutations do get caught, not absorbed
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCsvFuzz, ParseErrorsNameFileAndRow) {
+  const std::string dir = (std::filesystem::temp_directory_path() /
+                           ("omptune_fuzz_row_" + std::to_string(::getpid())))
+                              .string();
+  std::filesystem::remove_all(dir);
+  util::create_directories(dir);
+  const std::string path = util::path_join(dir, "rows.csv");
+
+  // Row 2 has a bad blocktime; the error must say so, by file and row.
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 1, 3);
+  const auto& cpu = architecture(ArchId::Milan);
+  sweep::StudySetting setting{&apps::find_application("cg"),
+                              apps::find_application("cg").input_sizes().front(),
+                              0};
+  auto table = harness.run_setting(cpu, setting, 3).to_csv();
+  util::CsvTable bad(table.header());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    auto row = table.row(r);
+    if (r == 1) row[table.col_index("blocktime")] = "soonish";
+    bad.add_row(row);
+  }
+  std::ostringstream os;
+  bad.write(os);
+  util::atomic_write_file(path, os.str());
+
+  try {
+    sweep::Dataset::load_csv_file(path);
+    FAIL() << "expected DataCorruptionError";
+  } catch (const util::DataCorruptionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("rows.csv"), std::string::npos) << what;
+    EXPECT_NE(what.find("row 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("soonish"), std::string::npos) << what;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCsvFuzz, NonFiniteNumericFieldsAreRejected) {
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 1, 3);
+  const auto& cpu = architecture(ArchId::Milan);
+  sweep::StudySetting setting{&apps::find_application("cg"),
+                              apps::find_application("cg").input_sizes().front(),
+                              0};
+  auto table = harness.run_setting(cpu, setting, 2).to_csv();
+  for (const char* poison : {"nan", "inf", "-inf"}) {
+    util::CsvTable bad(table.header());
+    for (std::size_t r = 0; r < table.num_rows(); ++r) {
+      auto row = table.row(r);
+      if (r == 0) row[table.col_index("speedup")] = poison;
+      bad.add_row(row);
+    }
+    try {
+      sweep::Dataset::from_csv(bad, "poisoned.csv");
+      FAIL() << "expected rejection of speedup=" << poison;
+    } catch (const util::DataCorruptionError& error) {
+      EXPECT_NE(std::string(error.what()).find("row 1"), std::string::npos);
+    }
   }
 }
 

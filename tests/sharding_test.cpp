@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/executor.hpp"
+#include "sim/fault_runner.hpp"
 #include "sweep/sharding.hpp"
 
 namespace omptune::sweep {
@@ -76,6 +77,72 @@ TEST(Sharding, MergeDetectsMissingAndDuplicatedSettings) {
   // Duplicated: the same shard twice.
   const Dataset other = harness.run_study(shard_plan(plan, 1, 2));
   EXPECT_THROW(merge_shards(plan, {half, half, other}), std::invalid_argument);
+}
+
+TEST(Sharding, ShardCountMayExceedSettings) {
+  // More shards than settings: the surplus shards are empty plans, running
+  // them yields empty datasets, and the merge still reconstructs the
+  // reference exactly.
+  const StudyPlan plan = StudyPlan::mini_plan(1, 10);  // 3 settings total
+  std::size_t total_settings = 0;
+  for (const auto& arch_plan : plan.arch_plans) {
+    total_settings += arch_plan.settings.size();
+  }
+  const std::size_t shard_count = total_settings + 4;
+
+  sim::ModelRunner runner_a;
+  SweepHarness single(runner_a, 2);
+  const Dataset reference = single.run_study(plan);
+
+  std::vector<Dataset> shard_data;
+  std::size_t empty_shards = 0;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const StudyPlan shard = shard_plan(plan, i, shard_count);
+    sim::ModelRunner runner_b;
+    SweepHarness harness(runner_b, 2);
+    shard_data.push_back(harness.run_study(shard));
+    if (shard_data.back().size() == 0) ++empty_shards;
+  }
+  EXPECT_EQ(empty_shards, shard_count - total_settings);
+
+  const Dataset merged = merge_shards(plan, shard_data);
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.samples()[i].runtimes, reference.samples()[i].runtimes);
+  }
+}
+
+TEST(Sharding, MergeCarriesQuarantinedSamplesAndReportsThem) {
+  const StudyPlan plan = StudyPlan::mini_plan(2, 8);
+
+  std::vector<Dataset> shard_data;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim::ModelRunner inner;
+    sim::FaultSpec spec;
+    spec.seed = 17;
+    spec.crash_rate = i == 1 ? 0.04 : 0.0;  // only shard 1 is on a bad node
+    spec.sticky = true;
+    sim::FaultInjectingRunner runner(inner, spec);
+    SweepHarness harness(runner, 2);
+    StudyRunOptions options;
+    options.resilient = true;
+    options.resilience.max_retries = 1;
+    shard_data.push_back(harness.run_study(shard_plan(plan, i, 3), options));
+  }
+  std::size_t quarantined_in = 0;
+  for (const Dataset& d : shard_data) quarantined_in += d.quarantined_count();
+  ASSERT_GT(quarantined_in, 0u) << "fault injection produced no quarantine";
+
+  MergeReport report;
+  const Dataset merged = merge_shards(plan, shard_data, &report);
+  EXPECT_EQ(merged.quarantined_count(), quarantined_in);
+  EXPECT_EQ(report.quarantined_samples, quarantined_in);
+  EXPECT_EQ(report.total_samples, merged.size());
+  std::size_t reported = 0;
+  for (const auto& entry : report.quarantined_settings) {
+    reported += entry.quarantined;
+  }
+  EXPECT_EQ(reported, quarantined_in);
 }
 
 }  // namespace

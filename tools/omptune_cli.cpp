@@ -3,6 +3,10 @@
 //   omptune list                       applications and architectures
 //   omptune study [N] [out.csv]       run the study (N configs/setting;
 //                                      0 or omitted = full Table II scale)
+//     --journal=<dir>                  write-ahead journal per setting
+//     --resume                         replay completed journal entries
+//     --max-retries=<N>                retries per failed sample (default 2)
+//     --sample-timeout-ms=<T>          per-sample watchdog deadline
 //   omptune analyze <dataset.csv>     re-derive every artefact from a CSV
 //   omptune recommend <app> <arch>    variable priority + best known config
 //   omptune tune <app> <arch> [strategy] [budget]
@@ -13,6 +17,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/recommend.hpp"
 #include "core/study.hpp"
@@ -34,6 +39,10 @@ int usage() {
       "usage: omptune <command> [args]\n"
       "  list                              applications and architectures\n"
       "  study [configs] [out.csv]         run the sweep (0 = full scale)\n"
+      "        [--journal=<dir>] [--resume]\n"
+      "        [--max-retries=N] [--sample-timeout-ms=T]\n"
+      "                                    checkpointed, resumable, fault-\n"
+      "                                    tolerant collection\n"
       "  analyze <dataset.csv>             derive artefacts from a dataset\n"
       "  recommend <app> <arch>            knowledge-based recommendation\n"
       "  tune <app> <arch> [strategy] [budget]\n"
@@ -115,8 +124,52 @@ int cmd_list() {
   return 0;
 }
 
+/// Parse the numeric value of a `--flag=N` argument; exits with a message
+/// naming the flag on anything that is not a plain non-negative integer.
+long long flag_value(const std::string& arg, std::size_t prefix_len) {
+  const std::string value = arg.substr(prefix_len);
+  const std::string flag = arg.substr(0, prefix_len - 1);
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "omptune study: %s expects a non-negative integer, got '%s'\n",
+                 flag.c_str(), value.c_str());
+    std::exit(2);
+  }
+  return std::stoll(value);
+}
+
 int cmd_study(int argc, char** argv) {
-  const std::size_t configs = argc > 2 ? std::stoul(argv[2]) : 0;
+  // Flags may appear anywhere after the command; the remaining positionals
+  // are [configs] [out.csv] as before.
+  sweep::StudyRunOptions options;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--journal=")) {
+      options.journal_dir = arg.substr(10);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (util::starts_with(arg, "--max-retries=")) {
+      options.resilient = true;
+      options.resilience.max_retries = static_cast<int>(flag_value(arg, 14));
+    } else if (util::starts_with(arg, "--sample-timeout-ms=")) {
+      options.resilient = true;
+      options.resilience.sample_timeout_ms = flag_value(arg, 20);
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "omptune study: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (options.resume && options.journal_dir.empty()) {
+    std::fprintf(stderr, "omptune study: --resume requires --journal=<dir>\n");
+    return usage();
+  }
+  // Journaled runs get the resilient path by default: a checkpointed study
+  // is expected to survive bad samples.
+  if (!options.journal_dir.empty()) options.resilient = true;
+
+  const std::size_t configs = !positional.empty() ? std::stoul(positional[0]) : 0;
   sim::ModelRunner runner;
   core::Study study(runner);
   sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
@@ -125,11 +178,26 @@ int cmd_study(int argc, char** argv) {
       for (auto& count : arch_plan.configs_per_setting) count = configs;
     }
   }
-  const core::StudyResult result = study.run(plan);
+
+  core::StudyOptions study_options;
+  sweep::SweepHarness harness(runner, study_options.repetitions,
+                              study_options.seed);
+  const sweep::Dataset dataset = harness.run_study(plan, options);
+  const core::StudyResult result = study.analyze(dataset);
   std::printf("collected %zu samples\n", result.dataset.size());
-  if (argc > 3) {
-    result.dataset.to_csv().write_file(argv[3]);
-    std::printf("dataset written to %s\n", argv[3]);
+  const std::size_t quarantined = result.dataset.quarantined_count();
+  if (quarantined > 0) {
+    std::printf("quarantined %zu samples (excluded from analysis)\n",
+                quarantined);
+  }
+  if (harness.last_policy() && harness.last_policy()->total_retries() > 0) {
+    std::printf("retries performed: %llu\n",
+                static_cast<unsigned long long>(
+                    harness.last_policy()->total_retries()));
+  }
+  if (positional.size() > 1) {
+    result.dataset.to_csv().write_file(positional[1]);
+    std::printf("dataset written to %s\n", positional[1].c_str());
   }
   print_artifacts(result);
   return 0;
