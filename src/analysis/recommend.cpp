@@ -6,6 +6,7 @@
 
 #include "analysis/speedup.hpp"
 #include "stats/descriptive.hpp"
+#include "store/reader.hpp"
 
 namespace omptune::analysis {
 
@@ -112,6 +113,15 @@ std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
               return a.lift > b.lift;
             });
   return recommendations;
+}
+
+std::vector<Recommendation> recommend_for_app(const store::StoreReader& store,
+                                              const std::string& app,
+                                              double tolerance,
+                                              double min_lift) {
+  store::StoreQuery query;
+  query.app = app;
+  return recommend_for_app(store.query(query), app, tolerance, min_lift);
 }
 
 std::vector<WorstTrend> worst_trends(const sweep::Dataset& dataset,

@@ -8,6 +8,10 @@
 
 #include "sweep/dataset.hpp"
 
+namespace omptune::store {
+class StoreReader;
+}
+
 namespace omptune::analysis {
 
 /// One recommended variable/value pair for an (app, arch) scope, with the
@@ -27,6 +31,14 @@ struct Recommendation {
 /// Returns per-arch recommendations, plus "all"-scoped entries for values
 /// dominant on every architecture (e.g. NQueens: KMP_LIBRARY=turnaround).
 std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
+                                              const std::string& app,
+                                              double tolerance = 0.01,
+                                              double min_lift = 1.3);
+
+/// Store-backed variant: materializes only `app`'s rows through the store's
+/// setting index — the other applications' samples (the vast majority of a
+/// study store) are never read.
+std::vector<Recommendation> recommend_for_app(const store::StoreReader& store,
                                               const std::string& app,
                                               double tolerance = 0.01,
                                               double min_lift = 1.3);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ml/features.hpp"
+#include "store/reader.hpp"
 #include "util/rng.hpp"
 
 namespace omptune::core {
@@ -43,6 +44,14 @@ std::vector<std::string> order_from_row(const analysis::InfluenceMap& map,
   return order;
 }
 
+/// The architecture's rows of a store, via the setting index.
+sweep::Dataset arch_slice(const store::StoreReader& reader,
+                          const std::string& arch) {
+  store::StoreQuery query;
+  query.arch = arch;
+  return reader.query(query);
+}
+
 }  // namespace
 
 KnowledgeBase::KnowledgeBase(const sweep::Dataset& dataset,
@@ -52,6 +61,15 @@ KnowledgeBase::KnowledgeBase(const sweep::Dataset& dataset,
           dataset, analysis::Grouping::PerArchApplication, label_threshold)),
       arch_influence_(analysis::influence_map(
           dataset, analysis::Grouping::PerArchitecture, label_threshold)) {}
+
+KnowledgeBase::KnowledgeBase(const store::StoreReader& reader,
+                             const std::string& arch, double label_threshold)
+    : owned_(arch_slice(reader, arch)),
+      dataset_(&owned_),
+      pair_influence_(analysis::influence_map(
+          owned_, analysis::Grouping::PerArchApplication, label_threshold)),
+      arch_influence_(analysis::influence_map(
+          owned_, analysis::Grouping::PerArchitecture, label_threshold)) {}
 
 std::vector<std::string> KnowledgeBase::variable_priority(
     const std::string& app, const std::string& arch) const {

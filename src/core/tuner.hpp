@@ -21,6 +21,10 @@
 #include "sweep/config_space.hpp"
 #include "sweep/dataset.hpp"
 
+namespace omptune::store {
+class StoreReader;
+}
+
 namespace omptune::core {
 
 /// Knowledge-based recommendations backed by a study dataset.
@@ -28,6 +32,13 @@ class KnowledgeBase {
  public:
   explicit KnowledgeBase(const sweep::Dataset& dataset,
                          double label_threshold = 1.01);
+
+  /// Build from an indexed .omps store, materializing only `arch`'s slice
+  /// of the dataset — the recommend hot path never parses the other
+  /// architectures' rows (or any CSV). The slice is owned by the knowledge
+  /// base; the reader is only used during construction.
+  KnowledgeBase(const store::StoreReader& reader, const std::string& arch,
+                double label_threshold = 1.01);
 
   /// Environment variables ordered by decreasing influence for the pair
   /// (falls back to the per-architecture, then global ordering when the
@@ -46,6 +57,7 @@ class KnowledgeBase {
   const analysis::InfluenceMap& pair_influence() const { return pair_influence_; }
 
  private:
+  sweep::Dataset owned_;  ///< store-backed slice; empty for borrowed datasets
   const sweep::Dataset* dataset_;
   analysis::InfluenceMap pair_influence_;
   analysis::InfluenceMap arch_influence_;

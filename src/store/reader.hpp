@@ -1,0 +1,108 @@
+#pragma once
+
+// mmap-backed zero-copy reader for the .omps binary sample store.
+//
+// Opening a store validates the header, the section table, the string
+// dictionaries, the key columns and the setting index — everything a query
+// needs to trust, all metadata-sized. The bulk blocks (config/stat columns,
+// runtime matrix) are NOT touched at open: an indexed query materializes
+// only the rows whose (arch, app, input, threads) key matches, so a
+// recommendation for one pair never reads the other settings' runtime
+// blocks (the kernel never even pages them in). A full load() verifies
+// every section checksum before materializing, making it the
+// corruption-proof path for `analyze`-style whole-dataset consumers.
+//
+// Every validation failure throws util::DataCorruptionError carrying the
+// file path and the byte offset of the offending structure.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/dataset.hpp"
+#include "util/mmap_file.hpp"
+
+namespace omptune::store {
+
+/// Conjunctive row filter over the indexed setting key; unset fields match
+/// everything. An empty query selects the whole store.
+struct StoreQuery {
+  std::optional<std::string> arch;
+  std::optional<std::string> app;
+  std::optional<std::string> input;
+  std::optional<int> threads;
+};
+
+/// One index entry: a run of rows sharing a setting key.
+struct SettingEntry {
+  std::string arch, app, input;
+  int threads = 0;
+  std::size_t first_row = 0;
+  std::size_t rows = 0;
+};
+
+class StoreReader {
+ public:
+  /// Opens and validates `path` (see file comment for what open checks).
+  explicit StoreReader(const std::string& path);
+
+  const std::string& path() const { return file_.path(); }
+  std::size_t size() const { return sample_count_; }
+  std::size_t repetitions() const { return reps_; }
+  std::uint64_t file_bytes() const { return file_.size(); }
+
+  /// Dictionary views (first-appearance order, as written).
+  const std::vector<std::string>& archs() const { return dicts_[0]; }
+  const std::vector<std::string>& apps() const { return dicts_[1]; }
+  const std::vector<std::string>& inputs() const { return dicts_[2]; }
+
+  /// The embedded setting index, in row order.
+  std::vector<SettingEntry> settings() const;
+
+  /// Materialize every sample. Verifies the checksum of every section
+  /// first: a flipped byte anywhere in the file is rejected, never loaded.
+  sweep::Dataset load() const;
+
+  /// Materialize only the rows matching `query`, located via the index.
+  /// Skips whole-section checksums by design (the point is not reading the
+  /// non-matching blocks); every value actually materialized is range- and
+  /// finiteness-checked instead.
+  sweep::Dataset query(const StoreQuery& query) const;
+
+  /// Bytes of the runtime block materialized so far by load()/query() on
+  /// this reader — instrumentation for the bench/tests proving that queries
+  /// leave non-matching runtime blocks untouched.
+  std::uint64_t runtime_bytes_touched() const { return runtime_bytes_touched_; }
+
+ private:
+  struct Section {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t table_entry_offset = 0;  ///< for error reporting
+  };
+
+  [[noreturn]] void corrupt(std::uint64_t offset, const std::string& message) const;
+  const unsigned char* at(const Section& section, std::size_t offset) const;
+  void verify_section_checksum(const Section& section, const char* name) const;
+  sweep::Sample materialize_row(std::size_t row) const;
+  std::uint16_t dict_code(const Section& key_section, std::size_t column_offset,
+                          std::size_t row, std::size_t dict, const char* what) const;
+
+  util::MappedFile file_;
+  std::size_t sample_count_ = 0;
+  std::size_t reps_ = 0;
+  Section sections_[7];  ///< indexed by SectionKind - 1
+  /// arch, app, input, suite, kind, error — dictionary order of the format.
+  std::vector<std::string> dicts_[6];
+  struct IndexRun {
+    std::uint16_t arch, app, input;
+    std::int32_t threads;
+    std::uint64_t first_row, row_count;
+  };
+  std::vector<IndexRun> index_;
+  mutable std::uint64_t runtime_bytes_touched_ = 0;
+};
+
+}  // namespace omptune::store

@@ -1,0 +1,288 @@
+#include "store/writer.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "store/format.hpp"
+#include "util/fs.hpp"
+
+namespace omptune::store {
+
+namespace {
+
+using sweep::Dataset;
+using sweep::Sample;
+
+/// First-appearance-ordered string dictionary.
+struct Dict {
+  std::vector<std::string> values;
+  std::map<std::string, std::uint32_t> codes;
+
+  std::uint32_t code(const std::string& value) {
+    const auto [it, inserted] =
+        codes.emplace(value, static_cast<std::uint32_t>(values.size()));
+    if (inserted) values.push_back(value);
+    return it->second;
+  }
+};
+
+void append_dict(std::string& out, const Dict& dict) {
+  append_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(dict.values.size()));
+  for (const std::string& value : dict.values) {
+    append_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(value.size()));
+    out.append(value);
+  }
+}
+
+std::uint16_t narrow16(std::uint32_t code, const char* what) {
+  if (code > 0xFFFFu) {
+    throw std::invalid_argument(std::string("write_store: more than 65535 distinct ") +
+                                what + " values");
+  }
+  return static_cast<std::uint16_t>(code);
+}
+
+double finite_or_throw(double value, const char* what, std::size_t row) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("write_store: non-finite " + std::string(what) +
+                                " in sample " + std::to_string(row));
+  }
+  return value;
+}
+
+void pad_to_8(std::string& out) { out.resize(pad8(out.size()), '\0'); }
+
+/// Pad an in-section array boundary to `align` bytes.
+void pad_to(std::string& out, std::size_t align) {
+  while (out.size() % align != 0) out.push_back('\0');
+}
+
+}  // namespace
+
+std::string serialize_store(const Dataset& dataset) {
+  const std::vector<Sample>& samples = dataset.samples();
+  const std::size_t n = samples.size();
+  std::size_t reps = 0;
+  for (const Sample& s : samples) reps = std::max(reps, s.runtimes.size());
+
+  // ---- dictionaries (and per-sample codes, built in one pass) ----
+  Dict arch_dict, app_dict, input_dict, suite_dict, kind_dict, error_dict;
+  std::vector<std::uint16_t> arch_code(n), app_code(n), input_code(n);
+  std::vector<std::uint16_t> suite_code(n), kind_code(n);
+  std::vector<std::uint32_t> error_code(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = samples[i];
+    arch_code[i] = narrow16(arch_dict.code(s.arch), "arch");
+    app_code[i] = narrow16(app_dict.code(s.app), "app");
+    input_code[i] = narrow16(input_dict.code(s.input), "input");
+    suite_code[i] = narrow16(suite_dict.code(s.suite), "suite");
+    kind_code[i] = narrow16(kind_dict.code(s.kind), "kind");
+    error_code[i] = error_dict.code(s.error);
+  }
+
+  std::string dictionaries;
+  append_dict(dictionaries, arch_dict);
+  append_dict(dictionaries, app_dict);
+  append_dict(dictionaries, input_dict);
+  append_dict(dictionaries, suite_dict);
+  append_dict(dictionaries, kind_dict);
+  append_dict(dictionaries, error_dict);
+  pad_to_8(dictionaries);
+
+  // ---- key columns ----
+  std::string key_cols;
+  for (std::size_t i = 0; i < n; ++i) append_scalar(key_cols, arch_code[i]);
+  for (std::size_t i = 0; i < n; ++i) append_scalar(key_cols, app_code[i]);
+  for (std::size_t i = 0; i < n; ++i) append_scalar(key_cols, input_code[i]);
+  pad_to(key_cols, 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    append_scalar<std::int32_t>(key_cols, samples[i].threads);
+  }
+  pad_to_8(key_cols);
+
+  // ---- config columns (widest first so every array stays aligned) ----
+  std::string config_cols;
+  for (const Sample& s : samples) {
+    append_scalar<std::int64_t>(config_cols, s.config.blocktime_ms);
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::int32_t>(config_cols, s.config.num_threads);
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::int32_t>(config_cols, s.config.chunk);
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::int32_t>(config_cols, s.config.align_alloc);
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::int32_t>(config_cols, s.attempts);
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint16_t>(config_cols,
+                                 static_cast<std::uint16_t>(s.runtimes.size()));
+  }
+  for (const Sample& s : samples) append_scalar(config_cols, suite_code[&s - samples.data()]);
+  for (const Sample& s : samples) append_scalar(config_cols, kind_code[&s - samples.data()]);
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols,
+                                static_cast<std::uint8_t>(s.config.places));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols, static_cast<std::uint8_t>(s.config.bind));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols,
+                                static_cast<std::uint8_t>(s.config.schedule));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols,
+                                static_cast<std::uint8_t>(s.config.library));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols,
+                                static_cast<std::uint8_t>(s.config.reduction));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols, static_cast<std::uint8_t>(s.status));
+  }
+  for (const Sample& s : samples) {
+    append_scalar<std::uint8_t>(config_cols, s.is_default ? 1 : 0);
+  }
+  pad_to_8(config_cols);
+
+  // ---- stat columns ----
+  std::string stat_cols;
+  for (std::size_t i = 0; i < n; ++i) {
+    append_scalar(stat_cols, finite_or_throw(samples[i].mean_runtime, "mean_runtime", i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    append_scalar(stat_cols,
+                  finite_or_throw(samples[i].default_runtime, "default_runtime", i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    append_scalar(stat_cols, finite_or_throw(samples[i].speedup, "speedup", i));
+  }
+
+  // ---- runtimes (fixed stride, zero-padded like the CSV schema) ----
+  std::string runtimes;
+  runtimes.reserve(n * reps * sizeof(double));
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = samples[i];
+    for (std::size_t r = 0; r < reps; ++r) {
+      append_scalar(runtimes,
+                    r < s.runtimes.size()
+                        ? finite_or_throw(s.runtimes[r], "runtime", i)
+                        : 0.0);
+    }
+  }
+
+  // ---- error codes ----
+  std::string errors;
+  for (std::size_t i = 0; i < n; ++i) append_scalar(errors, error_code[i]);
+  pad_to_8(errors);
+
+  // ---- index: runs of identical (arch, app, input, threads) keys ----
+  struct Run {
+    std::uint16_t arch, app, input;
+    std::int32_t threads;
+    std::uint64_t first_row, row_count;
+  };
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool extends = !runs.empty() && runs.back().arch == arch_code[i] &&
+                         runs.back().app == app_code[i] &&
+                         runs.back().input == input_code[i] &&
+                         runs.back().threads == samples[i].threads;
+    if (extends) {
+      ++runs.back().row_count;
+    } else {
+      runs.push_back(Run{arch_code[i], app_code[i], input_code[i],
+                         samples[i].threads, i, 1});
+    }
+  }
+  std::string index;
+  append_scalar<std::uint64_t>(index, runs.size());
+  for (const Run& run : runs) {
+    append_scalar(index, run.arch);
+    append_scalar(index, run.app);
+    append_scalar(index, run.input);
+    append_scalar<std::uint16_t>(index, 0);
+    append_scalar(index, run.threads);
+    append_scalar<std::uint32_t>(index, 0);
+    append_scalar(index, run.first_row);
+    append_scalar(index, run.row_count);
+  }
+
+  // The writer's append order and the shared layout helpers must agree;
+  // catching a drift here turns a subtle reader bug into a loud writer one.
+  if (key_cols.size() != key_columns_layout(n).bytes ||
+      config_cols.size() != config_columns_layout(n).bytes ||
+      stat_cols.size() != stat_columns_layout(n).bytes ||
+      runtimes.size() != runtimes_bytes(n, reps) ||
+      errors.size() != errors_bytes(n)) {
+    throw std::logic_error("write_store: section layout drifted from format.hpp");
+  }
+
+  // ---- assemble header + section table + sections ----
+  const std::string* sections[kSectionCount] = {
+      &dictionaries, &key_cols, &config_cols, &stat_cols,
+      &runtimes,     &errors,   &index};
+  const SectionKind kinds[kSectionCount] = {
+      SectionKind::Dictionaries, SectionKind::KeyColumns,
+      SectionKind::ConfigColumns, SectionKind::StatColumns,
+      SectionKind::Runtimes,      SectionKind::Errors,
+      SectionKind::Index};
+
+  const std::size_t header_bytes =
+      kHeaderBytes + kSectionCount * kSectionEntryBytes;
+  std::size_t file_bytes = header_bytes;
+  for (const std::string* s : sections) file_bytes += s->size();
+
+  std::string out;
+  out.reserve(file_bytes);
+  out.append(kMagic, sizeof(kMagic));
+  append_scalar<std::uint32_t>(out, kVersion);
+  append_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(header_bytes));
+  append_scalar<std::uint64_t>(out, file_bytes);
+  append_scalar<std::uint64_t>(out, n);
+  append_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(reps));
+  append_scalar<std::uint32_t>(out, kSectionCount);
+  const std::size_t checksum_at = out.size();
+  append_scalar<std::uint64_t>(out, 0);  // header checksum, patched below
+
+  std::size_t offset = header_bytes;
+  for (std::size_t i = 0; i < kSectionCount; ++i) {
+    append_scalar<std::uint32_t>(out, static_cast<std::uint32_t>(kinds[i]));
+    append_scalar<std::uint32_t>(out, 0);
+    append_scalar<std::uint64_t>(out, offset);
+    append_scalar<std::uint64_t>(out, sections[i]->size());
+    append_scalar<std::uint64_t>(out,
+                                 checksum_bytes(sections[i]->data(), sections[i]->size()));
+    offset += sections[i]->size();
+  }
+
+  const std::uint64_t header_checksum = checksum_bytes(out.data(), out.size());
+  std::memcpy(out.data() + checksum_at, &header_checksum, sizeof(header_checksum));
+
+  for (const std::string* s : sections) out.append(*s);
+  return out;
+}
+
+void write_store(const std::string& path, const Dataset& dataset) {
+  util::atomic_write_file(path, serialize_store(dataset));
+}
+
+}  // namespace omptune::store
+
+namespace omptune::sweep {
+
+// Declared in sweep/dataset.hpp, implemented here so the base sweep library
+// carries no dependency on the store format.
+void Dataset::save_store(const std::string& path) const {
+  store::write_store(path, *this);
+}
+
+}  // namespace omptune::sweep

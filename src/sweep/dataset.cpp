@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "util/errors.hpp"
@@ -51,9 +52,45 @@ SampleStatus sample_status_from_string(const std::string& text) {
   throw std::invalid_argument("bad sample status '" + text + "'");
 }
 
+int status_preference(SampleStatus status) {
+  switch (status) {
+    case SampleStatus::Ok: return 0;
+    case SampleStatus::Retried: return 1;
+    case SampleStatus::Quarantined: return 2;
+  }
+  return 2;
+}
+
+std::string sample_identity(const Sample& sample) {
+  return sample.arch + "/" + sample.app + "/" + sample.input + "/" +
+         std::to_string(sample.threads) + "/" + sample.config.key();
+}
+
 void Dataset::append(Dataset other) {
   samples_.reserve(samples_.size() + other.samples_.size());
   for (Sample& s : other.samples_) samples_.push_back(std::move(s));
+}
+
+Dataset Dataset::deduped(DedupeReport* report) const {
+  if (report) *report = DedupeReport{};
+  Dataset out;
+  std::map<std::string, std::size_t> first_position;  // identity -> out index
+  for (const Sample& s : samples_) {
+    const std::string identity = sample_identity(s);
+    const auto [it, inserted] =
+        first_position.emplace(identity, out.samples_.size());
+    if (inserted) {
+      out.add(s);
+      continue;
+    }
+    if (report) ++report->duplicates;
+    Sample& kept = out.samples_[it->second];
+    if (status_preference(s.status) < status_preference(kept.status)) {
+      kept = s;
+      if (report) ++report->replaced;
+    }
+  }
+  return out;
 }
 
 std::size_t Dataset::quarantined_count() const {
@@ -123,10 +160,32 @@ Dataset Dataset::from_csv(const util::CsvTable& table,
   const bool has_attempts = has_col("attempts");
   const bool has_error = has_col("error");
 
-  // Repetition columns are the trailing runtime_N columns.
+  // Repetition columns are the trailing runtime_N columns. The block must be
+  // exactly runtime_0..runtime_{k-1}, contiguous, at the end of the header:
+  // a garbled column name used to silently shrink the block and every row
+  // lost a repetition without any error (the short-read path) — now the
+  // whole file is rejected as corrupt instead.
+  const std::string label =
+      source.empty() ? std::string("<dataset>") : source;
   std::vector<std::size_t> rep_cols;
   for (std::size_t c = 0; c < table.header().size(); ++c) {
     if (util::starts_with(table.header()[c], "runtime_")) rep_cols.push_back(c);
+  }
+  if (!rep_cols.empty()) {
+    const std::size_t first = rep_cols.front();
+    if (first + rep_cols.size() != table.header().size()) {
+      throw util::DataCorruptionError(
+          label + ": runtime column block is not contiguous at the end of "
+                  "the header (a repetition column would be silently dropped)");
+    }
+    for (std::size_t r = 0; r < rep_cols.size(); ++r) {
+      const std::string expected = "runtime_" + std::to_string(r);
+      if (table.header()[first + r] != expected) {
+        throw util::DataCorruptionError(
+            label + ": runtime column " + std::to_string(r) + " is named '" +
+            table.header()[first + r] + "', expected '" + expected + "'");
+      }
+    }
   }
   for (std::size_t i = 0; i < table.num_rows(); ++i) {
     try {
@@ -162,9 +221,8 @@ Dataset Dataset::from_csv(const util::CsvTable& table,
     } catch (const util::DataCorruptionError&) {
       throw;
     } catch (const std::exception& error) {
-      throw util::DataCorruptionError(
-          (source.empty() ? std::string("<dataset>") : source) + " row " +
-          std::to_string(i + 1) + ": " + error.what());
+      throw util::DataCorruptionError(label + " row " + std::to_string(i + 1) +
+                                      ": " + error.what());
     }
   }
   return out;

@@ -28,6 +28,13 @@ enum class SampleStatus {
 std::string to_string(SampleStatus status);
 SampleStatus sample_status_from_string(const std::string& text);
 
+/// Duplicate-resolution rank: lower is better. When the same measurement
+/// key appears in multiple shards or journal entries, the sample with the
+/// lowest rank wins (Ok over Retried over Quarantined) — a re-collected
+/// clean measurement must beat a quarantined placeholder, never lose to it
+/// by arrival order.
+int status_preference(SampleStatus status);
+
 struct Sample {
   std::string arch;
   std::string app;
@@ -48,6 +55,12 @@ struct Sample {
   bool is_quarantined() const { return status == SampleStatus::Quarantined; }
 };
 
+/// Measurement identity of a sample: "arch/app/input/threads/<config key>".
+/// Two samples with equal identity are the same measurement collected twice
+/// (overlapping shards, re-recorded journal entries) and must be deduplicated
+/// by status_preference, not by arrival order.
+std::string sample_identity(const Sample& sample);
+
 /// Column-stable dataset container.
 class Dataset {
  public:
@@ -55,6 +68,7 @@ class Dataset {
 
   void add(Sample sample) { samples_.push_back(std::move(sample)); }
   void append(Dataset other);
+  void reserve(std::size_t n) { samples_.reserve(n); }
 
   const std::vector<Sample>& samples() const { return samples_; }
   std::size_t size() const { return samples_.size(); }
@@ -92,6 +106,19 @@ class Dataset {
   /// Number of quarantined samples.
   std::size_t quarantined_count() const;
 
+  /// Outcome tally of a dedupe pass (see deduped()).
+  struct DedupeReport {
+    std::size_t duplicates = 0;  ///< samples dropped as duplicate identities
+    std::size_t replaced = 0;    ///< kept samples upgraded by a better status
+  };
+
+  /// Collapse samples sharing a sample_identity into one, keeping the
+  /// best-status occurrence (Ok over Retried over Quarantined; first wins on
+  /// ties) at the position of the identity's first appearance. Used by the
+  /// shard merger and the journal compactor, where overlapping collection
+  /// legitimately produces the same measurement more than once.
+  Dataset deduped(DedupeReport* report = nullptr) const;
+
   /// Serialize to the open-data CSV schema (one row per sample, one column
   /// per variable plus all repetition runtimes).
   util::CsvTable to_csv() const;
@@ -104,10 +131,23 @@ class Dataset {
                           const std::string& source = "");
 
   /// Load a dataset CSV file. Every failure mode — unreadable file, broken
-  /// quoting, short rows, non-numeric or non-finite fields — surfaces as
-  /// util::DataCorruptionError; this never returns a silently truncated
-  /// dataset.
+  /// quoting, short rows, non-numeric or non-finite fields, a garbled
+  /// runtime_N column block — surfaces as util::DataCorruptionError; this
+  /// never returns a silently truncated dataset.
   static Dataset load_csv_file(const std::string& path);
+
+  /// Serialize to the binary columnar store format (.omps): dictionary-coded
+  /// string columns, packed config fields, contiguous runtime blocks and an
+  /// embedded (arch, app, input, threads) index. Implemented by the store
+  /// subsystem — link omptune_store to use. Atomic replace, like the
+  /// journal's CSV writes.
+  void save_store(const std::string& path) const;
+
+  /// Load a .omps store file (full materialization, every section checksum
+  /// verified). Implemented by the store subsystem — link omptune_store.
+  /// Throws util::DataCorruptionError naming file and offset on any
+  /// corruption. For indexed partial reads, use store::StoreReader directly.
+  static Dataset load_store(const std::string& path);
 
  private:
   std::vector<Sample> samples_;

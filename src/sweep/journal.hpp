@@ -23,6 +23,10 @@
 
 #include "sweep/dataset.hpp"
 
+namespace omptune::store {
+struct CompactReport;
+}
+
 namespace omptune::sweep {
 
 class StudyJournal {
@@ -52,6 +56,15 @@ class StudyJournal {
 
   /// File path backing `key` (exposed for tests that corrupt entries).
   std::string entry_path(const std::string& key) const;
+
+  /// Compact every completed entry (many per-setting CSVs) into one binary
+  /// .omps store file at `out_path`. Entries are concatenated in file-name
+  /// order and deduplicated by measurement identity — the best-status
+  /// occurrence wins (Ok over Retried over Quarantined), so a re-recorded
+  /// setting never resurrects a quarantined placeholder. Implemented by the
+  /// store subsystem — link omptune_store to use. Throws
+  /// util::DataCorruptionError if any entry fails validation.
+  store::CompactReport compact(const std::string& out_path) const;
 
  private:
   std::string directory_;

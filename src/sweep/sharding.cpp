@@ -39,6 +39,30 @@ std::string sample_key(const Sample& sample) {
          std::to_string(plan_threads);
 }
 
+std::size_t dedupe_bucket(std::vector<const Sample*>& bucket) {
+  // Collapse repeated (config) identities within one setting's bucket,
+  // keeping the best-status occurrence at the first occurrence's position —
+  // Ok over Retried over Quarantined, never first-wins.
+  std::map<std::string, std::size_t> first_position;
+  std::vector<const Sample*> kept;
+  std::size_t duplicates = 0;
+  for (const Sample* sample : bucket) {
+    const auto [it, inserted] =
+        first_position.emplace(sample->config.key(), kept.size());
+    if (inserted) {
+      kept.push_back(sample);
+      continue;
+    }
+    ++duplicates;
+    if (status_preference(sample->status) <
+        status_preference(kept[it->second]->status)) {
+      kept[it->second] = sample;
+    }
+  }
+  bucket = std::move(kept);
+  return duplicates;
+}
+
 }  // namespace
 
 Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
@@ -62,8 +86,10 @@ Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
         throw std::invalid_argument("merge_shards: setting '" + key +
                                     "' missing from the shards");
       }
-      // A setting duplicated across shards doubles its bucket and fails
-      // the size check below.
+      const std::size_t duplicates = dedupe_bucket(it->second);
+      if (report) report->duplicate_samples += duplicates;
+      // A partially-duplicated setting (extra configs the plan never asked
+      // for, or missing ones) still fails the size check below.
       if (it->second.size() != arch_plan.configs_per_setting[i]) {
         throw std::invalid_argument(
             "merge_shards: setting '" + key + "' has " +

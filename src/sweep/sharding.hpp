@@ -46,13 +46,22 @@ struct MergeReport {
   std::vector<QuarantinedSetting> quarantined_settings;
   std::size_t quarantined_samples = 0;
   std::size_t total_samples = 0;
+  /// Samples dropped because their (arch, app, setting, config) identity
+  /// appeared more than once across the shards; the best-status occurrence
+  /// (Ok over Retried over Quarantined) is the one kept.
+  std::size_t duplicate_samples = 0;
 };
 
 /// Merge shard datasets (in any order) into one dataset ordered exactly as
-/// the unsharded run would produce. Throws std::invalid_argument if a
-/// setting of the plan is missing from the shards or appears twice.
-/// `report` (optional) receives the quarantine tally — quarantined samples
-/// are merged and flagged, never dropped.
+/// the unsharded run would produce. Samples whose (arch, app, setting,
+/// config) identity appears in multiple shards — overlapping batch jobs,
+/// a re-run of a flaky shard — are deduplicated by status preference (an Ok
+/// measurement beats a Retried one beats a Quarantined placeholder, never
+/// first-wins), and the duplicate count is surfaced through MergeReport.
+/// Throws std::invalid_argument if, after dedupe, a setting of the plan is
+/// missing or its sample count disagrees with the plan. `report` (optional)
+/// receives the quarantine/duplicate tally — quarantined samples are merged
+/// and flagged, never dropped.
 Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
                      MergeReport* report = nullptr);
 

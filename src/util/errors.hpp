@@ -19,6 +19,7 @@
 // cancellation and is deliberately NEVER absorbed by the resilience layer,
 // so tests can kill a study at an arbitrary point and exercise resume.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -62,11 +63,32 @@ class PermanentError : public TuneError {
       : TuneError(ErrorClass::Permanent, message) {}
 };
 
-/// Persisted data failed validation (journal entry, dataset CSV).
+/// Persisted data failed validation (journal entry, dataset CSV, binary
+/// store). The file/offset form pinpoints the corrupt byte range for
+/// operator forensics: "which file, where" is the first question after a
+/// disk or transfer fault, so readers of binary formats are expected to
+/// report the exact offset that failed validation.
 class DataCorruptionError : public TuneError {
  public:
   explicit DataCorruptionError(const std::string& message)
       : TuneError(ErrorClass::DataCorruption, message) {}
+
+  DataCorruptionError(const std::string& file, std::uint64_t offset,
+                      const std::string& message)
+      : TuneError(ErrorClass::DataCorruption,
+                  file + " @ offset " + std::to_string(offset) + ": " + message),
+        file_(file),
+        offset_(offset) {}
+
+  /// Offending file, when known (empty for the message-only form).
+  const std::string& file() const { return file_; }
+
+  /// Byte offset of the structure that failed validation; 0 when unknown.
+  std::uint64_t offset() const { return offset_; }
+
+ private:
+  std::string file_;
+  std::uint64_t offset_ = 0;
 };
 
 /// Simulated process death / external cancellation. Not a TuneError on

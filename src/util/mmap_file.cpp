@@ -1,0 +1,76 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace omptune::util {
+
+namespace {
+
+[[noreturn]] void raise(const std::string& path, const char* what) {
+  throw std::runtime_error("MappedFile: " + std::string(what) + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) raise(path, "cannot open");
+
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    raise(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    ::close(fd);
+    return;  // empty file: null view, valid object
+  }
+
+  void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int saved = errno;
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    errno = saved;
+    raise(path, "cannot mmap");
+  }
+  data_ = static_cast<const unsigned char*>(mapped);
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    path_ = std::move(other.path_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+}  // namespace omptune::util

@@ -1,0 +1,39 @@
+#pragma once
+
+// Read-only memory-mapped file view, the substrate of the binary sample
+// store's zero-copy reader: the kernel pages data in on first touch, so a
+// reader that only walks the index and a few matching column ranges never
+// pays for the rest of the file.
+
+#include <cstddef>
+#include <string>
+
+namespace omptune::util {
+
+/// RAII mmap(2) view of a whole file. Move-only; unmaps on destruction.
+/// Empty files map to a null view with size 0 (mmap rejects length 0).
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Throws std::runtime_error if the file cannot be
+  /// opened, stat'ed, or mapped.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const unsigned char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace omptune::util

@@ -65,7 +65,7 @@ TEST(Sharding, MergedShardsEqualTheUnshardedRun) {
   }
 }
 
-TEST(Sharding, MergeDetectsMissingAndDuplicatedSettings) {
+TEST(Sharding, MergeDetectsMissingAndDedupesDuplicatedSettings) {
   const StudyPlan plan = reduced_plan();
   sim::ModelRunner runner;
   SweepHarness harness(runner, 2);
@@ -74,9 +74,45 @@ TEST(Sharding, MergeDetectsMissingAndDuplicatedSettings) {
   const Dataset half = harness.run_study(shard_plan(plan, 0, 2));
   EXPECT_THROW(merge_shards(plan, {half}), std::invalid_argument);
 
-  // Duplicated: the same shard twice.
+  // Duplicated: the same shard twice. Re-submitted batch jobs are a normal
+  // cluster accident, and the duplicates are identical measurements — the
+  // merge must dedupe them (reporting the count), not refuse the merge.
   const Dataset other = harness.run_study(shard_plan(plan, 1, 2));
-  EXPECT_THROW(merge_shards(plan, {half, half, other}), std::invalid_argument);
+  MergeReport report;
+  const Dataset merged = merge_shards(plan, {half, half, other}, &report);
+  EXPECT_EQ(report.duplicate_samples, half.size());
+
+  const Dataset reference = merge_shards(plan, {half, other});
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged.samples()[i].config, reference.samples()[i].config);
+    EXPECT_EQ(merged.samples()[i].runtimes, reference.samples()[i].runtimes);
+  }
+}
+
+TEST(Sharding, MergePrefersOkOverQuarantinedDuplicates) {
+  // When a setting was re-collected after a bad node quarantined it, the
+  // clean measurement must win regardless of shard arrival order.
+  const StudyPlan plan = StudyPlan::mini_plan(1, 6);
+  sim::ModelRunner runner;
+  SweepHarness harness(runner, 2);
+  const Dataset clean = harness.run_study(shard_plan(plan, 0, 1));
+
+  Dataset poisoned;
+  for (Sample s : clean.samples()) {
+    s.status = SampleStatus::Quarantined;
+    s.error = "simulated node failure";
+    poisoned.add(std::move(s));
+  }
+
+  for (const auto& shards :
+       {std::vector<Dataset>{poisoned, clean}, std::vector<Dataset>{clean, poisoned}}) {
+    MergeReport report;
+    const Dataset merged = merge_shards(plan, shards, &report);
+    EXPECT_EQ(report.duplicate_samples, clean.size());
+    EXPECT_EQ(merged.quarantined_count(), 0u);
+    ASSERT_EQ(merged.size(), clean.size());
+  }
 }
 
 TEST(Sharding, ShardCountMayExceedSettings) {

@@ -1,14 +1,24 @@
 // omptune — command-line front end for the study and the tuner.
 //
 //   omptune list                       applications and architectures
-//   omptune study [N] [out.csv]       run the study (N configs/setting;
-//                                      0 or omitted = full Table II scale)
+//   omptune study [N] [out]           run the study (N configs/setting;
+//                                      0 or omitted = full Table II scale;
+//                                      out: .csv or binary .omps store)
 //     --journal=<dir>                  write-ahead journal per setting
 //     --resume                         replay completed journal entries
 //     --max-retries=<N>                retries per failed sample (default 2)
 //     --sample-timeout-ms=<T>          per-sample watchdog deadline
-//   omptune analyze <dataset.csv>     re-derive every artefact from a CSV
+//   omptune analyze <dataset>         re-derive every artefact from a
+//                                      dataset (.csv or .omps store)
+//   omptune compact <journal> <out.omps>
+//                                      fold a journal's per-setting CSVs
+//                                      into one indexed store
+//   omptune query <store.omps> <app> <arch>
+//                                      indexed store query + knowledge-based
+//                                      recommendation, no CSV parsing
 //   omptune recommend <app> <arch>    variable priority + best known config
+//     --store=<file.omps>              answer from a study store instead of
+//                                      re-running a quick study
 //   omptune tune <app> <arch> [strategy] [budget]
 //                                      strategy: hill|random|anneal|exhaustive
 //   omptune violin <app>              ASCII violins per (arch, setting)
@@ -26,6 +36,9 @@
 #include "sim/energy_model.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kde.hpp"
+#include "store/compact.hpp"
+#include "store/reader.hpp"
+#include "sweep/journal.hpp"
 #include "util/env.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -38,13 +51,19 @@ int usage() {
   std::printf(
       "usage: omptune <command> [args]\n"
       "  list                              applications and architectures\n"
-      "  study [configs] [out.csv]         run the sweep (0 = full scale)\n"
-      "        [--journal=<dir>] [--resume]\n"
+      "  study [configs] [out]             run the sweep (0 = full scale;\n"
+      "        [--journal=<dir>] [--resume] out: .csv or binary .omps store)\n"
       "        [--max-retries=N] [--sample-timeout-ms=T]\n"
       "                                    checkpointed, resumable, fault-\n"
       "                                    tolerant collection\n"
-      "  analyze <dataset.csv>             derive artefacts from a dataset\n"
-      "  recommend <app> <arch>            knowledge-based recommendation\n"
+      "  analyze <dataset>                 derive artefacts from a dataset\n"
+      "                                    (.csv or .omps store)\n"
+      "  compact <journal> <out.omps>      fold per-setting journal CSVs into\n"
+      "                                    one indexed binary store\n"
+      "  query <store.omps> <app> <arch>   indexed store query + knowledge-\n"
+      "                                    based recommendation\n"
+      "  recommend <app> <arch> [--store=<file.omps>]\n"
+      "                                    knowledge-based recommendation\n"
       "  tune <app> <arch> [strategy] [budget]\n"
       "                                    strategy: hill|random|anneal|exhaustive\n"
       "  violin <app>                      distribution per (arch, setting)\n"
@@ -196,8 +215,14 @@ int cmd_study(int argc, char** argv) {
                     harness.last_policy()->total_retries()));
   }
   if (positional.size() > 1) {
-    result.dataset.to_csv().write_file(positional[1]);
-    std::printf("dataset written to %s\n", positional[1].c_str());
+    const std::string& out = positional[1];
+    if (out.ends_with(".omps")) {
+      result.dataset.save_store(out);
+      std::printf("dataset stored to %s\n", out.c_str());
+    } else {
+      result.dataset.to_csv().write_file(out);
+      std::printf("dataset written to %s\n", out.c_str());
+    }
   }
   print_artifacts(result);
   return 0;
@@ -205,8 +230,11 @@ int cmd_study(int argc, char** argv) {
 
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) return usage();
+  const std::string path = argv[2];
   const sweep::Dataset dataset =
-      sweep::Dataset::from_csv(util::CsvTable::read_file(argv[2]));
+      path.ends_with(".omps")
+          ? sweep::Dataset::load_store(path)
+          : sweep::Dataset::from_csv(util::CsvTable::read_file(path));
   std::printf("loaded %zu samples\n", dataset.size());
   sim::ModelRunner runner;
   core::Study study(runner);
@@ -214,15 +242,31 @@ int cmd_analyze(int argc, char** argv) {
   return 0;
 }
 
-int cmd_recommend(int argc, char** argv) {
+int cmd_compact(int argc, char** argv) {
   if (argc < 4) return usage();
-  const std::string app = argv[2];
-  const std::string arch = argv[3];
-  apps::find_application(app);                  // validate
-  arch::arch_from_string(arch);                 // validate
+  const sweep::StudyJournal journal(argv[2]);
+  if (journal.entry_files().empty()) {
+    std::fprintf(stderr, "omptune compact: no journal entries in %s\n", argv[2]);
+    return 1;
+  }
+  const store::CompactReport report = journal.compact(argv[3]);
+  std::printf("compacted %zu journal entries into %s\n", report.entries, argv[3]);
+  std::printf("  samples: %zu in, %zu stored\n", report.samples_in,
+              report.samples_out);
+  std::printf("  duplicates dropped: %zu (%zu kept rows upgraded by a better "
+              "status)\n",
+              report.duplicates_dropped, report.replaced);
+  if (report.quarantined > 0) {
+    std::printf("  quarantined samples retained: %zu\n", report.quarantined);
+  }
+  return 0;
+}
 
-  const sweep::Dataset dataset = quick_study(200);
-  const core::KnowledgeBase kb(dataset);
+/// Print the knowledge-based outputs (variable priority, best known config,
+/// strong variable/value pairs) for one (app, arch) pair.
+void print_recommendation(const core::KnowledgeBase& kb,
+                          const std::vector<analysis::Recommendation>& recs,
+                          const std::string& app, const std::string& arch) {
   std::printf("variable priority (most influential first):\n ");
   for (const auto& v : kb.variable_priority(app, arch)) std::printf(" %s", v.c_str());
   std::printf("\n\n");
@@ -233,7 +277,6 @@ int cmd_recommend(int argc, char** argv) {
   } catch (const std::invalid_argument&) {
     std::printf("no study samples for this (app, arch) pair\n");
   }
-  const auto recs = analysis::recommend_for_app(dataset, app);
   if (!recs.empty()) {
     util::TextTable table("\nstrong variable/value pairs (lift >= 1.5):",
                           {"arch", "variable", "value", "lift"});
@@ -244,6 +287,69 @@ int cmd_recommend(int argc, char** argv) {
     }
     std::printf("%s", table.render().c_str());
   }
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string path = argv[2];
+  const std::string app = argv[3];
+  const std::string arch = argv[4];
+
+  const store::StoreReader reader(path);
+  store::StoreQuery query;
+  query.app = app;
+  query.arch = arch;
+  const sweep::Dataset slice = reader.query(query);
+  const std::uint64_t runtime_total =
+      static_cast<std::uint64_t>(reader.size()) * reader.repetitions() * 8;
+  std::printf("store %s: %zu samples, %zu settings, %llu bytes\n", path.c_str(),
+              reader.size(), reader.settings().size(),
+              static_cast<unsigned long long>(reader.file_bytes()));
+  std::printf("matched %zu samples for %s on %s "
+              "(runtime bytes read: %llu of %llu)\n\n",
+              slice.size(), app.c_str(), arch.c_str(),
+              static_cast<unsigned long long>(reader.runtime_bytes_touched()),
+              static_cast<unsigned long long>(runtime_total));
+  if (slice.size() == 0) {
+    std::printf("no samples for this (app, arch) pair in the store\n");
+    return 1;
+  }
+  const core::KnowledgeBase kb(reader, arch);
+  print_recommendation(kb, analysis::recommend_for_app(reader, app), app, arch);
+  return 0;
+}
+
+int cmd_recommend(int argc, char** argv) {
+  std::string store_path;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--store=")) {
+      store_path = arg.substr(8);
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "omptune recommend: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) return usage();
+  const std::string& app = positional[0];
+  const std::string& arch = positional[1];
+  apps::find_application(app);                  // validate
+  arch::arch_from_string(arch);                 // validate
+
+  if (!store_path.empty()) {
+    // Store-backed path: the index materializes only this architecture's
+    // slice and this application's rows — no study re-run, no CSV parsing.
+    const store::StoreReader reader(store_path);
+    const core::KnowledgeBase kb(reader, arch);
+    print_recommendation(kb, analysis::recommend_for_app(reader, app), app, arch);
+    return 0;
+  }
+  const sweep::Dataset dataset = quick_study(200);
+  const core::KnowledgeBase kb(dataset);
+  print_recommendation(kb, analysis::recommend_for_app(dataset, app), app, arch);
   return 0;
 }
 
@@ -393,6 +499,8 @@ int main(int argc, char** argv) {
     if (command == "list") return cmd_list();
     if (command == "study") return cmd_study(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
+    if (command == "compact") return cmd_compact(argc, argv);
+    if (command == "query") return cmd_query(argc, argv);
     if (command == "recommend") return cmd_recommend(argc, argv);
     if (command == "tune") return cmd_tune(argc, argv);
     if (command == "violin") return cmd_violin(argc, argv);
