@@ -5,6 +5,9 @@
 //   bare        the seed harness (direct runner calls, no persistence)
 //   resilient   retry/quarantine guard, no journal
 //   journaled   guard + write-ahead journal (one atomic CSV per setting)
+//   supervised  StudySupervisor with --workers=1: a forked worker process,
+//               lease/heartbeat pipe protocol, per-worker journal adopted
+//               by the parent — the full isolation stack on one worker
 //
 // Two runners frame the cost:
 //   native  real kernels through the runtime substrate — per-sample times
@@ -24,6 +27,7 @@
 #include "bench_common.hpp"
 #include "sim/executor.hpp"
 #include "sweep/harness.hpp"
+#include "sweep/supervisor.hpp"
 
 namespace {
 
@@ -39,7 +43,7 @@ double time_run(const std::function<sweep::Dataset()>& fn,
 }
 
 struct Comparison {
-  double bare = 0, resilient = 0, journaled = 0;
+  double bare = 0, resilient = 0, journaled = 0, supervised = 0;
   std::size_t samples = 0;
 };
 
@@ -55,7 +59,8 @@ Comparison compare(const std::function<std::unique_ptr<sim::Runner>()>& make,
   std::filesystem::remove_all(journal_dir);
 
   Comparison c;
-  std::size_t resilient_samples = 0, journaled_samples = 0;
+  std::size_t resilient_samples = 0, journaled_samples = 0,
+              supervised_samples = 0;
   c.bare = time_run(
       [&] {
         auto runner = make();
@@ -84,9 +89,22 @@ Comparison compare(const std::function<std::unique_ptr<sim::Runner>()>& make,
         return harness.run_study(plan, options);
       },
       &journaled_samples);
+  c.supervised = time_run(
+      [&] {
+        sweep::SupervisorOptions options;
+        options.workers = 1;
+        options.repetitions = repetitions;
+        options.seed = seed;
+        options.resilient = true;
+        options.resilience.max_retries = 2;
+        sweep::StudySupervisor supervisor(make, options);
+        return supervisor.run(plan);
+      },
+      &supervised_samples);
 
   std::filesystem::remove_all(journal_dir);
-  if (c.samples != resilient_samples || c.samples != journaled_samples) {
+  if (c.samples != resilient_samples || c.samples != journaled_samples ||
+      c.samples != supervised_samples) {
     std::printf("SAMPLE COUNT MISMATCH — runs are not comparable\n");
     std::exit(1);
   }
@@ -101,6 +119,8 @@ void print_comparison(const char* label, const Comparison& c, int repetitions) {
               c.resilient, 100.0 * (c.resilient - c.bare) / c.bare);
   std::printf("  %-28s %8.3f s  (%+.2f%%)\n", "guard + write-ahead journal",
               c.journaled, 100.0 * (c.journaled - c.bare) / c.bare);
+  std::printf("  %-28s %8.3f s  (%+.2f%%)\n", "supervisor, --workers=1",
+              c.supervised, 100.0 * (c.supervised - c.bare) / c.bare);
 }
 
 }  // namespace
@@ -136,5 +156,13 @@ int main() {
   std::printf("\njournaled overhead vs bare, native collection: %.2f%% "
               "(target < 10%%)\n",
               overhead);
-  return overhead < 10.0 ? 0 : 1;
+  // The process-isolation stack (fork, pipes, heartbeats, journal adopt) is
+  // measured against the single-process journaled harness, which does the
+  // same persistence work — the delta is pure supervision cost.
+  const double supervision =
+      100.0 * (native.supervised - native.journaled) / native.journaled;
+  std::printf("supervisor --workers=1 vs single-process journaled harness: "
+              "%+.2f%% (target < 10%%)\n",
+              supervision);
+  return overhead < 10.0 && supervision < 10.0 ? 0 : 1;
 }

@@ -17,6 +17,19 @@ StudyResult Study::run(
   return analyze(harness.run_study(plan, progress));
 }
 
+StudyResult Study::run_supervised(const sweep::StudyPlan& plan,
+                                  const sweep::RunnerFactory& make_runner,
+                                  sweep::SupervisorOptions supervisor_options,
+                                  sweep::SupervisorReport* report) const {
+  supervisor_options.repetitions = options_.repetitions;
+  supervisor_options.seed = options_.seed;
+  sweep::StudySupervisor supervisor(make_runner,
+                                    std::move(supervisor_options));
+  sweep::Dataset dataset = supervisor.run(plan);
+  if (report != nullptr) *report = supervisor.report();
+  return analyze(std::move(dataset));
+}
+
 StudyResult Study::analyze(sweep::Dataset dataset) const {
   StudyResult result;
   // Quarantined samples (failed collection, placeholder values) stay in

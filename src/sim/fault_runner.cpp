@@ -2,11 +2,96 @@
 
 #include <chrono>
 #include <limits>
+#include <stdexcept>
 #include <thread>
 
 #include "util/rng.hpp"
 
+#include "util/strings.hpp"
+
 namespace omptune::sim {
+
+ChaosSpec ChaosSpec::parse(const std::string& text) {
+  ChaosSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& token : util::split(text, ',')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("chaos spec: token '" + token +
+                                  "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "kill") {
+        spec.kill_rate = std::stod(value);
+      } else if (key == "segv") {
+        spec.segv_rate = std::stod(value);
+      } else if (key == "wedge") {
+        spec.wedge_rate = std::stod(value);
+      } else if (key == "garble") {
+        spec.garble_rate = std::stod(value);
+      } else if (key == "sticky") {
+        spec.sticky_kill_substr = value;
+      } else {
+        throw std::invalid_argument("chaos spec: unknown key '" + key + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("chaos spec: bad value for '" + key + "': '" +
+                                  value + "'");
+    }
+  }
+  return spec;
+}
+
+std::string ChaosSpec::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  const auto add = [&out](const char* key, double rate) {
+    if (rate > 0) out += std::string(",") + key + "=" + std::to_string(rate);
+  };
+  add("kill", kill_rate);
+  add("segv", segv_rate);
+  add("wedge", wedge_rate);
+  add("garble", garble_rate);
+  if (!sticky_kill_substr.empty()) out += ",sticky=" + sticky_kill_substr;
+  return out;
+}
+
+const char* to_string(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::None: return "none";
+    case ChaosAction::Kill: return "kill";
+    case ChaosAction::Segv: return "segv";
+    case ChaosAction::Wedge: return "wedge";
+    case ChaosAction::Garble: return "garble";
+  }
+  return "?";
+}
+
+ChaosAction ChaosMonkey::draw(const std::string& setting_key, int attempt,
+                              std::uint64_t sample) const {
+  if (!spec_.enabled()) return ChaosAction::None;
+  if (!spec_.sticky_kill_substr.empty() &&
+      setting_key.find(spec_.sticky_kill_substr) != std::string::npos) {
+    return ChaosAction::Kill;  // poisonous on every attempt, by design
+  }
+  std::uint64_t h = util::hash_combine(spec_.seed, util::stable_hash(setting_key));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
+  h = util::hash_combine(h, sample + 1);
+  const double draw =
+      static_cast<double>(util::SplitMix64(h).next() >> 11) * 0x1.0p-53;
+
+  double threshold = spec_.kill_rate;
+  if (draw < threshold) return ChaosAction::Kill;
+  if (draw < (threshold += spec_.segv_rate)) return ChaosAction::Segv;
+  if (draw < (threshold += spec_.wedge_rate)) return ChaosAction::Wedge;
+  if (draw < (threshold += spec_.garble_rate)) return ChaosAction::Garble;
+  return ChaosAction::None;
+}
 
 double FaultInjectingRunner::run(const apps::Application& app,
                                  const apps::InputSize& input,

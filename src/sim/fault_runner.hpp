@@ -44,6 +44,65 @@ struct FaultSpec {
   std::uint64_t kill_after_runs = 0;
 };
 
+// ---- process-level chaos ----------------------------------------------------
+//
+// ChaosSpec describes faults at the WORKER PROCESS level rather than the
+// measurement level: the supervisor's containment path (crash detection,
+// heartbeat timeouts, protocol-garbage handling, shard reassignment,
+// crash-count quarantine) must be testable without waiting for real
+// faults. A ChaosMonkey embedded in the worker draws deterministically per
+// (seed, setting key, attempt, sample counter) — attempt is the number of
+// times the setting has already crashed a worker, handed down in the lease
+// — so a chaos schedule reproduces exactly across runs and machines, and a
+// setting that killed its worker once does not deterministically kill every
+// replacement.
+
+struct ChaosSpec {
+  std::uint64_t seed = 0;     ///< chaos stream seed
+  double kill_rate = 0.0;     ///< P(raise SIGKILL) per completed sample
+  double segv_rate = 0.0;     ///< P(raise SIGSEGV) per completed sample
+  double wedge_rate = 0.0;    ///< P(stop making progress forever)
+  double garble_rate = 0.0;   ///< P(write protocol garbage to the supervisor)
+  /// Setting keys containing this substring are killed on EVERY attempt —
+  /// the deterministic "poisonous setting" that must end in quarantine.
+  std::string sticky_kill_substr;
+
+  bool enabled() const {
+    return kill_rate > 0 || segv_rate > 0 || wedge_rate > 0 ||
+           garble_rate > 0 || !sticky_kill_substr.empty();
+  }
+
+  /// Parse "seed=7,kill=0.02,segv=0.01,wedge=0.01,garble=0.01,sticky=bt"
+  /// (any subset, any order). Throws std::invalid_argument on unknown keys
+  /// or malformed values.
+  static ChaosSpec parse(const std::string& text);
+
+  /// Render back to the parse() syntax (CLI echo, resume hints).
+  std::string describe() const;
+};
+
+/// What the chaos draw decided for one observation point.
+enum class ChaosAction { None, Kill, Segv, Wedge, Garble };
+
+const char* to_string(ChaosAction action);
+
+/// Deterministic per-sample chaos decision stream for one worker process.
+class ChaosMonkey {
+ public:
+  explicit ChaosMonkey(ChaosSpec spec) : spec_(std::move(spec)) {}
+
+  /// Decide the fate of the worker after one more completed sample of
+  /// `setting_key`. `attempt` is the setting's prior crash count (from the
+  /// lease); `sample` counts samples within the setting.
+  ChaosAction draw(const std::string& setting_key, int attempt,
+                   std::uint64_t sample) const;
+
+  const ChaosSpec& spec() const { return spec_; }
+
+ private:
+  ChaosSpec spec_;
+};
+
 class FaultInjectingRunner final : public Runner {
  public:
   FaultInjectingRunner(Runner& inner, FaultSpec spec)

@@ -52,6 +52,11 @@ class StoreReader {
   std::size_t repetitions() const { return reps_; }
   std::uint64_t file_bytes() const { return file_.size(); }
 
+  /// Whether the store is served from a real kernel mapping. False on the
+  /// buffered-read fallback (mmap-refusing filesystems, OMPTUNE_NO_MMAP=1):
+  /// same query results, just without the zero-copy property.
+  bool memory_mapped() const { return file_.memory_mapped(); }
+
   /// Dictionary views (first-appearance order, as written).
   const std::vector<std::string>& archs() const { return dicts_[0]; }
   const std::vector<std::string>& apps() const { return dicts_[1]; }

@@ -78,6 +78,47 @@ std::string setting_key(const std::string& arch_name,
          "/" + std::to_string(setting.num_threads);
 }
 
+std::uint64_t setting_batch_seed(std::uint64_t study_seed,
+                                 const arch::CpuArch& cpu,
+                                 const StudySetting& setting) {
+  return util::hash_combine(
+      util::hash_combine(study_seed, util::stable_hash(cpu.name)),
+      util::hash_combine(
+          util::stable_hash(setting.app->name()),
+          util::hash_combine(util::stable_hash(setting.input.name),
+                             static_cast<std::uint64_t>(setting.num_threads))));
+}
+
+Dataset quarantined_setting_dataset(const arch::CpuArch& cpu,
+                                    const StudySetting& setting,
+                                    std::size_t config_count, int repetitions,
+                                    std::uint64_t study_seed,
+                                    const std::string& error) {
+  const ConfigSpace space = ConfigSpace::paper_space(cpu);
+  const std::uint64_t batch_seed =
+      setting_batch_seed(study_seed, cpu, setting);
+  const std::vector<rt::RtConfig> configs =
+      space.sample(setting.num_threads, config_count, batch_seed);
+
+  Dataset dataset;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    Sample s;
+    s.arch = cpu.name;
+    s.app = setting.app->name();
+    s.suite = setting.app->suite();
+    s.kind = apps::to_string(setting.app->kind());
+    s.input = setting.input.name;
+    s.config = configs[i];
+    s.threads = configs[i].effective_num_threads(cpu);
+    s.is_default = (i == 0);
+    s.status = SampleStatus::Quarantined;
+    s.error = error;
+    s.runtimes.assign(static_cast<std::size_t>(repetitions), 0.0);
+    dataset.add(std::move(s));
+  }
+  return dataset;
+}
+
 std::size_t ArchPlan::total_samples() const {
   std::size_t total = 0;
   for (const std::size_t c : configs_per_setting) total += c;
@@ -129,11 +170,7 @@ Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
                                   std::size_t config_count,
                                   ResiliencePolicy* policy) {
   const ConfigSpace space = ConfigSpace::paper_space(cpu);
-  const std::uint64_t batch_seed = util::hash_combine(
-      util::hash_combine(seed_, util::stable_hash(cpu.name)),
-      util::hash_combine(util::stable_hash(setting.app->name()),
-                         util::hash_combine(util::stable_hash(setting.input.name),
-                                            static_cast<std::uint64_t>(setting.num_threads))));
+  const std::uint64_t batch_seed = setting_batch_seed(seed_, cpu, setting);
 
   const std::vector<rt::RtConfig> configs =
       space.sample(setting.num_threads, config_count, batch_seed);
@@ -161,11 +198,13 @@ Dataset SweepHarness::run_setting(const arch::CpuArch& cpu,
       if (policy == nullptr) {
         s.runtimes.push_back(runner_->run(*setting.app, setting.input, cpu,
                                           configs[i], batch_seed, rep, i));
+        if (sample_observer_) sample_observer_();
         continue;
       }
       const MeasureOutcome outcome =
           policy->measure(*runner_, *setting.app, setting.input, cpu,
                           configs[i], batch_seed, rep, i);
+      if (sample_observer_) sample_observer_();
       s.attempts = std::max(s.attempts, outcome.attempts);
       if (outcome.status == SampleStatus::Quarantined) {
         s.status = SampleStatus::Quarantined;

@@ -48,6 +48,25 @@ struct StudySetting {
 std::string setting_key(const std::string& arch_name,
                         const StudySetting& setting);
 
+/// The deterministic per-setting batch seed derived from the study seed and
+/// the setting identity. Shared by collection (run_setting) and by the
+/// supervisor's quarantine synthesis, which must enumerate the exact
+/// configurations the setting would have sampled.
+std::uint64_t setting_batch_seed(std::uint64_t study_seed,
+                                 const arch::CpuArch& cpu,
+                                 const StudySetting& setting);
+
+/// The all-quarantined placeholder dataset for a setting whose collection
+/// cannot proceed at all — e.g. one that keeps killing its worker process.
+/// Shape-compatible with run_setting's output (same configurations, sample
+/// count and CSV schema), carrying `error` as the quarantine evidence on
+/// every sample.
+Dataset quarantined_setting_dataset(const arch::CpuArch& cpu,
+                                    const StudySetting& setting,
+                                    std::size_t config_count, int repetitions,
+                                    std::uint64_t study_seed,
+                                    const std::string& error);
+
 /// Per-architecture slice of the study.
 struct ArchPlan {
   arch::ArchId arch;
@@ -124,6 +143,16 @@ class SweepHarness {
   /// totals); nullptr before the first resilient run.
   const ResiliencePolicy* last_policy() const { return last_policy_.get(); }
 
+  /// Observer invoked after every completed measurement (every Runner call
+  /// that produced a sample value, successful or quarantined). The process
+  /// worker uses it to emit liveness heartbeats mid-setting and as the
+  /// deterministic injection point for process-level chaos; the observer
+  /// may therefore never return (a wedged worker IS the observer not
+  /// returning). Pass an empty function to remove.
+  void set_sample_observer(std::function<void()> observer) {
+    sample_observer_ = std::move(observer);
+  }
+
   int repetitions() const { return repetitions_; }
 
  private:
@@ -131,6 +160,7 @@ class SweepHarness {
   int repetitions_;
   std::uint64_t seed_;
   std::unique_ptr<ResiliencePolicy> last_policy_;
+  std::function<void()> sample_observer_;
 };
 
 }  // namespace omptune::sweep

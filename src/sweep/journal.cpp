@@ -36,6 +36,10 @@ std::string hash16(const std::string& key) {
 StudyJournal::StudyJournal(std::string directory)
     : directory_(std::move(directory)) {
   util::create_directories(directory_);
+  // Writers SIGKILLed between temp-file open and rename leave droppings
+  // behind; the journal owns its directory exclusively, so they are always
+  // stale here and must not accumulate across crash/resume cycles.
+  util::remove_stale_temp_files(directory_);
 }
 
 std::string StudyJournal::entry_path(const std::string& key) const {
@@ -70,7 +74,22 @@ Dataset StudyJournal::load(const std::string& key,
 }
 
 void StudyJournal::discard(const std::string& key) const {
-  util::remove_file(entry_path(key));
+  util::remove_file_durable(entry_path(key));
+}
+
+void StudyJournal::adopt(const StudyJournal& other, const std::string& key) const {
+  if (!other.contains(key)) return;
+  if (!contains(key)) {
+    util::rename_file(other.entry_path(key), entry_path(key));
+    return;
+  }
+  // Both sides hold the key: merge by measurement identity, best status
+  // wins. Deterministic collection makes the common duplicate identical,
+  // but a quarantined placeholder must never shadow a clean recollection.
+  Dataset combined = load(key);
+  combined.append(other.load(key));
+  record(key, combined.deduped());
+  other.discard(key);
 }
 
 std::vector<std::string> StudyJournal::entry_files() const {

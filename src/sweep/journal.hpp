@@ -48,8 +48,19 @@ class StudyJournal {
   /// malformed, or short entry.
   Dataset load(const std::string& key, std::size_t expected_samples = 0) const;
 
-  /// Remove the entry for `key` if present.
+  /// Remove the entry for `key` if present (durable: the parent directory
+  /// is fsynced, so a discarded entry cannot resurrect after power loss).
   void discard(const std::string& key) const;
+
+  /// Move `key`'s entry from `other` into this journal. On the common path
+  /// (no local entry yet) this is a metadata-only rename(2) plus directory
+  /// fsyncs — no CSV parse, no rewrite — which is what keeps the process
+  /// supervisor's per-worker-journal promotion cheap. If BOTH journals hold
+  /// the key (a reassigned shard whose original worker did finish), the two
+  /// entries are merged by the Ok > Retried > Quarantined dedupe instead,
+  /// so a clean recollection never loses to a quarantined placeholder.
+  /// No-op when `other` has no entry for `key`.
+  void adopt(const StudyJournal& other, const std::string& key) const;
 
   /// Keys with completed entries, sorted by file name.
   std::vector<std::string> entry_files() const;

@@ -1,0 +1,537 @@
+#include "sweep/supervisor.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "arch/cpu_arch.hpp"
+#include "sweep/journal.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+#include "util/process.hpp"
+
+namespace omptune::sweep {
+
+namespace {
+
+constexpr int kPollIntervalMs = 25;
+/// Workers dying repeatedly before their `ready` handshake indicate a broken
+/// environment (fork bomb guard), not a poisonous setting.
+constexpr int kMaxSpawnFailures = 5;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::string make_private_temp_dir() {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = std::string(base != nullptr && *base != '\0' ? base : "/tmp");
+  tmpl += "/omptune-supervisor-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  if (::mkdtemp(buf.data()) == nullptr) {
+    throw_errno("StudySupervisor: mkdtemp(" + tmpl + ")");
+  }
+  return std::string(buf.data());
+}
+
+std::vector<std::string> list_subdirs(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    const std::string path = util::path_join(dir, name);
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      out.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Remove a directory containing only regular files (a journal directory).
+void remove_flat_dir(const std::string& dir) {
+  for (const std::string& name : util::list_files(dir)) {
+    util::remove_file(util::path_join(dir, name));
+  }
+  ::rmdir(dir.c_str());
+}
+
+enum class TaskState { Queued, Done };
+
+/// Parent-side handle on one forked worker.
+struct WorkerProc {
+  pid_t pid = -1;
+  int slot = 0;
+  util::Pipe cmd;  ///< parent keeps write_fd
+  util::Pipe res;  ///< parent keeps read_fd
+  util::LineReader reader{-1};
+  std::unique_ptr<StudyJournal> journal;
+  bool ready = false;
+  bool exit_sent = false;
+  bool saw_bye = false;
+  std::deque<std::size_t> leased;        ///< assigned, not yet done
+  std::optional<std::size_t> inflight;   ///< `start` seen, `done` not yet
+  std::int64_t last_signal = 0;          ///< monotonic_ms of last message
+  std::int64_t lease_deadline = 0;       ///< 0 = no outstanding lease clock
+  std::string kill_reason;  ///< set when the supervisor killed on purpose
+
+  bool alive() const { return pid >= 0; }
+};
+
+}  // namespace
+
+StudySupervisor::StudySupervisor(RunnerFactory make_runner,
+                                 SupervisorOptions options)
+    : make_runner_(std::move(make_runner)), options_(std::move(options)) {
+  if (!make_runner_) {
+    throw std::invalid_argument("StudySupervisor: runner factory required");
+  }
+  if (options_.workers < 1) {
+    throw std::invalid_argument("StudySupervisor: workers must be >= 1");
+  }
+  if (options_.shard_size == 0) options_.shard_size = 1;
+}
+
+Dataset StudySupervisor::run(const StudyPlan& plan) {
+  report_ = SupervisorReport{};
+  stop_requested_.store(false);
+
+  const std::vector<SettingTask> tasks = flatten_plan(plan);
+  report_.settings_total = tasks.size();
+  if (tasks.empty()) return Dataset{};
+
+  std::string journal_dir = options_.journal_dir;
+  const bool private_dir = journal_dir.empty();
+  if (private_dir) journal_dir = make_private_temp_dir();
+  report_.journal_dir = journal_dir;
+  StudyJournal journal(journal_dir);
+  const std::string workers_root = util::path_join(journal_dir, "workers");
+  util::create_directories(workers_root);
+
+  const auto say = [&](const std::string& message) {
+    if (options_.progress) options_.progress(message);
+  };
+
+  // -- startup: reconcile leftovers of a previous (possibly killed) run -------
+  // A worker SIGKILLed between journal.record and its `done` report leaves a
+  // completed entry in its private directory; on resume that work is adopted,
+  // otherwise every stale entry is cleared so it can never pollute this run.
+  for (const std::string& sub : list_subdirs(workers_root)) {
+    const StudyJournal leftover(util::path_join(workers_root, sub));
+    for (const SettingTask& task : tasks) {
+      if (!leftover.contains(task.key)) continue;
+      if (options_.resume) {
+        journal.adopt(leftover, task.key);
+      } else {
+        leftover.discard(task.key);
+      }
+    }
+  }
+
+  std::vector<TaskState> state(tasks.size(), TaskState::Queued);
+  std::vector<int> crashes(tasks.size(), 0);
+  std::deque<std::size_t> queue;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const SettingTask& task = tasks[i];
+    if (options_.resume && journal.contains(task.key)) {
+      try {
+        journal.load(task.key, task.config_count);  // validate before trusting
+        state[i] = TaskState::Done;
+        ++report_.settings_resumed;
+        ++report_.settings_completed;
+        say(task.key + " resumed from journal");
+        continue;
+      } catch (const util::DataCorruptionError& error) {
+        journal.discard(task.key);
+        say(task.key + " journal entry invalid, recollecting (" + error.what() +
+            ")");
+      }
+    } else if (!options_.resume) {
+      journal.discard(task.key);  // a stale entry must not merge into this run
+    }
+    queue.push_back(i);
+  }
+
+  const auto mark_done = [&](std::size_t idx) {
+    state[idx] = TaskState::Done;
+    ++report_.settings_completed;
+  };
+
+  const auto quarantine_task = [&](std::size_t idx,
+                                   const std::string& evidence) {
+    const SettingTask& task = tasks[idx];
+    const std::string full = "crashed " + std::to_string(crashes[idx]) +
+                             " worker processes; last evidence: " + evidence;
+    const Dataset placeholder = quarantined_setting_dataset(
+        arch::architecture(task.arch), task.setting, task.config_count,
+        options_.repetitions, options_.seed, full);
+    journal.record(task.key, placeholder);
+    mark_done(idx);
+    report_.quarantined_settings.push_back(
+        SupervisedQuarantine{task.key, crashes[idx], evidence});
+    say(task.key + " quarantined: " + full);
+  };
+
+  // -- worker pool ------------------------------------------------------------
+  if (!queue.empty()) {
+    util::ShutdownSignalGuard guard;
+    std::vector<WorkerProc> pool;
+    int spawn_failures = 0;
+
+    const auto spawn = [&](int slot) -> WorkerProc {
+      WorkerProc w;
+      w.slot = slot;
+      const std::string dir =
+          util::path_join(workers_root, "w" + std::to_string(slot));
+      // Construct the parent-side journal (creates the directory, clears
+      // stale temp files) BEFORE forking, so cleanup can never race the
+      // child's first write.
+      w.journal = std::make_unique<StudyJournal>(dir);
+
+      WorkerConfig config;
+      config.command_fd = w.cmd.read_fd;
+      config.result_fd = w.res.write_fd;
+      config.slot = slot;
+      config.journal_dir = dir;
+      config.repetitions = options_.repetitions;
+      config.seed = options_.seed;
+      config.resilient = options_.resilient;
+      config.resilience = options_.resilience;
+      config.chaos = options_.chaos;
+      config.heartbeat_interval_ms = options_.heartbeat_interval_ms;
+
+      const pid_t pid = ::fork();
+      if (pid < 0) throw_errno("StudySupervisor: fork()");
+      if (pid == 0) {
+        // Child: drop every parent-side fd inherited from the pool, so a
+        // sibling holding a pipe end can never mask a peer's EOF.
+        for (WorkerProc& other : pool) {
+          other.cmd.close_read();
+          other.cmd.close_write();
+          other.res.close_read();
+          other.res.close_write();
+        }
+        w.cmd.close_write();
+        w.res.close_read();
+        worker_main(config, tasks, make_runner_);  // [[noreturn]]
+      }
+      w.pid = pid;
+      w.cmd.close_read();
+      w.res.close_write();
+      util::set_nonblocking(w.res.read_fd);
+      w.reader = util::LineReader(w.res.read_fd);
+      w.last_signal = util::monotonic_ms();
+      return w;
+    };
+
+    const auto kill_worker = [&](WorkerProc& w, const std::string& reason) {
+      if (!w.alive()) return;
+      if (w.kill_reason.empty()) w.kill_reason = reason;
+      ::kill(w.pid, SIGKILL);
+    };
+
+    const auto grant_lease = [&](WorkerProc& w) {
+      std::vector<protocol::LeaseItem> items;
+      while (!queue.empty() && items.size() < options_.shard_size) {
+        const std::size_t idx = queue.front();
+        queue.pop_front();
+        if (state[idx] == TaskState::Done) continue;
+        items.push_back(protocol::LeaseItem{idx, crashes[idx]});
+        w.leased.push_back(idx);
+      }
+      if (items.empty()) return;
+      if (!util::write_all(w.cmd.write_fd, protocol::format_lease(items))) {
+        // The worker died under us; give the shard back, the reaper will
+        // sort out the corpse.
+        for (auto it = items.rbegin(); it != items.rend(); ++it) {
+          queue.push_front(it->task_index);
+        }
+        w.leased.clear();
+        return;
+      }
+      const std::int64_t now = util::monotonic_ms();
+      w.last_signal = now;
+      w.lease_deadline = options_.lease_ms > 0 ? now + options_.lease_ms : 0;
+    };
+
+    /// Drain and apply every pending message; false on a protocol violation.
+    const auto process_lines = [&](WorkerProc& w) -> bool {
+      for (const std::string& line : w.reader.drain()) {
+        const std::optional<protocol::WorkerMessage> msg =
+            protocol::parse_worker_message(line, tasks.size());
+        if (!msg) return false;
+        w.last_signal = util::monotonic_ms();
+        switch (msg->kind) {
+          case protocol::WorkerMessage::Kind::Ready:
+            w.ready = true;
+            spawn_failures = 0;
+            break;
+          case protocol::WorkerMessage::Kind::Heartbeat:
+            break;  // liveness is the timestamp update above
+          case protocol::WorkerMessage::Kind::Start:
+            w.inflight = msg->task_index;
+            break;
+          case protocol::WorkerMessage::Kind::Done: {
+            const std::size_t idx = msg->task_index;
+            journal.adopt(*w.journal, tasks[idx].key);
+            if (state[idx] != TaskState::Done) mark_done(idx);
+            if (w.inflight == idx) w.inflight.reset();
+            const auto it =
+                std::find(w.leased.begin(), w.leased.end(), idx);
+            if (it != w.leased.end()) w.leased.erase(it);
+            w.lease_deadline = options_.lease_ms > 0
+                                   ? w.last_signal + options_.lease_ms
+                                   : 0;
+            say(tasks[idx].key + " -> " + std::to_string(msg->count) +
+                " samples (w" + std::to_string(w.slot) + ")");
+            break;
+          }
+          case protocol::WorkerMessage::Kind::Bye:
+            w.saw_bye = true;
+            break;
+        }
+      }
+      return !w.reader.garbled();
+    };
+
+    const auto handle_death = [&](WorkerProc& w,
+                                  const util::ExitStatus& status) {
+      // Salvage first: the pipe may still hold `done` lines written before
+      // death, and the worker's journal may hold a completed entry whose
+      // `done` never made it out (killed between record and report).
+      process_lines(w);
+      for (auto it = w.leased.begin(); it != w.leased.end();) {
+        const std::size_t idx = *it;
+        if (state[idx] != TaskState::Done &&
+            w.journal->contains(tasks[idx].key)) {
+          journal.adopt(*w.journal, tasks[idx].key);
+          mark_done(idx);
+          say(tasks[idx].key + " salvaged from dead worker w" +
+              std::to_string(w.slot));
+          if (w.inflight == idx) w.inflight.reset();
+          it = w.leased.erase(it);
+        } else if (state[idx] == TaskState::Done) {
+          it = w.leased.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      const bool clean =
+          w.saw_bye || (w.exit_sent && status.exited && status.exit_code == 0);
+      const std::string evidence =
+          !w.kill_reason.empty() ? w.kill_reason : status.describe();
+      if (!clean && w.kill_reason.empty()) ++report_.worker_crashes;
+      if (!clean && !w.ready && ++spawn_failures > kMaxSpawnFailures) {
+        throw std::runtime_error(
+            "StudySupervisor: " + std::to_string(spawn_failures) +
+            " consecutive workers died before becoming ready (last: " +
+            evidence + ")");
+      }
+
+      // Blame only the in-flight setting; the untouched rest of the lease
+      // goes back to the queue without a strike.
+      std::optional<std::size_t> blamed;
+      if (!clean && w.inflight && state[*w.inflight] != TaskState::Done) {
+        blamed = *w.inflight;
+        const auto it =
+            std::find(w.leased.begin(), w.leased.end(), *blamed);
+        if (it != w.leased.end()) w.leased.erase(it);
+      }
+      for (auto it = w.leased.rbegin(); it != w.leased.rend(); ++it) {
+        queue.push_front(*it);
+        ++report_.reassigned_settings;
+      }
+      w.leased.clear();
+      if (blamed) {
+        ++crashes[*blamed];
+        if (crashes[*blamed] >= options_.max_setting_crashes) {
+          quarantine_task(*blamed, evidence);
+        } else {
+          queue.push_front(*blamed);
+          ++report_.reassigned_settings;
+          say(tasks[*blamed].key + " reassigned (attempt " +
+              std::to_string(crashes[*blamed]) + "): " + evidence);
+        }
+      }
+      w.pid = -1;
+      w.inflight.reset();
+      w.lease_deadline = 0;
+    };
+
+    const auto kill_everything = [&] {
+      for (WorkerProc& w : pool) {
+        if (!w.alive()) continue;
+        ::kill(w.pid, SIGKILL);
+        util::wait_for(w.pid);
+        w.pid = -1;
+      }
+    };
+
+    try {
+      const std::size_t pool_size = std::min<std::size_t>(
+          static_cast<std::size_t>(options_.workers), queue.size());
+      pool.reserve(pool_size);
+      for (std::size_t slot = 0; slot < pool_size; ++slot) {
+        pool.push_back(spawn(static_cast<int>(slot)));
+      }
+
+      const std::int64_t grace_ms = options_.heartbeat_timeout_ms > 0
+                                        ? std::max<std::int64_t>(
+                                              options_.heartbeat_timeout_ms,
+                                              1000)
+                                        : 10000;
+      bool shutting_down = false;
+      std::int64_t drain_deadline = 0;
+
+      for (;;) {
+        const bool all_done =
+            report_.settings_completed == report_.settings_total;
+        if (!shutting_down &&
+            (all_done || guard.triggered() || stop_requested_.load())) {
+          shutting_down = true;
+          report_.interrupted = !all_done;
+          queue.clear();
+          for (WorkerProc& w : pool) {
+            if (!w.alive()) continue;
+            w.exit_sent = true;
+            util::write_all(w.cmd.write_fd, protocol::format_exit());
+          }
+          drain_deadline = util::monotonic_ms() + grace_ms;
+          if (report_.interrupted) {
+            say("study interrupted: draining workers (completed " +
+                std::to_string(report_.settings_completed) + "/" +
+                std::to_string(report_.settings_total) + ")");
+          }
+        }
+        if (shutting_down &&
+            std::none_of(pool.begin(), pool.end(),
+                         [](const WorkerProc& w) { return w.alive(); })) {
+          break;
+        }
+
+        if (!shutting_down) {
+          for (WorkerProc& w : pool) {
+            if (w.alive() && w.ready && !w.exit_sent && w.leased.empty()) {
+              grant_lease(w);
+            }
+          }
+        }
+
+        std::vector<struct pollfd> fds;
+        fds.push_back({guard.wake_fd(), POLLIN, 0});
+        for (const WorkerProc& w : pool) {
+          if (w.alive() && !w.reader.eof()) {
+            fds.push_back({w.reader.fd(), POLLIN, 0});
+          }
+        }
+        ::poll(fds.data(), fds.size(), kPollIntervalMs);
+        // Drain the wake pipe so a delivered signal does not turn the poll
+        // loop into a busy spin (the triggered() flag is authoritative).
+        char sink[64];
+        while (::read(guard.wake_fd(), sink, sizeof(sink)) > 0) {
+        }
+
+        for (WorkerProc& w : pool) {
+          if (!w.alive()) continue;
+          if (!process_lines(w)) {
+            ++report_.protocol_errors;
+            kill_worker(w, "garbled result stream (protocol violation)");
+          }
+        }
+
+        for (WorkerProc& w : pool) {
+          if (!w.alive()) continue;
+          if (const std::optional<util::ExitStatus> status =
+                  util::try_wait(w.pid)) {
+            const int slot = w.slot;
+            handle_death(w, *status);
+            if (!shutting_down && !queue.empty()) {
+              pool[static_cast<std::size_t>(slot)] = spawn(slot);
+              ++report_.respawns;
+            }
+          }
+        }
+
+        const std::int64_t now = util::monotonic_ms();
+        for (WorkerProc& w : pool) {
+          if (!w.alive()) continue;
+          // Idle ready workers are parked on a blocking command read; only
+          // a worker that owes us progress is held to the heartbeat clock.
+          const bool owes_progress =
+              !w.ready || !w.leased.empty() || w.exit_sent;
+          if (options_.heartbeat_timeout_ms > 0 && owes_progress &&
+              now - w.last_signal > options_.heartbeat_timeout_ms &&
+              w.kill_reason.empty()) {
+            ++report_.hang_kills;
+            kill_worker(w, "no heartbeat for " +
+                               std::to_string(now - w.last_signal) +
+                               "ms (hung)");
+            continue;
+          }
+          if (w.lease_deadline > 0 && !w.leased.empty() &&
+              now > w.lease_deadline && w.kill_reason.empty()) {
+            ++report_.lease_expiries;
+            kill_worker(w, "lease expired after " +
+                               std::to_string(options_.lease_ms) + "ms");
+            continue;
+          }
+          if (shutting_down && now > drain_deadline &&
+              w.kill_reason.empty()) {
+            kill_worker(w, "shutdown grace period expired");
+          }
+        }
+      }
+    } catch (...) {
+      kill_everything();
+      throw;
+    }
+  } else {
+    report_.interrupted = false;
+  }
+
+  // -- assembly ---------------------------------------------------------------
+  // Tasks are loaded in flatten_plan order — the single-process run_study
+  // iteration order — which is what makes the assembled dataset (and any
+  // compacted store built from the journal) byte-identical to an
+  // undisturbed run.
+  Dataset dataset;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (state[i] != TaskState::Done) continue;
+    dataset.append(journal.load(tasks[i].key, tasks[i].config_count));
+  }
+
+  if (report_.interrupted) {
+    say("resume with --journal=" + journal_dir + " --resume");
+  } else {
+    // Worker directories are empty after adoption; clear the scaffolding so
+    // a completed journal holds exactly one entry per setting.
+    for (const std::string& sub : list_subdirs(workers_root)) {
+      remove_flat_dir(util::path_join(workers_root, sub));
+    }
+    ::rmdir(workers_root.c_str());
+    if (private_dir) {
+      remove_flat_dir(journal_dir);
+      report_.journal_dir.clear();
+    }
+  }
+  return dataset;
+}
+
+}  // namespace omptune::sweep

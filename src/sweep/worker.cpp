@@ -1,0 +1,358 @@
+#include "sweep/worker.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "arch/cpu_arch.hpp"
+#include "sweep/journal.hpp"
+#include "util/process.hpp"
+
+namespace omptune::sweep {
+
+// ---- protocol ---------------------------------------------------------------
+
+namespace protocol {
+
+namespace {
+
+/// Parse a non-negative integer token; nullopt on anything else (garbled
+/// bytes must fail parsing, not wrap around or stop early).
+std::optional<std::uint64_t> parse_u64(const std::string& token) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos ||
+      token.size() > 19) {
+    return std::nullopt;
+  }
+  return std::stoull(token);
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && line[i] == ' ') ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ') ++i;
+    if (i > start) out.emplace_back(line, start, i - start);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_lease(const std::vector<LeaseItem>& items) {
+  std::string out = "lease " + std::to_string(items.size());
+  for (const LeaseItem& item : items) {
+    out += " " + std::to_string(item.task_index) + ":" +
+           std::to_string(item.attempt);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string format_exit() { return "exit\n"; }
+std::string format_ready() { return "ready\n"; }
+
+std::string format_heartbeat(std::uint64_t total_samples) {
+  return "hb " + std::to_string(total_samples) + "\n";
+}
+
+std::string format_start(std::size_t task_index) {
+  return "start " + std::to_string(task_index) + "\n";
+}
+
+std::string format_done(std::size_t task_index, std::uint64_t samples) {
+  return "done " + std::to_string(task_index) + " " +
+         std::to_string(samples) + "\n";
+}
+
+std::string format_bye() { return "bye\n"; }
+
+std::optional<Command> parse_command(const std::string& line,
+                                     std::size_t task_count) {
+  const std::vector<std::string> tokens = split_ws(line);
+  if (tokens.empty()) return std::nullopt;
+  if (tokens[0] == "exit") {
+    if (tokens.size() != 1) return std::nullopt;
+    return Command{Command::Kind::Exit, {}};
+  }
+  if (tokens[0] != "lease" || tokens.size() < 2) return std::nullopt;
+  const std::optional<std::uint64_t> count = parse_u64(tokens[1]);
+  if (!count || *count == 0 || tokens.size() != 2 + *count) return std::nullopt;
+  Command command{Command::Kind::Lease, {}};
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::size_t colon = tokens[i].find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    const std::optional<std::uint64_t> index =
+        parse_u64(tokens[i].substr(0, colon));
+    const std::optional<std::uint64_t> attempt =
+        parse_u64(tokens[i].substr(colon + 1));
+    if (!index || !attempt || *index >= task_count) return std::nullopt;
+    command.items.push_back(
+        LeaseItem{static_cast<std::size_t>(*index), static_cast<int>(*attempt)});
+  }
+  return command;
+}
+
+std::optional<WorkerMessage> parse_worker_message(const std::string& line,
+                                                  std::size_t task_count) {
+  const std::vector<std::string> tokens = split_ws(line);
+  if (tokens.empty()) return std::nullopt;
+  WorkerMessage msg;
+  if (tokens[0] == "ready" && tokens.size() == 1) {
+    msg.kind = WorkerMessage::Kind::Ready;
+    return msg;
+  }
+  if (tokens[0] == "bye" && tokens.size() == 1) {
+    msg.kind = WorkerMessage::Kind::Bye;
+    return msg;
+  }
+  if (tokens[0] == "hb" && tokens.size() == 2) {
+    const std::optional<std::uint64_t> count = parse_u64(tokens[1]);
+    if (!count) return std::nullopt;
+    msg.kind = WorkerMessage::Kind::Heartbeat;
+    msg.count = *count;
+    return msg;
+  }
+  if (tokens[0] == "start" && tokens.size() == 2) {
+    const std::optional<std::uint64_t> index = parse_u64(tokens[1]);
+    if (!index || *index >= task_count) return std::nullopt;
+    msg.kind = WorkerMessage::Kind::Start;
+    msg.task_index = static_cast<std::size_t>(*index);
+    return msg;
+  }
+  if (tokens[0] == "done" && tokens.size() == 3) {
+    const std::optional<std::uint64_t> index = parse_u64(tokens[1]);
+    const std::optional<std::uint64_t> samples = parse_u64(tokens[2]);
+    if (!index || !samples || *index >= task_count) return std::nullopt;
+    msg.kind = WorkerMessage::Kind::Done;
+    msg.task_index = static_cast<std::size_t>(*index);
+    msg.count = *samples;
+    return msg;
+  }
+  return std::nullopt;
+}
+
+}  // namespace protocol
+
+// ---- plan flattening --------------------------------------------------------
+
+std::vector<SettingTask> flatten_plan(const StudyPlan& plan) {
+  std::vector<SettingTask> tasks;
+  for (const ArchPlan& arch_plan : plan.arch_plans) {
+    const arch::CpuArch& cpu = arch::architecture(arch_plan.arch);
+    for (std::size_t i = 0; i < arch_plan.settings.size(); ++i) {
+      SettingTask task;
+      task.arch = arch_plan.arch;
+      task.setting = arch_plan.settings[i];
+      task.config_count = arch_plan.configs_per_setting[i];
+      task.key = setting_key(cpu.name, task.setting);
+      tasks.push_back(std::move(task));
+    }
+  }
+  return tasks;
+}
+
+// ---- worker main ------------------------------------------------------------
+
+namespace {
+
+/// Blocking line reader over the command pipe, with a zero-timeout variant
+/// used between settings to notice a pending `exit` without stalling.
+class CommandReader {
+ public:
+  explicit CommandReader(int fd) : fd_(fd) {}
+
+  /// Next line, blocking; nullopt on EOF (the supervisor is gone).
+  std::optional<std::string> next() {
+    for (;;) {
+      if (std::optional<std::string> line = take_line()) return line;
+      if (eof_) return std::nullopt;
+      fill_blocking();
+    }
+  }
+
+  /// A line if one is available right now, without blocking.
+  std::optional<std::string> poll_line() {
+    for (;;) {
+      if (std::optional<std::string> line = take_line()) return line;
+      if (eof_) return std::nullopt;
+      struct pollfd p{};
+      p.fd = fd_;
+      p.events = POLLIN;
+      const int r = ::poll(&p, 1, 0);
+      if (r <= 0) return std::nullopt;
+      fill_blocking();
+    }
+  }
+
+  bool eof() const { return eof_; }
+
+ private:
+  std::optional<std::string> take_line() {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) return std::nullopt;
+    std::string line = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return line;
+  }
+
+  void fill_blocking() {
+    char chunk[512];
+    for (;;) {
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        eof_ = true;
+        return;
+      }
+      if (n == 0) eof_ = true;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return;
+    }
+  }
+
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+[[noreturn]] void apply_chaos(sim::ChaosAction action, int result_fd) {
+  switch (action) {
+    case sim::ChaosAction::Kill:
+      ::raise(SIGKILL);
+      break;
+    case sim::ChaosAction::Segv:
+      ::raise(SIGSEGV);
+      break;
+    case sim::ChaosAction::Wedge:
+      // Stop making progress but stay alive: heartbeats cease, the pipe
+      // stays open — only the supervisor's liveness checks can reap us.
+      for (;;) ::pause();
+    case sim::ChaosAction::Garble: {
+      util::write_all(result_fd, "\x01\x02 this is not the protocol \xff\n");
+      // Keep "working": the supervisor must kill us on the garbage, we
+      // must not conveniently exit on our own.
+      for (;;) ::pause();
+    }
+    case sim::ChaosAction::None:
+      break;
+  }
+  // raise(SIGKILL/SIGSEGV) does not return control here under normal
+  // delivery; if a sanitizer or blocked signal interferes, die loudly.
+  ::_exit(13);
+}
+
+}  // namespace
+
+void worker_main(const WorkerConfig& config,
+                 const std::vector<SettingTask>& tasks,
+                 const RunnerFactory& make_runner) {
+  util::die_with_parent();
+  // Shutdown is coordinated over the command pipe; a terminal SIGINT aimed
+  // at the process group must not take workers down mid-journal-write.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_IGN);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    StudyJournal journal(config.journal_dir);
+    std::unique_ptr<sim::Runner> runner = make_runner();
+    SweepHarness harness(*runner, config.repetitions, config.seed);
+    std::unique_ptr<ResiliencePolicy> policy;
+    if (config.resilient) {
+      policy = std::make_unique<ResiliencePolicy>(config.resilience);
+    }
+    const sim::ChaosMonkey monkey(config.chaos);
+    CommandReader commands(config.command_fd);
+
+    // Observer state: which setting is in flight and how far along it is,
+    // for heartbeats and deterministic chaos draws.
+    std::string current_key;
+    int current_attempt = 0;
+    std::uint64_t samples_in_setting = 0;
+    std::uint64_t total_samples = 0;
+    std::int64_t last_heartbeat = util::monotonic_ms();
+
+    harness.set_sample_observer([&] {
+      ++samples_in_setting;
+      ++total_samples;
+      const sim::ChaosAction action =
+          monkey.draw(current_key, current_attempt, samples_in_setting);
+      if (action != sim::ChaosAction::None) {
+        apply_chaos(action, config.result_fd);
+      }
+      const std::int64_t now = util::monotonic_ms();
+      if (now - last_heartbeat >= config.heartbeat_interval_ms) {
+        last_heartbeat = now;
+        if (!util::write_all(config.result_fd,
+                             protocol::format_heartbeat(total_samples))) {
+          ::_exit(0);  // supervisor gone; nothing left to report to
+        }
+      }
+    });
+
+    if (!util::write_all(config.result_fd, protocol::format_ready())) {
+      ::_exit(0);
+    }
+
+    for (;;) {
+      const std::optional<std::string> line = commands.next();
+      if (!line) ::_exit(0);  // command pipe EOF: supervisor is gone
+      const std::optional<protocol::Command> command =
+          protocol::parse_command(*line, tasks.size());
+      if (!command) ::_exit(12);  // a garbled supervisor is unrecoverable
+      if (command->kind == protocol::Command::Kind::Exit) {
+        util::write_all(config.result_fd, protocol::format_bye());
+        ::_exit(0);
+      }
+      for (const protocol::LeaseItem& item : command->items) {
+        // Drain: between settings, a pending `exit` abandons the rest of
+        // the lease (the supervisor requeues it) so shutdown never waits
+        // for a whole shard.
+        if (const std::optional<std::string> pending = commands.poll_line()) {
+          const std::optional<protocol::Command> interrupt =
+              protocol::parse_command(*pending, tasks.size());
+          if (interrupt && interrupt->kind == protocol::Command::Kind::Exit) {
+            util::write_all(config.result_fd, protocol::format_bye());
+            ::_exit(0);
+          }
+          ::_exit(12);  // a second lease mid-lease is a supervisor bug
+        }
+        if (commands.eof()) ::_exit(0);
+
+        const SettingTask& task = tasks[item.task_index];
+        current_key = task.key;
+        current_attempt = item.attempt;
+        samples_in_setting = 0;
+        if (!util::write_all(config.result_fd,
+                             protocol::format_start(item.task_index))) {
+          ::_exit(0);
+        }
+        const arch::CpuArch& cpu = arch::architecture(task.arch);
+        const Dataset batch = harness.run_setting(
+            cpu, task.setting, task.config_count, policy.get());
+        // Journal BEFORE reporting: `done` is a promise that the entry is
+        // durably on disk in this worker's journal.
+        journal.record(task.key, batch);
+        if (!util::write_all(
+                config.result_fd,
+                protocol::format_done(item.task_index, batch.size()))) {
+          ::_exit(0);
+        }
+      }
+    }
+  } catch (const std::exception&) {
+    // Anything escaping the measurement stack (runner construction, journal
+    // I/O) is a worker casualty: die with a distinct code, the supervisor
+    // requeues the lease and blames the in-flight setting.
+    ::_exit(11);
+  }
+  ::_exit(0);
+}
+
+}  // namespace omptune::sweep

@@ -23,24 +23,30 @@ namespace stdfs = std::filesystem;
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
-/// fsync a path opened read-only (used for directories after rename).
-void fsync_path(const std::string& path) {
-#ifdef O_DIRECTORY
-  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
-#else
-  const int fd = ::open(path.c_str(), O_RDONLY);
-#endif
-  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
-  ::fsync(fd);
-  ::close(fd);
+std::string parent_dir(const std::string& path) {
+  const stdfs::path p(path);
+  return p.has_parent_path() ? p.parent_path().string() : std::string(".");
 }
 
 }  // namespace
 
+bool fsync_directory(const std::string& dir) {
+#ifdef O_DIRECTORY
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+#else
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+#endif
+  if (fd < 0) return false;  // best effort: some filesystems refuse dir fsync
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(fd);
+  return rc == 0;
+}
+
 void atomic_write_file(const std::string& path, const std::string& content) {
-  const stdfs::path target(path);
-  const std::string dir =
-      target.has_parent_path() ? target.parent_path().string() : std::string(".");
+  const std::string dir = parent_dir(path);
   // The temp file must live in the same directory as the target, or the
   // final rename() could cross filesystems and lose atomicity.
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
@@ -74,7 +80,49 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     throw_errno("atomic_write_file: rename '" + tmp + "' -> '" + path + "'");
   }
   // Persist the directory entry so the rename survives a power loss.
-  fsync_path(dir);
+  fsync_directory(dir);
+}
+
+void rename_file(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (errno == EXDEV) {
+      // Cross-filesystem move: degrade to a copy that is still atomic at
+      // the destination, then drop the source.
+      const std::optional<std::string> content = read_file(from);
+      if (!content) throw_errno("rename_file: source '" + from + "' vanished");
+      atomic_write_file(to, *content);
+      remove_file(from);
+      return;
+    }
+    throw_errno("rename_file: rename '" + from + "' -> '" + to + "'");
+  }
+  fsync_directory(parent_dir(to));
+  // The source entry is gone from its own directory too; persist that so a
+  // power loss cannot resurrect the file under its old name.
+  fsync_directory(parent_dir(from));
+}
+
+bool remove_file_durable(const std::string& path) {
+  const bool removed = remove_file(path);
+  if (removed) fsync_directory(parent_dir(path));
+  return removed;
+}
+
+std::size_t remove_stale_temp_files(const std::string& dir) {
+  std::size_t removed = 0;
+  for (const std::string& name : list_files(dir)) {
+    // atomic_write_file names its temps "<target>.tmp.<pid>".
+    const std::size_t at = name.rfind(".tmp.");
+    if (at == std::string::npos) continue;
+    const std::string suffix = name.substr(at + 5);
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    if (remove_file(path_join(dir, name))) ++removed;
+  }
+  if (removed > 0) fsync_directory(dir);
+  return removed;
 }
 
 std::optional<std::string> read_file(const std::string& path) {

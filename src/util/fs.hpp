@@ -12,10 +12,33 @@
 
 namespace omptune::util {
 
-/// Atomically replace `path` with `content` (temp file + fsync + rename).
-/// Throws std::runtime_error on any I/O failure; on failure the previous
-/// contents of `path` (if any) are left intact.
+/// Atomically replace `path` with `content` (temp file + fsync + rename +
+/// parent-directory fsync). Throws std::runtime_error on any I/O failure;
+/// on failure the previous contents of `path` (if any) are left intact.
 void atomic_write_file(const std::string& path, const std::string& content);
+
+/// fsync the directory itself so a just-renamed/unlinked entry survives
+/// power loss, not only process death. Returns false when the filesystem
+/// refuses to open or fsync a directory (some network filesystems do) —
+/// best effort there, but EINTR is retried, never surfaced as failure.
+bool fsync_directory(const std::string& dir);
+
+/// rename(2) + parent-directory fsync: atomically move `from` over `to`
+/// (same filesystem). Falls back to atomic_write_file(read_file(from)) +
+/// unlink on EXDEV. Throws std::runtime_error on failure.
+void rename_file(const std::string& from, const std::string& to);
+
+/// Remove `path` and fsync its parent directory, so the removal also
+/// survives power loss (a durably discarded journal entry must not
+/// resurrect after a crash). Returns whether anything was removed.
+bool remove_file_durable(const std::string& path);
+
+/// Delete leftover "<name>.tmp.<pid>" files in `dir` — droppings of
+/// atomic_write_file writers that were SIGKILLed between open and rename.
+/// Only call on a directory the caller owns exclusively (a concurrent live
+/// writer's temp file is indistinguishable from a stale one). Returns the
+/// number of files removed.
+std::size_t remove_stale_temp_files(const std::string& dir);
 
 /// Whole-file read; nullopt if the file does not exist, throws
 /// std::runtime_error on other I/O failures.

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
@@ -25,6 +27,7 @@
 #include "sweep/journal.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/process.hpp"
 #include "util/rng.hpp"
 
 namespace omptune {
@@ -536,6 +539,110 @@ TEST(CsvHardening, GarbledRuntimeColumnNameRejectsTheFile) {
   const sweep::Dataset parsed = sweep::Dataset::from_csv(table, "ok.csv");
   ASSERT_GT(parsed.size(), 0u);
   EXPECT_EQ(parsed.samples().front().runtimes.size(), 3u);
+}
+
+TEST(CompactCrashSafety, KillMidCompactNeverLeavesATornStore) {
+  // The compactor writes through a temp file and an atomic rename, so a
+  // SIGKILL at any point must leave the output path either absent or a
+  // complete, checksum-valid store byte-identical to an undisturbed
+  // compact — never a truncated or half-written file.
+  const std::string dir = temp_dir("kill_compact");
+
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 2, 5);
+  sweep::StudyRunOptions options;
+  options.journal_dir = util::path_join(dir, "journal");
+  harness.run_study(sweep::StudyPlan::mini_plan(2, 8), options);
+  const sweep::StudyJournal journal(options.journal_dir);
+
+  const std::string reference = util::path_join(dir, "reference.omps");
+  journal.compact(reference);
+  const std::string expected = util::read_file(reference).value();
+  ASSERT_FALSE(expected.empty());
+
+  const std::string out = util::path_join(dir, "out.omps");
+  for (const unsigned delay_us : {0u, 50u, 200u, 500u, 1000u, 3000u, 8000u}) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      try {
+        journal.compact(out);
+      } catch (...) {
+      }
+      ::_exit(0);  // skip atexit / sanitizer leak checks in the fork child
+    }
+    ::usleep(delay_us);
+    ::kill(pid, SIGKILL);
+    util::wait_for(pid);
+
+    if (util::file_exists(out)) {
+      // The rename already happened: the store must be whole and identical.
+      EXPECT_EQ(util::read_file(out).value(), expected)
+          << "torn store after SIGKILL at " << delay_us << "us";
+      EXPECT_NO_THROW(store::StoreReader(out).load());
+      util::remove_file_durable(out);
+    }
+  }
+
+  // A killed re-compact over an existing store must leave the old bytes
+  // untouched — overwrite is all-or-nothing too.
+  journal.compact(out);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    try {
+      journal.compact(out);
+    } catch (...) {
+    }
+    ::_exit(0);
+  }
+  ::usleep(300);
+  ::kill(pid, SIGKILL);
+  util::wait_for(pid);
+  EXPECT_EQ(util::read_file(out).value(), expected);
+  EXPECT_NO_THROW(store::StoreReader(out).load());
+
+  // Temp droppings from the killed writers are swept by the next compact,
+  // which itself still produces the identical store.
+  journal.compact(out);
+  EXPECT_EQ(util::read_file(out).value(), expected);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, BufferedFallbackAnswersQueriesIdentically) {
+  // OMPTUNE_NO_MMAP=1 forces the reader onto plain buffered I/O (the path
+  // taken on mmap-refusing filesystems). Every query and full load must
+  // return exactly what the kernel mapping returns.
+  const sweep::Dataset original = sample_dataset();
+  const std::string dir = temp_dir("no_mmap");
+  const std::string path = util::path_join(dir, "d.omps");
+  original.save_store(path);
+
+  store::StoreReader mapped(path);
+  EXPECT_TRUE(mapped.memory_mapped());
+
+  ::setenv("OMPTUNE_NO_MMAP", "1", 1);
+  store::StoreReader buffered(path);
+  ::unsetenv("OMPTUNE_NO_MMAP");
+  EXPECT_FALSE(buffered.memory_mapped());
+
+  const sweep::Dataset via_map = mapped.load();
+  const sweep::Dataset via_read = buffered.load();
+  ASSERT_EQ(via_read.size(), via_map.size());
+  for (std::size_t i = 0; i < via_read.size(); ++i) {
+    expect_samples_equal(via_read.samples()[i], via_map.samples()[i]);
+  }
+
+  store::StoreQuery query;
+  query.app = original.samples().front().app;
+  const sweep::Dataset slice_map = mapped.query(query);
+  const sweep::Dataset slice_read = buffered.query(query);
+  ASSERT_GT(slice_read.size(), 0u);
+  ASSERT_EQ(slice_read.size(), slice_map.size());
+  for (std::size_t i = 0; i < slice_read.size(); ++i) {
+    expect_samples_equal(slice_read.samples()[i], slice_map.samples()[i]);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

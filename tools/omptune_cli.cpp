@@ -8,6 +8,12 @@
 //     --resume                         replay completed journal entries
 //     --max-retries=<N>                retries per failed sample (default 2)
 //     --sample-timeout-ms=<T>          per-sample watchdog deadline
+//     --workers=<N>                    process-isolated collection: N forked
+//                                      workers under the study supervisor
+//     --heartbeat-timeout-ms=<T>       kill workers silent for T ms (hung)
+//     --max-setting-crashes=<N>        crashes before a setting quarantines
+//     --chaos=<spec>                   deterministic fault injection in the
+//                                      workers, e.g. seed=7,kill=0.02
 //   omptune analyze <dataset>         re-derive every artefact from a
 //                                      dataset (.csv or .omps store)
 //   omptune compact <journal> <out.omps>
@@ -26,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,7 @@
 #include "core/thread_advisor.hpp"
 #include "core/tuner.hpp"
 #include "sim/energy_model.hpp"
+#include "sim/fault_runner.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kde.hpp"
 #include "store/compact.hpp"
@@ -54,8 +62,11 @@ int usage() {
       "  study [configs] [out]             run the sweep (0 = full scale;\n"
       "        [--journal=<dir>] [--resume] out: .csv or binary .omps store)\n"
       "        [--max-retries=N] [--sample-timeout-ms=T]\n"
+      "        [--workers=N] [--heartbeat-timeout-ms=T]\n"
+      "        [--max-setting-crashes=N] [--chaos=<spec>]\n"
       "                                    checkpointed, resumable, fault-\n"
-      "                                    tolerant collection\n"
+      "                                    tolerant collection; --workers\n"
+      "                                    isolates faults in forked processes\n"
       "  analyze <dataset>                 derive artefacts from a dataset\n"
       "                                    (.csv or .omps store)\n"
       "  compact <journal> <out.omps>      fold per-setting journal CSVs into\n"
@@ -160,6 +171,10 @@ int cmd_study(int argc, char** argv) {
   // Flags may appear anywhere after the command; the remaining positionals
   // are [configs] [out.csv] as before.
   sweep::StudyRunOptions options;
+  int workers = 0;
+  long long heartbeat_timeout_ms = -1;
+  int max_setting_crashes = 0;
+  sim::ChaosSpec chaos;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -173,6 +188,14 @@ int cmd_study(int argc, char** argv) {
     } else if (util::starts_with(arg, "--sample-timeout-ms=")) {
       options.resilient = true;
       options.resilience.sample_timeout_ms = flag_value(arg, 20);
+    } else if (util::starts_with(arg, "--workers=")) {
+      workers = static_cast<int>(flag_value(arg, 10));
+    } else if (util::starts_with(arg, "--heartbeat-timeout-ms=")) {
+      heartbeat_timeout_ms = flag_value(arg, 23);
+    } else if (util::starts_with(arg, "--max-setting-crashes=")) {
+      max_setting_crashes = static_cast<int>(flag_value(arg, 22));
+    } else if (util::starts_with(arg, "--chaos=")) {
+      chaos = sim::ChaosSpec::parse(arg.substr(8));  // throws on a bad spec
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "omptune study: unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -182,6 +205,14 @@ int cmd_study(int argc, char** argv) {
   }
   if (options.resume && options.journal_dir.empty()) {
     std::fprintf(stderr, "omptune study: --resume requires --journal=<dir>\n");
+    return usage();
+  }
+  if (workers <= 0 &&
+      (heartbeat_timeout_ms >= 0 || max_setting_crashes > 0 ||
+       chaos.enabled())) {
+    std::fprintf(stderr,
+                 "omptune study: --heartbeat-timeout-ms/--max-setting-crashes/"
+                 "--chaos require --workers=<N>\n");
     return usage();
   }
   // Journaled runs get the resilient path by default: a checkpointed study
@@ -198,21 +229,70 @@ int cmd_study(int argc, char** argv) {
     }
   }
 
-  core::StudyOptions study_options;
-  sweep::SweepHarness harness(runner, study_options.repetitions,
-                              study_options.seed);
-  const sweep::Dataset dataset = harness.run_study(plan, options);
-  const core::StudyResult result = study.analyze(dataset);
-  std::printf("collected %zu samples\n", result.dataset.size());
+  core::StudyResult result;
+  if (workers > 0) {
+    // Process-isolated collection: faults (and injected chaos) are contained
+    // to forked workers; the supervisor reassigns their leases and the same
+    // seed derivation keeps the dataset identical to a single-process run.
+    sweep::SupervisorOptions supervisor_options;
+    supervisor_options.workers = workers;
+    supervisor_options.journal_dir = options.journal_dir;
+    supervisor_options.resume = options.resume;
+    supervisor_options.resilient = true;
+    supervisor_options.resilience = options.resilience;
+    supervisor_options.chaos = chaos;
+    if (heartbeat_timeout_ms >= 0) {
+      supervisor_options.heartbeat_timeout_ms = heartbeat_timeout_ms;
+    }
+    if (max_setting_crashes > 0) {
+      supervisor_options.max_setting_crashes = max_setting_crashes;
+    }
+    sweep::SupervisorReport report;
+    result = study.run_supervised(
+        plan, [] { return std::make_unique<sim::ModelRunner>(); },
+        supervisor_options, &report);
+    std::printf("collected %zu samples across %d worker processes\n",
+                result.dataset.size(), workers);
+    if (report.worker_crashes + report.hang_kills + report.lease_expiries +
+            report.protocol_errors >
+        0) {
+      std::printf("worker faults contained: %zu crashes, %zu hangs killed, "
+                  "%zu leases expired, %zu protocol errors (%zu respawns, "
+                  "%zu settings reassigned)\n",
+                  report.worker_crashes, report.hang_kills,
+                  report.lease_expiries, report.protocol_errors,
+                  report.respawns, report.reassigned_settings);
+    }
+    for (const auto& q : report.quarantined_settings) {
+      std::printf("quarantined setting %s after %d worker crashes: %s\n",
+                  q.key.c_str(), q.crashes, q.evidence.c_str());
+    }
+    if (report.interrupted) {
+      std::printf("study interrupted: %zu/%zu settings completed\n",
+                  report.settings_completed, report.settings_total);
+      std::string rerun_args;
+      for (const std::string& p : positional) rerun_args += p + " ";
+      std::printf("resume with: omptune study %s--workers=%d --journal=%s "
+                  "--resume\n",
+                  rerun_args.c_str(), workers, report.journal_dir.c_str());
+      return 130;
+    }
+  } else {
+    sweep::SweepHarness harness(runner, core::StudyOptions{}.repetitions,
+                                core::StudyOptions{}.seed);
+    const sweep::Dataset dataset = harness.run_study(plan, options);
+    result = study.analyze(dataset);
+    std::printf("collected %zu samples\n", result.dataset.size());
+    if (harness.last_policy() && harness.last_policy()->total_retries() > 0) {
+      std::printf("retries performed: %llu\n",
+                  static_cast<unsigned long long>(
+                      harness.last_policy()->total_retries()));
+    }
+  }
   const std::size_t quarantined = result.dataset.quarantined_count();
   if (quarantined > 0) {
     std::printf("quarantined %zu samples (excluded from analysis)\n",
                 quarantined);
-  }
-  if (harness.last_policy() && harness.last_policy()->total_retries() > 0) {
-    std::printf("retries performed: %llu\n",
-                static_cast<unsigned long long>(
-                    harness.last_policy()->total_retries()));
   }
   if (positional.size() > 1) {
     const std::string& out = positional[1];
