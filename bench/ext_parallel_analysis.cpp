@@ -1,0 +1,233 @@
+// EXT — parallel analytics engine: what does the thread pool buy on the
+// end-to-end analysis path (zero-copy store aggregation + influence-map
+// model fits), and does parallelism cost any determinism?
+//
+// Builds a synthetic study-scale dataset, persists it as a .omps store, and
+// times three ways of deriving every analysis artefact:
+//   legacy serial   Dataset::load_store + Study::analyze   (pre-pool path)
+//   pool(1)         Study::analyze_store on a 1-lane pool  (inline chunks)
+//   pool(8)         Study::analyze_store on an 8-lane pool
+//
+// Acceptance gates (exit code 1 on miss):
+//   - pool(8) artefacts byte-identical to pool(1) artefacts — parallelism
+//     must never change a single bit of any table, heat map, or trend;
+//   - pool(1) within 10% of the legacy serial path (no serial regression);
+//   - pool(8) at least 3x faster than pool(1) end-to-end — enforced only
+//     when the machine actually has >= 8 hardware threads.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/study.hpp"
+#include "store/reader.hpp"
+#include "sweep/dataset.hpp"
+#include "util/fs.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace omptune;
+
+/// Synthetic study-shaped dataset: realistic dictionaries and cardinalities
+/// (a few archs/apps/inputs, hundreds of configs per setting), sized to
+/// `target` samples. Runtimes correlate with a few config choices so the
+/// influence fits have real structure to find.
+sweep::Dataset synthetic_dataset(std::size_t target) {
+  const char* archs[] = {"a64fx", "milan", "skylake"};
+  const char* apps[] = {"alignment", "bt", "cg", "ep", "ft", "health",
+                        "lu", "lulesh", "mg", "nqueens", "rsbench", "xsbench"};
+  const char* inputs[] = {"small", "medium", "large"};
+  const std::size_t settings = 3 * 12 * 3;
+  const std::size_t configs = (target + settings - 1) / settings;
+
+  util::Xoshiro256 rng(42);
+  sweep::Dataset dataset;
+  for (const char* arch : archs) {
+    for (const char* app : apps) {
+      for (const char* input : inputs) {
+        for (std::size_t c = 0; c < configs; ++c) {
+          sweep::Sample s;
+          s.arch = arch;
+          s.app = app;
+          s.suite = "synthetic";
+          s.kind = c % 2 == 0 ? "loop" : "task";
+          s.input = input;
+          s.threads = 48;
+          s.config.num_threads = 48;
+          s.config.places = static_cast<arch::PlacesKind>(rng.uniform_index(6));
+          s.config.bind = static_cast<arch::BindKind>(rng.uniform_index(6));
+          s.config.schedule = static_cast<rt::ScheduleKind>(rng.uniform_index(4));
+          s.config.chunk = static_cast<int>(rng.uniform_index(4)) * 8;
+          s.config.library = static_cast<rt::LibraryMode>(rng.uniform_index(3));
+          s.config.blocktime_ms =
+              static_cast<std::int64_t>(rng.uniform_index(5)) * 100;
+          s.config.reduction =
+              static_cast<rt::ReductionMethod>(rng.uniform_index(4));
+          s.config.align_alloc = 64 << rng.uniform_index(4);
+          // Structured runtimes: passive library and spread binding help, so
+          // the logistic fits converge on non-trivial coefficients.
+          const double base =
+              1.7 * (s.config.library == rt::LibraryMode::Throughput ? 0.8 : 1.1) *
+              (s.config.bind == arch::BindKind::Spread ? 0.9 : 1.0);
+          for (int r = 0; r < 4; ++r) {
+            s.runtimes.push_back(base * rng.uniform(0.85, 1.15));
+          }
+          s.mean_runtime = (s.runtimes[0] + s.runtimes[1] + s.runtimes[2] +
+                            s.runtimes[3]) / 4.0;
+          s.default_runtime = 1.7;
+          s.speedup = s.default_runtime / s.mean_runtime;
+          s.is_default = c == 0;
+          dataset.add(std::move(s));
+          if (dataset.size() == target) return dataset;
+        }
+      }
+    }
+  }
+  return dataset;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  out += buffer;
+}
+
+/// Every derived artefact rendered at full double precision: two results
+/// digest equal iff every table row, influence cell, and trend is
+/// bit-identical (%.17g round-trips doubles exactly).
+std::string digest(const core::StudyResult& result) {
+  std::string out;
+  append(out, "dataset %zu\n", result.dataset.size());
+  for (const auto& u : result.upshot) {
+    append(out, "upshot %s %.17g %.17g %.17g\n", u.arch.c_str(), u.min_best,
+           u.median_best, u.max_best);
+  }
+  for (const auto& r : result.ranges_by_arch) {
+    append(out, "range_arch %s %s %.17g %.17g\n", r.app.c_str(), r.arch.c_str(),
+           r.lo, r.hi);
+  }
+  for (const auto& r : result.ranges_by_app) {
+    append(out, "range_app %s %.17g %.17g\n", r.app.c_str(), r.lo, r.hi);
+  }
+  for (const analysis::InfluenceMap* map :
+       {&result.per_app_influence, &result.per_arch_influence,
+        &result.per_arch_app_influence}) {
+    for (const auto& name : map->feature_names) append(out, "%s ", name.c_str());
+    out += "\n";
+    for (const auto& row : map->rows) {
+      append(out, "row %s acc=%.17g pos=%.17g n=%zu:", row.group.c_str(),
+             row.model_accuracy, row.positive_share, row.samples);
+      for (double v : row.influence) append(out, " %.17g", v);
+      out += "\n";
+    }
+  }
+  for (const auto& t : result.worst_trends) {
+    append(out, "trend %s %.17g %.17g %.17g\n", t.condition.c_str(),
+           t.share_in_worst, t.share_overall, t.lift);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("EXT-PARALLEL-ANALYSIS",
+                      "thread-pooled store aggregation + model training");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_bench_par_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  util::create_directories(dir);
+  const std::string store_path = util::path_join(dir, "study.omps");
+
+  const std::size_t samples = 60000;
+  synthetic_dataset(samples).save_store(store_path);
+  sim::ModelRunner runner;
+  core::Study study(runner);
+
+  // Warm the store into the page cache so the timings compare compute, not
+  // first-touch disk latency. Each path is timed best-of-3: the artefacts
+  // are deterministic, so the minimum is the honest cost with scheduler
+  // noise stripped.
+  (void)sweep::Dataset::load_store(store_path);
+  constexpr int kRuns = 3;
+
+  // Legacy serial path: materialize every Sample, then analyze with no pool.
+  core::StudyResult legacy;
+  double legacy_seconds = 1e300;
+  for (int i = 0; i < kRuns; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    legacy = study.analyze(sweep::Dataset::load_store(store_path));
+    legacy_seconds = std::min(legacy_seconds, seconds_since(start));
+  }
+
+  const store::StoreReader reader(store_path);
+  const util::ThreadPool pool1(1);
+  core::StudyResult serial;
+  double serial_seconds = 1e300;
+  for (int i = 0; i < kRuns; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    serial = study.analyze_store(reader, &pool1);
+    serial_seconds = std::min(serial_seconds, seconds_since(start));
+  }
+
+  const util::ThreadPool pool8(8);
+  core::StudyResult parallel;
+  double parallel_seconds = 1e300;
+  for (int i = 0; i < kRuns; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    parallel = study.analyze_store(reader, &pool8);
+    parallel_seconds = std::min(parallel_seconds, seconds_since(start));
+  }
+
+  std::printf("\n%zu samples end-to-end (aggregation + 3 influence maps + "
+              "trends):\n",
+              samples);
+  std::printf("  %-28s %9.3f s\n", "legacy serial (pre-pool)", legacy_seconds);
+  std::printf("  %-28s %9.3f s  (%.2fx vs legacy)\n", "analyze_store, pool(1)",
+              serial_seconds, legacy_seconds / serial_seconds);
+  std::printf("  %-28s %9.3f s  (%.2fx vs pool(1))\n", "analyze_store, pool(8)",
+              parallel_seconds, serial_seconds / parallel_seconds);
+
+  const std::string serial_digest = digest(serial);
+  const bool identical = digest(parallel) == serial_digest &&
+                         digest(legacy) == serial_digest;
+  const bool serial_ok = serial_seconds <= legacy_seconds * 1.10;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_speedup = hw >= 8;
+  const bool speedup_ok =
+      !gate_speedup || serial_seconds / parallel_seconds >= 3.0;
+
+  std::printf("\nartefacts bit-identical (pool 8 == pool 1 == legacy): %s\n",
+              identical ? "PASS" : "FAIL");
+  std::printf("pool(1) within 10%% of legacy serial: %s\n",
+              serial_ok ? "PASS" : "FAIL");
+  if (gate_speedup) {
+    std::printf("pool(8) >= 3x pool(1): %s\n", speedup_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("pool(8) >= 3x pool(1): skipped (%u hardware threads < 8)\n",
+                hw);
+  }
+
+  std::filesystem::remove_all(dir);
+  return identical && serial_ok && speedup_ok ? 0 : 1;
+}

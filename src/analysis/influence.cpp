@@ -1,9 +1,11 @@
 #include "analysis/influence.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "ml/scaler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::analysis {
 
@@ -85,37 +87,48 @@ sweep::Dataset group_slice(const sweep::Dataset& dataset, Grouping grouping,
 }  // namespace
 
 InfluenceMap influence_map(const sweep::Dataset& dataset, Grouping grouping,
-                           double label_threshold,
-                           ml::LogisticOptions options) {
+                           double label_threshold, ml::LogisticOptions options,
+                           const util::ThreadPool* pool) {
   const ml::FeatureEncoder encoder(options_for(grouping));
   InfluenceMap map;
   map.feature_names = encoder.names();
 
-  for (const std::string& key : group_keys(dataset, grouping)) {
-    const sweep::Dataset slice = group_slice(dataset, grouping, key);
-    const std::vector<int> labels =
-        ml::FeatureEncoder::labels(slice, label_threshold);
+  // One slot per group, filled concurrently (degenerate groups leave
+  // theirs empty), then gathered in group order — completion order never
+  // shows in the output. A group's fit receives the pool too: when the
+  // group loop has saturated it, the nested gradient loops run inline.
+  const std::vector<std::string> keys = group_keys(dataset, grouping);
+  std::vector<std::optional<InfluenceRow>> rows(keys.size());
+  util::parallel_for(
+      pool, keys.size(), 1, [&](std::size_t begin, std::size_t, std::size_t) {
+        const std::string& key = keys[begin];
+        const sweep::Dataset slice = group_slice(dataset, grouping, key);
+        const std::vector<int> labels =
+            ml::FeatureEncoder::labels(slice, label_threshold);
 
-    const std::size_t positives =
-        static_cast<std::size_t>(std::count(labels.begin(), labels.end(), 1));
-    if (positives == 0 || positives == labels.size()) {
-      // Degenerate group: a single class carries no separating signal.
-      continue;
-    }
+        const std::size_t positives = static_cast<std::size_t>(
+            std::count(labels.begin(), labels.end(), 1));
+        if (positives == 0 || positives == labels.size()) {
+          // Degenerate group: a single class carries no separating signal.
+          return;
+        }
 
-    ml::StandardScaler scaler;
-    const ml::Matrix x = scaler.fit_transform(encoder.encode(slice));
-    ml::LogisticRegression model(options);
-    model.fit(x, labels);
+        ml::StandardScaler scaler;
+        const ml::Matrix x = scaler.fit_transform(encoder.encode(slice));
+        ml::LogisticRegression model(options);
+        model.fit(x, labels, pool);
 
-    InfluenceRow row;
-    row.group = key;
-    row.influence = model.normalized_influence();
-    row.model_accuracy = model.accuracy(x, labels);
-    row.positive_share =
-        static_cast<double>(positives) / static_cast<double>(labels.size());
-    row.samples = labels.size();
-    map.rows.push_back(std::move(row));
+        InfluenceRow row;
+        row.group = key;
+        row.influence = model.normalized_influence();
+        row.model_accuracy = model.accuracy(x, labels, pool);
+        row.positive_share =
+            static_cast<double>(positives) / static_cast<double>(labels.size());
+        row.samples = labels.size();
+        rows[begin] = std::move(row);
+      });
+  for (auto& row : rows) {
+    if (row.has_value()) map.rows.push_back(std::move(*row));
   }
   return map;
 }

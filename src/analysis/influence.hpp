@@ -12,6 +12,10 @@
 #include "ml/logistic_regression.hpp"
 #include "sweep/dataset.hpp"
 
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::analysis {
 
 /// The paper's three grouping strategies (IV-D).
@@ -42,8 +46,14 @@ struct InfluenceMap {
 /// Build the influence map for a grouping. Groups whose labels are all
 /// identical (degenerate classification) are skipped — mirroring e.g. Sort
 /// and Strassen showing no reliance where they were not executed.
+///
+/// Groups fit concurrently on `pool` (each group's own gradient loop then
+/// runs inline on its worker); rows are emitted in group first-appearance
+/// order regardless of completion order, and each fit is deterministic, so
+/// the map is bit-identical at any thread count.
 InfluenceMap influence_map(const sweep::Dataset& dataset, Grouping grouping,
                            double label_threshold = 1.01,
-                           ml::LogisticOptions options = {});
+                           ml::LogisticOptions options = {},
+                           const util::ThreadPool* pool = nullptr);
 
 }  // namespace omptune::analysis

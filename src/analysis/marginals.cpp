@@ -2,36 +2,45 @@
 
 #include <map>
 #include <stdexcept>
+#include <tuple>
+
+#include "analysis/variables.hpp"
+#include "store/reader.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::analysis {
 
 namespace {
 
-std::vector<std::pair<std::string, std::string>> variable_values(
-    const rt::RtConfig& config) {
-  return {
-      {"OMP_PLACES", arch::to_string(config.places)},
-      {"OMP_PROC_BIND", arch::to_string(config.bind)},
-      {"OMP_SCHEDULE", rt::to_string(config.schedule)},
-      {"KMP_LIBRARY", rt::to_string(config.library)},
-      {"KMP_BLOCKTIME", config.blocktime_ms == rt::kBlocktimeInfinite
-                            ? std::string("infinite")
-                            : std::to_string(config.blocktime_ms)},
-      {"KMP_FORCE_REDUCTION", rt::to_string(config.reduction)},
-      {"KMP_ALIGN_ALLOC", std::to_string(config.align_alloc)},
-  };
+/// (arch, variable, value) -> the speedups of every sample holding that
+/// value, in row order.
+using GroupKey = std::tuple<std::string, std::string, std::string>;
+using Groups = std::map<GroupKey, std::vector<double>>;
+
+MarginalRow marginal_row(const GroupKey& key, std::vector<double>& speedups) {
+  MarginalRow row;
+  row.arch = std::get<0>(key);
+  row.variable = std::get<1>(key);
+  row.value = std::get<2>(key);
+  row.samples = speedups.size();
+  row.mean_speedup = stats::mean(speedups);
+  row.median_speedup = stats::median(speedups);
+  row.p95_speedup = stats::quantile(speedups, 0.95);
+  std::size_t optimal = 0;
+  for (const double s : speedups) optimal += (s > 1.01);
+  row.optimal_share =
+      static_cast<double>(optimal) / static_cast<double>(speedups.size());
+  return row;
 }
 
 }  // namespace
 
 std::vector<MarginalRow> value_marginals(const sweep::Dataset& dataset,
                                          bool per_arch) {
-  // (arch, variable, value) -> speedups
-  std::map<std::tuple<std::string, std::string, std::string>, std::vector<double>>
-      groups;
+  Groups groups;
   for (const sweep::Sample& s : dataset.samples()) {
     const std::string arch = per_arch ? s.arch : std::string("all");
-    for (const auto& [variable, value] : variable_values(s.config)) {
+    for (const auto& [variable, value] : config_variable_values(s.config)) {
       groups[{arch, variable, value}].push_back(s.speedup);
     }
   }
@@ -39,20 +48,55 @@ std::vector<MarginalRow> value_marginals(const sweep::Dataset& dataset,
   std::vector<MarginalRow> rows;
   rows.reserve(groups.size());
   for (auto& [key, speedups] : groups) {
-    MarginalRow row;
-    row.arch = std::get<0>(key);
-    row.variable = std::get<1>(key);
-    row.value = std::get<2>(key);
-    row.samples = speedups.size();
-    row.mean_speedup = stats::mean(speedups);
-    row.median_speedup = stats::median(speedups);
-    row.p95_speedup = stats::quantile(speedups, 0.95);
-    std::size_t optimal = 0;
-    for (const double s : speedups) optimal += (s > 1.01);
-    row.optimal_share =
-        static_cast<double>(optimal) / static_cast<double>(speedups.size());
-    rows.push_back(std::move(row));
+    rows.push_back(marginal_row(key, speedups));
   }
+  return rows;
+}
+
+std::vector<MarginalRow> value_marginals(const store::StoreReader& reader,
+                                         bool per_arch,
+                                         const util::ThreadPool* pool) {
+  reader.ensure_scan_validated();
+  // Gather: per-chunk group maps merged in chunk (= run, = row) order, so
+  // every group's speedup vector matches the serial row-order walk exactly
+  // (the mean's summation order is part of the bit-identity contract).
+  Groups groups = util::parallel_reduce<Groups>(
+      pool, reader.setting_count(), 1,
+      [&](Groups& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const store::SettingSlice slice = reader.setting_slice(r);
+          const std::string arch = per_arch ? *slice.arch : std::string("all");
+          for (std::size_t i = 0; i < slice.rows; ++i) {
+            if (slice.quarantined(i)) continue;
+            for (const auto& [variable, value] :
+                 config_variable_values(slice.config(i))) {
+              partial[{arch, variable, value}].push_back(slice.speedup[i]);
+            }
+          }
+        }
+      },
+      [](Groups& into, Groups&& from) {
+        for (auto& [key, values] : from) {
+          std::vector<double>& dst = into[key];
+          if (dst.empty()) {
+            dst = std::move(values);
+          } else {
+            dst.insert(dst.end(), values.begin(), values.end());
+          }
+        }
+      });
+
+  // Summarize each group independently (parallel; slots don't interact).
+  std::vector<Groups::iterator> items;
+  items.reserve(groups.size());
+  for (auto it = groups.begin(); it != groups.end(); ++it) items.push_back(it);
+  std::vector<MarginalRow> rows(items.size());
+  util::parallel_for(pool, items.size(), 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         rows[i] = marginal_row(items[i]->first, items[i]->second);
+                       }
+                     });
   return rows;
 }
 

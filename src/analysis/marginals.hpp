@@ -12,6 +12,13 @@
 #include "stats/descriptive.hpp"
 #include "sweep/dataset.hpp"
 
+namespace omptune::store {
+class StoreReader;
+}
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::analysis {
 
 struct MarginalRow {
@@ -29,6 +36,15 @@ struct MarginalRow {
 /// the architectures into "all" rows.
 std::vector<MarginalRow> value_marginals(const sweep::Dataset& dataset,
                                          bool per_arch = true);
+
+/// Scan-based variant aggregating off the store's column slices. Skips
+/// quarantined rows, so it equals the Dataset overload applied to
+/// dataset.ok_samples() — the form every analysis consumer uses. The group
+/// gather merges per-chunk partials in run order and the per-group stats
+/// are independent, so the result is identical at any thread count.
+std::vector<MarginalRow> value_marginals(const store::StoreReader& reader,
+                                         bool per_arch = true,
+                                         const util::ThreadPool* pool = nullptr);
 
 /// Convenience: the single best value of `variable` on `arch` by median
 /// speedup; throws std::invalid_argument when absent from the dataset.

@@ -1,10 +1,12 @@
 #include "analysis/model_comparison.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "ml/decision_tree.hpp"
 #include "ml/features.hpp"
 #include "ml/scaler.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::analysis {
 
@@ -26,88 +28,118 @@ double majority_accuracy(const std::vector<int>& labels) {
 
 std::vector<ModelComparisonRow> compare_models(const sweep::Dataset& dataset,
                                                double label_threshold,
-                                               ml::ForestOptions forest_options) {
+                                               ml::ForestOptions forest_options,
+                                               const util::ThreadPool* pool) {
   ml::FeatureOptions options;
   options.include_application = true;  // per-arch grouping pools apps
   const ml::FeatureEncoder encoder(options);
 
+  // One slot per architecture, computed concurrently, gathered in
+  // first-appearance order (degenerate groups leave theirs empty).
+  const std::vector<std::string> archs =
+      dataset.distinct([](const sweep::Sample& s) { return s.arch; });
+  std::vector<std::optional<ModelComparisonRow>> slots(archs.size());
+  util::parallel_for(
+      pool, archs.size(), 1, [&](std::size_t begin, std::size_t, std::size_t) {
+        const std::string& arch = archs[begin];
+        const sweep::Dataset slice = dataset.filter(
+            [&arch](const sweep::Sample& s) { return s.arch == arch; });
+        const std::vector<int> labels =
+            ml::FeatureEncoder::labels(slice, label_threshold);
+        if (degenerate(labels)) return;
+
+        const ml::Matrix raw = encoder.encode(slice);
+        ml::StandardScaler scaler;
+        const ml::Matrix scaled = scaler.fit_transform(raw);
+
+        ModelComparisonRow row;
+        row.group = arch;
+        row.samples = labels.size();
+        row.positive_share =
+            static_cast<double>(std::count(labels.begin(), labels.end(), 1)) /
+            static_cast<double>(labels.size());
+
+        ml::LogisticRegression logistic;
+        logistic.fit(scaled, labels, pool);
+        row.logistic_accuracy = logistic.accuracy(scaled, labels, pool);
+
+        // Trees are scale-invariant: fit on the raw features.
+        ml::DecisionTree tree(forest_options.tree);
+        tree.fit(raw, labels);
+        row.tree_accuracy = tree.accuracy(raw, labels);
+
+        ml::RandomForest forest(forest_options);
+        forest.fit(raw, labels, pool);
+        row.forest_accuracy = forest.accuracy(raw, labels);
+        row.forest_oob_accuracy = forest.oob_accuracy();
+
+        slots[begin] = std::move(row);
+      });
   std::vector<ModelComparisonRow> rows;
-  for (const std::string& arch :
-       dataset.distinct([](const sweep::Sample& s) { return s.arch; })) {
-    const sweep::Dataset slice = dataset.filter(
-        [&arch](const sweep::Sample& s) { return s.arch == arch; });
-    const std::vector<int> labels =
-        ml::FeatureEncoder::labels(slice, label_threshold);
-    if (degenerate(labels)) continue;
-
-    const ml::Matrix raw = encoder.encode(slice);
-    ml::StandardScaler scaler;
-    const ml::Matrix scaled = scaler.fit_transform(raw);
-
-    ModelComparisonRow row;
-    row.group = arch;
-    row.samples = labels.size();
-    row.positive_share =
-        static_cast<double>(std::count(labels.begin(), labels.end(), 1)) /
-        static_cast<double>(labels.size());
-
-    ml::LogisticRegression logistic;
-    logistic.fit(scaled, labels);
-    row.logistic_accuracy = logistic.accuracy(scaled, labels);
-
-    // Trees are scale-invariant: fit on the raw features.
-    ml::DecisionTree tree(forest_options.tree);
-    tree.fit(raw, labels);
-    row.tree_accuracy = tree.accuracy(raw, labels);
-
-    ml::RandomForest forest(forest_options);
-    forest.fit(raw, labels);
-    row.forest_accuracy = forest.accuracy(raw, labels);
-    row.forest_oob_accuracy = forest.oob_accuracy();
-
-    rows.push_back(row);
+  for (auto& slot : slots) {
+    if (slot.has_value()) rows.push_back(std::move(*slot));
   }
   return rows;
 }
 
 std::vector<TransferResult> leave_one_app_out(const sweep::Dataset& dataset,
                                               double label_threshold,
-                                              ml::ForestOptions forest_options) {
+                                              ml::ForestOptions forest_options,
+                                              const util::ThreadPool* pool) {
   // Environment-variable features only: application identity must not leak
   // into a model meant to generalize to unseen applications.
   const ml::FeatureEncoder encoder{ml::FeatureOptions{}};
 
-  std::vector<TransferResult> results;
+  // Flatten the (arch, held-out app) grid into independent tasks; each
+  // trains its own forest, so the whole grid fans out on the pool. Slots
+  // keep the serial loop's (arch, app) first-appearance order.
+  struct Task {
+    std::string arch, app;
+  };
+  std::vector<Task> tasks;
   for (const std::string& arch :
        dataset.distinct([](const sweep::Sample& s) { return s.arch; })) {
     const sweep::Dataset arch_data = dataset.filter(
         [&arch](const sweep::Sample& s) { return s.arch == arch; });
     for (const std::string& app :
          arch_data.distinct([](const sweep::Sample& s) { return s.app; })) {
-      const sweep::Dataset train = arch_data.filter(
-          [&app](const sweep::Sample& s) { return s.app != app; });
-      const sweep::Dataset test = arch_data.filter(
-          [&app](const sweep::Sample& s) { return s.app == app; });
-      const std::vector<int> train_labels =
-          ml::FeatureEncoder::labels(train, label_threshold);
-      const std::vector<int> test_labels =
-          ml::FeatureEncoder::labels(test, label_threshold);
-      if (train.size() == 0 || test.size() == 0 || degenerate(train_labels)) {
-        continue;
-      }
-
-      ml::RandomForest forest(forest_options);
-      forest.fit(encoder.encode(train), train_labels);
-
-      TransferResult result;
-      result.arch = arch;
-      result.held_out_app = app;
-      result.test_samples = test_labels.size();
-      result.majority_baseline = majority_accuracy(test_labels);
-      result.forest_accuracy =
-          forest.accuracy(encoder.encode(test), test_labels);
-      results.push_back(result);
+      tasks.push_back(Task{arch, app});
     }
+  }
+
+  std::vector<std::optional<TransferResult>> slots(tasks.size());
+  util::parallel_for(
+      pool, tasks.size(), 1, [&](std::size_t begin, std::size_t, std::size_t) {
+        const Task& task = tasks[begin];
+        const sweep::Dataset arch_data = dataset.filter(
+            [&task](const sweep::Sample& s) { return s.arch == task.arch; });
+        const sweep::Dataset train = arch_data.filter(
+            [&task](const sweep::Sample& s) { return s.app != task.app; });
+        const sweep::Dataset test = arch_data.filter(
+            [&task](const sweep::Sample& s) { return s.app == task.app; });
+        const std::vector<int> train_labels =
+            ml::FeatureEncoder::labels(train, label_threshold);
+        const std::vector<int> test_labels =
+            ml::FeatureEncoder::labels(test, label_threshold);
+        if (train.size() == 0 || test.size() == 0 || degenerate(train_labels)) {
+          return;
+        }
+
+        ml::RandomForest forest(forest_options);
+        forest.fit(encoder.encode(train), train_labels, pool);
+
+        TransferResult result;
+        result.arch = task.arch;
+        result.held_out_app = task.app;
+        result.test_samples = test_labels.size();
+        result.majority_baseline = majority_accuracy(test_labels);
+        result.forest_accuracy =
+            forest.accuracy(encoder.encode(test), test_labels);
+        slots[begin] = result;
+      });
+  std::vector<TransferResult> results;
+  for (const auto& slot : slots) {
+    if (slot.has_value()) results.push_back(*slot);
   }
   return results;
 }

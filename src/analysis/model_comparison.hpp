@@ -14,6 +14,10 @@
 #include "ml/random_forest.hpp"
 #include "sweep/dataset.hpp"
 
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::analysis {
 
 struct ModelComparisonRow {
@@ -29,9 +33,13 @@ struct ModelComparisonRow {
 /// Fit logistic regression, a single CART tree, and a random forest on each
 /// architecture's data (optimal/sub-optimal labels) and report training +
 /// out-of-bag accuracies. Degenerate single-class groups are skipped.
+/// Architectures fit concurrently on `pool` (the forests' tree training
+/// parallelizes on it too); rows keep first-appearance arch order and every
+/// model is deterministic, so results are identical at any thread count.
 std::vector<ModelComparisonRow> compare_models(const sweep::Dataset& dataset,
                                                double label_threshold = 1.01,
-                                               ml::ForestOptions forest = {});
+                                               ml::ForestOptions forest = {},
+                                               const util::ThreadPool* pool = nullptr);
 
 struct TransferResult {
   std::string arch;
@@ -46,6 +54,7 @@ struct TransferResult {
 /// application identity) and evaluate on the held-out app.
 std::vector<TransferResult> leave_one_app_out(const sweep::Dataset& dataset,
                                               double label_threshold = 1.01,
-                                              ml::ForestOptions forest = {});
+                                              ml::ForestOptions forest = {},
+                                              const util::ThreadPool* pool = nullptr);
 
 }  // namespace omptune::analysis

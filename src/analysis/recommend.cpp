@@ -5,77 +5,42 @@
 #include <set>
 
 #include "analysis/speedup.hpp"
+#include "analysis/variables.hpp"
 #include "stats/descriptive.hpp"
 #include "store/reader.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::analysis {
 
 namespace {
 
-/// Variable/value pairs of one configuration, in the paper's spellings.
-std::vector<std::pair<std::string, std::string>> variable_values(
-    const rt::RtConfig& config) {
-  return {
-      {"OMP_PLACES", arch::to_string(config.places)},
-      {"OMP_PROC_BIND", arch::to_string(config.bind)},
-      {"OMP_SCHEDULE", rt::to_string(config.schedule)},
-      {"KMP_LIBRARY", rt::to_string(config.library)},
-      {"KMP_BLOCKTIME", config.blocktime_ms == rt::kBlocktimeInfinite
-                            ? std::string("infinite")
-                            : std::to_string(config.blocktime_ms)},
-      {"KMP_FORCE_REDUCTION", rt::to_string(config.reduction)},
-      {"KMP_ALIGN_ALLOC", std::to_string(config.align_alloc)},
-  };
-}
+using VariableValue = std::pair<std::string, std::string>;
 
-}  // namespace
+/// Value frequencies of one (app, arch) group: overall and among near-best
+/// samples. Pure counts, so the scan's merge order cannot affect them.
+struct ArchCounts {
+  std::map<VariableValue, std::size_t> overall, best;
+  std::size_t n_best = 0;
+  std::size_t n_total = 0;
+};
 
-std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
-                                              const std::string& app,
-                                              double tolerance,
-                                              double min_lift) {
-  const sweep::Dataset app_data =
-      dataset.filter([&app](const sweep::Sample& s) { return s.app == app; });
-
-  // Per-setting best speedups, to define "near-best".
-  std::map<std::string, double> setting_best;
-  auto setting_key = [](const sweep::Sample& s) {
-    return s.arch + "/" + s.input + "/" + std::to_string(s.threads);
-  };
-  for (const sweep::Sample& s : app_data.samples()) {
-    double& best = setting_best[setting_key(s)];
-    best = std::max(best, s.speedup);
-  }
-
-  const std::vector<std::string> archs =
-      app_data.distinct([](const sweep::Sample& s) { return s.arch; });
-
+/// Assemble recommendations from per-arch counts — the shared back half of
+/// both recommend_for_app overloads. `archs` is in first-appearance order.
+std::vector<Recommendation> recommendations_from_counts(
+    const std::string& app, const std::vector<std::string>& archs,
+    const std::map<std::string, ArchCounts>& by_arch, double min_lift) {
   std::vector<Recommendation> recommendations;
-  std::map<std::pair<std::string, std::string>, std::set<std::string>> everywhere;
+  std::map<VariableValue, std::set<std::string>> everywhere;
 
   for (const std::string& arch : archs) {
-    const sweep::Dataset arch_data = app_data.filter(
-        [&arch](const sweep::Sample& s) { return s.arch == arch; });
-
-    // Count variable values overall and among near-best samples.
-    std::map<std::pair<std::string, std::string>, std::size_t> overall, best;
-    std::size_t n_best = 0;
-    for (const sweep::Sample& s : arch_data.samples()) {
-      const bool near_best =
-          s.speedup >= setting_best.at(setting_key(s)) * (1.0 - tolerance) &&
-          s.speedup > 1.01;
-      for (const auto& vv : variable_values(s.config)) {
-        ++overall[vv];
-        if (near_best) ++best[vv];
-      }
-      if (near_best) ++n_best;
-    }
-    if (n_best == 0) continue;
-
-    const auto n_total = static_cast<double>(arch_data.size());
-    for (const auto& [vv, best_count] : best) {
-      const double share_best = static_cast<double>(best_count) / n_best;
-      const double share_all = static_cast<double>(overall.at(vv)) / n_total;
+    const ArchCounts& counts = by_arch.at(arch);
+    if (counts.n_best == 0) continue;
+    const auto n_total = static_cast<double>(counts.n_total);
+    for (const auto& [vv, best_count] : counts.best) {
+      const double share_best =
+          static_cast<double>(best_count) / static_cast<double>(counts.n_best);
+      const double share_all =
+          static_cast<double>(counts.overall.at(vv)) / n_total;
       if (share_all <= 0.0) continue;
       const double lift = share_best / share_all;
       if (lift >= min_lift && share_best >= 0.3) {
@@ -115,13 +80,129 @@ std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
   return recommendations;
 }
 
-std::vector<Recommendation> recommend_for_app(const store::StoreReader& store,
+}  // namespace
+
+std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
                                               const std::string& app,
                                               double tolerance,
                                               double min_lift) {
-  store::StoreQuery query;
-  query.app = app;
-  return recommend_for_app(store.query(query), app, tolerance, min_lift);
+  const sweep::Dataset app_data =
+      dataset.filter([&app](const sweep::Sample& s) { return s.app == app; });
+
+  // Per-setting best speedups, to define "near-best".
+  std::map<std::string, double> setting_best;
+  auto setting_key = [](const sweep::Sample& s) {
+    return s.arch + "/" + s.input + "/" + std::to_string(s.threads);
+  };
+  for (const sweep::Sample& s : app_data.samples()) {
+    double& best = setting_best[setting_key(s)];
+    best = std::max(best, s.speedup);
+  }
+
+  const std::vector<std::string> archs =
+      app_data.distinct([](const sweep::Sample& s) { return s.arch; });
+
+  std::map<std::string, ArchCounts> by_arch;
+  for (const sweep::Sample& s : app_data.samples()) {
+    ArchCounts& counts = by_arch[s.arch];
+    ++counts.n_total;
+    const bool near_best =
+        s.speedup >= setting_best.at(setting_key(s)) * (1.0 - tolerance) &&
+        s.speedup > 1.01;
+    for (const auto& vv : config_variable_values(s.config)) {
+      ++counts.overall[vv];
+      if (near_best) ++counts.best[vv];
+    }
+    if (near_best) ++counts.n_best;
+  }
+
+  return recommendations_from_counts(app, archs, by_arch, min_lift);
+}
+
+std::vector<Recommendation> recommend_for_app(const store::StoreReader& store,
+                                              const std::string& app,
+                                              double tolerance,
+                                              double min_lift,
+                                              const util::ThreadPool* pool) {
+  store.ensure_scan_validated();
+  const std::size_t runs = store.setting_count();
+
+  // Pass 1: per-(arch, input, threads) best speedup over every sample of
+  // the app — quarantined placeholders included, exactly like the Dataset
+  // walk (their speedup of 0 never wins, and never passes the >1.01 gate
+  // below either). Also collects the architectures in run (= row) order.
+  struct Pass1 {
+    std::map<std::string, double> setting_best;
+    std::vector<std::string> arch_order;
+  };
+  const auto add_arch = [](std::vector<std::string>& order,
+                           const std::string& arch) {
+    if (std::find(order.begin(), order.end(), arch) == order.end()) {
+      order.push_back(arch);
+    }
+  };
+  Pass1 pass1 = util::parallel_reduce<Pass1>(
+      pool, runs, 1,
+      [&](Pass1& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const store::SettingSlice slice = store.setting_slice(r);
+          if (*slice.app != app) continue;
+          const std::string key = *slice.arch + "/" + *slice.input + "/" +
+                                  std::to_string(slice.threads);
+          double& best = partial.setting_best[key];
+          for (std::size_t i = 0; i < slice.rows; ++i) {
+            best = std::max(best, slice.speedup[i]);
+          }
+          add_arch(partial.arch_order, *slice.arch);
+        }
+      },
+      [&](Pass1& into, Pass1&& from) {
+        for (const auto& [key, best] : from.setting_best) {
+          double& dst = into.setting_best[key];
+          dst = std::max(dst, best);
+        }
+        for (const std::string& arch : from.arch_order) {
+          add_arch(into.arch_order, arch);
+        }
+      });
+
+  // Pass 2 classifies each sample against the complete pass-1 map — an
+  // inherent barrier between the two scans. All integer counts, merged by
+  // addition: scheduling cannot perturb them.
+  using ByArch = std::map<std::string, ArchCounts>;
+  ByArch by_arch = util::parallel_reduce<ByArch>(
+      pool, runs, 1,
+      [&](ByArch& partial, std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const store::SettingSlice slice = store.setting_slice(r);
+          if (*slice.app != app) continue;
+          const std::string key = *slice.arch + "/" + *slice.input + "/" +
+                                  std::to_string(slice.threads);
+          const double best = pass1.setting_best.at(key);
+          ArchCounts& counts = partial[*slice.arch];
+          for (std::size_t i = 0; i < slice.rows; ++i) {
+            ++counts.n_total;
+            const bool near_best = slice.speedup[i] >= best * (1.0 - tolerance) &&
+                                   slice.speedup[i] > 1.01;
+            for (const auto& vv : config_variable_values(slice.config(i))) {
+              ++counts.overall[vv];
+              if (near_best) ++counts.best[vv];
+            }
+            if (near_best) ++counts.n_best;
+          }
+        }
+      },
+      [](ByArch& into, ByArch&& from) {
+        for (auto& [arch, counts] : from) {
+          ArchCounts& dst = into[arch];
+          dst.n_total += counts.n_total;
+          dst.n_best += counts.n_best;
+          for (const auto& [vv, c] : counts.overall) dst.overall[vv] += c;
+          for (const auto& [vv, c] : counts.best) dst.best[vv] += c;
+        }
+      });
+
+  return recommendations_from_counts(app, pass1.arch_order, by_arch, min_lift);
 }
 
 std::vector<WorstTrend> worst_trends(const sweep::Dataset& dataset,

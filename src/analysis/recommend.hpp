@@ -11,6 +11,9 @@
 namespace omptune::store {
 class StoreReader;
 }
+namespace omptune::util {
+class ThreadPool;
+}
 
 namespace omptune::analysis {
 
@@ -35,13 +38,16 @@ std::vector<Recommendation> recommend_for_app(const sweep::Dataset& dataset,
                                               double tolerance = 0.01,
                                               double min_lift = 1.3);
 
-/// Store-backed variant: materializes only `app`'s rows through the store's
-/// setting index — the other applications' samples (the vast majority of a
-/// study store) are never read.
+/// Store-backed variant: aggregates `app`'s rows straight off the store's
+/// zero-copy setting slices — no Sample materialization, and the other
+/// applications' runtime blocks are never touched. Settings scan in
+/// parallel on `pool`; per-chunk counts merge in run order, so the result
+/// is identical to the Dataset overload at any thread count.
 std::vector<Recommendation> recommend_for_app(const store::StoreReader& store,
                                               const std::string& app,
                                               double tolerance = 0.01,
-                                              double min_lift = 1.3);
+                                              double min_lift = 1.3,
+                                              const util::ThreadPool* pool = nullptr);
 
 /// Worst-performance trend (RQ4): how over-represented a condition is in
 /// the slowest decile of samples.

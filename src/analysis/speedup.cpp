@@ -5,8 +5,40 @@
 #include <map>
 
 #include "stats/descriptive.hpp"
+#include "store/reader.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::analysis {
+
+namespace {
+
+std::string setting_key(const std::string& arch, const std::string& app,
+                        const std::string& input, int threads) {
+  return arch + "/" + app + "/" + input + "/" + std::to_string(threads);
+}
+
+/// Best non-quarantined row of one index run (run-relative), strictly-greater
+/// replacement so the earliest of tied rows wins — the Dataset walk's rule.
+struct RunBest {
+  bool any = false;
+  double speedup = 0;
+  std::size_t row = 0;
+};
+
+RunBest run_best(const store::SettingSlice& slice) {
+  RunBest best;
+  for (std::size_t i = 0; i < slice.rows; ++i) {
+    if (slice.quarantined(i)) continue;
+    if (!best.any || slice.speedup[i] > best.speedup) {
+      best.any = true;
+      best.speedup = slice.speedup[i];
+      best.row = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
 
 std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset) {
   std::map<std::string, SettingBest> by_setting;
@@ -39,8 +71,57 @@ std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset) {
   return out;
 }
 
+std::vector<SettingBest> best_per_setting(const store::StoreReader& reader,
+                                          const util::ThreadPool* pool) {
+  reader.ensure_scan_validated();
+  const std::size_t runs = reader.setting_count();
+  std::vector<RunBest> bests(runs);
+  util::parallel_for(pool, runs, 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                         bests[r] = run_best(reader.setting_slice(r));
+                       }
+                     });
+  // Fold runs sharing a key in run (= first-appearance) order. Strictly-
+  // greater replacement again, so an earlier run keeps a tie — exactly what
+  // the row-ordered Dataset walk does.
+  std::vector<SettingBest> out;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t r = 0; r < runs; ++r) {
+    if (!bests[r].any) continue;
+    const store::SettingSlice slice = reader.setting_slice(r);
+    const std::string key =
+        setting_key(*slice.arch, *slice.app, *slice.input, slice.threads);
+    const auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      index_of.emplace(key, out.size());
+      SettingBest best;
+      best.arch = *slice.arch;
+      best.app = *slice.app;
+      best.input = *slice.input;
+      best.threads = slice.threads;
+      best.best_speedup = bests[r].speedup;
+      best.best_config = slice.config(bests[r].row);
+      out.push_back(std::move(best));
+    } else if (bests[r].speedup > out[it->second].best_speedup) {
+      out[it->second].best_speedup = bests[r].speedup;
+      out[it->second].best_config = slice.config(bests[r].row);
+    }
+  }
+  return out;
+}
+
 std::vector<ArchAppRange> speedup_ranges_by_arch(const sweep::Dataset& dataset) {
-  const auto bests = best_per_setting(dataset);
+  return speedup_ranges_by_arch(best_per_setting(dataset));
+}
+
+std::vector<ArchAppRange> speedup_ranges_by_arch(
+    const store::StoreReader& reader, const util::ThreadPool* pool) {
+  return speedup_ranges_by_arch(best_per_setting(reader, pool));
+}
+
+std::vector<ArchAppRange> speedup_ranges_by_arch(
+    const std::vector<SettingBest>& bests) {
   std::map<std::pair<std::string, std::string>, ArchAppRange> ranges;
   std::vector<std::pair<std::string, std::string>> order;
   for (const SettingBest& b : bests) {
@@ -64,7 +145,16 @@ std::vector<ArchAppRange> speedup_ranges_by_arch(const sweep::Dataset& dataset) 
 }
 
 std::vector<AppRange> speedup_ranges_by_app(const sweep::Dataset& dataset) {
-  const auto bests = best_per_setting(dataset);
+  return speedup_ranges_by_app(best_per_setting(dataset));
+}
+
+std::vector<AppRange> speedup_ranges_by_app(const store::StoreReader& reader,
+                                            const util::ThreadPool* pool) {
+  return speedup_ranges_by_app(best_per_setting(reader, pool));
+}
+
+std::vector<AppRange> speedup_ranges_by_app(
+    const std::vector<SettingBest>& bests) {
   std::map<std::string, AppRange> ranges;
   for (const SettingBest& b : bests) {
     auto it = ranges.find(b.app);
@@ -82,7 +172,15 @@ std::vector<AppRange> speedup_ranges_by_app(const sweep::Dataset& dataset) {
 }
 
 std::vector<ArchUpshot> upshot_by_arch(const sweep::Dataset& dataset) {
-  const auto bests = best_per_setting(dataset);
+  return upshot_by_arch(best_per_setting(dataset));
+}
+
+std::vector<ArchUpshot> upshot_by_arch(const store::StoreReader& reader,
+                                       const util::ThreadPool* pool) {
+  return upshot_by_arch(best_per_setting(reader, pool));
+}
+
+std::vector<ArchUpshot> upshot_by_arch(const std::vector<SettingBest>& bests) {
   std::map<std::string, std::vector<double>> per_arch;
   std::vector<std::string> order;
   for (const SettingBest& b : bests) {
@@ -99,6 +197,62 @@ std::vector<ArchUpshot> upshot_by_arch(const sweep::Dataset& dataset) {
     upshot.max_best = stats::max_value(values);
     out.push_back(upshot);
   }
+  return out;
+}
+
+std::vector<SettingSummary> setting_runtime_summaries(
+    const store::StoreReader& reader, const util::ThreadPool* pool) {
+  reader.ensure_scan_validated();
+  const std::size_t runs = reader.setting_count();
+
+  // Pass 1 (parallel): gather each run's valid runtimes off the contiguous
+  // runtime slice, in row order.
+  std::vector<std::vector<double>> per_run(runs);
+  util::parallel_for(
+      pool, runs, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const store::SettingSlice slice = reader.setting_slice(r);
+          std::vector<double>& values = per_run[r];
+          for (std::size_t i = 0; i < slice.rows; ++i) {
+            if (slice.quarantined(i)) continue;
+            const double* row = slice.runtimes + i * slice.reps;
+            values.insert(values.end(), row, row + slice.runtime_count[i]);
+          }
+        }
+      });
+
+  // Serial fold: runs sharing a key concatenate in run order.
+  std::vector<SettingSummary> out;
+  std::vector<std::vector<double>> merged;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t r = 0; r < runs; ++r) {
+    if (per_run[r].empty()) continue;
+    const store::SettingSlice slice = reader.setting_slice(r);
+    const std::string key =
+        setting_key(*slice.arch, *slice.app, *slice.input, slice.threads);
+    const auto it = index_of.find(key);
+    if (it == index_of.end()) {
+      index_of.emplace(key, out.size());
+      SettingSummary summary;
+      summary.arch = *slice.arch;
+      summary.app = *slice.app;
+      summary.input = *slice.input;
+      summary.threads = slice.threads;
+      out.push_back(std::move(summary));
+      merged.push_back(std::move(per_run[r]));
+    } else {
+      std::vector<double>& dst = merged[it->second];
+      dst.insert(dst.end(), per_run[r].begin(), per_run[r].end());
+    }
+  }
+
+  // Pass 2 (parallel): summarize each setting; every output slot is its own.
+  util::parallel_for(pool, out.size(), 1,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t i = begin; i < end; ++i) {
+                         out[i].runtime = stats::summarize(std::move(merged[i]));
+                       }
+                     });
   return out;
 }
 

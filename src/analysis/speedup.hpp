@@ -2,11 +2,26 @@
 
 // Upshot-potential analysis (paper Section V.1, Tables V and VI):
 // per-setting best speedups and their ranges per application/architecture.
+//
+// Every entry point has two forms: the original Dataset walk, and a
+// zero-copy StoreReader overload that aggregates straight off the store's
+// column slices (no Sample materialization) and accepts an optional
+// ThreadPool. The two produce identical results, and the reader overload is
+// bit-identical across thread counts: per-run partials are merged in run
+// (= row) order, never in completion order.
 
 #include <string>
 #include <vector>
 
+#include "stats/descriptive.hpp"
 #include "sweep/dataset.hpp"
+
+namespace omptune::store {
+class StoreReader;
+}
+namespace omptune::util {
+class ThreadPool;
+}
 
 namespace omptune::analysis {
 
@@ -24,6 +39,14 @@ struct SettingBest {
 /// (arch, app, input, threads)).
 std::vector<SettingBest> best_per_setting(const sweep::Dataset& dataset);
 
+/// Same result computed from the store's zero-copy setting slices, without
+/// materializing a Dataset. Quarantined rows are skipped, matching the
+/// Dataset overload. Runs aggregate in parallel on `pool`; runs sharing a
+/// key fold in first-appearance order, so output order and tie-breaking are
+/// identical to the Dataset walk.
+std::vector<SettingBest> best_per_setting(const store::StoreReader& reader,
+                                          const util::ThreadPool* pool = nullptr);
+
 /// Table V row: the [min, max] over settings of the per-setting best for
 /// one (app, arch).
 struct ArchAppRange {
@@ -34,6 +57,10 @@ struct ArchAppRange {
 };
 
 std::vector<ArchAppRange> speedup_ranges_by_arch(const sweep::Dataset& dataset);
+std::vector<ArchAppRange> speedup_ranges_by_arch(
+    const std::vector<SettingBest>& bests);
+std::vector<ArchAppRange> speedup_ranges_by_arch(
+    const store::StoreReader& reader, const util::ThreadPool* pool = nullptr);
 
 /// Table VI row: the [min, max] over (arch, setting) for one app.
 struct AppRange {
@@ -43,6 +70,9 @@ struct AppRange {
 };
 
 std::vector<AppRange> speedup_ranges_by_app(const sweep::Dataset& dataset);
+std::vector<AppRange> speedup_ranges_by_app(const std::vector<SettingBest>& bests);
+std::vector<AppRange> speedup_ranges_by_app(const store::StoreReader& reader,
+                                            const util::ThreadPool* pool = nullptr);
 
 /// Section V.1 headline numbers per architecture: the min / median / max of
 /// the per-setting best speedups.
@@ -54,5 +84,25 @@ struct ArchUpshot {
 };
 
 std::vector<ArchUpshot> upshot_by_arch(const sweep::Dataset& dataset);
+std::vector<ArchUpshot> upshot_by_arch(const std::vector<SettingBest>& bests);
+std::vector<ArchUpshot> upshot_by_arch(const store::StoreReader& reader,
+                                       const util::ThreadPool* pool = nullptr);
+
+/// Descriptive runtime statistics of one experiment setting, over every
+/// repetition of every non-quarantined sample in the setting.
+struct SettingSummary {
+  std::string arch;
+  std::string app;
+  std::string input;
+  int threads = 0;
+  stats::Summary runtime;
+};
+
+/// Per-setting runtime summaries straight off the store's runtime matrix:
+/// each worker reads its settings' contiguous runtime slices in place (one
+/// copy into the quantile sort, nothing else). Settings whose samples are
+/// all quarantined are omitted. Deterministic at any thread count.
+std::vector<SettingSummary> setting_runtime_summaries(
+    const store::StoreReader& reader, const util::ThreadPool* pool = nullptr);
 
 }  // namespace omptune::analysis

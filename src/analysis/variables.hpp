@@ -1,0 +1,34 @@
+#pragma once
+
+// The environment-variable view of one runtime configuration, in the
+// paper's spellings — the single definition shared by the marginal-value
+// analysis and the recommendation extractor (previously each kept its own
+// copy, which could silently diverge).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/topology.hpp"
+#include "rt/config.hpp"
+
+namespace omptune::analysis {
+
+/// Variable/value pairs of one configuration, e.g. {"KMP_LIBRARY",
+/// "turnaround"}. Fixed order, fixed set: one pair per tuned variable.
+inline std::vector<std::pair<std::string, std::string>> config_variable_values(
+    const rt::RtConfig& config) {
+  return {
+      {"OMP_PLACES", arch::to_string(config.places)},
+      {"OMP_PROC_BIND", arch::to_string(config.bind)},
+      {"OMP_SCHEDULE", rt::to_string(config.schedule)},
+      {"KMP_LIBRARY", rt::to_string(config.library)},
+      {"KMP_BLOCKTIME", config.blocktime_ms == rt::kBlocktimeInfinite
+                            ? std::string("infinite")
+                            : std::to_string(config.blocktime_ms)},
+      {"KMP_FORCE_REDUCTION", rt::to_string(config.reduction)},
+      {"KMP_ALIGN_ALLOC", std::to_string(config.align_alloc)},
+  };
+}
+
+}  // namespace omptune::analysis

@@ -16,6 +16,13 @@
 #include "sweep/harness.hpp"
 #include "sweep/supervisor.hpp"
 
+namespace omptune::store {
+class StoreReader;
+}
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::core {
 
 struct StudyOptions {
@@ -59,11 +66,23 @@ class Study {
   StudyResult run_supervised(const sweep::StudyPlan& plan,
                              const sweep::RunnerFactory& make_runner,
                              sweep::SupervisorOptions supervisor_options,
-                             sweep::SupervisorReport* report = nullptr) const;
+                             sweep::SupervisorReport* report = nullptr,
+                             const util::ThreadPool* pool = nullptr) const;
 
   /// Derive all analysis artefacts from an existing dataset (e.g. loaded
-  /// from the open-sourced CSV files).
-  StudyResult analyze(sweep::Dataset dataset) const;
+  /// from the open-sourced CSV files). With a pool, the influence maps'
+  /// group fits and the models' gradient/tree loops run on it; every
+  /// artefact is bit-identical at any thread count.
+  StudyResult analyze(sweep::Dataset dataset,
+                      const util::ThreadPool* pool = nullptr) const;
+
+  /// Derive the same artefacts straight from a .omps store. The speedup
+  /// artefacts (upshot, Tables V/VI) aggregate zero-copy off the store's
+  /// column slices; the sample materialization that the ML artefacts and
+  /// result.dataset need runs row-parallel on the pool. Identical output to
+  /// analyze(Dataset::load_store(path)) — just faster.
+  StudyResult analyze_store(const store::StoreReader& reader,
+                            const util::ThreadPool* pool = nullptr) const;
 
  private:
   sim::Runner* runner_;

@@ -55,21 +55,27 @@ sweep::Dataset arch_slice(const store::StoreReader& reader,
 }  // namespace
 
 KnowledgeBase::KnowledgeBase(const sweep::Dataset& dataset,
-                             double label_threshold)
+                             double label_threshold,
+                             const util::ThreadPool* pool)
     : dataset_(&dataset),
       pair_influence_(analysis::influence_map(
-          dataset, analysis::Grouping::PerArchApplication, label_threshold)),
+          dataset, analysis::Grouping::PerArchApplication, label_threshold, {},
+          pool)),
       arch_influence_(analysis::influence_map(
-          dataset, analysis::Grouping::PerArchitecture, label_threshold)) {}
+          dataset, analysis::Grouping::PerArchitecture, label_threshold, {},
+          pool)) {}
 
 KnowledgeBase::KnowledgeBase(const store::StoreReader& reader,
-                             const std::string& arch, double label_threshold)
+                             const std::string& arch, double label_threshold,
+                             const util::ThreadPool* pool)
     : owned_(arch_slice(reader, arch)),
       dataset_(&owned_),
       pair_influence_(analysis::influence_map(
-          owned_, analysis::Grouping::PerArchApplication, label_threshold)),
+          owned_, analysis::Grouping::PerArchApplication, label_threshold, {},
+          pool)),
       arch_influence_(analysis::influence_map(
-          owned_, analysis::Grouping::PerArchitecture, label_threshold)) {}
+          owned_, analysis::Grouping::PerArchitecture, label_threshold, {},
+          pool)) {}
 
 std::vector<std::string> KnowledgeBase::variable_priority(
     const std::string& app, const std::string& arch) const {

@@ -24,21 +24,28 @@
 namespace omptune::store {
 class StoreReader;
 }
+namespace omptune::util {
+class ThreadPool;
+}
 
 namespace omptune::core {
 
 /// Knowledge-based recommendations backed by a study dataset.
 class KnowledgeBase {
  public:
+  /// The influence maps behind variable_priority() fit one model per group;
+  /// with a pool those fits run concurrently (identical maps either way).
   explicit KnowledgeBase(const sweep::Dataset& dataset,
-                         double label_threshold = 1.01);
+                         double label_threshold = 1.01,
+                         const util::ThreadPool* pool = nullptr);
 
   /// Build from an indexed .omps store, materializing only `arch`'s slice
   /// of the dataset — the recommend hot path never parses the other
   /// architectures' rows (or any CSV). The slice is owned by the knowledge
   /// base; the reader is only used during construction.
   KnowledgeBase(const store::StoreReader& reader, const std::string& arch,
-                double label_threshold = 1.01);
+                double label_threshold = 1.01,
+                const util::ThreadPool* pool = nullptr);
 
   /// Environment variables ordered by decreasing influence for the pair
   /// (falls back to the per-architecture, then global ordering when the

@@ -1,9 +1,21 @@
 #include "ml/logistic_regression.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace omptune::ml {
+
+namespace {
+
+/// Rows per gradient chunk. Fixed — the chunk layout (and therefore the
+/// gradient summation order) must depend only on the row count, never on
+/// the thread count, or fits would stop being bit-reproducible.
+constexpr std::size_t kRowGrain = 1024;
+
+}  // namespace
 
 double sigmoid(double z) {
   if (z >= 0.0) {
@@ -13,7 +25,8 @@ double sigmoid(double z) {
   return e / (1.0 + e);
 }
 
-void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y,
+                             const util::ThreadPool* pool) {
   if (x.rows() != y.size() || x.rows() == 0) {
     throw std::invalid_argument("LogisticRegression::fit: dimension mismatch");
   }
@@ -29,17 +42,36 @@ void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
   intercept_ = 0.0;
   const double inv_n = 1.0 / static_cast<double>(n);
 
+  // All scratch for the whole fit, allocated once: one (grad, grad_b) slab
+  // per chunk plus the merged gradient. ~300 epochs reuse these buffers.
+  const std::size_t chunks = util::ThreadPool::chunk_count(n, kRowGrain);
+  const std::size_t stride = d + 1;  // d feature gradients + the intercept's
+  std::vector<double> partials(chunks * stride);
   std::vector<double> grad(d, 0.0);
+
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(partials.begin(), partials.end(), 0.0);
+    util::parallel_for(
+        pool, n, kRowGrain,
+        [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+          double* p = partials.data() + chunk * stride;
+          for (std::size_t r = begin; r < end; ++r) {
+            const double* xr = x.row(r);
+            double z = intercept_;
+            for (std::size_t c = 0; c < d; ++c) z += coef_[c] * xr[c];
+            const double err = sigmoid(z) - static_cast<double>(y[r]);
+            for (std::size_t c = 0; c < d; ++c) p[c] += err * xr[c];
+            p[d] += err;
+          }
+        });
+    // Merge partials in ascending chunk order — the fixed association that
+    // keeps the fit independent of how chunks were scheduled.
     std::fill(grad.begin(), grad.end(), 0.0);
     double grad_b = 0.0;
-    for (std::size_t r = 0; r < n; ++r) {
-      const double* xr = x.row(r);
-      double z = intercept_;
-      for (std::size_t c = 0; c < d; ++c) z += coef_[c] * xr[c];
-      const double err = sigmoid(z) - static_cast<double>(y[r]);
-      for (std::size_t c = 0; c < d; ++c) grad[c] += err * xr[c];
-      grad_b += err;
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      const double* p = partials.data() + chunk * stride;
+      for (std::size_t c = 0; c < d; ++c) grad[c] += p[c];
+      grad_b += p[d];
     }
     double grad_norm2 = grad_b * inv_n * grad_b * inv_n;
     for (std::size_t c = 0; c < d; ++c) {
@@ -55,31 +87,44 @@ void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
   }
 }
 
-std::vector<double> LogisticRegression::predict_proba(const Matrix& x) const {
+void LogisticRegression::predict_proba_into(const Matrix& x,
+                                            std::vector<double>& out,
+                                            const util::ThreadPool* pool) const {
   if (!fitted()) throw std::logic_error("LogisticRegression: not fitted");
   if (x.cols() != coef_.size()) {
     throw std::invalid_argument("LogisticRegression::predict_proba: width mismatch");
   }
-  std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double* xr = x.row(r);
-    double z = intercept_;
-    for (std::size_t c = 0; c < coef_.size(); ++c) z += coef_[c] * xr[c];
-    out[r] = sigmoid(z);
-  }
+  out.resize(x.rows());
+  const std::size_t d = coef_.size();
+  util::parallel_for(pool, x.rows(), kRowGrain,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t r = begin; r < end; ++r) {
+                         const double* xr = x.row(r);
+                         double z = intercept_;
+                         for (std::size_t c = 0; c < d; ++c) z += coef_[c] * xr[c];
+                         out[r] = sigmoid(z);
+                       }
+                     });
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    const Matrix& x, const util::ThreadPool* pool) const {
+  std::vector<double> out;
+  predict_proba_into(x, out, pool);
   return out;
 }
 
-std::vector<int> LogisticRegression::predict(const Matrix& x) const {
-  const std::vector<double> proba = predict_proba(x);
+std::vector<int> LogisticRegression::predict(const Matrix& x,
+                                             const util::ThreadPool* pool) const {
+  const std::vector<double> proba = predict_proba(x, pool);
   std::vector<int> out(proba.size());
   for (std::size_t i = 0; i < proba.size(); ++i) out[i] = proba[i] >= 0.5 ? 1 : 0;
   return out;
 }
 
-double LogisticRegression::accuracy(const Matrix& x,
-                                    const std::vector<int>& y) const {
-  const std::vector<int> pred = predict(x);
+double LogisticRegression::accuracy(const Matrix& x, const std::vector<int>& y,
+                                    const util::ThreadPool* pool) const {
+  const std::vector<int> pred = predict(x, pool);
   if (pred.size() != y.size() || y.empty()) {
     throw std::invalid_argument("LogisticRegression::accuracy: size mismatch");
   }

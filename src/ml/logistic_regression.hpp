@@ -11,6 +11,10 @@
 
 #include "ml/linalg.hpp"
 
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::ml {
 
 struct LogisticOptions {
@@ -28,16 +32,31 @@ class LogisticRegression {
 
   /// Fit on features x and binary labels y (0/1). Inputs should be
   /// standardized (see StandardScaler) so coefficients are comparable.
-  void fit(const Matrix& x, const std::vector<int>& y);
+  ///
+  /// With a pool, each epoch accumulates per-chunk partial gradients in
+  /// parallel and merges them in ascending chunk order; the chunk layout is
+  /// fixed by the row count alone, so the fitted weights are bit-identical
+  /// at any thread count (including no pool at all). All gradient scratch
+  /// is allocated once up front, never per epoch.
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const util::ThreadPool* pool = nullptr);
+
+  /// P(y=1 | x) into a caller-owned buffer (resized to x.rows()) — the
+  /// allocation-free form for callers scoring in a loop.
+  void predict_proba_into(const Matrix& x, std::vector<double>& out,
+                          const util::ThreadPool* pool = nullptr) const;
 
   /// P(y=1 | x) per row.
-  std::vector<double> predict_proba(const Matrix& x) const;
+  std::vector<double> predict_proba(const Matrix& x,
+                                    const util::ThreadPool* pool = nullptr) const;
 
   /// Hard predictions at threshold 0.5.
-  std::vector<int> predict(const Matrix& x) const;
+  std::vector<int> predict(const Matrix& x,
+                           const util::ThreadPool* pool = nullptr) const;
 
   /// Classification accuracy on (x, y).
-  double accuracy(const Matrix& x, const std::vector<int>& y) const;
+  double accuracy(const Matrix& x, const std::vector<int>& y,
+                  const util::ThreadPool* pool = nullptr) const;
 
   const std::vector<double>& coefficients() const { return coef_; }
   double intercept() const { return intercept_; }

@@ -4,10 +4,12 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::ml {
 
-void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
+void RandomForest::fit(const Matrix& x, const std::vector<int>& y,
+                       const util::ThreadPool* pool) {
   if (x.rows() != y.size() || x.rows() == 0) {
     throw std::invalid_argument("RandomForest::fit: bad dimensions");
   }
@@ -21,32 +23,50 @@ void RandomForest::fit(const Matrix& x, const std::vector<int>& y) {
   }
 
   const std::size_t n = x.rows();
-  // Out-of-bag vote accumulators.
+  const auto num_trees = static_cast<std::size_t>(
+      options_.num_trees > 0 ? options_.num_trees : 0);
+
+  // Each tree's bootstrap comes from its own hash_combine(seed, t+1) RNG —
+  // the same stream regardless of which thread draws it — and its out-of-bag
+  // evidence lands in a per-tree slot, so trees train fully independently.
+  trees_.assign(num_trees, DecisionTree(tree_options));
+  std::vector<std::vector<double>> tree_proba(num_trees);
+  std::vector<std::vector<char>> tree_in_bag(num_trees);
+  util::parallel_for(
+      pool, num_trees, 1, [&](std::size_t begin, std::size_t, std::size_t) {
+        const std::size_t t = begin;
+        const std::uint64_t tree_seed =
+            util::hash_combine(options_.seed, static_cast<std::uint64_t>(t) + 1);
+        // Distinct stream from the tree's split RNG (which is seeded with
+        // tree_seed itself), so bootstrap rows and feature subsets never
+        // share draws.
+        util::Xoshiro256 rng(util::hash_combine(tree_seed, 0xb007'57a9));
+        std::vector<std::size_t> rows(n);
+        std::vector<char> in_bag(n, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+          rows[i] = rng.uniform_index(n);
+          in_bag[rows[i]] = 1;
+        }
+        TreeOptions opts = tree_options;
+        opts.seed = tree_seed;
+        DecisionTree tree(opts);
+        tree.fit_rows(x, y, rows);
+        tree_proba[t] = tree.predict_proba(x);
+        tree_in_bag[t] = std::move(in_bag);
+        trees_[t] = std::move(tree);
+      });
+
+  // Merge out-of-bag votes serially in tree order: float accumulation in a
+  // fixed association, so the OOB accuracy matches at any thread count.
   std::vector<double> oob_votes(n, 0.0);
   std::vector<int> oob_counts(n, 0);
-
-  util::Xoshiro256 rng(options_.seed);
-  for (int t = 0; t < options_.num_trees; ++t) {
-    // Bootstrap sample (with replacement).
-    std::vector<std::size_t> rows(n);
-    std::vector<char> in_bag(n, 0);
+  for (std::size_t t = 0; t < num_trees; ++t) {
     for (std::size_t i = 0; i < n; ++i) {
-      rows[i] = rng.uniform_index(n);
-      in_bag[rows[i]] = 1;
-    }
-    tree_options.seed = util::hash_combine(options_.seed, static_cast<std::uint64_t>(t) + 1);
-    DecisionTree tree(tree_options);
-    tree.fit_rows(x, y, rows);
-
-    // Out-of-bag votes.
-    const auto proba = tree.predict_proba(x);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!in_bag[i]) {
-        oob_votes[i] += proba[i];
+      if (!tree_in_bag[t][i]) {
+        oob_votes[i] += tree_proba[t][i];
         ++oob_counts[i];
       }
     }
-    trees_.push_back(std::move(tree));
   }
 
   std::size_t correct = 0, scored = 0;

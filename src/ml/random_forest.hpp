@@ -10,6 +10,10 @@
 
 #include "ml/decision_tree.hpp"
 
+namespace omptune::util {
+class ThreadPool;
+}
+
 namespace omptune::ml {
 
 struct ForestOptions {
@@ -22,7 +26,13 @@ class RandomForest {
  public:
   explicit RandomForest(ForestOptions options = {}) : options_(options) {}
 
-  void fit(const Matrix& x, const std::vector<int>& y);
+  /// Train the forest. Every tree draws its bootstrap rows from its own
+  /// RNG seeded by hash_combine(seed, tree index), so trees are fully
+  /// independent and train concurrently on `pool`; out-of-bag votes merge
+  /// serially in tree order afterwards. The fitted forest is bit-identical
+  /// at any thread count, pool or no pool.
+  void fit(const Matrix& x, const std::vector<int>& y,
+           const util::ThreadPool* pool = nullptr);
 
   /// Mean of the trees' leaf probabilities.
   std::vector<double> predict_proba(const Matrix& x) const;

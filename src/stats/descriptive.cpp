@@ -6,19 +6,35 @@
 
 namespace omptune::stats {
 
+// mean/stddev are single-pass Welford updates so the store's slice-wise
+// aggregation reads each runtime column exactly once (two-pass stddev would
+// double every column's memory traffic). Welford is also the numerically
+// stable choice: the running mean keeps the accumulated terms centered.
+
+MeanStd mean_stddev(const double* values, std::size_t count) {
+  MeanStd result;
+  result.count = count;
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double delta = values[i] - mean;
+    mean += delta / static_cast<double>(i + 1);
+    m2 += delta * (values[i] - mean);
+  }
+  result.mean = mean;
+  result.stddev =
+      count < 2 ? 0.0 : std::sqrt(m2 / static_cast<double>(count - 1));
+  return result;
+}
+
 double mean(const std::vector<double>& values) {
   if (values.empty()) throw std::invalid_argument("mean: empty input");
-  double sum = 0.0;
-  for (const double v : values) sum += v;
-  return sum / static_cast<double>(values.size());
+  return mean_stddev(values.data(), values.size()).mean;
 }
 
 double stddev(const std::vector<double>& values) {
   if (values.size() < 2) return 0.0;
-  const double m = mean(values);
-  double ss = 0.0;
-  for (const double v : values) ss += (v - m) * (v - m);
-  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return mean_stddev(values.data(), values.size()).stddev;
 }
 
 double min_value(const std::vector<double>& values) {
@@ -48,8 +64,9 @@ Summary summarize(std::vector<double> values) {
   if (values.empty()) throw std::invalid_argument("summarize: empty input");
   Summary s;
   s.count = values.size();
-  s.mean = mean(values);
-  s.stddev = stddev(values);
+  const MeanStd ms = mean_stddev(values.data(), values.size());
+  s.mean = ms.mean;
+  s.stddev = ms.stddev;
   std::sort(values.begin(), values.end());
   s.min = values.front();
   s.max = values.back();
@@ -64,6 +81,10 @@ Summary summarize(std::vector<double> values) {
   s.median = q(0.5);
   s.q75 = q(0.75);
   return s;
+}
+
+Summary summarize(const double* values, std::size_t count) {
+  return summarize(std::vector<double>(values, values + count));
 }
 
 }  // namespace omptune::stats

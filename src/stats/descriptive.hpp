@@ -7,6 +7,18 @@
 
 namespace omptune::stats {
 
+/// Single-pass (Welford) mean and sample standard deviation over a raw
+/// column slice — the store scanner's building block: one read of the
+/// column yields both moments. Agrees with the classic two-pass formulas
+/// to ~1e-12 relative (pinned in tests).
+struct MeanStd {
+  double mean = 0;
+  double stddev = 0;  ///< n-1 denominator; 0 for fewer than 2 values
+  std::size_t count = 0;
+};
+
+MeanStd mean_stddev(const double* values, std::size_t count);
+
 double mean(const std::vector<double>& values);
 
 /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
@@ -33,5 +45,8 @@ struct Summary {
 
 /// All of the above in one pass (plus sorting for the quantiles).
 Summary summarize(std::vector<double> values);
+
+/// Summarize a raw column slice (copies once for the quantile sort).
+Summary summarize(const double* values, std::size_t count);
 
 }  // namespace omptune::stats

@@ -6,6 +6,7 @@
 
 #include "store/format.hpp"
 #include "util/errors.hpp"
+#include "util/thread_pool.hpp"
 
 namespace omptune::store {
 
@@ -426,7 +427,8 @@ sweep::Sample StoreReader::materialize_row(std::size_t row) const {
     }
     s.runtimes.push_back(value);
   }
-  runtime_bytes_touched_ += 8u * runtime_count;
+  runtime_bytes_touched_.fetch_add(8u * runtime_count,
+                                   std::memory_order_relaxed);
 
   const std::size_t error_offset = 4 * row;
   const auto error_code = load_scalar<std::uint32_t>(at(error_section, error_offset));
@@ -440,16 +442,148 @@ sweep::Sample StoreReader::materialize_row(std::size_t row) const {
   return s;
 }
 
-sweep::Dataset StoreReader::load() const {
+sweep::Dataset StoreReader::load(const util::ThreadPool* pool) const {
   for (std::size_t i = 0; i < kSectionCount; ++i) {
     verify_section_checksum(sections_[i], section_name(i));
   }
-  sweep::Dataset out;
-  out.reserve(sample_count_);
-  for (std::size_t row = 0; row < sample_count_; ++row) {
-    out.add(materialize_row(row));
-  }
-  return out;
+  std::vector<sweep::Sample> samples(sample_count_);
+  util::parallel_for(pool, sample_count_, 1024,
+                     [&](std::size_t begin, std::size_t end, std::size_t) {
+                       for (std::size_t row = begin; row < end; ++row) {
+                         samples[row] = materialize_row(row);
+                       }
+                     });
+  return sweep::Dataset(std::move(samples));
+}
+
+void StoreReader::ensure_scan_validated() const {
+  std::call_once(scan_validated_, [this] {
+    // The metadata sections (dictionaries, key columns, index) were
+    // verified at open; scan additionally needs the bulk blocks its slices
+    // alias to be trustworthy — in particular the enum bytes SettingSlice
+    // casts without per-value range checks.
+    const SectionKind bulk[] = {SectionKind::ConfigColumns,
+                                SectionKind::StatColumns, SectionKind::Runtimes,
+                                SectionKind::Errors};
+    for (const SectionKind kind : bulk) {
+      const std::size_t i = static_cast<std::size_t>(kind) - 1;
+      verify_section_checksum(sections_[i], section_name(i));
+    }
+    // A checksummed store can still have been *written* with out-of-range
+    // codes only by a buggy writer, never by bit rot — but the cost of
+    // closing that hole is one linear pass over 7 byte columns, so close it.
+    const ConfigColumnsLayout cfg = config_columns_layout(sample_count_);
+    const Section& config_section =
+        sections_[static_cast<std::size_t>(SectionKind::ConfigColumns) - 1];
+    const struct {
+      std::size_t column;
+      std::uint8_t bound;
+      const char* what;
+    } enum_columns[] = {
+        {cfg.places, kPlacesKinds, "places"},
+        {cfg.bind, kBindKinds, "bind"},
+        {cfg.schedule, kScheduleKinds, "schedule"},
+        {cfg.library, kLibraryModes, "library"},
+        {cfg.reduction, kReductionMethods, "reduction"},
+        {cfg.status, kSampleStatuses, "status"},
+        {cfg.is_default, 2, "is_default"},
+    };
+    for (const auto& col : enum_columns) {
+      for (std::size_t row = 0; row < sample_count_; ++row) {
+        const std::uint8_t value = *at(config_section, col.column + row);
+        if (value >= col.bound) {
+          corrupt(config_section.offset + col.column + row,
+                  std::string(col.what) + " value " + std::to_string(value) +
+                      " in row " + std::to_string(row) + " is outside [0, " +
+                      std::to_string(col.bound) + ")");
+        }
+      }
+    }
+    for (std::size_t row = 0; row < sample_count_; ++row) {
+      const auto count = load_scalar<std::uint16_t>(
+          at(config_section, cfg.runtime_count + 2 * row));
+      if (count > reps_) {
+        corrupt(config_section.offset + cfg.runtime_count + 2 * row,
+                "row " + std::to_string(row) + " declares " +
+                    std::to_string(count) + " runtimes, store holds " +
+                    std::to_string(reps_) + " slots per row");
+      }
+    }
+    // The checksum pass read the whole runtime section; count it once.
+    runtime_bytes_touched_.fetch_add(
+        sections_[static_cast<std::size_t>(SectionKind::Runtimes) - 1].bytes,
+        std::memory_order_relaxed);
+  });
+}
+
+SettingSlice StoreReader::setting_slice(std::size_t i) const {
+  const IndexRun& run = index_.at(i);
+  const std::size_t n = sample_count_;
+  const std::size_t first = static_cast<std::size_t>(run.first_row);
+  const Section& config_section =
+      sections_[static_cast<std::size_t>(SectionKind::ConfigColumns) - 1];
+  const Section& stat_section =
+      sections_[static_cast<std::size_t>(SectionKind::StatColumns) - 1];
+  const Section& runtime_section =
+      sections_[static_cast<std::size_t>(SectionKind::Runtimes) - 1];
+  const Section& error_section =
+      sections_[static_cast<std::size_t>(SectionKind::Errors) - 1];
+  const ConfigColumnsLayout cfg = config_columns_layout(n);
+  const StatColumnsLayout stats = stat_columns_layout(n);
+
+  const auto f64 = [&](const Section& s, std::size_t column, std::size_t stride) {
+    return reinterpret_cast<const double*>(at(s, column + stride * first));
+  };
+
+  SettingSlice slice;
+  slice.arch = &dicts_[0][run.arch];
+  slice.app = &dicts_[1][run.app];
+  slice.input = &dicts_[2][run.input];
+  slice.threads = run.threads;
+  slice.setting_index = i;
+  slice.first_row = first;
+  slice.rows = static_cast<std::size_t>(run.row_count);
+  slice.reps = reps_;
+  slice.mean_runtime = f64(stat_section, stats.mean, 8);
+  slice.default_runtime = f64(stat_section, stats.deflt, 8);
+  slice.speedup = f64(stat_section, stats.speedup, 8);
+  slice.runtimes =
+      reinterpret_cast<const double*>(at(runtime_section, 8 * first * reps_));
+  slice.runtime_count = reinterpret_cast<const std::uint16_t*>(
+      at(config_section, cfg.runtime_count + 2 * first));
+  slice.blocktime = reinterpret_cast<const std::int64_t*>(
+      at(config_section, cfg.blocktime + 8 * first));
+  slice.num_threads = reinterpret_cast<const std::int32_t*>(
+      at(config_section, cfg.num_threads + 4 * first));
+  slice.chunk = reinterpret_cast<const std::int32_t*>(
+      at(config_section, cfg.chunk + 4 * first));
+  slice.align = reinterpret_cast<const std::int32_t*>(
+      at(config_section, cfg.align + 4 * first));
+  slice.attempts = reinterpret_cast<const std::int32_t*>(
+      at(config_section, cfg.attempts + 4 * first));
+  slice.suite = reinterpret_cast<const std::uint16_t*>(
+      at(config_section, cfg.suite + 2 * first));
+  slice.kind = reinterpret_cast<const std::uint16_t*>(
+      at(config_section, cfg.kind + 2 * first));
+  slice.places = at(config_section, cfg.places + first);
+  slice.bind = at(config_section, cfg.bind + first);
+  slice.schedule = at(config_section, cfg.schedule + first);
+  slice.library = at(config_section, cfg.library + first);
+  slice.reduction = at(config_section, cfg.reduction + first);
+  slice.status = at(config_section, cfg.status + first);
+  slice.is_default = at(config_section, cfg.is_default + first);
+  slice.error =
+      reinterpret_cast<const std::uint32_t*>(at(error_section, 4 * first));
+  return slice;
+}
+
+void StoreReader::scan(const std::function<void(const SettingSlice&)>& visit,
+                       const util::ThreadPool* pool) const {
+  ensure_scan_validated();
+  util::parallel_for(pool, index_.size(), 1,
+                     [&](std::size_t begin, std::size_t, std::size_t) {
+                       visit(setting_slice(begin));
+                     });
 }
 
 sweep::Dataset StoreReader::query(const StoreQuery& query) const {

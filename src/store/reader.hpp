@@ -14,14 +14,29 @@
 //
 // Every validation failure throws util::DataCorruptionError carrying the
 // file path and the byte offset of the offending structure.
+//
+// Thread-safety contract: after construction, a StoreReader is a read-only
+// view and every const member — load(), query(), scan(), setting_slice(),
+// settings() — may be called concurrently from any number of threads. The
+// only mutable state is the runtime-bytes instrumentation counter (atomic)
+// and the scan validation latch (std::once_flag); neither affects results.
+// Construction and destruction are not synchronized against concurrent use
+// of the same instance, as usual.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sweep/dataset.hpp"
 #include "util/mmap_file.hpp"
+
+namespace omptune::util {
+class ThreadPool;
+}
 
 namespace omptune::store {
 
@@ -40,6 +55,68 @@ struct SettingEntry {
   int threads = 0;
   std::size_t first_row = 0;
   std::size_t rows = 0;
+};
+
+/// Zero-copy view of one setting's run of rows: every pointer aims straight
+/// into the store mapping, offset to the run's first row, so an aggregation
+/// walks contiguous typed columns without materializing a single Sample.
+/// Valid exactly as long as the StoreReader that produced it. Row indices
+/// below are run-relative: 0 .. rows-1.
+struct SettingSlice {
+  const std::string* arch = nullptr;   ///< dictionary-owned key strings
+  const std::string* app = nullptr;
+  const std::string* input = nullptr;
+  std::int32_t threads = 0;
+  std::size_t setting_index = 0;       ///< position in the embedded index
+  std::size_t first_row = 0;           ///< absolute row of the run's start
+  std::size_t rows = 0;
+  std::size_t reps = 0;                ///< runtime slots per row
+
+  // Stat columns (f64).
+  const double* mean_runtime = nullptr;
+  const double* default_runtime = nullptr;
+  const double* speedup = nullptr;
+  // Runtime matrix: row i's measurements at runtimes[i * reps], of which
+  // runtime_count[i] are real (the rest are zero padding).
+  const double* runtimes = nullptr;
+  const std::uint16_t* runtime_count = nullptr;
+  // Config columns.
+  const std::int64_t* blocktime = nullptr;
+  const std::int32_t* num_threads = nullptr;
+  const std::int32_t* chunk = nullptr;
+  const std::int32_t* align = nullptr;
+  const std::int32_t* attempts = nullptr;
+  const std::uint16_t* suite = nullptr;  ///< suite-dictionary codes
+  const std::uint16_t* kind = nullptr;   ///< kind-dictionary codes
+  const std::uint8_t* places = nullptr;
+  const std::uint8_t* bind = nullptr;
+  const std::uint8_t* schedule = nullptr;
+  const std::uint8_t* library = nullptr;
+  const std::uint8_t* reduction = nullptr;
+  const std::uint8_t* status = nullptr;
+  const std::uint8_t* is_default = nullptr;
+  const std::uint32_t* error = nullptr;  ///< error-dictionary codes
+
+  bool quarantined(std::size_t i) const {
+    return static_cast<sweep::SampleStatus>(status[i]) ==
+           sweep::SampleStatus::Quarantined;
+  }
+
+  /// Decode row i's runtime configuration (enum bytes were validated by the
+  /// scan checksum pass, so the casts are safe).
+  rt::RtConfig config(std::size_t i) const {
+    rt::RtConfig c;
+    c.blocktime_ms = blocktime[i];
+    c.num_threads = num_threads[i];
+    c.chunk = chunk[i];
+    c.align_alloc = align[i];
+    c.places = static_cast<arch::PlacesKind>(places[i]);
+    c.bind = static_cast<arch::BindKind>(bind[i]);
+    c.schedule = static_cast<rt::ScheduleKind>(schedule[i]);
+    c.library = static_cast<rt::LibraryMode>(library[i]);
+    c.reduction = static_cast<rt::ReductionMethod>(reduction[i]);
+    return c;
+  }
 };
 
 class StoreReader {
@@ -67,7 +144,9 @@ class StoreReader {
 
   /// Materialize every sample. Verifies the checksum of every section
   /// first: a flipped byte anywhere in the file is rejected, never loaded.
-  sweep::Dataset load() const;
+  /// With a pool, rows materialize in parallel (the result is identical —
+  /// each row is independent and lands at its own position).
+  sweep::Dataset load(const util::ThreadPool* pool = nullptr) const;
 
   /// Materialize only the rows matching `query`, located via the index.
   /// Skips whole-section checksums by design (the point is not reading the
@@ -75,10 +154,40 @@ class StoreReader {
   /// finiteness-checked instead.
   sweep::Dataset query(const StoreQuery& query) const;
 
+  /// Number of runs in the embedded setting index.
+  std::size_t setting_count() const { return index_.size(); }
+
+  /// Zero-copy column view of index run `i` (see SettingSlice). Requires a
+  /// prior scan()/ensure_scan_validated() on this reader — the slice hands
+  /// out raw bulk-section pointers, so the bulk checksums must have been
+  /// verified first.
+  SettingSlice setting_slice(std::size_t i) const;
+
+  /// Visit every setting run with a zero-copy SettingSlice — the
+  /// aggregation path: no Dataset, no Sample, no copies. The first scan on
+  /// a reader verifies the bulk-section checksums once (config, stats,
+  /// runtimes, errors — the metadata sections were verified at open), after
+  /// which slices serve raw mapped memory. Visits run concurrently on the
+  /// pool; callers needing a reduction should use util::parallel_reduce
+  /// over setting_count()/setting_slice() directly so partials merge in
+  /// deterministic chunk order.
+  void scan(const std::function<void(const SettingSlice&)>& visit,
+            const util::ThreadPool* pool = nullptr) const;
+
+  /// Verify the bulk-section checksums once (idempotent, thread-safe);
+  /// throws util::DataCorruptionError on a mismatch. scan() calls this, but
+  /// callers driving setting_slice() by hand must do it themselves.
+  void ensure_scan_validated() const;
+
   /// Bytes of the runtime block materialized so far by load()/query() on
   /// this reader — instrumentation for the bench/tests proving that queries
-  /// leave non-matching runtime blocks untouched.
-  std::uint64_t runtime_bytes_touched() const { return runtime_bytes_touched_; }
+  /// leave non-matching runtime blocks untouched. (scan() counts the whole
+  /// runtime section once, at validation time: the checksum pass reads it.)
+  /// Atomic so concurrent load()/query()/scan() calls on one reader tally
+  /// without racing.
+  std::uint64_t runtime_bytes_touched() const {
+    return runtime_bytes_touched_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Section {
@@ -107,7 +216,8 @@ class StoreReader {
     std::uint64_t first_row, row_count;
   };
   std::vector<IndexRun> index_;
-  mutable std::uint64_t runtime_bytes_touched_ = 0;
+  mutable std::atomic<std::uint64_t> runtime_bytes_touched_{0};
+  mutable std::once_flag scan_validated_;
 };
 
 }  // namespace omptune::store

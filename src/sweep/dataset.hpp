@@ -66,6 +66,11 @@ class Dataset {
  public:
   Dataset() = default;
 
+  /// Adopt an already-built sample vector (parallel materialization paths
+  /// fill a pre-sized vector by index, then wrap it).
+  explicit Dataset(std::vector<Sample> samples)
+      : samples_(std::move(samples)) {}
+
   void add(Sample sample) { samples_.push_back(std::move(sample)); }
   void append(Dataset other);
   void reserve(std::size_t n) { samples_.reserve(n); }

@@ -1,0 +1,173 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+
+namespace omptune::util {
+
+namespace {
+
+/// Set while a thread is executing chunks of some pool's job; nested
+/// parallel_for calls from such a thread run inline instead of re-entering
+/// the pool (see the header's nesting contract).
+thread_local const ThreadPool* g_executing_pool = nullptr;
+
+}  // namespace
+
+unsigned ThreadPool::default_thread_count() {
+  if (const auto env = get_env("OMPTUNE_ANALYSIS_THREADS")) {
+    if (!env->empty() &&
+        env->find_first_not_of("0123456789") == std::string::npos) {
+      const unsigned long value = std::stoul(*env);
+      if (value >= 1 && value <= 4096) return static_cast<unsigned>(value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t ThreadPool::chunk_count(std::size_t n, std::size_t grain) {
+  if (n == 0) return 0;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  return (n + g - 1) / g;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : lanes_(threads == 0 ? default_thread_count() : threads) {
+  workers_.reserve(lanes_ - 1);
+  for (unsigned w = 1; w < lanes_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return stop_ || (job_ != nullptr &&
+                       job_->next_chunk.load(std::memory_order_relaxed) <
+                           job_->chunks);
+    });
+    if (stop_) return;
+    Job& job = *job_;
+    // The submitter frees the Job only once retired == chunks AND no
+    // worker is inside run_chunks — this counter is the lifetime guard.
+    ++job.workers_inside;
+    lock.unlock();
+    run_chunks(job);
+    lock.lock();
+    --job.workers_inside;
+    if (job.retired == job.chunks && job.workers_inside == 0) {
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) const {
+  const ThreadPool* previous = g_executing_pool;
+  g_executing_pool = this;
+  std::size_t executed = 0;
+  std::exception_ptr first_error;
+  for (;;) {
+    const std::size_t chunk =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.chunks) break;
+    ++executed;
+    // After a failure the loop is abandoned: remaining chunks retire
+    // without running so the submitter can rethrow promptly.
+    if (!job.failed.load(std::memory_order_relaxed) && first_error == nullptr) {
+      try {
+        const std::size_t begin = chunk * job.grain;
+        const std::size_t end = std::min(begin + job.grain, job.n);
+        (*job.body)(begin, end, chunk);
+      } catch (...) {
+        first_error = std::current_exception();
+        job.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+  g_executing_pool = previous;
+  if (executed > 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.retired += executed;
+    if (first_error != nullptr && job.error == nullptr) {
+      job.error = first_error;
+    }
+    if (job.retired == job.chunks) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_inline(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = chunk_count(n, g);
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::size_t begin = chunk * g;
+    const std::size_t end = std::min(begin + g, n);
+    body(begin, end, chunk);
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body)
+    const {
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = chunk_count(n, g);
+  if (chunks == 0) return;
+  // Single-lane pools, single-chunk loops, and nested calls from a worker
+  // of this pool all take the inline path — same chunks, same order.
+  if (lanes_ <= 1 || chunks == 1 || g_executing_pool == this) {
+    run_inline(n, g, body);
+    return;
+  }
+
+  Job job;
+  job.n = n;
+  job.grain = g;
+  job.chunks = chunks;
+  job.body = &body;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // One job at a time: concurrent submissions from independent threads
+  // queue up here. (Submissions from pool workers took the inline path.)
+  job_done_.wait(lock, [this] { return job_ == nullptr; });
+  job_ = &job;
+  lock.unlock();
+  work_ready_.notify_all();
+
+  run_chunks(job);  // the submitter is a lane too
+
+  lock.lock();
+  job_done_.wait(lock, [&job] {
+    return job.retired == job.chunks && job.workers_inside == 0;
+  });
+  job_ = nullptr;
+  job_done_.notify_all();  // wake any queued submitter
+  const std::exception_ptr error = job.error;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void parallel_for(
+    const ThreadPool* pool, std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, grain, body);
+  } else {
+    ThreadPool::run_inline(n, grain, body);
+  }
+}
+
+}  // namespace omptune::util

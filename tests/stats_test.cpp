@@ -24,6 +24,38 @@ TEST(Descriptive, MeanAndStddev) {
   EXPECT_THROW(mean({}), std::invalid_argument);
 }
 
+TEST(Descriptive, WelfordMatchesTwoPassReference) {
+  // mean_stddev is single-pass (Welford); it must agree with the naive
+  // two-pass computation to 1e-12 even on ill-conditioned data (large
+  // offset, tiny variance) where a sum-of-squares one-pass formula loses
+  // every significant digit.
+  util::Xoshiro256 rng(11);
+  for (const double offset : {0.0, 1e9}) {
+    std::vector<double> v(10000);
+    for (double& x : v) x = offset + rng.uniform(0.999, 1.001);
+
+    double two_pass_mean = 0;
+    for (const double x : v) two_pass_mean += x;
+    two_pass_mean /= static_cast<double>(v.size());
+    double ss = 0;
+    for (const double x : v) ss += (x - two_pass_mean) * (x - two_pass_mean);
+    const double two_pass_stddev =
+        std::sqrt(ss / static_cast<double>(v.size() - 1));
+
+    const MeanStd got = mean_stddev(v.data(), v.size());
+    EXPECT_NEAR(got.mean, two_pass_mean, 1e-12 * (1.0 + std::abs(offset)));
+    // At offset 1e9 the two-pass reference itself loses digits to
+    // cancellation in (x - mean); allow it that floor (~eps * offset).
+    EXPECT_NEAR(got.stddev, two_pass_stddev,
+                1e-12 + 1e-15 * std::abs(offset));
+    EXPECT_DOUBLE_EQ(mean(v), got.mean);
+    EXPECT_DOUBLE_EQ(stddev(v), got.stddev);
+  }
+  const MeanStd single = mean_stddev(std::vector<double>{3.0}.data(), 1);
+  EXPECT_DOUBLE_EQ(single.mean, 3.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+}
+
 TEST(Descriptive, QuantilesInterpolate) {
   const std::vector<double> v = {1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);

@@ -1,0 +1,172 @@
+// The pool's determinism contract: chunk decomposition is a pure function
+// of (n, grain), reductions merge in ascending chunk order, nested
+// parallel_for runs inline, exceptions propagate and leave the pool usable,
+// and OMPTUNE_ANALYSIS_THREADS drives the default size.
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace omptune::util {
+namespace {
+
+TEST(ThreadPoolTest, ChunkCountIsPureFunctionOfSizeAndGrain) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 16), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(1, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(16, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(17, 16), 2u);
+  EXPECT_EQ(ThreadPool::chunk_count(160, 16), 10u);
+  EXPECT_EQ(ThreadPool::chunk_count(161, 16), 11u);
+  // grain 0 is treated as 1 — n chunks, never a division by zero.
+  EXPECT_EQ(ThreadPool::chunk_count(5, 0), 5u);
+}
+
+TEST(ThreadPoolTest, SingleLanePoolSpawnsNoWorkersAndRunsInline) {
+  const ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(100, 16,
+                    [&](std::size_t begin, std::size_t end, std::size_t chunk) {
+                      order.push_back(chunk);
+                      EXPECT_EQ(begin, chunk * 16);
+                      EXPECT_EQ(end, std::min<std::size_t>(begin + 16, 100));
+                    });
+  // Inline execution visits chunks in ascending order.
+  std::vector<std::size_t> expected(7);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, EveryChunkRunsExactlyOnceOnAPool) {
+  const ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4u);
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, 64,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        hits[i].fetch_add(1, std::memory_order_relaxed);
+                      }
+                    });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ReduceIsBitIdenticalAcrossPoolSizes) {
+  // A floating-point sum whose value depends on association order: if the
+  // merge order ever depended on scheduling, some pool size would differ.
+  const std::size_t n = 50000;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = std::sin(static_cast<double>(i)) * 1e10 + 1e-7;
+  }
+  const auto sum_with = [&](const ThreadPool* pool) {
+    return parallel_reduce<double>(
+        pool, n, 128,
+        [&](double& acc, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) acc += values[i];
+        },
+        [](double& into, double&& from) { into += from; });
+  };
+  const double serial = sum_with(nullptr);
+  for (const unsigned lanes : {1u, 2u, 7u, 16u}) {
+    const ThreadPool pool(lanes);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      const double parallel = sum_with(&pool);
+      // Bit-identity, not tolerance: memcmp-equivalent via ==.
+      ASSERT_EQ(parallel, serial) << lanes << " lanes, repeat " << repeat;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  const ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(8, 1, [&](std::size_t, std::size_t, std::size_t) {
+    // Inner loop issued from a worker: must run inline on this worker, in
+    // ascending chunk order, and must not wait for pool threads (deadlock).
+    std::vector<std::size_t> inner_order;
+    pool.parallel_for(10, 4,
+                      [&](std::size_t, std::size_t, std::size_t chunk) {
+                        inner_order.push_back(chunk);
+                      });
+    EXPECT_EQ(inner_order, (std::vector<std::size_t>{0, 1, 2}));
+    total.fetch_add(inner_order.size());
+  });
+  EXPECT_EQ(total.load(), 24u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  const ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000, 8,
+                        [](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin >= 504) throw std::runtime_error("chunk 63");
+                        }),
+      std::runtime_error);
+
+  // The pool must not be poisoned: the next loop runs all chunks normally.
+  std::atomic<std::size_t> ran{0};
+  pool.parallel_for(1000, 8,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      ran.fetch_add(end - begin, std::memory_order_relaxed);
+                    });
+  EXPECT_EQ(ran.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, SerialFallbackAndPoolUseSameDecomposition) {
+  // The free parallel_for with pool == nullptr must execute exactly the
+  // chunks a pooled run executes — that is what lets outputs be compared
+  // bit for bit.
+  const auto chunks_of = [](const ThreadPool* pool) {
+    std::set<std::pair<std::size_t, std::size_t>> spans;
+    std::mutex m;
+    parallel_for(pool, 1234, 100,
+                 [&](std::size_t begin, std::size_t end, std::size_t) {
+                   const std::lock_guard<std::mutex> lock(m);
+                   spans.insert({begin, end});
+                 });
+    return spans;
+  };
+  const ThreadPool pool(3);
+  EXPECT_EQ(chunks_of(nullptr), chunks_of(&pool));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonoursEnvironment) {
+  ::setenv("OMPTUNE_ANALYSIS_THREADS", "5", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), 5u);
+  const ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 5u);
+
+  // Out-of-range or garbage values fall back to hardware concurrency.
+  ::setenv("OMPTUNE_ANALYSIS_THREADS", "0", 1);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  EXPECT_EQ(ThreadPool::default_thread_count(), hw);
+  ::setenv("OMPTUNE_ANALYSIS_THREADS", "banana", 1);
+  EXPECT_EQ(ThreadPool::default_thread_count(), hw);
+  ::unsetenv("OMPTUNE_ANALYSIS_THREADS");
+  EXPECT_EQ(ThreadPool::default_thread_count(), hw);
+}
+
+TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
+  const ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(parallel_reduce<int>(
+                &pool, 0, 8, [](int&, std::size_t, std::size_t) {},
+                [](int&, int&&) {}),
+            0);
+}
+
+}  // namespace
+}  // namespace omptune::util

@@ -50,10 +50,20 @@
 #include "util/env.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace omptune;
+
+/// Lanes for the analytics thread pool: --analysis-threads=N (parsed and
+/// stripped in main, valid for every command), else OMPTUNE_ANALYSIS_THREADS,
+/// else hardware_concurrency. 0 = let ThreadPool resolve the default.
+unsigned g_analysis_threads = 0;
+
+util::ThreadPool make_analysis_pool() {
+  return util::ThreadPool(g_analysis_threads);
+}
 
 int usage() {
   std::printf(
@@ -80,7 +90,13 @@ int usage() {
       "  violin <app>                      distribution per (arch, setting)\n"
       "  model <app> <arch> [config...]    runtime/energy breakdown; config\n"
       "                                    tokens like KMP_LIBRARY=turnaround\n"
-      "  threads <app> <arch>              thread-count scaling + advice\n");
+      "  threads <app> <arch>              thread-count scaling + advice\n"
+      "global flags:\n"
+      "  --analysis-threads=N              worker threads for the analytics\n"
+      "                                    engine (default: the\n"
+      "                                    OMPTUNE_ANALYSIS_THREADS variable,\n"
+      "                                    then all hardware threads); results\n"
+      "                                    are identical at any thread count\n");
   return 2;
 }
 
@@ -229,6 +245,7 @@ int cmd_study(int argc, char** argv) {
     }
   }
 
+  const util::ThreadPool pool = make_analysis_pool();
   core::StudyResult result;
   if (workers > 0) {
     // Process-isolated collection: faults (and injected chaos) are contained
@@ -250,7 +267,7 @@ int cmd_study(int argc, char** argv) {
     sweep::SupervisorReport report;
     result = study.run_supervised(
         plan, [] { return std::make_unique<sim::ModelRunner>(); },
-        supervisor_options, &report);
+        supervisor_options, &report, &pool);
     std::printf("collected %zu samples across %d worker processes\n",
                 result.dataset.size(), workers);
     if (report.worker_crashes + report.hang_kills + report.lease_expiries +
@@ -281,7 +298,7 @@ int cmd_study(int argc, char** argv) {
     sweep::SweepHarness harness(runner, core::StudyOptions{}.repetitions,
                                 core::StudyOptions{}.seed);
     const sweep::Dataset dataset = harness.run_study(plan, options);
-    result = study.analyze(dataset);
+    result = study.analyze(dataset, &pool);
     std::printf("collected %zu samples\n", result.dataset.size());
     if (harness.last_policy() && harness.last_policy()->total_retries() > 0) {
       std::printf("retries performed: %llu\n",
@@ -311,14 +328,21 @@ int cmd_study(int argc, char** argv) {
 int cmd_analyze(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string path = argv[2];
-  const sweep::Dataset dataset =
-      path.ends_with(".omps")
-          ? sweep::Dataset::load_store(path)
-          : sweep::Dataset::from_csv(util::CsvTable::read_file(path));
-  std::printf("loaded %zu samples\n", dataset.size());
+  const util::ThreadPool pool = make_analysis_pool();
   sim::ModelRunner runner;
   core::Study study(runner);
-  print_artifacts(study.analyze(dataset));
+  if (path.ends_with(".omps")) {
+    // Store path: speedup artefacts aggregate zero-copy off the column
+    // slices; the ML artefacts' sample materialization is row-parallel.
+    const store::StoreReader reader(path);
+    std::printf("loaded %zu samples\n", reader.size());
+    print_artifacts(study.analyze_store(reader, &pool));
+    return 0;
+  }
+  const sweep::Dataset dataset =
+      sweep::Dataset::from_csv(util::CsvTable::read_file(path));
+  std::printf("loaded %zu samples\n", dataset.size());
+  print_artifacts(study.analyze(dataset, &pool));
   return 0;
 }
 
@@ -394,8 +418,10 @@ int cmd_query(int argc, char** argv) {
     std::printf("no samples for this (app, arch) pair in the store\n");
     return 1;
   }
-  const core::KnowledgeBase kb(reader, arch);
-  print_recommendation(kb, analysis::recommend_for_app(reader, app), app, arch);
+  const util::ThreadPool pool = make_analysis_pool();
+  const core::KnowledgeBase kb(reader, arch, 1.01, &pool);
+  print_recommendation(
+      kb, analysis::recommend_for_app(reader, app, 0.01, 1.3, &pool), app, arch);
   return 0;
 }
 
@@ -419,16 +445,19 @@ int cmd_recommend(int argc, char** argv) {
   apps::find_application(app);                  // validate
   arch::arch_from_string(arch);                 // validate
 
+  const util::ThreadPool pool = make_analysis_pool();
   if (!store_path.empty()) {
     // Store-backed path: the index materializes only this architecture's
     // slice and this application's rows — no study re-run, no CSV parsing.
     const store::StoreReader reader(store_path);
-    const core::KnowledgeBase kb(reader, arch);
-    print_recommendation(kb, analysis::recommend_for_app(reader, app), app, arch);
+    const core::KnowledgeBase kb(reader, arch, 1.01, &pool);
+    print_recommendation(
+        kb, analysis::recommend_for_app(reader, app, 0.01, 1.3, &pool), app,
+        arch);
     return 0;
   }
   const sweep::Dataset dataset = quick_study(200);
-  const core::KnowledgeBase kb(dataset);
+  const core::KnowledgeBase kb(dataset, 1.01, &pool);
   print_recommendation(kb, analysis::recommend_for_app(dataset, app), app, arch);
   return 0;
 }
@@ -573,6 +602,31 @@ int cmd_threads(int argc, char** argv) {
 }
 
 int main(int argc, char** argv) {
+  // --analysis-threads=N applies to every command; strip it here so the
+  // per-command parsers only see their own arguments.
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--analysis-threads=")) {
+      const std::string value = arg.substr(19);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos ||
+          std::stoul(value) < 1 || std::stoul(value) > 4096) {
+        std::fprintf(stderr,
+                     "omptune: --analysis-threads expects an integer in "
+                     "[1, 4096], got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      g_analysis_threads = static_cast<unsigned>(std::stoul(value));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc < 2) return usage();
   const std::string command = argv[1];
   try {
