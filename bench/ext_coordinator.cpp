@@ -1,0 +1,202 @@
+// EXT — coordinator overhead and chaos recovery: what does multi-host
+// fault tolerance cost, and how does it degrade under host kills?
+//
+// Part 1 (native runner, acceptance target): the same fault-free mini-plan
+// collected by the StudySupervisor with 4 workers vs the Coordinator with
+// 4 host agents. The coordinator adds shard stores, a write-ahead lease
+// table and tiered final compaction on top of the same fork pipeline; at
+// 0% chaos it must stay within 10% of plain supervision.
+//
+// Part 2 (model runner, determinism check): the coordinated collection
+// re-run under increasing host-kill rates (0%, 5%, 20%), reporting
+// throughput, re-leases, and mean scheduled recovery latency (backoff per
+// re-lease). The model runner is deterministic, so the published store is
+// required to stay byte-identical at every kill rate — a recovery that
+// changes the data is not a recovery. (The native runner measures real
+// kernels, so its bytes are honest wall-clock noise and are not compared.)
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/executor.hpp"
+#include "sim/fault_runner.hpp"
+#include "sweep/coordinator.hpp"
+#include "sweep/harness.hpp"
+#include "sweep/supervisor.hpp"
+#include "util/fs.hpp"
+
+namespace {
+
+using namespace omptune;
+
+constexpr int kHosts = 4;
+constexpr std::size_t kShards = 2 * kHosts;
+constexpr int kReps = 2;
+constexpr std::uint64_t kSeed = 0x0417D5EEDull;
+
+/// Lowest chaos seed whose attempt-1 draws fire at least one host kill at
+/// `rate` — faults draw from (seed, shard, attempt) alone, so the probe is
+/// exact for the run itself. A rate ladder probed at its lowest rung fires
+/// at every higher rung too (the kill threshold only widens).
+std::uint64_t probe_kill_seed(double rate, std::size_t shard_count) {
+  for (std::uint64_t seed = 1; seed < 4096; ++seed) {
+    const sim::ChaosMonkey monkey(sim::ChaosSpec::parse(
+        "seed=" + std::to_string(seed) + ",kill=" + std::to_string(rate)));
+    for (std::size_t i = 0; i < shard_count; ++i) {
+      // The first lease carries attempt 0 (the count of prior failures).
+      if (monkey.draw_shard_fault("shard-" + std::to_string(i), 0) ==
+          sim::ShardFault::KillHolder) {
+        return seed;
+      }
+    }
+  }
+  return 1;
+}
+
+struct CoordRun {
+  double seconds = 0;
+  std::size_t samples = 0;
+  sweep::CoordinatorReport report;
+};
+
+CoordRun run_coordinated(const sweep::RunnerFactory& make,
+                         const sweep::StudyPlan& plan, double kill_rate,
+                         std::uint64_t chaos_seed, const std::string& out) {
+  sweep::CoordinatorOptions options;
+  options.hosts = kHosts;
+  options.shards = kShards;  // identical tier structure at every rate
+  options.repetitions = kReps;
+  options.seed = kSeed;
+  options.heartbeat_timeout_ms = 2000;
+  options.backoff.base_ms = 5;
+  options.backoff.max_ms = 200;
+  if (kill_rate > 0) {
+    options.chaos = sim::ChaosSpec::parse(
+        "seed=" + std::to_string(chaos_seed) +
+        ",kill=" + std::to_string(kill_rate));
+    options.max_shard_attempts = 1000;  // chaos must never quarantine
+  }
+
+  CoordRun run;
+  const auto start = std::chrono::steady_clock::now();
+  sweep::Coordinator coordinator(make, options);
+  run.samples = coordinator.run(plan, out).size();
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  run.report = coordinator.report();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("EXT-COORDINATOR",
+                      "multi-host lease/compaction overhead + chaos recovery");
+
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_bench_coord_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(scratch);
+  std::filesystem::create_directories(scratch);
+
+  // Warm-up (page in code/data so the first timed run is not penalized).
+  {
+    sim::ModelRunner runner;
+    sweep::SweepHarness harness(runner, 2, 1);
+    harness.run_study(sweep::StudyPlan::mini_plan(1, 20));
+  }
+
+  // ---- part 1: overhead vs the supervisor, native kernels ------------------
+  const sweep::RunnerFactory native = [] {
+    return std::unique_ptr<sim::Runner>(std::make_unique<sim::NativeRunner>(
+        /*native_scale=*/0.02, /*max_threads=*/4));
+  };
+  const sweep::StudyPlan native_plan = sweep::StudyPlan::mini_plan(2, 10);
+
+  double supervised_s = 0;
+  std::size_t supervised_samples = 0;
+  {
+    sweep::SupervisorOptions options;
+    options.workers = kHosts;
+    options.repetitions = kReps;
+    options.seed = kSeed;
+    const auto start = std::chrono::steady_clock::now();
+    sweep::StudySupervisor supervisor(native, options);
+    supervised_samples = supervisor.run(native_plan).size();
+    supervised_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  const CoordRun coordinated = run_coordinated(
+      native, native_plan, 0.0, 0, util::path_join(scratch, "native.omps"));
+  if (coordinated.samples != supervised_samples) {
+    std::printf("SAMPLE COUNT MISMATCH — runs are not comparable\n");
+    return 1;
+  }
+  std::printf("\nnative runner, fault-free, %zu samples per run:\n",
+              supervised_samples);
+  std::printf("  %-28s %8.3f s\n", "supervised (4 workers)", supervised_s);
+  std::printf("  %-28s %8.3f s  (%+.2f%%)\n", "coordinated (4 hosts)",
+              coordinated.seconds,
+              100.0 * (coordinated.seconds - supervised_s) / supervised_s);
+
+  // ---- part 2: recovery under host kills, deterministic model samples ------
+  const sweep::RunnerFactory model = [] {
+    return std::unique_ptr<sim::Runner>(std::make_unique<sim::ModelRunner>());
+  };
+  const sweep::StudyPlan model_plan = sweep::StudyPlan::mini_plan(4, 300);
+  const double kill_rates[] = {0.0, 0.05, 0.20};
+  // Probe within the run's ACTUAL shard count (clamped to the settings),
+  // so the lowest rung of the rate ladder provably fires at least one kill.
+  const std::size_t shard_count =
+      std::min(kShards, sweep::flatten_plan(model_plan).size());
+  const std::uint64_t chaos_seed = probe_kill_seed(0.05, shard_count);
+  std::string reference_store;
+  bool stores_identical = true;
+
+  std::printf("\nmodel runner, host kills injected (chaos seed %llu):\n",
+              static_cast<unsigned long long>(chaos_seed));
+  std::printf("  %-18s %9s %11s %10s %9s %14s\n", "kill rate", "time",
+              "samples/s", "re-leases", "crashes", "backoff/lease");
+  for (const double rate : kill_rates) {
+    const std::string out = util::path_join(
+        scratch,
+        "kill" + std::to_string(static_cast<int>(rate * 100)) + ".omps");
+    const CoordRun run =
+        run_coordinated(model, model_plan, rate, chaos_seed, out);
+    const double mean_backoff =
+        run.report.re_leases > 0
+            ? static_cast<double>(run.report.backoff_ms_total) /
+                  static_cast<double>(run.report.re_leases)
+            : 0.0;
+    std::printf("  %16.0f%% %7.3f s %11.0f %10zu %9zu %11.1f ms\n",
+                rate * 100, run.seconds, run.samples / run.seconds,
+                run.report.re_leases, run.report.host_crashes, mean_backoff);
+    const std::optional<std::string> bytes = util::read_file(out);
+    if (rate == 0.0) {
+      reference_store = bytes.value_or("");
+    } else if (!bytes || *bytes != reference_store) {
+      stores_identical = false;
+    }
+  }
+  std::filesystem::remove_all(scratch);
+
+  const double overhead =
+      100.0 * (coordinated.seconds - supervised_s) / supervised_s;
+  std::printf("\ncoordinator vs supervised at 0%% chaos: %+.2f%% "
+              "(target < 10%%) — %s\n",
+              overhead, overhead < 10.0 ? "PASS" : "WARN");
+  std::printf("stores byte-identical across kill rates: %s\n",
+              stores_identical ? "PASS" : "FAIL");
+  return stores_identical && overhead < 10.0 ? 0 : 1;
+}

@@ -33,6 +33,10 @@ ChaosSpec ChaosSpec::parse(const std::string& text) {
         spec.wedge_rate = std::stod(value);
       } else if (key == "garble") {
         spec.garble_rate = std::stod(value);
+      } else if (key == "truncate") {
+        spec.truncate_rate = std::stod(value);
+      } else if (key == "dup") {
+        spec.duplicate_rate = std::stod(value);
       } else if (key == "sticky") {
         spec.sticky_kill_substr = value;
       } else {
@@ -57,6 +61,8 @@ std::string ChaosSpec::describe() const {
   add("segv", segv_rate);
   add("wedge", wedge_rate);
   add("garble", garble_rate);
+  add("truncate", truncate_rate);
+  add("dup", duplicate_rate);
   if (!sticky_kill_substr.empty()) out += ",sticky=" + sticky_kill_substr;
   return out;
 }
@@ -68,6 +74,17 @@ const char* to_string(ChaosAction action) {
     case ChaosAction::Segv: return "segv";
     case ChaosAction::Wedge: return "wedge";
     case ChaosAction::Garble: return "garble";
+  }
+  return "?";
+}
+
+const char* to_string(ShardFault fault) {
+  switch (fault) {
+    case ShardFault::None: return "none";
+    case ShardFault::KillHolder: return "kill-holder";
+    case ShardFault::StallHeartbeat: return "stall-heartbeat";
+    case ShardFault::TruncateStore: return "truncate-store";
+    case ShardFault::DuplicateDelivery: return "duplicate-delivery";
   }
   return "?";
 }
@@ -91,6 +108,26 @@ ChaosAction ChaosMonkey::draw(const std::string& setting_key, int attempt,
   if (draw < (threshold += spec_.wedge_rate)) return ChaosAction::Wedge;
   if (draw < (threshold += spec_.garble_rate)) return ChaosAction::Garble;
   return ChaosAction::None;
+}
+
+ShardFault ChaosMonkey::draw_shard_fault(const std::string& shard_key,
+                                         int attempt) const {
+  if (!spec_.enabled()) return ShardFault::None;
+  // Salted differently from the per-sample draw so the two streams are
+  // independent for the same seed.
+  std::uint64_t h = util::hash_combine(spec_.seed, 0x5d4a12df00d5ULL);
+  h = util::hash_combine(h, util::stable_hash(shard_key));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
+  const double draw =
+      static_cast<double>(util::SplitMix64(h).next() >> 11) * 0x1.0p-53;
+
+  double threshold = spec_.kill_rate;
+  if (draw < threshold) return ShardFault::KillHolder;
+  if (draw < (threshold += spec_.wedge_rate)) return ShardFault::StallHeartbeat;
+  if (draw < (threshold += spec_.truncate_rate)) return ShardFault::TruncateStore;
+  if (draw < (threshold += spec_.duplicate_rate))
+    return ShardFault::DuplicateDelivery;
+  return ShardFault::None;
 }
 
 double FaultInjectingRunner::run(const apps::Application& app,

@@ -63,18 +63,23 @@ struct ChaosSpec {
   double segv_rate = 0.0;     ///< P(raise SIGSEGV) per completed sample
   double wedge_rate = 0.0;    ///< P(stop making progress forever)
   double garble_rate = 0.0;   ///< P(write protocol garbage to the supervisor)
+  /// Coordinator-facing rates (shard-level faults, drawn per lease attempt
+  /// via draw_shard_fault rather than per sample):
+  double truncate_rate = 0.0;   ///< P(truncate the published shard store)
+  double duplicate_rate = 0.0;  ///< P(deliver the same shard twice)
   /// Setting keys containing this substring are killed on EVERY attempt —
   /// the deterministic "poisonous setting" that must end in quarantine.
   std::string sticky_kill_substr;
 
   bool enabled() const {
     return kill_rate > 0 || segv_rate > 0 || wedge_rate > 0 ||
-           garble_rate > 0 || !sticky_kill_substr.empty();
+           garble_rate > 0 || truncate_rate > 0 || duplicate_rate > 0 ||
+           !sticky_kill_substr.empty();
   }
 
-  /// Parse "seed=7,kill=0.02,segv=0.01,wedge=0.01,garble=0.01,sticky=bt"
-  /// (any subset, any order). Throws std::invalid_argument on unknown keys
-  /// or malformed values.
+  /// Parse "seed=7,kill=0.02,segv=0.01,wedge=0.01,garble=0.01,truncate=0.01,
+  /// dup=0.01,sticky=bt" (any subset, any order). Throws
+  /// std::invalid_argument on unknown keys or malformed values.
   static ChaosSpec parse(const std::string& text);
 
   /// Render back to the parse() syntax (CLI echo, resume hints).
@@ -86,6 +91,17 @@ enum class ChaosAction { None, Kill, Segv, Wedge, Garble };
 
 const char* to_string(ChaosAction action);
 
+/// Shard-level fault decided once per (shard, lease attempt) — the failure
+/// modes a multi-host coordinator must contain:
+///   KillHolder        the lease-holding host dies mid-shard,
+///   StallHeartbeat    the host stops heartbeating but stays alive,
+///   TruncateStore     the host publishes a truncated .omps and claims done,
+///   DuplicateDelivery the host reports the same shard done twice.
+enum class ShardFault { None, KillHolder, StallHeartbeat, TruncateStore,
+                        DuplicateDelivery };
+
+const char* to_string(ShardFault fault);
+
 /// Deterministic per-sample chaos decision stream for one worker process.
 class ChaosMonkey {
  public:
@@ -96,6 +112,12 @@ class ChaosMonkey {
   /// lease); `sample` counts samples within the setting.
   ChaosAction draw(const std::string& setting_key, int attempt,
                    std::uint64_t sample) const;
+
+  /// Decide the shard-level fault for one lease attempt of `shard_key`
+  /// (e.g. "shard-3"). Hashed with a salt distinct from the sample-level
+  /// draw so the two streams are independent; deterministic per
+  /// (seed, shard_key, attempt).
+  ShardFault draw_shard_fault(const std::string& shard_key, int attempt) const;
 
   const ChaosSpec& spec() const { return spec_; }
 

@@ -1,0 +1,146 @@
+#include "sweep/lease.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/errors.hpp"
+#include "util/rng.hpp"
+
+namespace omptune::sweep {
+
+std::int64_t BackoffPolicy::next_delay_ms(std::uint64_t seed,
+                                          std::string_view key, int attempt,
+                                          std::int64_t prev_delay_ms) const {
+  const std::int64_t base = std::max<std::int64_t>(base_ms, 1);
+  const std::int64_t cap = std::max<std::int64_t>(max_ms, base);
+  const std::int64_t prev = std::max<std::int64_t>(prev_delay_ms, base);
+  // Decorrelated jitter: uniform in [base, min(cap, 3*prev)]. The draw is a
+  // hash of (seed, key, attempt) so the schedule replays identically on
+  // --resume and in re-runs of the same chaos seed.
+  const std::int64_t upper = std::min(cap, 3 * prev);
+  const std::int64_t span = upper - base + 1;  // >= 1
+  std::uint64_t h = util::hash_combine(seed, util::stable_hash(key));
+  h = util::hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
+  const std::uint64_t draw = util::SplitMix64(h).next();
+  return base + static_cast<std::int64_t>(draw % static_cast<std::uint64_t>(span));
+}
+
+const char* to_string(ShardState state) {
+  switch (state) {
+    case ShardState::Pending:
+      return "pending";
+    case ShardState::Leased:
+      return "leased";
+    case ShardState::Completed:
+      return "completed";
+    case ShardState::Quarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
+namespace {
+
+ShardState state_from_string(const std::string& text, const std::string& file,
+                             std::size_t line_no) {
+  if (text == "pending") return ShardState::Pending;
+  if (text == "leased") return ShardState::Leased;
+  if (text == "completed") return ShardState::Completed;
+  if (text == "quarantined") return ShardState::Quarantined;
+  throw util::DataCorruptionError(file, line_no,
+                                  "unknown shard state '" + text + "'");
+}
+
+}  // namespace
+
+LeaseTable::LeaseTable(std::size_t shard_count) : shards_(shard_count) {
+  for (std::size_t i = 0; i < shard_count; ++i) shards_[i].shard = i;
+}
+
+std::size_t LeaseTable::count(ShardState state) const {
+  return static_cast<std::size_t>(
+      std::count_if(shards_.begin(), shards_.end(),
+                    [&](const ShardLease& s) { return s.state == state; }));
+}
+
+bool LeaseTable::all_settled() const {
+  return std::all_of(shards_.begin(), shards_.end(), [](const ShardLease& s) {
+    return s.state == ShardState::Completed ||
+           s.state == ShardState::Quarantined;
+  });
+}
+
+std::optional<std::size_t> LeaseTable::next_leasable(std::int64_t now) const {
+  for (const ShardLease& s : shards_) {
+    if (s.state == ShardState::Pending && s.eligible_at_ms <= now) {
+      return s.shard;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string LeaseTable::serialize() const {
+  std::ostringstream out;
+  for (const ShardLease& s : shards_) {
+    // A lease is held by a live process of THIS coordinator; by the time the
+    // serialized table is read back, that process is gone.
+    const ShardState persisted =
+        s.state == ShardState::Leased ? ShardState::Pending : s.state;
+    out << "shard " << s.shard << ' ' << to_string(persisted) << ' '
+        << s.attempts;
+    if (!s.evidence.empty()) {
+      std::string evidence = s.evidence;
+      std::replace(evidence.begin(), evidence.end(), '\n', ' ');
+      out << ' ' << evidence;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+LeaseTable LeaseTable::parse(const std::string& text) {
+  static const std::string kFile = "coordinator.state";
+  std::vector<ShardLease> shards;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    std::size_t index = 0;
+    std::string state_text;
+    int attempts = 0;
+    if (!(fields >> tag >> index >> state_text >> attempts) || tag != "shard") {
+      throw util::DataCorruptionError(kFile, line_no,
+                                      "malformed lease line '" + line + "'");
+    }
+    if (index != shards.size()) {
+      throw util::DataCorruptionError(
+          kFile, line_no,
+          "shard index " + std::to_string(index) + " out of order (expected " +
+              std::to_string(shards.size()) + ")");
+    }
+    if (attempts < 0) {
+      throw util::DataCorruptionError(kFile, line_no,
+                                      "negative attempt count in '" + line +
+                                          "'");
+    }
+    ShardLease lease;
+    lease.shard = index;
+    lease.state = state_from_string(state_text, kFile, line_no);
+    if (lease.state == ShardState::Leased) lease.state = ShardState::Pending;
+    lease.attempts = attempts;
+    std::string evidence;
+    std::getline(fields, evidence);
+    if (!evidence.empty() && evidence.front() == ' ') evidence.erase(0, 1);
+    lease.evidence = evidence;
+    shards.push_back(std::move(lease));
+  }
+  LeaseTable table;
+  table.shards_ = std::move(shards);
+  return table;
+}
+
+}  // namespace omptune::sweep

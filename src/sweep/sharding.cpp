@@ -1,7 +1,10 @@
 #include "sweep/sharding.hpp"
 
 #include <map>
+#include <set>
 #include <stdexcept>
+
+#include "util/errors.hpp"
 
 namespace omptune::sweep {
 
@@ -39,39 +42,67 @@ std::string sample_key(const Sample& sample) {
          std::to_string(plan_threads);
 }
 
-std::size_t dedupe_bucket(std::vector<const Sample*>& bucket) {
+/// One shard sample plus where it came from, so merge errors can name the
+/// shard and the offending sample's position within it.
+struct Contribution {
+  const Sample* sample = nullptr;
+  std::size_t shard = 0;   ///< index into `shards`
+  std::size_t offset = 0;  ///< sample index within its shard dataset
+};
+
+std::size_t dedupe_bucket(std::vector<Contribution>& bucket) {
   // Collapse repeated (config) identities within one setting's bucket,
   // keeping the best-status occurrence at the first occurrence's position —
   // Ok over Retried over Quarantined, never first-wins.
   std::map<std::string, std::size_t> first_position;
-  std::vector<const Sample*> kept;
+  std::vector<Contribution> kept;
   std::size_t duplicates = 0;
-  for (const Sample* sample : bucket) {
+  for (const Contribution& entry : bucket) {
     const auto [it, inserted] =
-        first_position.emplace(sample->config.key(), kept.size());
+        first_position.emplace(entry.sample->config.key(), kept.size());
     if (inserted) {
-      kept.push_back(sample);
+      kept.push_back(entry);
       continue;
     }
     ++duplicates;
-    if (status_preference(sample->status) <
-        status_preference(kept[it->second]->status)) {
-      kept[it->second] = sample;
+    if (status_preference(entry.sample->status) <
+        status_preference(kept[it->second].sample->status)) {
+      kept[it->second] = entry;
     }
   }
   bucket = std::move(kept);
   return duplicates;
 }
 
-}  // namespace
+std::string shard_label(const MergeOptions& options, std::size_t shard) {
+  if (shard < options.shard_names.size() && !options.shard_names[shard].empty()) {
+    return options.shard_names[shard];
+  }
+  return "shard " + std::to_string(shard);
+}
 
-Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
-                     MergeReport* report) {
-  // Bucket every shard's samples by setting.
-  std::map<std::string, std::vector<const Sample*>> buckets;
-  for (const Dataset& shard : shards) {
-    for (const Sample& sample : shard.samples()) {
-      buckets[sample_key(sample)].push_back(&sample);
+std::string contributors(const MergeOptions& options,
+                         const std::vector<Contribution>& bucket) {
+  std::set<std::size_t> seen;
+  std::string out;
+  for (const Contribution& entry : bucket) {
+    if (!seen.insert(entry.shard).second) continue;
+    if (!out.empty()) out += ", ";
+    out += shard_label(options, entry.shard);
+  }
+  return out;
+}
+
+Dataset merge_shards_impl(const StudyPlan& plan,
+                          const std::vector<Dataset>& shards,
+                          MergeReport* report, const MergeOptions* options) {
+  // Bucket every shard's samples by setting, remembering provenance.
+  std::map<std::string, std::vector<Contribution>> buckets;
+  for (std::size_t shard = 0; shard < shards.size(); ++shard) {
+    const auto& samples = shards[shard].samples();
+    for (std::size_t offset = 0; offset < samples.size(); ++offset) {
+      buckets[sample_key(samples[offset])].push_back(
+          Contribution{&samples[offset], shard, offset});
     }
   }
 
@@ -83,23 +114,45 @@ Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
       const std::string key = setting_key(arch_name, arch_plan.settings[i]);
       const auto it = buckets.find(key);
       if (it == buckets.end()) {
-        throw std::invalid_argument("merge_shards: setting '" + key +
-                                    "' missing from the shards");
+        const std::string message = "merge_shards: setting '" + key +
+                                    "' missing from all " +
+                                    std::to_string(shards.size()) + " shards";
+        if (!options) throw std::invalid_argument(message);
+        if (options->lenient) {
+          if (options->warn) options->warn(message + " — skipped");
+          if (report) ++report->skipped_settings;
+          continue;
+        }
+        throw util::DataCorruptionError("<shard merge>", 0, message);
       }
       const std::size_t duplicates = dedupe_bucket(it->second);
       if (report) report->duplicate_samples += duplicates;
       // A partially-duplicated setting (extra configs the plan never asked
       // for, or missing ones) still fails the size check below.
       if (it->second.size() != arch_plan.configs_per_setting[i]) {
-        throw std::invalid_argument(
+        const std::string message =
             "merge_shards: setting '" + key + "' has " +
             std::to_string(it->second.size()) + " samples, plan expects " +
-            std::to_string(arch_plan.configs_per_setting[i]));
+            std::to_string(arch_plan.configs_per_setting[i]);
+        if (!options) throw std::invalid_argument(message);
+        if (options->lenient) {
+          if (options->warn) {
+            options->warn(message + " (from " + contributors(*options, it->second) +
+                          ") — skipped");
+          }
+          if (report) ++report->skipped_settings;
+          continue;
+        }
+        const Contribution& first = it->second.front();
+        throw util::DataCorruptionError(
+            shard_label(*options, first.shard), first.offset,
+            message + " (contributed by " + contributors(*options, it->second) +
+                ")");
       }
       std::size_t quarantined = 0;
-      for (const Sample* sample : it->second) {
-        if (sample->is_quarantined()) ++quarantined;
-        merged.add(*sample);
+      for (const Contribution& entry : it->second) {
+        if (entry.sample->is_quarantined()) ++quarantined;
+        merged.add(*entry.sample);
       }
       if (report) {
         report->total_samples += it->second.size();
@@ -112,6 +165,18 @@ Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
     }
   }
   return merged;
+}
+
+}  // namespace
+
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
+                     MergeReport* report) {
+  return merge_shards_impl(plan, shards, report, nullptr);
+}
+
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
+                     MergeReport* report, const MergeOptions& options) {
+  return merge_shards_impl(plan, shards, report, &options);
 }
 
 }  // namespace omptune::sweep

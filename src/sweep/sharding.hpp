@@ -22,6 +22,7 @@
 //    samples, never its good ones.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,23 @@ struct MergeReport {
   /// appeared more than once across the shards; the best-status occurrence
   /// (Ok over Retried over Quarantined) is the one kept.
   std::size_t duplicate_samples = 0;
+  /// Settings skipped under MergeOptions::lenient (missing or wrong-sized);
+  /// 0 in strict mode, where those conditions throw instead.
+  std::size_t skipped_settings = 0;
+};
+
+/// Knobs for the coordinator-facing merge_shards overload.
+struct MergeOptions {
+  /// Skip (with a warning) settings that are missing or have the wrong
+  /// sample count, instead of throwing. The skipped settings are counted in
+  /// MergeReport::skipped_settings; the merged dataset simply lacks them.
+  bool lenient = false;
+  /// One name per shard (typically the shard store path) used to attribute
+  /// errors to the shard that contributed the offending samples. May be
+  /// empty (shards fall back to "shard <index>") or shorter than `shards`.
+  std::vector<std::string> shard_names;
+  /// Receives one human-readable line per lenient skip. Null = silent.
+  std::function<void(const std::string&)> warn;
 };
 
 /// Merge shard datasets (in any order) into one dataset ordered exactly as
@@ -64,5 +82,15 @@ struct MergeReport {
 /// and flagged, never dropped.
 Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
                      MergeReport* report = nullptr);
+
+/// Coordinator-facing overload: identical merge semantics, but a missing
+/// setting or a sample-count mismatch throws util::DataCorruptionError
+/// naming the shard(s) that contributed the offending setting's samples
+/// (the `offset` field carries the first offending sample's index within
+/// its shard) — a mismatch here means a shard store lied, not that the
+/// caller passed the wrong plan. Under options.lenient the offending
+/// setting is skipped with a warning instead and the merge continues.
+Dataset merge_shards(const StudyPlan& plan, const std::vector<Dataset>& shards,
+                     MergeReport* report, const MergeOptions& options);
 
 }  // namespace omptune::sweep

@@ -94,6 +94,14 @@ struct WorkerProc {
   bool alive() const { return pid >= 0; }
 };
 
+/// Per-slot respawn pacing: consecutive deaths grow the backoff window,
+/// a completed `ready` handshake resets it.
+struct RespawnGate {
+  std::int64_t eligible_at = 0;  ///< monotonic_ms before which no respawn
+  std::int64_t prev_delay = 0;   ///< decorrelated-jitter state
+  int streak = 0;                ///< consecutive deaths without a handshake
+};
+
 }  // namespace
 
 StudySupervisor::StudySupervisor(RunnerFactory make_runner,
@@ -192,6 +200,7 @@ Dataset StudySupervisor::run(const StudyPlan& plan) {
   if (!queue.empty()) {
     util::ShutdownSignalGuard guard;
     std::vector<WorkerProc> pool;
+    std::vector<RespawnGate> gates(static_cast<std::size_t>(options_.workers));
     int spawn_failures = 0;
 
     const auto spawn = [&](int slot) -> WorkerProc {
@@ -281,6 +290,7 @@ Dataset StudySupervisor::run(const StudyPlan& plan) {
           case protocol::WorkerMessage::Kind::Ready:
             w.ready = true;
             spawn_failures = 0;
+            gates[static_cast<std::size_t>(w.slot)] = RespawnGate{};
             break;
           case protocol::WorkerMessage::Kind::Heartbeat:
             break;  // liveness is the timestamp update above
@@ -460,12 +470,33 @@ Dataset StudySupervisor::run(const StudyPlan& plan) {
           if (!w.alive()) continue;
           if (const std::optional<util::ExitStatus> status =
                   util::try_wait(w.pid)) {
-            const int slot = w.slot;
+            const std::size_t slot = static_cast<std::size_t>(w.slot);
             handle_death(w, *status);
-            if (!shutting_down && !queue.empty()) {
-              pool[static_cast<std::size_t>(slot)] = spawn(slot);
-              ++report_.respawns;
+            if (!shutting_down) {
+              // Do NOT respawn immediately: a persistently crashing
+              // environment would hot-loop fork(). Schedule the replacement
+              // behind the slot's backoff gate instead.
+              RespawnGate& gate = gates[slot];
+              ++gate.streak;
+              const std::int64_t delay =
+                  options_.respawn_backoff.next_delay_ms(
+                      options_.seed, "w" + std::to_string(slot), gate.streak,
+                      gate.prev_delay);
+              gate.prev_delay = delay;
+              gate.eligible_at = util::monotonic_ms() + delay;
+              ++report_.respawn_waits;
+              report_.respawn_backoff_ms += delay;
             }
+          }
+        }
+
+        if (!shutting_down && !queue.empty()) {
+          const std::int64_t spawn_now = util::monotonic_ms();
+          for (std::size_t slot = 0; slot < pool.size(); ++slot) {
+            if (pool[slot].alive()) continue;
+            if (spawn_now < gates[slot].eligible_at) continue;
+            pool[slot] = spawn(static_cast<int>(slot));
+            ++report_.respawns;
           }
         }
 

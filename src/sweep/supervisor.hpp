@@ -35,6 +35,7 @@
 
 #include "sim/fault_runner.hpp"
 #include "sweep/harness.hpp"
+#include "sweep/lease.hpp"
 #include "sweep/worker.hpp"
 
 namespace omptune::sweep {
@@ -72,6 +73,12 @@ struct SupervisorOptions {
   int max_setting_crashes = 3;
   /// Process-level fault injection executed inside the workers.
   sim::ChaosSpec chaos;
+  /// Respawn pacing after a worker death: each slot's consecutive-death
+  /// streak gates its replacement behind exponential backoff with
+  /// decorrelated jitter (deterministic per seed/slot/streak), so a
+  /// persistently crashing environment cannot hot-loop fork(). The streak
+  /// resets on a successful `ready` handshake. Shared with the coordinator.
+  BackoffPolicy respawn_backoff;
   std::function<void(const std::string&)> progress;
 };
 
@@ -91,6 +98,8 @@ struct SupervisorReport {
   std::size_t lease_expiries = 0;    ///< lease-deadline reclaims
   std::size_t protocol_errors = 0;   ///< garbled result streams
   std::size_t respawns = 0;          ///< workers spawned beyond the pool
+  std::size_t respawn_waits = 0;     ///< respawns gated behind backoff
+  std::int64_t respawn_backoff_ms = 0;  ///< total scheduled backoff delay
   std::size_t reassigned_settings = 0;
   std::vector<SupervisedQuarantine> quarantined_settings;
   bool interrupted = false;          ///< stopped by signal / request_stop

@@ -1,6 +1,5 @@
 #include "sweep/worker.hpp"
 
-#include <poll.h>
 #include <signal.h>
 #include <unistd.h>
 
@@ -161,66 +160,6 @@ std::vector<SettingTask> flatten_plan(const StudyPlan& plan) {
 
 namespace {
 
-/// Blocking line reader over the command pipe, with a zero-timeout variant
-/// used between settings to notice a pending `exit` without stalling.
-class CommandReader {
- public:
-  explicit CommandReader(int fd) : fd_(fd) {}
-
-  /// Next line, blocking; nullopt on EOF (the supervisor is gone).
-  std::optional<std::string> next() {
-    for (;;) {
-      if (std::optional<std::string> line = take_line()) return line;
-      if (eof_) return std::nullopt;
-      fill_blocking();
-    }
-  }
-
-  /// A line if one is available right now, without blocking.
-  std::optional<std::string> poll_line() {
-    for (;;) {
-      if (std::optional<std::string> line = take_line()) return line;
-      if (eof_) return std::nullopt;
-      struct pollfd p{};
-      p.fd = fd_;
-      p.events = POLLIN;
-      const int r = ::poll(&p, 1, 0);
-      if (r <= 0) return std::nullopt;
-      fill_blocking();
-    }
-  }
-
-  bool eof() const { return eof_; }
-
- private:
-  std::optional<std::string> take_line() {
-    const std::size_t nl = buffer_.find('\n');
-    if (nl == std::string::npos) return std::nullopt;
-    std::string line = buffer_.substr(0, nl);
-    buffer_.erase(0, nl + 1);
-    return line;
-  }
-
-  void fill_blocking() {
-    char chunk[512];
-    for (;;) {
-      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        eof_ = true;
-        return;
-      }
-      if (n == 0) eof_ = true;
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-      return;
-    }
-  }
-
-  int fd_;
-  std::string buffer_;
-  bool eof_ = false;
-};
-
 [[noreturn]] void apply_chaos(sim::ChaosAction action, int result_fd) {
   switch (action) {
     case sim::ChaosAction::Kill:
@@ -268,7 +207,7 @@ void worker_main(const WorkerConfig& config,
       policy = std::make_unique<ResiliencePolicy>(config.resilience);
     }
     const sim::ChaosMonkey monkey(config.chaos);
-    CommandReader commands(config.command_fd);
+    util::BlockingLineReader commands(config.command_fd);
 
     // Observer state: which setting is in flight and how far along it is,
     // for heartbeats and deterministic chaos draws.

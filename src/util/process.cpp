@@ -178,6 +178,50 @@ std::vector<std::string> LineReader::drain() {
   return lines;
 }
 
+std::optional<std::string> BlockingLineReader::next() {
+  for (;;) {
+    if (std::optional<std::string> line = take_line()) return line;
+    if (eof_) return std::nullopt;
+    fill_blocking();
+  }
+}
+
+std::optional<std::string> BlockingLineReader::poll_line() {
+  for (;;) {
+    if (std::optional<std::string> line = take_line()) return line;
+    if (eof_) return std::nullopt;
+    struct pollfd p{};
+    p.fd = fd_;
+    p.events = POLLIN;
+    const int r = ::poll(&p, 1, 0);
+    if (r <= 0) return std::nullopt;
+    fill_blocking();
+  }
+}
+
+std::optional<std::string> BlockingLineReader::take_line() {
+  const std::size_t nl = buffer_.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  std::string line = buffer_.substr(0, nl);
+  buffer_.erase(0, nl + 1);
+  return line;
+}
+
+void BlockingLineReader::fill_blocking() {
+  char chunk[512];
+  for (;;) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof_ = true;
+      return;
+    }
+    if (n == 0) eof_ = true;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return;
+  }
+}
+
 // ---- ShutdownSignalGuard ----------------------------------------------------
 
 namespace {

@@ -98,6 +98,32 @@ class LineReader {
   bool garbled_ = false;
 };
 
+/// Blocking line reader over a pipe read end — the child-process side of
+/// the worker protocol (the parent side uses the non-blocking LineReader
+/// from its poll loop). next() blocks for the next command; poll_line()
+/// returns one only if it is already available, so a worker can notice a
+/// pending `exit` between settings without stalling.
+class BlockingLineReader {
+ public:
+  explicit BlockingLineReader(int fd) : fd_(fd) {}
+
+  /// Next line, blocking; nullopt on EOF (the peer is gone).
+  std::optional<std::string> next();
+
+  /// A line if one is available right now, without blocking.
+  std::optional<std::string> poll_line();
+
+  bool eof() const { return eof_; }
+
+ private:
+  std::optional<std::string> take_line();
+  void fill_blocking();
+
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
 /// Scoped SIGINT/SIGTERM redirection through a self-pipe: while alive, both
 /// signals set a flag and write one byte to an internal pipe (wakes poll)
 /// instead of terminating the process; the previous handlers are restored

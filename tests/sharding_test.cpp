@@ -7,6 +7,7 @@
 #include "sim/executor.hpp"
 #include "sim/fault_runner.hpp"
 #include "sweep/sharding.hpp"
+#include "util/errors.hpp"
 
 namespace omptune::sweep {
 namespace {
@@ -146,6 +147,58 @@ TEST(Sharding, ShardCountMayExceedSettings) {
   for (std::size_t i = 0; i < merged.size(); ++i) {
     EXPECT_EQ(merged.samples()[i].runtimes, reference.samples()[i].runtimes);
   }
+}
+
+TEST(Sharding, CoordinatorMergeNamesTheShardThatLied) {
+  // The coordinator-facing overload turns a plan/shard mismatch into a
+  // DataCorruptionError attributing the offending setting's samples to the
+  // shard store that contributed them — a mismatch there means a shard
+  // store lied, not that the caller passed the wrong plan.
+  const StudyPlan plan = StudyPlan::mini_plan(1, 6);
+  sim::ModelRunner runner;
+  SweepHarness harness(runner, 2);
+  const Dataset full = harness.run_study(shard_plan(plan, 0, 1));
+
+  // A shard truncated mid-setting: drop the last sample.
+  Dataset torn;
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    torn.add(Sample(full.samples()[i]));
+  }
+
+  MergeOptions options;
+  options.shard_names = {"shards/shard-0.omps"};
+  MergeReport report;
+  try {
+    merge_shards(plan, {torn}, &report, options);
+    FAIL() << "a wrong-sized setting must abort a strict coordinator merge";
+  } catch (const util::DataCorruptionError& error) {
+    EXPECT_EQ(error.file(), "shards/shard-0.omps");
+    EXPECT_NE(std::string(error.what()).find("shard-0"), std::string::npos);
+  }
+}
+
+TEST(Sharding, CoordinatorMergeLenientSkipsWithWarning) {
+  const StudyPlan plan = StudyPlan::mini_plan(1, 6);
+  sim::ModelRunner runner;
+  SweepHarness harness(runner, 2);
+  const Dataset full = harness.run_study(shard_plan(plan, 0, 1));
+  Dataset torn;
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    torn.add(Sample(full.samples()[i]));
+  }
+
+  MergeOptions options;
+  options.lenient = true;
+  std::vector<std::string> warnings;
+  options.warn = [&warnings](const std::string& w) { warnings.push_back(w); };
+  MergeReport report;
+  const Dataset merged = merge_shards(plan, {torn}, &report, options);
+  EXPECT_EQ(report.skipped_settings, 1u);
+  EXPECT_FALSE(warnings.empty());
+  // The skipped setting's samples (6 configs) are absent; everything else
+  // merged.
+  EXPECT_LT(merged.size(), full.size());
+  EXPECT_EQ(merged.size() + 6, full.size());
 }
 
 TEST(Sharding, MergeCarriesQuarantinedSamplesAndReportsThem) {

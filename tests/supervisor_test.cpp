@@ -150,6 +150,11 @@ TEST(Supervisor, ChaosKillsAreContainedAndDatasetIdentical) {
   const SupervisorReport& report = supervisor.report();
   EXPECT_GT(report.worker_crashes, 0u);
   EXPECT_GT(report.respawns, 0u);
+  // Every respawn is gated behind deterministic decorrelated-jitter backoff
+  // (shared with the coordinator's re-lease policy) — a crashing
+  // environment must never hot-loop the fork path.
+  EXPECT_GT(report.respawn_waits, 0u);
+  EXPECT_GT(report.respawn_backoff_ms, 0);
   EXPECT_TRUE(report.quarantined_settings.empty());
   EXPECT_EQ(canonical_csv(dataset), reference_csv(plan));
 }

@@ -14,6 +14,23 @@
 //     --max-setting-crashes=<N>        crashes before a setting quarantines
 //     --chaos=<spec>                   deterministic fault injection in the
 //                                      workers, e.g. seed=7,kill=0.02
+//   omptune coordinate [N] <out.omps> multi-host collection: shard manifests
+//                                      leased to forked host agents, merged
+//                                      by tiered compaction (N configs per
+//                                      setting; 0 or omitted = full scale)
+//     --hosts=<N>                      host agent processes (default 2)
+//     --shards=<N>                     shard manifests (default 2*hosts);
+//                                      byte-identical runs must agree on it
+//     --dir=<dir>                      coordinator state + shard stores
+//     --resume                         resume from --dir's write-ahead state
+//     --lease-ttl-ms=<T>               wall-clock budget per leased shard
+//     --heartbeat-timeout-ms=<T>       kill agents silent for T ms
+//     --backoff-base-ms=<T> --backoff-max-ms=<T>
+//                                      re-lease backoff (decorrelated jitter)
+//     --max-shard-attempts=<N>         strikes before a shard quarantines
+//     --chaos=<spec>                   host-level fault injection, e.g.
+//                                      seed=7,kill=0.05,truncate=0.02
+//     --lenient                        skip corrupt shard stores at assembly
 //   omptune analyze <dataset>         re-derive every artefact from a
 //                                      dataset (.csv or .omps store)
 //   omptune compact <journal> <out.omps>
@@ -46,6 +63,7 @@
 #include "stats/kde.hpp"
 #include "store/compact.hpp"
 #include "store/reader.hpp"
+#include "sweep/coordinator.hpp"
 #include "sweep/journal.hpp"
 #include "util/env.hpp"
 #include "util/strings.hpp"
@@ -77,6 +95,13 @@ int usage() {
       "                                    checkpointed, resumable, fault-\n"
       "                                    tolerant collection; --workers\n"
       "                                    isolates faults in forked processes\n"
+      "  coordinate [configs] <out.omps>   multi-host collection: shards\n"
+      "        [--hosts=N] [--shards=N]    leased to forked host agents,\n"
+      "        [--dir=<dir>] [--resume]    merged by tiered compaction into\n"
+      "        [--lease-ttl-ms=T]          one byte-stable .omps store\n"
+      "        [--heartbeat-timeout-ms=T]\n"
+      "        [--backoff-base-ms=T] [--backoff-max-ms=T]\n"
+      "        [--max-shard-attempts=N] [--chaos=<spec>] [--lenient]\n"
       "  analyze <dataset>                 derive artefacts from a dataset\n"
       "                                    (.csv or .omps store)\n"
       "  compact <journal> <out.omps>      fold per-setting journal CSVs into\n"
@@ -176,7 +201,7 @@ long long flag_value(const std::string& arg, std::size_t prefix_len) {
   const std::string value = arg.substr(prefix_len);
   const std::string flag = arg.substr(0, prefix_len - 1);
   if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
-    std::fprintf(stderr, "omptune study: %s expects a non-negative integer, got '%s'\n",
+    std::fprintf(stderr, "omptune: %s expects a non-negative integer, got '%s'\n",
                  flag.c_str(), value.c_str());
     std::exit(2);
   }
@@ -322,6 +347,130 @@ int cmd_study(int argc, char** argv) {
     }
   }
   print_artifacts(result);
+  return 0;
+}
+
+int cmd_coordinate(int argc, char** argv) {
+  sweep::CoordinatorOptions options;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--hosts=")) {
+      options.hosts = static_cast<int>(flag_value(arg, 8));
+    } else if (util::starts_with(arg, "--shards=")) {
+      options.shards = static_cast<std::size_t>(flag_value(arg, 9));
+    } else if (util::starts_with(arg, "--dir=")) {
+      options.work_dir = arg.substr(6);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (util::starts_with(arg, "--lease-ttl-ms=")) {
+      options.lease_ttl_ms = flag_value(arg, 15);
+    } else if (util::starts_with(arg, "--heartbeat-timeout-ms=")) {
+      options.heartbeat_timeout_ms = flag_value(arg, 23);
+    } else if (util::starts_with(arg, "--backoff-base-ms=")) {
+      options.backoff.base_ms = flag_value(arg, 18);
+    } else if (util::starts_with(arg, "--backoff-max-ms=")) {
+      options.backoff.max_ms = flag_value(arg, 17);
+    } else if (util::starts_with(arg, "--max-shard-attempts=")) {
+      options.max_shard_attempts = static_cast<int>(flag_value(arg, 21));
+    } else if (util::starts_with(arg, "--chaos=")) {
+      options.chaos = sim::ChaosSpec::parse(arg.substr(8));
+    } else if (arg == "--lenient") {
+      options.lenient = true;
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "omptune coordinate: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  // Positionals: [configs] <out.omps>; a single .omps positional is the
+  // output with configs at full scale.
+  std::size_t configs = 0;
+  std::string out;
+  if (positional.size() == 1 && positional[0].ends_with(".omps")) {
+    out = positional[0];
+  } else if (positional.size() >= 2) {
+    configs = std::stoul(positional[0]);
+    out = positional[1];
+  }
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "omptune coordinate: an output store path is required\n");
+    return usage();
+  }
+  if (!out.ends_with(".omps")) {
+    std::fprintf(stderr,
+                 "omptune coordinate: output must be an .omps store, got '%s'\n",
+                 out.c_str());
+    return usage();
+  }
+  if (options.resume && options.work_dir.empty()) {
+    std::fprintf(stderr, "omptune coordinate: --resume requires --dir=<dir>\n");
+    return usage();
+  }
+
+  sweep::StudyPlan plan = sweep::StudyPlan::paper_plan();
+  if (configs > 0) {
+    for (auto& arch_plan : plan.arch_plans) {
+      for (auto& count : arch_plan.configs_per_setting) count = configs;
+    }
+  }
+
+  sweep::Coordinator coordinator(
+      [] { return std::make_unique<sim::ModelRunner>(); }, options);
+  const sweep::Dataset dataset = coordinator.run(plan, out);
+  const sweep::CoordinatorReport& report = coordinator.report();
+
+  std::printf("collected %zu samples across %d host agents (%zu shards)\n",
+              dataset.size(), coordinator.options().hosts,
+              report.shards_total);
+  if (report.shards_resumed > 0) {
+    std::printf("resumed: %zu shards adopted from previous state\n",
+                report.shards_resumed);
+  }
+  if (report.host_crashes + report.hang_kills + report.lease_expiries +
+          report.protocol_errors + report.truncated_stores +
+          report.duplicate_deliveries >
+      0) {
+    std::printf("host faults contained: %zu crashes, %zu hangs killed, "
+                "%zu leases expired, %zu protocol errors, %zu truncated "
+                "stores, %zu duplicate deliveries (%zu re-leases, %zu agent "
+                "respawns, %lld ms backoff)\n",
+                report.host_crashes, report.hang_kills, report.lease_expiries,
+                report.protocol_errors, report.truncated_stores,
+                report.duplicate_deliveries, report.re_leases, report.respawns,
+                static_cast<long long>(report.backoff_ms_total));
+  }
+  for (const auto& q : report.quarantined_shards) {
+    std::printf("quarantined shard %zu after %d attempts: %s\n", q.shard,
+                q.attempts, q.evidence.c_str());
+  }
+  if (report.interrupted) {
+    std::printf("coordination interrupted: %zu/%zu shards completed\n",
+                report.shards_completed, report.shards_total);
+    const std::string configs_arg =
+        configs > 0 ? std::to_string(configs) + " " : "";
+    std::printf("resume with: omptune coordinate %s%s --dir=%s --resume\n",
+                configs_arg.c_str(), out.c_str(), report.work_dir.c_str());
+    return 130;
+  }
+  if (report.merge.skipped_settings > 0) {
+    std::printf("lenient merge: %zu settings skipped\n",
+                report.merge.skipped_settings);
+  }
+  std::printf("compaction: %zu shard stores, %zu tiers, %zu merges "
+              "(%zu intermediates reused); %zu samples in, %zu stored, "
+              "%zu duplicates dropped\n",
+              report.compaction.inputs, report.compaction.tiers,
+              report.compaction.merges, report.compaction.reused_intermediates,
+              report.compaction.samples_in, report.compaction.samples_out,
+              report.compaction.duplicates_dropped);
+  const std::size_t quarantined = dataset.quarantined_count();
+  if (quarantined > 0) {
+    std::printf("quarantined samples retained: %zu\n", quarantined);
+  }
+  std::printf("dataset stored to %s\n", report.store_path.c_str());
   return 0;
 }
 
@@ -632,6 +781,7 @@ int main(int argc, char** argv) {
   try {
     if (command == "list") return cmd_list();
     if (command == "study") return cmd_study(argc, argv);
+    if (command == "coordinate") return cmd_coordinate(argc, argv);
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "compact") return cmd_compact(argc, argv);
     if (command == "query") return cmd_query(argc, argv);
