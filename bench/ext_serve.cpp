@@ -1,0 +1,258 @@
+// EXT — tuning-as-a-service: what does the long-running server buy over
+// the one-shot CLI path, and does it hold its service-level floor?
+//
+// Boots a serve::Server on a unix socket over a CI-sized study store, then
+// measures three client shapes:
+//   one-shot          the `omptune query` cost model: open the store, fit
+//                     the knowledge base, recommend — per query;
+//   sustained load    a heavy-traffic client pipelining warm-cache
+//                     recommendation batches (the QPS headline), plus a
+//                     single-request phase for honest p50/p99 latency;
+//   iterative tuner   a PipeTune-style loop: fetch the variable priority,
+//                     then walk it querying per-value marginals to refine
+//                     a configuration — many small dependent round trips.
+//
+// Acceptance gates (exit code 1 on miss):
+//   - sustained warm-cache recommendation throughput >= 50,000 QPS;
+//   - single-request p99 latency < 1 ms;
+//   - zero shed replies and zero errors under the load (the bound is not
+//     hit by a well-behaved client), and a clean drain at the end.
+//
+// The measured QPS / p50 / p99 and the comparison numbers are recorded in
+// BENCH_serve.json next to the working directory for trend tracking.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "analysis/recommend.hpp"
+#include "core/tuner.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/reader.hpp"
+#include "store/writer.hpp"
+#include "util/fs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace omptune;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+serve::Request recommend_request(const std::string& app,
+                                 const std::string& arch) {
+  serve::Request request;
+  request.type = serve::MsgType::Recommend;
+  request.app = app;
+  request.arch = arch;
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("EXT-SERVE",
+                      "high-QPS recommendation service vs one-shot queries");
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_bench_serve_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  util::create_directories(dir);
+  const std::string store_path = util::path_join(dir, "study.omps");
+  const std::string socket_path = util::path_join(dir, "s.sock");
+
+  // CI-sized store: the same scale the store-pipeline smoke exercises.
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 3);
+  const sweep::Dataset dataset =
+      harness.run_study(sweep::StudyPlan::mini_plan(4, 50));
+  store::write_store(store_path, dataset);
+
+  // The query population: every (app, arch) pair the store covers.
+  std::vector<serve::Request> pairs;
+  {
+    const store::StoreReader reader(store_path);
+    for (const store::SettingEntry& entry : reader.settings()) {
+      const bool seen = std::any_of(
+          pairs.begin(), pairs.end(), [&](const serve::Request& r) {
+            return r.app == entry.app && r.arch == entry.arch;
+          });
+      if (!seen) pairs.push_back(recommend_request(entry.app, entry.arch));
+    }
+  }
+  std::printf("\nstore: %zu samples, %zu (app, arch) pairs\n", dataset.size(),
+              pairs.size());
+
+  // -- one-shot baseline: what `omptune query` pays per invocation --------
+  double one_shot_seconds = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    const store::StoreReader reader(store_path);
+    const core::KnowledgeBase kb(reader, pairs[0].arch, 1.01);
+    (void)kb.best_known_config(pairs[0].app, pairs[0].arch);
+    (void)kb.variable_priority(pairs[0].app, pairs[0].arch);
+    one_shot_seconds = std::min(one_shot_seconds, seconds_since(start));
+  }
+  std::printf("one-shot CLI path (open + fit + recommend): %.3f ms/query\n",
+              one_shot_seconds * 1e3);
+
+  // -- the server ---------------------------------------------------------
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.handle_signals = false;
+  serve::Server server({store_path}, std::move(options));
+  std::thread server_thread([&server] { server.run(); });
+  while (!server.ready()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  serve::Client client = serve::Client::connect_unix(socket_path);
+
+  // Warm the reply cache: one pass over the whole query population.
+  (void)client.call(pairs);
+
+  // -- sustained throughput: pipelined warm-cache batches -----------------
+  constexpr std::size_t kBatch = 64;
+  std::vector<serve::Request> batch;
+  batch.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) batch.push_back(pairs[i % pairs.size()]);
+  std::uint64_t sustained_requests = 0;
+  const auto load_start = std::chrono::steady_clock::now();
+  while (seconds_since(load_start) < 2.0) {
+    const std::vector<serve::Response> replies = client.call(batch);
+    for (const serve::Response& reply : replies) {
+      if (reply.type != serve::MsgType::RecommendReply) {
+        std::fprintf(stderr, "unexpected reply type under load\n");
+        return 1;
+      }
+    }
+    sustained_requests += replies.size();
+  }
+  const double load_seconds = seconds_since(load_start);
+  const double qps = static_cast<double>(sustained_requests) / load_seconds;
+
+  // -- single-request latency distribution --------------------------------
+  constexpr std::size_t kLatencyProbes = 20000;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kLatencyProbes);
+  for (std::size_t i = 0; i < kLatencyProbes; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    (void)client.call_one(pairs[i % pairs.size()]);
+    latencies_us.push_back(seconds_since(start) * 1e6);
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double p50 = latencies_us[latencies_us.size() / 2];
+  const double p99 = latencies_us[latencies_us.size() * 99 / 100];
+
+  // -- PipeTune-style iterative tuner loop --------------------------------
+  // Fetch the influence-ordered priority once, then walk it: for every
+  // variable, probe each observed value's marginal and keep the best by
+  // median speedup — dependent round trips, the opposite shape of the
+  // pipelined load above.
+  const char* kValues[] = {"throughput", "turnaround", "passive",
+                           "cores",      "sockets",    "threads",
+                           "spread",     "close",      "static",
+                           "dynamic",    "guided",     "auto"};
+  std::uint64_t tuner_round_trips = 0;
+  const auto tuner_start = std::chrono::steady_clock::now();
+  constexpr int kTunerLoops = 50;
+  for (int loop = 0; loop < kTunerLoops; ++loop) {
+    const serve::Request& pair = pairs[loop % pairs.size()];
+    const serve::Response seed_reply = client.call_one(pair);
+    ++tuner_round_trips;
+    for (const std::string& variable : seed_reply.variable_priority) {
+      double best_median = 0.0;
+      for (const char* value : kValues) {
+        serve::Request probe;
+        probe.type = serve::MsgType::Marginal;
+        probe.arch = "all";
+        probe.variable = variable;
+        probe.value = value;
+        const serve::Response marginal = client.call_one(probe);
+        ++tuner_round_trips;
+        if (marginal.found) {
+          best_median = std::max(best_median, marginal.median_speedup);
+        }
+      }
+    }
+  }
+  const double tuner_seconds = seconds_since(tuner_start);
+  const double tuner_rps = static_cast<double>(tuner_round_trips) / tuner_seconds;
+
+  // -- drain + counters ----------------------------------------------------
+  client.close();
+  server.request_stop();
+  server_thread.join();
+  const serve::ServerCounters counters = server.counters();
+  const double hit_rate =
+      counters.cache_hits + counters.cache_misses == 0
+          ? 0.0
+          : static_cast<double>(counters.cache_hits) /
+                static_cast<double>(counters.cache_hits + counters.cache_misses);
+
+  std::printf("\nsustained pipelined load (batch %zu, warm cache):\n", kBatch);
+  std::printf("  %9.0f QPS over %.2f s (%llu requests)\n", qps, load_seconds,
+              static_cast<unsigned long long>(sustained_requests));
+  std::printf("single-request latency (%zu probes):\n", kLatencyProbes);
+  std::printf("  p50 %8.1f us   p99 %8.1f us\n", p50, p99);
+  std::printf("iterative tuner loop (%d refinements):\n", kTunerLoops);
+  std::printf("  %9.0f round-trips/s (%llu dependent queries)\n", tuner_rps,
+              static_cast<unsigned long long>(tuner_round_trips));
+  std::printf("server counters: served %llu, batches %llu, cache hit rate "
+              "%.3f, shed %llu\n",
+              static_cast<unsigned long long>(counters.served),
+              static_cast<unsigned long long>(counters.batches), hit_rate,
+              static_cast<unsigned long long>(counters.shed));
+  std::printf("vs one-shot: %.0fx more queries per second than re-opening "
+              "the store per query\n",
+              qps * one_shot_seconds);
+
+  // Record the headline numbers for trend tracking.
+  {
+    FILE* json = std::fopen("BENCH_serve.json", "w");
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "{\n"
+                   "  \"qps_warm_cache\": %.0f,\n"
+                   "  \"latency_p50_us\": %.1f,\n"
+                   "  \"latency_p99_us\": %.1f,\n"
+                   "  \"batch_size\": %zu,\n"
+                   "  \"requests_measured\": %llu,\n"
+                   "  \"one_shot_ms_per_query\": %.3f,\n"
+                   "  \"tuner_round_trips_per_s\": %.0f,\n"
+                   "  \"cache_hit_rate\": %.3f,\n"
+                   "  \"store_samples\": %zu\n"
+                   "}\n",
+                   qps, p50, p99, kBatch,
+                   static_cast<unsigned long long>(sustained_requests),
+                   one_shot_seconds * 1e3, tuner_rps, hit_rate,
+                   dataset.size());
+      std::fclose(json);
+      std::printf("recorded BENCH_serve.json\n");
+    }
+  }
+
+  const bool qps_ok = qps >= 50000.0;
+  const bool p99_ok = p99 < 1000.0;
+  const bool clean = counters.shed == 0 && counters.wire_errors == 0 &&
+                     counters.protocol_errors == 0 && counters.drained_cleanly;
+  std::printf("\nsustained >= 50k QPS warm-cache: %s\n",
+              qps_ok ? "PASS" : "FAIL");
+  std::printf("p99 < 1 ms: %s\n", p99_ok ? "PASS" : "FAIL");
+  std::printf("no shed / no errors / clean drain: %s\n",
+              clean ? "PASS" : "FAIL");
+
+  std::filesystem::remove_all(dir);
+  return qps_ok && p99_ok && clean ? 0 : 1;
+}

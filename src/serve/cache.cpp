@@ -1,0 +1,77 @@
+#include "serve/cache.hpp"
+
+#include <cstring>
+
+namespace omptune::serve {
+
+ReplyCache::ReplyCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::string ReplyCache::make_key(std::uint64_t generation,
+                                 std::string_view request_payload) {
+  std::string key;
+  key.reserve(sizeof(generation) + request_payload.size());
+  char prefix[sizeof(generation)];
+  std::memcpy(prefix, &generation, sizeof(generation));
+  key.append(prefix, sizeof(generation));
+  key.append(request_payload.data(), request_payload.size());
+  return key;
+}
+
+bool ReplyCache::lookup(const std::string& key, std::string& out) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  recency_.splice(recency_.begin(), recency_, it->second);
+  out += it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ReplyCache::insert(const std::string& key, std::string reply_frame) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // A concurrent batch already computed this reply; refresh it.
+    it->second->second = std::move(reply_frame);
+    recency_.splice(recency_.begin(), recency_, it->second);
+    return;
+  }
+  recency_.emplace_front(key, std::move(reply_frame));
+  index_[key] = recency_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(recency_.back().first);
+    recency_.pop_back();
+  }
+}
+
+void ReplyCache::purge_below(std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = recency_.begin(); it != recency_.end();) {
+    std::uint64_t entry_generation = 0;
+    if (it->first.size() >= sizeof(entry_generation)) {
+      std::memcpy(&entry_generation, it->first.data(),
+                  sizeof(entry_generation));
+    }
+    if (entry_generation < generation) {
+      index_.erase(it->first);
+      it = recency_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t ReplyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recency_.size();
+}
+
+}  // namespace omptune::serve

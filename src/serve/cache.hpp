@@ -1,0 +1,74 @@
+#pragma once
+
+// The server's hot-config reply cache: a bounded LRU from (generation,
+// raw request payload) to the fully encoded reply frame.
+//
+// Keying on the snapshot generation (the embedded store index the server
+// is currently serving, as a monotonic swap counter) makes hot-swap
+// coherence trivial: a swap bumps the generation, every new lookup misses,
+// and the stale generation's entries are purged eagerly (and would age out
+// of the LRU anyway). No per-entry invalidation, no reply ever served
+// from a retired store.
+//
+// The value is the framed reply bytes, not a decoded structure: a hit
+// appends straight to the connection's output buffer, which is what makes
+// the warm-cache path a hash probe plus one memcpy.
+//
+// Thread-safe: batch execution probes/inserts from the worker pool while
+// the IO thread may be purging after a swap. One mutex guards the map and
+// the recency list; hit/miss tallies are atomics so the stats reply
+// doesn't take the lock.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include <unordered_map>
+
+namespace omptune::serve {
+
+class ReplyCache {
+ public:
+  /// A cache holding at most `capacity` replies; 0 disables caching
+  /// (lookup always misses, insert drops).
+  explicit ReplyCache(std::size_t capacity);
+
+  /// Cache key: the generation (little-endian, 8 bytes) prepended to the
+  /// raw request payload — two requests are equal exactly when their
+  /// payload bytes are, so no canonicalization step is needed.
+  static std::string make_key(std::uint64_t generation,
+                              std::string_view request_payload);
+
+  /// On hit, appends the cached reply frame to `out` and refreshes
+  /// recency. Tallies hit/miss either way.
+  bool lookup(const std::string& key, std::string& out);
+
+  /// Insert (or refresh) a reply frame, evicting the least-recently-used
+  /// entries over capacity.
+  void insert(const std::string& key, std::string reply_frame);
+
+  /// Drop every entry of a generation below `generation` (called after a
+  /// hot-swap installs a new snapshot).
+  void purge_below(std::uint64_t generation);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  ///< key, reply frame
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> recency_;  ///< front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace omptune::serve

@@ -1,0 +1,120 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/process.hpp"
+
+namespace omptune::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long for AF_UNIX: " +
+                             socket_path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket(AF_UNIX)");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    sys_fail("connect(" + socket_path + ")");
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    sys_fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return Client(fd);
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::read_frame() {
+  for (;;) {
+    const std::size_t total = frame_size(buffer_);  // throws on oversize
+    if (total != 0) {
+      std::string payload = buffer_.substr(4, total - 4);
+      buffer_.erase(0, total);
+      return payload;
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      throw std::runtime_error("server closed the connection mid-reply");
+    }
+    sys_fail("recv");
+  }
+}
+
+std::vector<Response> Client::call(const std::vector<Request>& requests) {
+  if (fd_ < 0) throw std::runtime_error("client is not connected");
+  std::string batch;
+  for (const Request& request : requests) encode_request(batch, request);
+  if (!util::write_all(fd_, batch)) {
+    throw std::runtime_error("server closed the connection mid-request");
+  }
+  std::vector<Response> replies;
+  replies.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    replies.push_back(decode_response(read_frame()));
+  }
+  return replies;
+}
+
+Response Client::call_one(const Request& request) {
+  return call({request}).front();
+}
+
+}  // namespace omptune::serve

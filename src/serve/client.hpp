@@ -1,0 +1,59 @@
+#pragma once
+
+// Blocking client for the tuning service: connect, write a pipelined batch
+// of request frames, read exactly one reply frame per request, in order.
+// This is the whole protocol from the client side — no callbacks, no
+// dispatch table — because the server's ordering guarantee (one reply per
+// request, request order, per connection) makes the correlation positional.
+//
+// Used by `omptune query --remote`, the serve smoke script and the
+// ext_serve bench; a third-party client is ~50 lines in any language
+// (see README).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace omptune::serve {
+
+class Client {
+ public:
+  /// Connect to a server's unix socket. Throws std::runtime_error when the
+  /// socket is absent or refuses (the caller distinguishes "server not
+  /// running" by catching).
+  static Client connect_unix(const std::string& socket_path);
+
+  /// Connect to a server's loopback TCP listener.
+  static Client connect_tcp(int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send `requests` as one pipelined batch and block until every reply
+  /// arrived. Replies are positional: reply[i] answers requests[i].
+  /// Throws WireError on a malformed reply, std::runtime_error when the
+  /// server closes mid-batch.
+  std::vector<Response> call(const std::vector<Request>& requests);
+
+  /// One-request convenience over call().
+  Response call_one(const Request& request);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Block until one complete frame is buffered; returns its payload.
+  std::string read_frame();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last complete frame
+};
+
+}  // namespace omptune::serve

@@ -1,0 +1,620 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "util/errors.hpp"
+#include "util/process.hpp"
+
+namespace omptune::serve {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+int close_quiet(int fd) {
+  if (fd >= 0) ::close(fd);
+  return -1;
+}
+
+int listen_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long for AF_UNIX: " + path);
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket(AF_UNIX)");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());  // the server owns its socket path
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close_quiet(fd);
+    sys_fail("bind(" + path + ")");
+  }
+  if (::listen(fd, 256) != 0) {
+    close_quiet(fd);
+    sys_fail("listen(" + path + ")");
+  }
+  return fd;
+}
+
+int listen_tcp(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) sys_fail("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close_quiet(fd);
+    sys_fail("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(fd, 256) != 0) {
+    close_quiet(fd);
+    sys_fail("listen(tcp)");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close_quiet(fd);
+    sys_fail("getsockname(tcp)");
+  }
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+/// One accepted connection: its fd plus the partial-frame input buffer and
+/// the unsent-reply output buffer. Touched only by the IO thread.
+struct Server::Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+
+  ~Conn() { close_quiet(fd); }
+};
+
+/// One request taken from a connection this round. `raw` is the payload as
+/// received (the cache key material); `out` receives the framed reply.
+struct Server::Work {
+  enum class Kind : std::uint8_t {
+    Query,      ///< execute on the pool against the round's snapshot
+    Admin,      ///< Stats/Swap/Shutdown: IO thread, after the pool round
+    Prefilled,  ///< reply already encoded (shed / malformed request)
+  };
+
+  Conn* conn = nullptr;
+  Kind kind = Kind::Prefilled;
+  std::string raw;
+  Request request;
+  std::string out;
+};
+
+Server::Server(std::vector<std::string> store_paths, ServerOptions options)
+    : options_(std::move(options)),
+      pool_(options_.threads),
+      cache_(options_.cache_capacity) {
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("serve: socket path is required");
+  }
+  util::set_nonblocking(stop_pipe_.read_fd);
+  util::set_nonblocking(stop_pipe_.write_fd);
+  snapshot_ = Snapshot::load(store_paths, 1, &pool_);
+  generation_.store(1, std::memory_order_release);
+  log_line("loaded generation 1: " + std::to_string(snapshot_->rows()) +
+           " rows across " + std::to_string(snapshot_->shard_count()) +
+           " shard(s)");
+}
+
+Server::~Server() = default;
+
+std::shared_ptr<const Snapshot> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::uint64_t Server::swap(const std::vector<std::string>& store_paths) {
+  std::lock_guard<std::mutex> serialize(swap_mutex_);
+  const std::uint64_t next = generation_.load(std::memory_order_acquire) + 1;
+  std::shared_ptr<const Snapshot> incoming;
+  try {
+    incoming = Snapshot::load(store_paths, next, &pool_);
+  } catch (...) {
+    counters_.swap_failures.fetch_add(1, std::memory_order_relaxed);
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = incoming;
+  }
+  generation_.store(next, std::memory_order_release);
+  cache_.purge_below(next);
+  counters_.swaps.fetch_add(1, std::memory_order_relaxed);
+  log_line("swapped to generation " + std::to_string(next) + ": " +
+           std::to_string(incoming->rows()) + " rows across " +
+           std::to_string(incoming->shard_count()) + " shard(s)");
+  return next;
+}
+
+void Server::request_stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(stop_pipe_.write_fd, &byte, 1);
+}
+
+Response Server::answer(const Request& request, const Snapshot& snapshot) {
+  Response reply;
+  reply.generation = snapshot.generation();
+  switch (request.type) {
+    case MsgType::Recommend: {
+      reply.type = MsgType::RecommendReply;
+      if (const BestConfig* best =
+              snapshot.best_for_pair(request.app, request.arch)) {
+        reply.found = true;
+        reply.speedup = best->speedup;
+        reply.config_key = best->config_key;
+      }
+      if (const auto* priority = snapshot.priority(request.app, request.arch)) {
+        reply.variable_priority = *priority;
+      }
+      break;
+    }
+    case MsgType::BestSetting: {
+      reply.type = MsgType::BestSettingReply;
+      if (const BestConfig* best = snapshot.best_for_setting(
+              request.arch, request.app, request.input, request.threads)) {
+        reply.found = true;
+        reply.speedup = best->speedup;
+        reply.config_key = best->config_key;
+      }
+      break;
+    }
+    case MsgType::Marginal: {
+      reply.type = MsgType::MarginalReply;
+      if (const analysis::MarginalRow* row = snapshot.marginal(
+              request.arch, request.variable, request.value)) {
+        reply.found = true;
+        reply.samples = row->samples;
+        reply.mean_speedup = row->mean_speedup;
+        reply.median_speedup = row->median_speedup;
+        reply.p95_speedup = row->p95_speedup;
+        reply.optimal_share = row->optimal_share;
+      }
+      break;
+    }
+    default: {
+      reply.type = MsgType::Error;
+      reply.message = std::string("not a query type: ") +
+                      to_string(request.type);
+      break;
+    }
+  }
+  return reply;
+}
+
+Response Server::stats_response() const {
+  const ServerCounters c = counters();
+  Response reply;
+  reply.type = MsgType::StatsReply;
+  reply.generation = c.generation;
+  reply.found = true;
+  reply.served = c.served;
+  reply.batches = c.batches;
+  reply.cache_hits = c.cache_hits;
+  reply.cache_misses = c.cache_misses;
+  reply.shed = c.shed;
+  reply.swaps = c.swaps;
+  reply.connections_accepted = c.connections_accepted;
+  reply.connections_active = c.connections_active;
+  reply.store_rows = c.store_rows;
+  reply.shards = c.shards;
+  return reply;
+}
+
+ServerCounters Server::counters() const {
+  ServerCounters c;
+  c.served = counters_.served.load(std::memory_order_relaxed);
+  c.batches = counters_.batches.load(std::memory_order_relaxed);
+  c.shed = counters_.shed.load(std::memory_order_relaxed);
+  c.wire_errors = counters_.wire_errors.load(std::memory_order_relaxed);
+  c.protocol_errors = counters_.protocol_errors.load(std::memory_order_relaxed);
+  c.connections_accepted =
+      counters_.connections_accepted.load(std::memory_order_relaxed);
+  c.connections_closed =
+      counters_.connections_closed.load(std::memory_order_relaxed);
+  c.connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  c.swaps = counters_.swaps.load(std::memory_order_relaxed);
+  c.swap_failures = counters_.swap_failures.load(std::memory_order_relaxed);
+  c.cache_hits = cache_.hits();
+  c.cache_misses = cache_.misses();
+  c.drained_cleanly = counters_.drained_cleanly.load(std::memory_order_relaxed);
+  const std::shared_ptr<const Snapshot> snap = snapshot();
+  c.generation = snap->generation();
+  c.store_rows = snap->rows();
+  c.shards = static_cast<std::uint32_t>(snap->shard_count());
+  return c;
+}
+
+void Server::handle_admin(Work& work) {
+  Response reply;
+  switch (work.request.type) {
+    case MsgType::Stats:
+      reply = stats_response();
+      break;
+    case MsgType::Swap: {
+      reply.type = MsgType::SwapReply;
+      if (!options_.allow_admin) {
+        reply.type = MsgType::Error;
+        reply.generation = generation();
+        reply.message = "admin messages are disabled on this server";
+        break;
+      }
+      try {
+        reply.generation = swap(work.request.store_paths);
+        reply.found = true;
+        reply.message = "swapped to generation " +
+                        std::to_string(reply.generation);
+      } catch (const std::exception& error) {
+        reply.found = false;
+        reply.generation = generation();
+        reply.message = error.what();
+      }
+      break;
+    }
+    case MsgType::Shutdown:
+      if (!options_.allow_admin) {
+        reply.type = MsgType::Error;
+        reply.generation = generation();
+        reply.message = "admin messages are disabled on this server";
+        break;
+      }
+      reply.type = MsgType::ShutdownReply;
+      reply.generation = generation();
+      reply.found = true;
+      reply.message = "draining";
+      draining_ = true;
+      break;
+    default:
+      reply.type = MsgType::Error;
+      reply.generation = generation();
+      reply.message = std::string("unexpected admin type: ") +
+                      to_string(work.request.type);
+      break;
+  }
+  encode_response(work.out, reply);
+}
+
+void Server::execute_round(std::vector<Work>& works,
+                           const std::shared_ptr<const Snapshot>& snap) {
+  // Query works run concurrently: cache probe, then answer + encode + fill.
+  pool_.parallel_for(
+      works.size(), 4,
+      [&](std::size_t begin, std::size_t end, std::size_t /*chunk*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          Work& work = works[i];
+          if (work.kind != Work::Kind::Query) continue;
+          const std::string key =
+              ReplyCache::make_key(snap->generation(), work.raw);
+          if (cache_.lookup(key, work.out)) continue;
+          std::string frame;
+          encode_response(frame, answer(work.request, *snap));
+          work.out += frame;
+          cache_.insert(key, std::move(frame));
+        }
+      });
+  // Admin works run on the IO thread, in arrival order (a Swap must be
+  // visible to a Stats queued behind it on the same connection).
+  for (Work& work : works) {
+    if (work.kind == Work::Kind::Admin) handle_admin(work);
+  }
+}
+
+void Server::log_line(const std::string& line) const {
+  if (options_.log) options_.log("serve: " + line);
+}
+
+void Server::run() {
+  const int unix_fd = listen_unix(options_.socket_path);
+  int tcp_fd = -1;
+  if (options_.tcp_port >= 0) {
+    int bound = 0;
+    try {
+      tcp_fd = listen_tcp(options_.tcp_port, &bound);
+    } catch (...) {
+      close_quiet(unix_fd);
+      ::unlink(options_.socket_path.c_str());
+      throw;
+    }
+    tcp_port_.store(bound, std::memory_order_release);
+  }
+
+  std::unique_ptr<util::ShutdownSignalGuard> signals;
+  if (options_.handle_signals) {
+    signals = std::make_unique<util::ShutdownSignalGuard>();
+  }
+  std::deque<std::unique_ptr<Conn>> conns;
+  draining_ = false;
+  ready_.store(true, std::memory_order_release);
+  log_line("listening on " + options_.socket_path +
+           (tcp_fd >= 0
+                ? " and 127.0.0.1:" + std::to_string(tcp_port())
+                : std::string()));
+
+  const auto close_conn = [&](std::size_t index) {
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(index));
+    counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  };
+
+  // Flush as much of conn.out as the socket accepts right now; false means
+  // the peer is gone.
+  const auto try_flush = [](Conn& conn) -> bool {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      return false;
+    }
+    return true;
+  };
+
+  while (!draining_) {
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (signals && signals->triggered()) break;
+
+    std::vector<pollfd> fds;
+    fds.push_back({stop_pipe_.read_fd, POLLIN, 0});
+    if (signals) fds.push_back({signals->wake_fd(), POLLIN, 0});
+    const std::size_t listeners_at = fds.size();
+    fds.push_back({unix_fd, POLLIN, 0});
+    if (tcp_fd >= 0) fds.push_back({tcp_fd, POLLIN, 0});
+    const std::size_t conns_at = fds.size();
+    for (const auto& conn : conns) {
+      short events = 0;
+      // Backpressure: a connection over its output budget (or mid-flood on
+      // input) is not read until it drains.
+      if (conn->out.size() < options_.max_output_bytes &&
+          conn->in.size() < options_.max_input_bytes) {
+        events |= POLLIN;
+      }
+      if (!conn->out.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      sys_fail("poll");
+    }
+
+    // Accept everything pending on the listeners. Connections accepted
+    // here have no pollfd this round — they are served from the next
+    // round's poll, so the frame-cutting loop below must only walk the
+    // connections that were actually polled.
+    const std::size_t polled_conns = fds.size() - conns_at;
+    for (std::size_t i = listeners_at; i < conns_at; ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      for (;;) {
+        const int fd = ::accept4(fds[i].fd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) break;  // EAGAIN, or transient accept failure: next round
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        conns.push_back(std::move(conn));
+        counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+        counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Read every readable connection, then cut frames into the round's
+    // work list. The snapshot is pinned once for the whole round.
+    const std::shared_ptr<const Snapshot> snap = snapshot();
+    std::vector<Work> works;
+    std::vector<std::size_t> dead;
+    std::size_t admitted = 0;
+    for (std::size_t c = 0; c < polled_conns; ++c) {
+      Conn& conn = *conns[c];
+      const pollfd& pfd = fds[conns_at + c];
+      if (pfd.revents & POLLOUT) {
+        if (!try_flush(conn)) {
+          dead.push_back(c);
+          continue;
+        }
+      }
+      bool peer_gone = false;
+      if (pfd.revents & (POLLIN | POLLHUP | POLLERR)) {
+        for (;;) {
+          char buf[65536];
+          const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+          if (n > 0) {
+            conn.in.append(buf, static_cast<std::size_t>(n));
+            if (conn.in.size() >= options_.max_input_bytes) break;
+            continue;
+          }
+          if (n == 0) {
+            peer_gone = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          peer_gone = true;
+          break;
+        }
+      }
+
+      // Cut complete frames (bounded per connection per round).
+      std::size_t consumed = 0;
+      std::size_t taken = 0;
+      bool framing_broken = false;
+      while (taken < options_.max_batch) {
+        std::size_t total = 0;
+        try {
+          total = frame_size(
+              std::string_view(conn.in).substr(consumed));
+        } catch (const WireError&) {
+          framing_broken = true;
+          break;
+        }
+        if (total == 0) break;
+        Work work;
+        work.conn = &conn;
+        work.raw = conn.in.substr(consumed + 4, total - 4);
+        consumed += total;
+        ++taken;
+        try {
+          work.request = decode_request(work.raw);
+          if (!is_request_type(work.request.type)) {
+            throw WireError(std::string("reply type sent as request: ") +
+                            to_string(work.request.type));
+          }
+          switch (work.request.type) {
+            case MsgType::Stats:
+            case MsgType::Swap:
+            case MsgType::Shutdown:
+              work.kind = Work::Kind::Admin;
+              break;
+            default:
+              // Admission control: the bounded queue. Everything past
+              // max_pending this round is shed with a typed reply.
+              if (admitted < options_.max_pending) {
+                work.kind = Work::Kind::Query;
+                ++admitted;
+              } else {
+                Response overloaded;
+                overloaded.type = MsgType::Overloaded;
+                overloaded.generation = snap->generation();
+                overloaded.message = "queue full, retry";
+                encode_response(work.out, overloaded);
+                counters_.shed.fetch_add(1, std::memory_order_relaxed);
+              }
+              break;
+          }
+        } catch (const std::exception& error) {
+          // Well-framed but undecodable: answer with Error, keep the
+          // connection (the framing is still in sync).
+          work.kind = Work::Kind::Prefilled;
+          work.out.clear();
+          Response bad;
+          bad.type = MsgType::Error;
+          bad.generation = snap->generation();
+          bad.message = error.what();
+          encode_response(work.out, bad);
+          counters_.wire_errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        works.push_back(std::move(work));
+      }
+      conn.in.erase(0, consumed);
+      if (taken > 0) {
+        counters_.batches.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (framing_broken ||
+          (conn.in.size() >= options_.max_input_bytes && taken == 0)) {
+        counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        peer_gone = true;
+      }
+      if (framing_broken) {
+        // Protocol violation: drop the connection now, voiding any replies
+        // this round would have owed it.
+        for (Work& work : works) {
+          if (work.conn == &conn) work.conn = nullptr;
+        }
+      }
+      if (peer_gone) dead.push_back(c);
+    }
+
+    if (!works.empty()) {
+      execute_round(works, snap);
+      for (Work& work : works) {
+        if (!work.conn) continue;
+        work.conn->out += work.out;
+        counters_.served.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Opportunistic flush so small batches complete in one round trip.
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      Conn& conn = *conns[c];
+      if (!conn.out.empty() && !try_flush(conn)) dead.push_back(c);
+    }
+
+    // Close dead connections, highest index first (erase shifts the tail).
+    std::sort(dead.begin(), dead.end());
+    dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+    for (std::size_t i = dead.size(); i > 0; --i) close_conn(dead[i - 1]);
+
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (signals && signals->triggered()) break;
+  }
+
+  // Drain: stop accepting, flush what each connection is owed, close all.
+  ready_.store(false, std::memory_order_release);
+  close_quiet(unix_fd);
+  if (tcp_fd >= 0) close_quiet(tcp_fd);
+  ::unlink(options_.socket_path.c_str());
+
+  const std::int64_t deadline =
+      util::monotonic_ms() + options_.drain_timeout_ms;
+  bool flushed_all = true;
+  for (;;) {
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> pending;
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      if (!conns[c]->out.empty()) {
+        fds.push_back({conns[c]->fd, POLLOUT, 0});
+        pending.push_back(c);
+      }
+    }
+    if (pending.empty()) break;
+    const std::int64_t budget = deadline - util::monotonic_ms();
+    if (budget <= 0) {
+      flushed_all = false;
+      break;
+    }
+    const int rc = ::poll(fds.data(), fds.size(),
+                          static_cast<int>(budget < 100 ? budget : 100));
+    if (rc < 0 && errno != EINTR) break;
+    std::vector<std::size_t> dead;
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLOUT | POLLERR | POLLHUP))) continue;
+      if (!try_flush(*conns[pending[i]])) dead.push_back(pending[i]);
+    }
+    std::sort(dead.begin(), dead.end());
+    for (std::size_t i = dead.size(); i > 0; --i) close_conn(dead[i - 1]);
+  }
+  const std::size_t still_open = conns.size();
+  while (!conns.empty()) close_conn(conns.size() - 1);
+
+  counters_.drained_cleanly.store(flushed_all, std::memory_order_relaxed);
+
+  const ServerCounters c = counters();
+  log_line("drained: served " + std::to_string(c.served) + " replies in " +
+           std::to_string(c.batches) + " batches, shed " +
+           std::to_string(c.shed) + "; connections " +
+           std::to_string(c.connections_accepted) + " accepted / " +
+           std::to_string(c.connections_closed) + " closed (" +
+           std::to_string(still_open) + " open at drain), " +
+           (flushed_all ? "all replies flushed" : "drain deadline hit"));
+}
+
+}  // namespace omptune::serve

@@ -1,0 +1,185 @@
+#pragma once
+
+// The tuning-as-a-service front end: a long-running recommendation server
+// over shared read-only .omps store shards (see DESIGN.md §12).
+//
+// Architecture, in one paragraph: one IO thread owns a poll(2) loop over
+// the unix-socket (and optional loopback-TCP) listeners and every
+// connection. Each poll round it drains readable connections, cuts the
+// buffered bytes into complete frames, and gathers up to max_batch
+// requests per connection — the per-connection batch. The round's batch
+// set is admitted against max_pending (the bounded queue): requests over
+// the bound are answered immediately with a typed Overloaded reply and
+// never touch the store (load-shedding that costs the victim one frame
+// round-trip, not a timeout). Admitted query requests execute on the
+// shared util::ThreadPool worker loop — each one a reply-cache probe and,
+// on a miss, a hash lookup into the current Snapshot — then replies are
+// appended to each connection's output buffer in request order and
+// flushed (POLLOUT finishes stragglers).
+//
+// Hot-swap: swap() builds the next Snapshot generation off to the side
+// (open, validate, aggregate — seconds, off the hot path), then installs
+// it with one shared_ptr store under a mutex. Batches grab the snapshot
+// once per round, so every in-flight query finishes on the mapping it
+// started with; the retired generation's mmap unmaps when the last such
+// batch retires. The reply cache is keyed on the generation, so a swap
+// implicitly invalidates it (stale entries are purged eagerly).
+//
+// Shutdown: SIGINT/SIGTERM (via util::ShutdownSignalGuard), a wire
+// Shutdown message, or request_stop() all trigger the same drain: stop
+// accepting, finish the in-flight round, flush every connection's pending
+// replies under a deadline, then close and account for every connection.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/wire.hpp"
+#include "util/process.hpp"
+#include "util/thread_pool.hpp"
+
+namespace omptune::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the unix listening socket (required). An existing
+  /// socket file at the path is replaced — the server owns its path.
+  std::string socket_path;
+  /// Loopback TCP listener: -1 disables (default), 0 binds an ephemeral
+  /// port (see Server::tcp_port()), >0 binds that port on 127.0.0.1.
+  int tcp_port = -1;
+  /// Worker lanes for batch execution (0 = ThreadPool default).
+  unsigned threads = 0;
+  /// Reply-cache capacity in entries (0 disables the cache).
+  std::size_t cache_capacity = 4096;
+  /// Admission bound: query requests admitted per poll round; the excess
+  /// is shed with Overloaded replies.
+  std::size_t max_pending = 1024;
+  /// Frames taken from one connection per round (the rest stay buffered —
+  /// per-connection fairness under a flooding client).
+  std::size_t max_batch = 512;
+  /// Pause reading a connection whose unsent replies exceed this.
+  std::size_t max_output_bytes = 8u << 20;
+  /// Input buffered per connection before the peer counts as flooding
+  /// (protocol violation, connection dropped).
+  std::size_t max_input_bytes = 16u << 20;
+  /// Honor wire Swap/Shutdown admin messages (the CLI serves with this on;
+  /// a deployment fronting untrusted clients would turn it off).
+  bool allow_admin = true;
+  /// Install util::ShutdownSignalGuard during run() so SIGINT/SIGTERM
+  /// drain instead of killing mid-reply. Off for in-process test servers
+  /// (the guard is process-global).
+  bool handle_signals = false;
+  /// Budget for flushing pending replies at drain.
+  std::int64_t drain_timeout_ms = 5000;
+  /// Progress/accounting lines; null = silent.
+  std::function<void(const std::string&)> log;
+};
+
+/// Counter snapshot (see Server::counters()).
+struct ServerCounters {
+  std::uint64_t served = 0;             ///< replies written (all types)
+  std::uint64_t batches = 0;            ///< per-connection batches executed
+  std::uint64_t shed = 0;               ///< Overloaded replies (admission)
+  std::uint64_t wire_errors = 0;        ///< Error replies to bad requests
+  std::uint64_t protocol_errors = 0;    ///< connections dropped for framing
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t swaps = 0;              ///< successful hot-swaps
+  std::uint64_t swap_failures = 0;      ///< rejected swaps (old gen kept)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t generation = 0;         ///< currently served generation
+  std::uint64_t store_rows = 0;         ///< rows in the current generation
+  std::uint32_t shards = 0;             ///< shard stores in the generation
+  bool drained_cleanly = false;         ///< set once shutdown completes
+};
+
+class Server {
+ public:
+  /// Load generation 1 from `store_paths` and prepare to serve. Throws
+  /// util::StoreOpenError / util::DataCorruptionError if a store cannot
+  /// be adopted (nothing is listening yet — boot must be loud).
+  Server(std::vector<std::string> store_paths, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and serve until a shutdown trigger; returns after the
+  /// drain completes. Throws std::runtime_error on listener setup failure.
+  void run();
+
+  /// Thread-safe shutdown trigger (same path as SIGINT / wire Shutdown).
+  void request_stop();
+
+  /// Hot-swap to a new shard set: builds generation current+1 from
+  /// `store_paths`, installs it atomically, purges the stale cache
+  /// generation. In-flight batches finish on the old snapshot. On any
+  /// load failure the old generation keeps serving and the error
+  /// propagates (typed, carrying path + attempted generation).
+  /// Thread-safe; concurrent swaps serialize.
+  std::uint64_t swap(const std::vector<std::string>& store_paths);
+
+  /// True once run() is listening (tests poll this before connecting).
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Ephemeral TCP port once listening (0 = no TCP listener).
+  int tcp_port() const { return tcp_port_.load(std::memory_order_acquire); }
+
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  ServerCounters counters() const;
+
+  /// Answer one request against a snapshot — the pure query path, shared
+  /// by the batch executor and exposed for tests/bench to compute
+  /// reference answers.
+  static Response answer(const Request& request, const Snapshot& snapshot);
+
+ private:
+  struct Conn;
+  struct Work;
+
+  std::shared_ptr<const Snapshot> snapshot() const;
+  void execute_round(std::vector<Work>& works,
+                     const std::shared_ptr<const Snapshot>& snap);
+  void handle_admin(Work& work);
+  Response stats_response() const;
+  void log_line(const std::string& line) const;
+
+  ServerOptions options_;
+  util::ThreadPool pool_;
+  ReplyCache cache_;
+
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::mutex swap_mutex_;  ///< serializes swap() callers
+  std::atomic<std::uint64_t> generation_{0};
+
+  std::atomic<bool> ready_{false};
+  std::atomic<bool> stop_requested_{false};
+  /// Wakes the poll loop from request_stop(). A member (not a run() local)
+  /// so the write end outlives run(): a concurrent request_stop() must
+  /// never race the pipe's destructor on a closed-and-reused fd.
+  util::Pipe stop_pipe_;
+  std::atomic<int> tcp_port_{0};
+  bool draining_ = false;  ///< IO thread only
+
+  struct Atomics {
+    std::atomic<std::uint64_t> served{0}, batches{0}, shed{0}, wire_errors{0},
+        protocol_errors{0}, connections_accepted{0}, connections_closed{0},
+        connections_active{0}, swaps{0}, swap_failures{0};
+    std::atomic<bool> drained_cleanly{false};
+  };
+  mutable Atomics counters_;
+};
+
+}  // namespace omptune::serve

@@ -1,0 +1,321 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+#include "store/format.hpp"
+
+namespace omptune::serve {
+
+namespace {
+
+// Strings travel as u16 length + bytes; 64 KiB per string is far beyond any
+// app/arch/config-key and keeps a garbled length from looking plausible.
+constexpr std::size_t kMaxStringBytes = 0xFFFF;
+
+void append_string(std::string& out, std::string_view text) {
+  if (text.size() > kMaxStringBytes) {
+    throw WireError("string field of " + std::to_string(text.size()) +
+                    " bytes exceeds the 64 KiB field limit");
+  }
+  store::append_scalar<std::uint16_t>(out, static_cast<std::uint16_t>(text.size()));
+  out.append(text.data(), text.size());
+}
+
+/// Bounds-checked forward cursor over one frame payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view payload) : payload_(payload) {}
+
+  template <typename T>
+  T scalar(const char* what) {
+    if (payload_.size() - at_ < sizeof(T)) {
+      throw WireError(std::string("payload ends inside ") + what);
+    }
+    T value;
+    std::memcpy(&value, payload_.data() + at_, sizeof(T));
+    at_ += sizeof(T);
+    return value;
+  }
+
+  std::string string(const char* what) {
+    const auto len = scalar<std::uint16_t>(what);
+    if (payload_.size() - at_ < len) {
+      throw WireError(std::string("payload ends inside ") + what);
+    }
+    std::string value(payload_.substr(at_, len));
+    at_ += len;
+    return value;
+  }
+
+  void expect_consumed(const char* what) const {
+    if (at_ != payload_.size()) {
+      throw WireError(std::string(what) + " carries " +
+                      std::to_string(payload_.size() - at_) +
+                      " trailing bytes");
+    }
+  }
+
+ private:
+  std::string_view payload_;
+  std::size_t at_ = 0;
+};
+
+/// Wrap `payload` in its length prefix and append to `out`.
+void frame(std::string& out, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw WireError("payload of " + std::to_string(payload.size()) +
+                    " bytes exceeds the frame limit");
+  }
+  store::append_scalar<std::uint32_t>(out,
+                                      static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+}
+
+}  // namespace
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::Recommend: return "recommend";
+    case MsgType::BestSetting: return "best-setting";
+    case MsgType::Marginal: return "marginal";
+    case MsgType::Stats: return "stats";
+    case MsgType::Swap: return "swap";
+    case MsgType::Shutdown: return "shutdown";
+    case MsgType::RecommendReply: return "recommend-reply";
+    case MsgType::BestSettingReply: return "best-setting-reply";
+    case MsgType::MarginalReply: return "marginal-reply";
+    case MsgType::StatsReply: return "stats-reply";
+    case MsgType::SwapReply: return "swap-reply";
+    case MsgType::Overloaded: return "overloaded";
+    case MsgType::Error: return "error";
+    case MsgType::ShutdownReply: return "shutdown-reply";
+  }
+  return "unknown";
+}
+
+bool is_request_type(MsgType type) {
+  switch (type) {
+    case MsgType::Recommend:
+    case MsgType::BestSetting:
+    case MsgType::Marginal:
+    case MsgType::Stats:
+    case MsgType::Swap:
+    case MsgType::Shutdown:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void encode_request(std::string& out, const Request& request) {
+  std::string payload;
+  store::append_scalar<std::uint8_t>(payload,
+                                     static_cast<std::uint8_t>(request.type));
+  switch (request.type) {
+    case MsgType::Recommend:
+      append_string(payload, request.app);
+      append_string(payload, request.arch);
+      break;
+    case MsgType::BestSetting:
+      append_string(payload, request.arch);
+      append_string(payload, request.app);
+      append_string(payload, request.input);
+      store::append_scalar<std::int32_t>(payload, request.threads);
+      break;
+    case MsgType::Marginal:
+      append_string(payload, request.arch);
+      append_string(payload, request.variable);
+      append_string(payload, request.value);
+      break;
+    case MsgType::Stats:
+    case MsgType::Shutdown:
+      break;
+    case MsgType::Swap:
+      store::append_scalar<std::uint16_t>(
+          payload, static_cast<std::uint16_t>(request.store_paths.size()));
+      for (const std::string& path : request.store_paths) {
+        append_string(payload, path);
+      }
+      break;
+    default:
+      throw WireError(std::string("cannot encode '") + to_string(request.type) +
+                      "' as a request");
+  }
+  frame(out, payload);
+}
+
+void encode_response(std::string& out, const Response& response) {
+  std::string payload;
+  store::append_scalar<std::uint8_t>(payload,
+                                     static_cast<std::uint8_t>(response.type));
+  store::append_scalar<std::uint64_t>(payload, response.generation);
+  switch (response.type) {
+    case MsgType::RecommendReply: {
+      store::append_scalar<std::uint8_t>(payload, response.found ? 1 : 0);
+      store::append_scalar<double>(payload, response.speedup);
+      append_string(payload, response.config_key);
+      store::append_scalar<std::uint16_t>(
+          payload,
+          static_cast<std::uint16_t>(response.variable_priority.size()));
+      for (const std::string& name : response.variable_priority) {
+        append_string(payload, name);
+      }
+      break;
+    }
+    case MsgType::BestSettingReply:
+      store::append_scalar<std::uint8_t>(payload, response.found ? 1 : 0);
+      store::append_scalar<double>(payload, response.speedup);
+      append_string(payload, response.config_key);
+      break;
+    case MsgType::MarginalReply:
+      store::append_scalar<std::uint8_t>(payload, response.found ? 1 : 0);
+      store::append_scalar<std::uint64_t>(payload, response.samples);
+      store::append_scalar<double>(payload, response.mean_speedup);
+      store::append_scalar<double>(payload, response.median_speedup);
+      store::append_scalar<double>(payload, response.p95_speedup);
+      store::append_scalar<double>(payload, response.optimal_share);
+      break;
+    case MsgType::StatsReply:
+      store::append_scalar<std::uint64_t>(payload, response.served);
+      store::append_scalar<std::uint64_t>(payload, response.batches);
+      store::append_scalar<std::uint64_t>(payload, response.cache_hits);
+      store::append_scalar<std::uint64_t>(payload, response.cache_misses);
+      store::append_scalar<std::uint64_t>(payload, response.shed);
+      store::append_scalar<std::uint64_t>(payload, response.swaps);
+      store::append_scalar<std::uint64_t>(payload, response.connections_accepted);
+      store::append_scalar<std::uint64_t>(payload, response.connections_active);
+      store::append_scalar<std::uint64_t>(payload, response.store_rows);
+      store::append_scalar<std::uint32_t>(payload, response.shards);
+      break;
+    case MsgType::SwapReply:
+      store::append_scalar<std::uint8_t>(payload, response.found ? 1 : 0);
+      append_string(payload, response.message);
+      break;
+    case MsgType::Overloaded:
+    case MsgType::ShutdownReply:
+      break;
+    case MsgType::Error:
+      append_string(payload, response.message);
+      break;
+    default:
+      throw WireError(std::string("cannot encode '") + to_string(response.type) +
+                      "' as a response");
+  }
+  frame(out, payload);
+}
+
+std::size_t frame_size(std::string_view data) {
+  if (data.size() < sizeof(std::uint32_t)) return 0;
+  std::uint32_t payload_bytes;
+  std::memcpy(&payload_bytes, data.data(), sizeof(payload_bytes));
+  if (payload_bytes > kMaxFrameBytes) {
+    throw WireError("declared payload of " + std::to_string(payload_bytes) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame limit");
+  }
+  const std::size_t total = sizeof(std::uint32_t) + payload_bytes;
+  return data.size() >= total ? total : 0;
+}
+
+Request decode_request(std::string_view payload) {
+  Cursor cursor(payload);
+  const auto raw = cursor.scalar<std::uint8_t>("message type");
+  Request request;
+  request.type = static_cast<MsgType>(raw);
+  switch (request.type) {
+    case MsgType::Recommend:
+      request.app = cursor.string("app");
+      request.arch = cursor.string("arch");
+      break;
+    case MsgType::BestSetting:
+      request.arch = cursor.string("arch");
+      request.app = cursor.string("app");
+      request.input = cursor.string("input");
+      request.threads = cursor.scalar<std::int32_t>("threads");
+      break;
+    case MsgType::Marginal:
+      request.arch = cursor.string("arch");
+      request.variable = cursor.string("variable");
+      request.value = cursor.string("value");
+      break;
+    case MsgType::Stats:
+    case MsgType::Shutdown:
+      break;
+    case MsgType::Swap: {
+      const auto count = cursor.scalar<std::uint16_t>("store path count");
+      request.store_paths.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        request.store_paths.push_back(cursor.string("store path"));
+      }
+      break;
+    }
+    default:
+      throw WireError("unknown request type " + std::to_string(raw));
+  }
+  cursor.expect_consumed(to_string(request.type));
+  return request;
+}
+
+Response decode_response(std::string_view payload) {
+  Cursor cursor(payload);
+  const auto raw = cursor.scalar<std::uint8_t>("message type");
+  Response response;
+  response.type = static_cast<MsgType>(raw);
+  response.generation = cursor.scalar<std::uint64_t>("generation");
+  switch (response.type) {
+    case MsgType::RecommendReply: {
+      response.found = cursor.scalar<std::uint8_t>("found flag") != 0;
+      response.speedup = cursor.scalar<double>("speedup");
+      response.config_key = cursor.string("config key");
+      const auto count = cursor.scalar<std::uint16_t>("priority count");
+      response.variable_priority.reserve(count);
+      for (std::uint16_t i = 0; i < count; ++i) {
+        response.variable_priority.push_back(cursor.string("priority entry"));
+      }
+      break;
+    }
+    case MsgType::BestSettingReply:
+      response.found = cursor.scalar<std::uint8_t>("found flag") != 0;
+      response.speedup = cursor.scalar<double>("speedup");
+      response.config_key = cursor.string("config key");
+      break;
+    case MsgType::MarginalReply:
+      response.found = cursor.scalar<std::uint8_t>("found flag") != 0;
+      response.samples = cursor.scalar<std::uint64_t>("sample count");
+      response.mean_speedup = cursor.scalar<double>("mean speedup");
+      response.median_speedup = cursor.scalar<double>("median speedup");
+      response.p95_speedup = cursor.scalar<double>("p95 speedup");
+      response.optimal_share = cursor.scalar<double>("optimal share");
+      break;
+    case MsgType::StatsReply:
+      response.served = cursor.scalar<std::uint64_t>("served");
+      response.batches = cursor.scalar<std::uint64_t>("batches");
+      response.cache_hits = cursor.scalar<std::uint64_t>("cache hits");
+      response.cache_misses = cursor.scalar<std::uint64_t>("cache misses");
+      response.shed = cursor.scalar<std::uint64_t>("shed");
+      response.swaps = cursor.scalar<std::uint64_t>("swaps");
+      response.connections_accepted =
+          cursor.scalar<std::uint64_t>("connections accepted");
+      response.connections_active =
+          cursor.scalar<std::uint64_t>("connections active");
+      response.store_rows = cursor.scalar<std::uint64_t>("store rows");
+      response.shards = cursor.scalar<std::uint32_t>("shard count");
+      break;
+    case MsgType::SwapReply:
+      response.found = cursor.scalar<std::uint8_t>("ok flag") != 0;
+      response.message = cursor.string("message");
+      break;
+    case MsgType::Overloaded:
+    case MsgType::ShutdownReply:
+      break;
+    case MsgType::Error:
+      response.message = cursor.string("message");
+      break;
+    default:
+      throw WireError("unknown response type " + std::to_string(raw));
+  }
+  cursor.expect_consumed(to_string(response.type));
+  return response;
+}
+
+}  // namespace omptune::serve

@@ -1,0 +1,134 @@
+#pragma once
+
+// The tuning service's length-prefixed binary wire protocol (version 1).
+//
+// A connection carries a stream of frames in each direction:
+//
+//   u32 payload_bytes | payload
+//
+// and the payload is one message: a u8 message type followed by the
+// type's fields (integers little-endian, strings as u16 length + bytes —
+// the same append_scalar/load_scalar funnel as the .omps store format).
+// The server answers every request frame with exactly one reply frame, in
+// request order, so a client may pipeline an arbitrary number of requests
+// per write — that per-connection batch is the unit the server executes
+// and the unit the bench measures.
+//
+// Framing errors (oversized frame, truncated payload, unknown type, a
+// string running off the payload end) throw WireError, a Permanent
+// util::TuneError: the peer violated the protocol, retrying the same
+// bytes cannot succeed. The server closes the connection on a framing
+// error but answers a well-framed yet semantically bad request (unknown
+// app, empty key) with an Error reply, keeping the connection usable.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/errors.hpp"
+
+namespace omptune::serve {
+
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Hard ceiling on one frame's payload; a declared length beyond this is a
+/// protocol violation (a garbling peer must not make the server buffer
+/// unboundedly — the same bound idea as util::LineReader's max_line).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// The peer broke the framing/encoding contract. Permanent: the same bytes
+/// can never parse.
+class WireError : public util::PermanentError {
+ public:
+  explicit WireError(const std::string& message)
+      : util::PermanentError("wire: " + message) {}
+};
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  Recommend = 1,    ///< best known config + variable priority for (app, arch)
+  BestSetting = 2,  ///< best config for the exact (arch, app, input, threads)
+  Marginal = 3,     ///< speedup stats of one (arch, variable, value)
+  Stats = 4,        ///< server counters (never cached)
+  Swap = 5,         ///< admin: hot-swap the store shard set
+  Shutdown = 6,     ///< admin: drain and exit
+
+  // Replies.
+  RecommendReply = 33,
+  BestSettingReply = 34,
+  MarginalReply = 35,
+  StatsReply = 36,
+  SwapReply = 37,
+  Overloaded = 38,  ///< typed load-shed: retry later, nothing was computed
+  Error = 39,       ///< request was well-framed but unanswerable
+  ShutdownReply = 40,
+};
+
+/// One request, flat across types: each type reads only its own fields
+/// (the encoder writes only those, so unused fields never hit the wire).
+struct Request {
+  MsgType type = MsgType::Recommend;
+  std::string app;       ///< Recommend, BestSetting
+  std::string arch;      ///< Recommend, BestSetting, Marginal
+  std::string input;     ///< BestSetting
+  std::int32_t threads = 0;  ///< BestSetting
+  std::string variable;  ///< Marginal
+  std::string value;     ///< Marginal
+  std::vector<std::string> store_paths;  ///< Swap
+};
+
+/// One reply, flat across types (see Request).
+struct Response {
+  MsgType type = MsgType::Error;
+  std::uint64_t generation = 0;  ///< snapshot that answered (0: no snapshot)
+  bool found = false;            ///< Recommend/BestSetting/Marginal hit
+  double speedup = 0.0;          ///< best known speedup over the default
+  std::string config_key;        ///< rt::RtConfig::key() of the best config
+  std::vector<std::string> variable_priority;  ///< RecommendReply only
+  // MarginalReply stats.
+  std::uint64_t samples = 0;
+  double mean_speedup = 0.0;
+  double median_speedup = 0.0;
+  double p95_speedup = 0.0;
+  double optimal_share = 0.0;
+  // StatsReply counters.
+  std::uint64_t served = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t store_rows = 0;
+  std::uint32_t shards = 0;
+  std::string message;  ///< Error/SwapReply detail
+};
+
+// ---- encoding --------------------------------------------------------------
+
+/// Append one framed message (length prefix + payload) to `out`.
+void encode_request(std::string& out, const Request& request);
+void encode_response(std::string& out, const Response& response);
+
+// ---- decoding --------------------------------------------------------------
+
+/// Bytes of the frame starting at `data` when one is fully buffered:
+/// 4 + declared payload length. Returns 0 while the frame is still
+/// incomplete; throws WireError if the declared length exceeds
+/// kMaxFrameBytes (the caller must drop the connection, not wait for more).
+std::size_t frame_size(std::string_view data);
+
+/// Decode the payload of one complete frame (without the length prefix).
+/// Throws WireError on an unknown type or malformed fields.
+Request decode_request(std::string_view payload);
+Response decode_response(std::string_view payload);
+
+/// True for the message types a client sends (the server rejects reply
+/// types arriving as requests without tearing the connection down).
+bool is_request_type(MsgType type);
+
+const char* to_string(MsgType type);
+
+}  // namespace omptune::serve

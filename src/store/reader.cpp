@@ -31,6 +31,11 @@ const char* dict_name(std::size_t dict) {
 }  // namespace
 
 void StoreReader::corrupt(std::uint64_t offset, const std::string& message) const {
+  if (generation_ != 0) {
+    throw util::DataCorruptionError(
+        file_.path(), offset,
+        "generation " + std::to_string(generation_) + ": " + message);
+  }
   throw util::DataCorruptionError(file_.path(), offset, message);
 }
 
@@ -51,7 +56,28 @@ void StoreReader::verify_section_checksum(const Section& section,
   }
 }
 
-StoreReader::StoreReader(const std::string& path) : file_(path) {
+namespace {
+
+/// Open the backing file, converting any open/stat/read failure into the
+/// typed StoreOpenError so callers (most importantly the serving layer's
+/// hot-swap) can attribute it to a path and generation without string
+/// matching. Validation failures are NOT converted — those carry byte
+/// offsets and stay DataCorruptionError.
+util::MappedFile open_store_file(const std::string& path,
+                                 std::uint64_t generation) {
+  try {
+    return util::MappedFile(path);
+  } catch (const std::runtime_error& error) {
+    throw util::StoreOpenError(path, generation, error.what());
+  }
+}
+
+}  // namespace
+
+StoreReader::StoreReader(const std::string& path) : StoreReader(path, 0) {}
+
+StoreReader::StoreReader(const std::string& path, std::uint64_t generation)
+    : file_(open_store_file(path, generation)), generation_(generation) {
   const unsigned char* data = file_.data();
   const std::size_t size = file_.size();
 

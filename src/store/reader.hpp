@@ -122,9 +122,21 @@ struct SettingSlice {
 class StoreReader {
  public:
   /// Opens and validates `path` (see file comment for what open checks).
+  /// A file that cannot be opened/mapped at all throws
+  /// util::StoreOpenError naming the path; validation failures throw
+  /// util::DataCorruptionError with path and offset.
   explicit StoreReader(const std::string& path);
 
+  /// Same, labeled with the serving `generation` the open is for: both the
+  /// open error and every corruption message then carry "generation N" so
+  /// a failed hot-swap is attributable to the exact store it tried to
+  /// adopt (see serve::Snapshot).
+  StoreReader(const std::string& path, std::uint64_t generation);
+
   const std::string& path() const { return file_.path(); }
+
+  /// Serving-generation label this reader was opened under (0: unlabeled).
+  std::uint64_t generation() const { return generation_; }
   std::size_t size() const { return sample_count_; }
   std::size_t repetitions() const { return reps_; }
   std::uint64_t file_bytes() const { return file_.size(); }
@@ -205,6 +217,7 @@ class StoreReader {
                           std::size_t row, std::size_t dict, const char* what) const;
 
   util::MappedFile file_;
+  std::uint64_t generation_ = 0;
   std::size_t sample_count_ = 0;
   std::size_t reps_ = 0;
   Section sections_[7];  ///< indexed by SectionKind - 1

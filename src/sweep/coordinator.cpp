@@ -816,9 +816,11 @@ Dataset Coordinator::run(const StudyPlan& plan, const std::string& store_path) {
     shard_paths.push_back(shard_store_path(i));
     try {
       shard_data.push_back(Dataset::load_store(shard_paths.back()));
-    } catch (const util::DataCorruptionError&) {
+    } catch (const util::DataCorruptionError& error) {
       if (!options_.lenient) throw;
       shard_data.emplace_back();
+      report_.skipped_shard_stores.push_back(
+          SkippedShardStore{i, shard_paths.back(), error.what()});
       say(shard_key_name(i) + " unreadable at assembly — skipped (lenient)");
     }
   }
@@ -827,6 +829,22 @@ Dataset Coordinator::run(const StudyPlan& plan, const std::string& store_path) {
   merge_options.shard_names = shard_paths;
   merge_options.warn = say;
   Dataset merged = merge_shards(plan, shard_data, &report_.merge, merge_options);
+
+  // The lenient summary: per-skip warnings scroll by mid-run, so the final
+  // tally restates every skipped shard store (path + reason) and setting.
+  if (!report_.skipped_shard_stores.empty() || !report_.merge.skipped.empty()) {
+    say("lenient assembly skipped " +
+        std::to_string(report_.skipped_shard_stores.size()) +
+        " shard store(s) and " + std::to_string(report_.merge.skipped.size()) +
+        " setting(s):");
+    for (const SkippedShardStore& s : report_.skipped_shard_stores) {
+      say("  store " + s.path + ": " + s.reason);
+    }
+    for (const SkippedSetting& s : report_.merge.skipped) {
+      say("  setting " + s.key + ": " + s.reason +
+          (s.shards.empty() ? std::string() : " (from " + s.shards + ")"));
+    }
+  }
 
   store::TieredOptions tiered;
   tiered.fan_in = options_.compaction_fan_in;

@@ -93,6 +93,14 @@ struct QuarantinedShard {
   std::vector<std::string> setting_keys;  ///< settings quarantined with it
 };
 
+/// One shard store dropped at lenient assembly: its path and why it could
+/// not be read (the summary a post-mortem needs without replaying logs).
+struct SkippedShardStore {
+  std::size_t shard = 0;
+  std::string path;
+  std::string reason;
+};
+
 struct CoordinatorReport {
   std::size_t shards_total = 0;
   std::size_t shards_completed = 0;  ///< includes resumed + quarantined
@@ -108,6 +116,9 @@ struct CoordinatorReport {
   std::int64_t backoff_ms_total = 0; ///< re-lease delay scheduled in total
   std::vector<QuarantinedShard> quarantined_shards;
   MergeReport merge;                 ///< final shard-merge tally
+  /// Shard stores skipped at lenient assembly (unreadable/corrupt), with
+  /// path and reason; empty in strict mode, which throws instead.
+  std::vector<SkippedShardStore> skipped_shard_stores;
   store::TieredReport compaction;    ///< final tiered-compaction tally
   bool interrupted = false;          ///< stopped by signal / request_stop
   std::string work_dir;              ///< where coordinator state lives

@@ -120,7 +120,13 @@ Dataset merge_shards_impl(const StudyPlan& plan,
         if (!options) throw std::invalid_argument(message);
         if (options->lenient) {
           if (options->warn) options->warn(message + " — skipped");
-          if (report) ++report->skipped_settings;
+          if (report) {
+            ++report->skipped_settings;
+            report->skipped.push_back(SkippedSetting{
+                key,
+                "missing from all " + std::to_string(shards.size()) + " shards",
+                ""});
+          }
           continue;
         }
         throw util::DataCorruptionError("<shard merge>", 0, message);
@@ -140,7 +146,14 @@ Dataset merge_shards_impl(const StudyPlan& plan,
             options->warn(message + " (from " + contributors(*options, it->second) +
                           ") — skipped");
           }
-          if (report) ++report->skipped_settings;
+          if (report) {
+            ++report->skipped_settings;
+            report->skipped.push_back(SkippedSetting{
+                key,
+                std::to_string(it->second.size()) + " samples, plan expects " +
+                    std::to_string(arch_plan.configs_per_setting[i]),
+                contributors(*options, it->second)});
+          }
           continue;
         }
         const Contribution& first = it->second.front();

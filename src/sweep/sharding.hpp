@@ -43,6 +43,15 @@ struct QuarantinedSetting {
   std::size_t total = 0;         ///< planned samples in the setting
 };
 
+/// One setting dropped by a lenient merge: what was skipped, why, and which
+/// shards contributed its samples — the raw material of the final skip
+/// summary (a reader of warnings scrolled past still gets the full list).
+struct SkippedSetting {
+  std::string key;     ///< setting_key(arch, setting)
+  std::string reason;  ///< "missing from all N shards" / count mismatch
+  std::string shards;  ///< contributing shard names, "" when missing
+};
+
 struct MergeReport {
   std::vector<QuarantinedSetting> quarantined_settings;
   std::size_t quarantined_samples = 0;
@@ -54,6 +63,9 @@ struct MergeReport {
   /// Settings skipped under MergeOptions::lenient (missing or wrong-sized);
   /// 0 in strict mode, where those conditions throw instead.
   std::size_t skipped_settings = 0;
+  /// The skipped settings themselves, in plan order (size equals
+  /// skipped_settings), each with its reason and contributing shards.
+  std::vector<SkippedSetting> skipped;
 };
 
 /// Knobs for the coordinator-facing merge_shards overload.

@@ -91,6 +91,37 @@ class DataCorruptionError : public TuneError {
   std::uint64_t offset_ = 0;
 };
 
+/// A store file could not be opened, stat'ed or mapped at all (missing
+/// file, permission, I/O error) — distinct from DataCorruption, where bytes
+/// exist but fail validation. Classified Transient on purpose: the main
+/// producer of this error is the serving layer's hot-swap, where a store
+/// may simply not have landed yet and retrying against the next generation
+/// is the right reaction. Carries the path and the serving-generation label
+/// under which the open was attempted (0 = unlabeled, e.g. CLI one-shots),
+/// so a failed swap is attributable to the exact store it tried to adopt.
+class StoreOpenError : public TuneError {
+ public:
+  StoreOpenError(const std::string& path, std::uint64_t generation,
+                 const std::string& message)
+      : TuneError(ErrorClass::Transient,
+                  (generation == 0
+                       ? "cannot open store '" + path + "': " + message
+                       : "cannot open store '" + path + "' (generation " +
+                             std::to_string(generation) + "): " + message)),
+        path_(path),
+        generation_(generation) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Serving generation the open was for; 0 when opened outside a
+  /// generation scheme.
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::string path_;
+  std::uint64_t generation_ = 0;
+};
+
 /// Simulated process death / external cancellation. Not a TuneError on
 /// purpose: the resilience layer must let it escape so an interrupted study
 /// stops exactly where a real crash would.

@@ -11,10 +11,12 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
+#include <thread>
 
 #include "analysis/recommend.hpp"
 #include "core/tuner.hpp"
@@ -181,6 +183,59 @@ TEST(Store, QueryEqualsFilterAndSkipsForeignRuntimeBlocks) {
   // An unconstrained query materializes everything, like load().
   const store::StoreReader full(path);
   EXPECT_EQ(full.query({}).size(), dataset.size());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, ConcurrentQueriesOnOneReaderAgreeWithSerial) {
+  // The serve subsystem's access pattern: one mmap'd StoreReader shared by
+  // a worker pool, every worker issuing indexed queries and zero-copy scans
+  // concurrently. The reader's const members are documented thread-safe;
+  // this pins it down (and gives TSan a real interleaving to chew on —
+  // the scan validation latch and the runtime-bytes counter are the only
+  // mutable state).
+  const sweep::Dataset dataset = sample_dataset();
+  const std::string dir = temp_dir("concurrent");
+  const std::string path = util::path_join(dir, "d.omps");
+  dataset.save_store(path);
+
+  const store::StoreReader reader(path);
+  // Serial baselines, computed before any concurrency.
+  std::vector<store::StoreQuery> queries;
+  std::vector<std::size_t> expected_sizes;
+  for (const store::SettingEntry& entry : reader.settings()) {
+    store::StoreQuery query;
+    query.arch = entry.arch;
+    query.app = entry.app;
+    queries.push_back(query);
+    expected_sizes.push_back(dataset
+                                 .filter([&](const sweep::Sample& s) {
+                                   return s.arch == entry.arch &&
+                                          s.app == entry.app;
+                                 })
+                                 .size());
+  }
+  ASSERT_FALSE(queries.empty());
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 8;
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        const std::size_t q = (static_cast<std::size_t>(t) + round) % queries.size();
+        const sweep::Dataset slice = reader.query(queries[q]);
+        if (slice.size() != expected_sizes[q]) ++mismatches;
+        // Interleave the zero-copy path: scan validation races with
+        // queries on the same mapping.
+        std::size_t rows = 0;
+        reader.scan([&rows](const store::SettingSlice& s) { rows += s.rows; });
+        if (rows != dataset.size()) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
   std::filesystem::remove_all(dir);
 }
 

@@ -39,6 +39,21 @@
 //   omptune query <store.omps> <app> <arch>
 //                                      indexed store query + knowledge-based
 //                                      recommendation, no CSV parsing
+//   omptune query --remote=<socket> <app> <arch>
+//                                      the same recommendation answered by a
+//                                      running `omptune serve` instance over
+//                                      its unix socket (microseconds, no
+//                                      store open per query)
+//   omptune serve <store.omps>... --socket=<path>
+//                                      long-running recommendation server
+//                                      over the given store shards
+//     --tcp-port=<N>                   also listen on 127.0.0.1:N (0 =
+//                                      ephemeral)
+//     --cache=<N>                      reply-cache entries (default 4096)
+//     --max-pending=<N>                admission bound per poll round
+//     --no-admin                       refuse wire Swap/Shutdown messages
+//   omptune serve-ctl <socket> stats | swap <store.omps>... | shutdown
+//                                      admin client for a running server
 //   omptune recommend <app> <arch>    variable priority + best known config
 //     --store=<file.omps>              answer from a study store instead of
 //                                      re-running a quick study
@@ -55,6 +70,8 @@
 
 #include "analysis/recommend.hpp"
 #include "core/study.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "core/thread_advisor.hpp"
 #include "core/tuner.hpp"
 #include "sim/energy_model.hpp"
@@ -108,6 +125,15 @@ int usage() {
       "                                    one indexed binary store\n"
       "  query <store.omps> <app> <arch>   indexed store query + knowledge-\n"
       "                                    based recommendation\n"
+      "  query --remote=<socket> <app> <arch>\n"
+      "                                    the same, answered by a running\n"
+      "                                    `omptune serve` over its socket\n"
+      "  serve <store.omps>... --socket=<path>\n"
+      "        [--tcp-port=N] [--cache=N] long-running recommendation server\n"
+      "        [--max-pending=N]          with batching, reply cache and\n"
+      "        [--no-admin]               store hot-swap (SIGINT drains)\n"
+      "  serve-ctl <socket> stats | swap <store.omps>... | shutdown\n"
+      "                                    admin client for a running server\n"
       "  recommend <app> <arch> [--store=<file.omps>]\n"
       "                                    knowledge-based recommendation\n"
       "  tune <app> <arch> [strategy] [budget]\n"
@@ -455,9 +481,20 @@ int cmd_coordinate(int argc, char** argv) {
                 configs_arg.c_str(), out.c_str(), report.work_dir.c_str());
     return 130;
   }
-  if (report.merge.skipped_settings > 0) {
-    std::printf("lenient merge: %zu settings skipped\n",
+  if (!report.skipped_shard_stores.empty() || report.merge.skipped_settings > 0) {
+    std::printf("lenient assembly skipped %zu shard store(s) and %zu "
+                "setting(s):\n",
+                report.skipped_shard_stores.size(),
                 report.merge.skipped_settings);
+    for (const auto& s : report.skipped_shard_stores) {
+      std::printf("  store %s: %s\n", s.path.c_str(), s.reason.c_str());
+    }
+    for (const auto& s : report.merge.skipped) {
+      const std::string from =
+          s.shards.empty() ? std::string() : " (from " + s.shards + ")";
+      std::printf("  setting %s: %s%s\n", s.key.c_str(), s.reason.c_str(),
+                  from.c_str());
+    }
   }
   std::printf("compaction: %zu shard stores, %zu tiers, %zu merges "
               "(%zu intermediates reused); %zu samples in, %zu stored, "
@@ -542,11 +579,63 @@ void print_recommendation(const core::KnowledgeBase& kb,
   }
 }
 
+/// `omptune query --remote=<socket> <app> <arch>`: the recommendation
+/// answered by a running server in one round trip instead of opening the
+/// store locally.
+int query_remote(const std::string& socket_path, const std::string& app,
+                 const std::string& arch) {
+  serve::Client client = serve::Client::connect_unix(socket_path);
+  serve::Request request;
+  request.type = serve::MsgType::Recommend;
+  request.app = app;
+  request.arch = arch;
+  const serve::Response reply = client.call_one(request);
+  if (reply.type == serve::MsgType::Error) {
+    std::fprintf(stderr, "omptune query: server error: %s\n",
+                 reply.message.c_str());
+    return 1;
+  }
+  if (reply.type == serve::MsgType::Overloaded) {
+    std::fprintf(stderr, "omptune query: server overloaded, retry\n");
+    return 1;
+  }
+  std::printf("served by %s (store generation %llu)\n", socket_path.c_str(),
+              static_cast<unsigned long long>(reply.generation));
+  std::printf("variable priority (most influential first):\n ");
+  for (const auto& v : reply.variable_priority) std::printf(" %s", v.c_str());
+  std::printf("\n\n");
+  if (reply.found) {
+    std::printf("best known configuration (%.3fx over default):\n  %s\n",
+                reply.speedup, reply.config_key.c_str());
+  } else {
+    std::printf("no study samples for this (app, arch) pair\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_query(int argc, char** argv) {
-  if (argc < 5) return usage();
-  const std::string path = argv[2];
-  const std::string app = argv[3];
-  const std::string arch = argv[4];
+  std::string remote_socket;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--remote=")) {
+      remote_socket = arg.substr(9);
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "omptune query: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!remote_socket.empty()) {
+    if (positional.size() < 2) return usage();
+    return query_remote(remote_socket, positional[0], positional[1]);
+  }
+  if (positional.size() < 3) return usage();
+  const std::string& path = positional[0];
+  const std::string& app = positional[1];
+  const std::string& arch = positional[2];
 
   const store::StoreReader reader(path);
   store::StoreQuery query;
@@ -572,6 +661,99 @@ int cmd_query(int argc, char** argv) {
   print_recommendation(
       kb, analysis::recommend_for_app(reader, app, 0.01, 1.3, &pool), app, arch);
   return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions options;
+  std::vector<std::string> stores;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--socket=")) {
+      options.socket_path = arg.substr(9);
+    } else if (util::starts_with(arg, "--tcp-port=")) {
+      options.tcp_port = std::stoi(arg.substr(11));
+    } else if (util::starts_with(arg, "--cache=")) {
+      options.cache_capacity = std::stoul(arg.substr(8));
+    } else if (util::starts_with(arg, "--max-pending=")) {
+      options.max_pending = std::stoul(arg.substr(14));
+    } else if (arg == "--no-admin") {
+      options.allow_admin = false;
+    } else if (util::starts_with(arg, "--")) {
+      std::fprintf(stderr, "omptune serve: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else {
+      stores.push_back(arg);
+    }
+  }
+  if (stores.empty() || options.socket_path.empty()) {
+    std::fprintf(stderr,
+                 "omptune serve: need at least one store and --socket=<path>\n");
+    return usage();
+  }
+  options.threads = g_analysis_threads;
+  options.handle_signals = true;  // SIGINT drains instead of killing mid-reply
+  options.log = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+  serve::Server server(stores, std::move(options));
+  server.run();
+  return server.counters().drained_cleanly ? 0 : 1;
+}
+
+int cmd_serve_ctl(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string socket_path = argv[2];
+  const std::string verb = argv[3];
+  serve::Request request;
+  if (verb == "stats") {
+    request.type = serve::MsgType::Stats;
+  } else if (verb == "swap") {
+    request.type = serve::MsgType::Swap;
+    for (int i = 4; i < argc; ++i) request.store_paths.push_back(argv[i]);
+    if (request.store_paths.empty()) {
+      std::fprintf(stderr, "omptune serve-ctl: swap needs store paths\n");
+      return usage();
+    }
+  } else if (verb == "shutdown") {
+    request.type = serve::MsgType::Shutdown;
+  } else {
+    return usage();
+  }
+  serve::Client client = serve::Client::connect_unix(socket_path);
+  const serve::Response reply = client.call_one(request);
+  switch (reply.type) {
+    case serve::MsgType::StatsReply:
+      std::printf("generation %llu: %llu rows across %u shard(s)\n",
+                  static_cast<unsigned long long>(reply.generation),
+                  static_cast<unsigned long long>(reply.store_rows),
+                  reply.shards);
+      std::printf("served %llu replies in %llu batches, shed %llu\n",
+                  static_cast<unsigned long long>(reply.served),
+                  static_cast<unsigned long long>(reply.batches),
+                  static_cast<unsigned long long>(reply.shed));
+      std::printf("cache: %llu hits, %llu misses\n",
+                  static_cast<unsigned long long>(reply.cache_hits),
+                  static_cast<unsigned long long>(reply.cache_misses));
+      std::printf("connections: %llu accepted, %llu active; %llu swap(s)\n",
+                  static_cast<unsigned long long>(reply.connections_accepted),
+                  static_cast<unsigned long long>(reply.connections_active),
+                  static_cast<unsigned long long>(reply.swaps));
+      return 0;
+    case serve::MsgType::SwapReply:
+      std::printf("%s\n", reply.message.c_str());
+      return reply.found ? 0 : 1;
+    case serve::MsgType::ShutdownReply:
+      std::printf("server draining\n");
+      return 0;
+    case serve::MsgType::Error:
+      std::fprintf(stderr, "omptune serve-ctl: server error: %s\n",
+                   reply.message.c_str());
+      return 1;
+    default:
+      std::fprintf(stderr, "omptune serve-ctl: unexpected reply type %s\n",
+                   serve::to_string(reply.type));
+      return 1;
+  }
 }
 
 int cmd_recommend(int argc, char** argv) {
@@ -785,6 +967,8 @@ int main(int argc, char** argv) {
     if (command == "analyze") return cmd_analyze(argc, argv);
     if (command == "compact") return cmd_compact(argc, argv);
     if (command == "query") return cmd_query(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "serve-ctl") return cmd_serve_ctl(argc, argv);
     if (command == "recommend") return cmd_recommend(argc, argv);
     if (command == "tune") return cmd_tune(argc, argv);
     if (command == "violin") return cmd_violin(argc, argv);
