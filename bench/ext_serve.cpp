@@ -16,7 +16,10 @@
 //   - sustained warm-cache recommendation throughput >= 50,000 QPS;
 //   - single-request p99 latency < 1 ms;
 //   - zero shed replies and zero errors under the load (the bound is not
-//     hit by a well-behaved client), and a clean drain at the end.
+//     hit by a well-behaved client), and a clean drain at the end;
+//   - the RetryingClient on a healthy wire stays within 10% of the plain
+//     client's warm-cache QPS with zero retries (the resilience layer is
+//     free when nothing is failing).
 //
 // The measured QPS / p50 / p99 and the comparison numbers are recorded in
 // BENCH_serve.json next to the working directory for trend tracking.
@@ -35,6 +38,7 @@
 #include "analysis/recommend.hpp"
 #include "core/tuner.hpp"
 #include "serve/client.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 #include "store/reader.hpp"
 #include "store/writer.hpp"
@@ -142,6 +146,31 @@ int main() {
   const double load_seconds = seconds_since(load_start);
   const double qps = static_cast<double>(sustained_requests) / load_seconds;
 
+  // -- resilience tax: the same load through the retrying client ----------
+  // On a healthy wire the RetryingClient must be nearly free: one dialed
+  // connection, zero retries, just per-reply plausibility checks on top of
+  // the plain client. Gate: within 10% of the plain warm-cache QPS.
+  serve::RetryPolicy retry_policy;
+  retry_policy.breaker_threshold = 0;
+  serve::RetryingClient retry_client =
+      serve::RetryingClient::over_unix(socket_path, retry_policy);
+  std::uint64_t retry_requests = 0;
+  const auto retry_start = std::chrono::steady_clock::now();
+  while (seconds_since(retry_start) < 2.0) {
+    const std::vector<serve::Response> replies = retry_client.call(batch);
+    for (const serve::Response& reply : replies) {
+      if (reply.type != serve::MsgType::RecommendReply) {
+        std::fprintf(stderr, "unexpected reply type under retrying load\n");
+        return 1;
+      }
+    }
+    retry_requests += replies.size();
+  }
+  const double retry_seconds = seconds_since(retry_start);
+  const double retry_qps =
+      static_cast<double>(retry_requests) / retry_seconds;
+  const double retry_tax = qps > 0.0 ? 1.0 - retry_qps / qps : 1.0;
+
   // -- single-request latency distribution --------------------------------
   constexpr std::size_t kLatencyProbes = 20000;
   std::vector<double> latencies_us;
@@ -204,6 +233,12 @@ int main() {
   std::printf("\nsustained pipelined load (batch %zu, warm cache):\n", kBatch);
   std::printf("  %9.0f QPS over %.2f s (%llu requests)\n", qps, load_seconds,
               static_cast<unsigned long long>(sustained_requests));
+  std::printf("retrying client, same load, healthy wire:\n");
+  std::printf("  %9.0f QPS (%.1f%% tax, %llu retries, %llu reconnects)\n",
+              retry_qps, retry_tax * 100.0,
+              static_cast<unsigned long long>(retry_client.counters().retries),
+              static_cast<unsigned long long>(
+                  retry_client.counters().reconnects));
   std::printf("single-request latency (%zu probes):\n", kLatencyProbes);
   std::printf("  p50 %8.1f us   p99 %8.1f us\n", p50, p99);
   std::printf("iterative tuner loop (%d refinements):\n", kTunerLoops);
@@ -232,12 +267,14 @@ int main() {
                    "  \"one_shot_ms_per_query\": %.3f,\n"
                    "  \"tuner_round_trips_per_s\": %.0f,\n"
                    "  \"cache_hit_rate\": %.3f,\n"
+                   "  \"retrying_client_qps\": %.0f,\n"
+                   "  \"retrying_client_tax\": %.3f,\n"
                    "  \"store_samples\": %zu\n"
                    "}\n",
                    qps, p50, p99, kBatch,
                    static_cast<unsigned long long>(sustained_requests),
-                   one_shot_seconds * 1e3, tuner_rps, hit_rate,
-                   dataset.size());
+                   one_shot_seconds * 1e3, tuner_rps, hit_rate, retry_qps,
+                   retry_tax, dataset.size());
       std::fclose(json);
       std::printf("recorded BENCH_serve.json\n");
     }
@@ -247,12 +284,16 @@ int main() {
   const bool p99_ok = p99 < 1000.0;
   const bool clean = counters.shed == 0 && counters.wire_errors == 0 &&
                      counters.protocol_errors == 0 && counters.drained_cleanly;
+  const bool retry_ok =
+      retry_qps >= 0.9 * qps && retry_client.counters().retries == 0;
   std::printf("\nsustained >= 50k QPS warm-cache: %s\n",
               qps_ok ? "PASS" : "FAIL");
   std::printf("p99 < 1 ms: %s\n", p99_ok ? "PASS" : "FAIL");
   std::printf("no shed / no errors / clean drain: %s\n",
               clean ? "PASS" : "FAIL");
+  std::printf("retrying client within 10%% of plain QPS, zero retries: %s\n",
+              retry_ok ? "PASS" : "FAIL");
 
   std::filesystem::remove_all(dir);
-  return qps_ok && p99_ok && clean ? 0 : 1;
+  return qps_ok && p99_ok && clean && retry_ok ? 0 : 1;
 }

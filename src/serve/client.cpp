@@ -10,14 +10,16 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/process.hpp"
-
 namespace omptune::serve {
 
 namespace {
 
 [[noreturn]] void sys_fail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+[[noreturn]] void conn_fail(const std::string& what) {
+  throw ConnectionLost(what + ": " + std::strerror(errno));
 }
 
 }  // namespace
@@ -35,7 +37,7 @@ Client Client::connect_unix(const std::string& socket_path) {
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     ::close(fd);
-    sys_fail("connect(" + socket_path + ")");
+    conn_fail("connect(" + socket_path + ")");
   }
   return Client(fd);
 }
@@ -50,7 +52,7 @@ Client Client::connect_tcp(int port) {
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     ::close(fd);
-    sys_fail("connect(127.0.0.1:" + std::to_string(port) + ")");
+    conn_fail("connect(127.0.0.1:" + std::to_string(port) + ")");
   }
   return Client(fd);
 }
@@ -76,6 +78,15 @@ void Client::close() {
   }
 }
 
+void Client::set_timeouts(int timeout_ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
 std::string Client::read_frame() {
   for (;;) {
     const std::size_t total = frame_size(buffer_);  // throws on oversize
@@ -92,9 +103,12 @@ std::string Client::read_frame() {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n == 0) {
-      throw std::runtime_error("server closed the connection mid-reply");
+      throw ConnectionLost("server closed the connection mid-reply");
     }
-    sys_fail("recv");
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      throw ConnectionLost("recv timed out waiting for a reply frame");
+    }
+    conn_fail("recv");
   }
 }
 
@@ -102,8 +116,8 @@ std::vector<Response> Client::call(const std::vector<Request>& requests) {
   if (fd_ < 0) throw std::runtime_error("client is not connected");
   std::string batch;
   for (const Request& request : requests) encode_request(batch, request);
-  if (!util::write_all(fd_, batch)) {
-    throw std::runtime_error("server closed the connection mid-request");
+  if (!send_all(fd_, batch)) {
+    throw ConnectionLost("server closed the connection mid-request");
   }
   std::vector<Response> replies;
   replies.reserve(requests.size());

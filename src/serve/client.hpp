@@ -18,9 +18,19 @@
 
 namespace omptune::serve {
 
+/// The server vanished mid-call: connect refused, connection reset, close
+/// mid-reply, or a socket timeout expired. Transient — a fresh connection
+/// may succeed (e.g. the Keeper is restarting the server right now), which
+/// is exactly the distinction the retry layer keys on.
+class ConnectionLost : public util::TransientError {
+ public:
+  explicit ConnectionLost(const std::string& message)
+      : util::TransientError("connection: " + message) {}
+};
+
 class Client {
  public:
-  /// Connect to a server's unix socket. Throws std::runtime_error when the
+  /// Connect to a server's unix socket. Throws ConnectionLost when the
   /// socket is absent or refuses (the caller distinguishes "server not
   /// running" by catching).
   static Client connect_unix(const std::string& socket_path);
@@ -36,14 +46,27 @@ class Client {
 
   /// Send `requests` as one pipelined batch and block until every reply
   /// arrived. Replies are positional: reply[i] answers requests[i].
-  /// Throws WireError on a malformed reply, std::runtime_error when the
-  /// server closes mid-batch.
+  /// Throws WireError on a malformed reply, ConnectionLost when the
+  /// server closes (or stalls past the socket timeout) mid-batch.
   std::vector<Response> call(const std::vector<Request>& requests);
 
   /// One-request convenience over call().
   Response call_one(const Request& request);
 
+  /// Bound every recv/send with SO_RCVTIMEO/SO_SNDTIMEO so a server that
+  /// stalls mid-frame surfaces as ConnectionLost instead of hanging the
+  /// caller forever. 0 restores "block indefinitely".
+  void set_timeouts(int timeout_ms);
+
   bool connected() const { return fd_ >= 0; }
+
+  /// Bytes buffered past the last frame consumed by call(). Non-empty
+  /// between calls means the server (or a fault in between) sent MORE
+  /// replies than were owed — positional correlation is broken and the
+  /// connection must be abandoned, which is how the retry layer detects
+  /// duplicated replies.
+  bool has_buffered_bytes() const { return !buffer_.empty(); }
+
   void close();
 
  private:

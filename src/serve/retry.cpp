@@ -1,0 +1,195 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/process.hpp"
+
+namespace omptune::serve {
+
+namespace {
+
+MsgType expected_reply(MsgType request) {
+  switch (request) {
+    case MsgType::Recommend: return MsgType::RecommendReply;
+    case MsgType::BestSetting: return MsgType::BestSettingReply;
+    case MsgType::Marginal: return MsgType::MarginalReply;
+    case MsgType::Stats: return MsgType::StatsReply;
+    case MsgType::Swap: return MsgType::SwapReply;
+    case MsgType::Shutdown: return MsgType::ShutdownReply;
+    default: return MsgType::Error;
+  }
+}
+
+/// A reply slot may hold the request's answer type, a typed retryable, or
+/// Error. Anything else means the byte stream slipped — a garbled length
+/// that still framed, a duplicated frame shifting correlation — and the
+/// connection can no longer be trusted.
+bool plausible_reply(MsgType request, MsgType reply) {
+  return reply == expected_reply(request) || reply == MsgType::Error ||
+         is_retryable_reply(reply);
+}
+
+}  // namespace
+
+RetryingClient::RetryingClient(Connector connector, RetryPolicy policy,
+                               Clock clock, Sleeper sleep)
+    : connector_(std::move(connector)),
+      policy_(policy),
+      clock_(clock ? std::move(clock) : Clock(&util::monotonic_ms)),
+      sleep_(sleep ? std::move(sleep) : Sleeper([](std::int64_t ms) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      })) {
+  if (policy_.max_attempts < 1) policy_.max_attempts = 1;
+}
+
+RetryingClient RetryingClient::over_unix(std::string socket_path,
+                                         RetryPolicy policy) {
+  return RetryingClient(
+      [path = std::move(socket_path)]() { return Client::connect_unix(path); },
+      std::move(policy));
+}
+
+void RetryingClient::record_call_outcome(bool success) {
+  if (policy_.breaker_threshold <= 0) return;
+  if (success) {
+    consecutive_failed_calls_ = 0;
+    breaker_ = BreakerState::Closed;
+    return;
+  }
+  ++consecutive_failed_calls_;
+  if (breaker_ == BreakerState::HalfOpen ||
+      consecutive_failed_calls_ >= policy_.breaker_threshold) {
+    breaker_ = BreakerState::Open;
+    breaker_probe_at_ms_ = clock_() + policy_.breaker_cooldown_ms;
+    consecutive_failed_calls_ = 0;
+    ++counters_.breaker_trips;
+  }
+}
+
+RetryingClient::AttemptStatus RetryingClient::attempt(
+    const std::vector<Request>& requests, std::vector<Response>& replies,
+    bool idempotent, std::string& failure) {
+  if (!client_ || !client_->connected()) {
+    try {
+      Client fresh = connector_();
+      fresh.set_timeouts(policy_.socket_timeout_ms);
+      client_.emplace(std::move(fresh));
+      ++counters_.reconnects;
+    } catch (const ConnectionLost& lost) {
+      // Nothing was sent: reconnect failure is retryable even for a
+      // non-idempotent batch.
+      failure = lost.what();
+      return AttemptStatus::Replay;
+    }
+  }
+  if (client_->has_buffered_bytes()) {
+    ++counters_.poisoned;
+    client_.reset();
+    failure = "unsolicited bytes buffered between calls (duplicated reply?)";
+    return AttemptStatus::Replay;
+  }
+  ++counters_.attempts;
+  try {
+    replies = client_->call(requests);
+  } catch (const WireError& wire) {
+    ++counters_.poisoned;
+    client_.reset();
+    failure = wire.what();
+    if (!idempotent) {
+      throw ConnectionLost(
+          std::string("reply stream corrupt after a non-idempotent batch: ") +
+          wire.what());
+    }
+    return AttemptStatus::Replay;
+  } catch (const ConnectionLost& lost) {
+    client_.reset();
+    failure = lost.what();
+    if (!idempotent) throw;  // ambiguous: the Swap/Shutdown may have landed
+    return AttemptStatus::Replay;
+  }
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    if (!plausible_reply(requests[i].type, replies[i].type)) {
+      ++counters_.poisoned;
+      client_.reset();
+      failure = std::string("implausible reply '") +
+                to_string(replies[i].type) + "' to '" +
+                to_string(requests[i].type) + "'";
+      if (!idempotent) {
+        throw ConnectionLost("reply correlation broken after a "
+                             "non-idempotent batch: " +
+                             failure);
+      }
+      return AttemptStatus::Replay;
+    }
+  }
+  for (const Response& reply : replies) {
+    if (is_retryable_reply(reply.type)) {
+      // A retryable reply guarantees nothing was computed for that slot, so
+      // resending the WHOLE batch is safe — answered idempotent slots are
+      // merely recomputed (or cache hits) on the retry.
+      failure = std::string("server replied ") + to_string(reply.type);
+      return AttemptStatus::RetryAll;
+    }
+  }
+  return AttemptStatus::Done;
+}
+
+std::vector<Response> RetryingClient::call(
+    const std::vector<Request>& requests) {
+  ++counters_.calls;
+  for (const Request& request : requests) {
+    if (!is_request_type(request.type)) {
+      throw WireError(std::string("not a request type: ") +
+                      to_string(request.type));
+    }
+  }
+  if (policy_.breaker_threshold > 0 && breaker_ == BreakerState::Open) {
+    const std::int64_t now = clock_();
+    if (now >= breaker_probe_at_ms_) {
+      breaker_ = BreakerState::HalfOpen;  // this call is the probe
+    } else {
+      ++counters_.breaker_fast_fails;
+      throw CircuitOpenError(
+          "retrying again in " + std::to_string(breaker_probe_at_ms_ - now) +
+          " ms");
+    }
+  }
+  const bool idempotent =
+      std::all_of(requests.begin(), requests.end(), [](const Request& r) {
+        return is_idempotent_request(r.type);
+      });
+  std::vector<Response> replies;
+  std::string failure = "no attempt made";
+  std::int64_t prev_delay = 0;
+  try {
+    for (int attempt_no = 1; attempt_no <= policy_.max_attempts;
+         ++attempt_no) {
+      if (attempt_no > 1) {
+        const std::int64_t delay = policy_.backoff.next_delay_ms(
+            policy_.seed, "serve-retry", attempt_no, prev_delay);
+        prev_delay = delay;
+        sleep_(delay);
+        ++counters_.retries;
+      }
+      if (attempt(requests, replies, idempotent, failure) ==
+          AttemptStatus::Done) {
+        record_call_outcome(true);
+        return replies;
+      }
+    }
+  } catch (...) {
+    record_call_outcome(false);
+    throw;
+  }
+  record_call_outcome(false);
+  throw RetriesExhaustedError("after " + std::to_string(policy_.max_attempts) +
+                              " attempts; last failure: " + failure);
+}
+
+Response RetryingClient::call_one(const Request& request) {
+  return call({request}).front();
+}
+
+}  // namespace omptune::serve

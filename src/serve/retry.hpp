@@ -1,0 +1,139 @@
+#pragma once
+
+// The resilient client: a Client wrapper that turns a flaky wire into an
+// at-most-bounded-latency query interface. Three cooperating mechanisms:
+//
+//  * Bounded retries with decorrelated-jitter backoff (util::BackoffPolicy,
+//    the same schedule the sweep coordinator and the Keeper use), retrying
+//    ONLY on typed-retryable replies (Overloaded, DeadlineExceeded) and on
+//    connection loss — never on an answer, never on a WireError from our
+//    own bad request.
+//
+//  * Reconnect-and-replay for idempotent batches: when the connection dies
+//    or turns out poisoned (garbled bytes decoded into an implausible reply
+//    type, or leftover bytes show the peer sent replies it did not owe —
+//    duplicated frames), the client abandons the socket and replays the
+//    batch on a fresh one — but only when every request in the batch is
+//    idempotent (is_idempotent_request). A Swap or Shutdown that died
+//    ambiguously propagates ConnectionLost to the caller instead.
+//
+//  * A circuit breaker at call granularity: after `breaker_threshold`
+//    consecutive failed calls the breaker opens and calls fail fast with
+//    CircuitOpenError (no socket traffic at all) until `breaker_cooldown_ms`
+//    passes; the first call after the cooldown is the half-open probe — on
+//    success the breaker closes, on failure it re-opens for another
+//    cooldown. This is what keeps ten thousand retrying clients from
+//    stampeding a server the Keeper is still rebooting.
+//
+// The clock and the sleep are injected so tests drive the breaker and the
+// backoff deterministically without wall-time waits.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "util/backoff.hpp"
+
+namespace omptune::serve {
+
+/// The circuit breaker is open: the last `breaker_threshold` calls all
+/// failed and the cooldown has not elapsed. Transient by construction.
+class CircuitOpenError : public util::TransientError {
+ public:
+  explicit CircuitOpenError(const std::string& message)
+      : util::TransientError("circuit open: " + message) {}
+};
+
+/// Every retry was spent and the call still failed. Carries the last
+/// failure's text; transient — a later call may find a healthier server.
+class RetriesExhaustedError : public util::TransientError {
+ public:
+  explicit RetriesExhaustedError(const std::string& message)
+      : util::TransientError("retries exhausted: " + message) {}
+};
+
+struct RetryPolicy {
+  /// Total attempts per call (first try included). Must be >= 1.
+  int max_attempts = 6;
+  /// Delay schedule between attempts (decorrelated jitter).
+  util::BackoffPolicy backoff{/*base_ms=*/25, /*max_ms=*/2000};
+  /// Seed for the deterministic backoff draw (replayable schedules).
+  std::uint64_t seed = 0;
+  /// SO_RCVTIMEO/SO_SNDTIMEO per socket so a server stalling mid-frame
+  /// becomes a retryable ConnectionLost, not a hang. 0 = block forever.
+  int socket_timeout_ms = 2000;
+  /// Consecutive failed CALLS (not attempts) that trip the breaker;
+  /// <= 0 disables the breaker entirely.
+  int breaker_threshold = 5;
+  /// How long an open breaker rejects before allowing a half-open probe.
+  std::int64_t breaker_cooldown_ms = 1000;
+};
+
+struct RetryCounters {
+  std::uint64_t calls = 0;         ///< call()/call_one() invocations
+  std::uint64_t attempts = 0;      ///< batches actually written to a socket
+  std::uint64_t retries = 0;       ///< attempts after the first, per call
+  std::uint64_t reconnects = 0;    ///< fresh sockets dialed
+  std::uint64_t poisoned = 0;      ///< connections abandoned for bad replies
+  std::uint64_t breaker_trips = 0; ///< Closed/HalfOpen -> Open transitions
+  std::uint64_t breaker_fast_fails = 0;  ///< calls rejected while Open
+};
+
+class RetryingClient {
+ public:
+  /// Dials a fresh connection; throws ConnectionLost on failure.
+  using Connector = std::function<Client()>;
+  using Clock = std::function<std::int64_t()>;          ///< monotonic ms
+  using Sleeper = std::function<void(std::int64_t)>;    ///< sleep ms
+
+  /// `clock`/`sleep` default to util::monotonic_ms and a real sleep; tests
+  /// inject fakes to step the breaker cooldown without waiting.
+  RetryingClient(Connector connector, RetryPolicy policy,
+                 Clock clock = nullptr, Sleeper sleep = nullptr);
+
+  /// Convenience: dial `socket_path` per connection.
+  static RetryingClient over_unix(std::string socket_path, RetryPolicy policy);
+
+  /// Like Client::call(), but survives Overloaded/DeadlineExceeded replies,
+  /// connection loss and reply-stream corruption within the retry budget.
+  /// Throws CircuitOpenError (breaker open), RetriesExhaustedError (budget
+  /// spent), ConnectionLost (ambiguous failure of a non-idempotent batch),
+  /// or WireError (our own request was malformed — not retryable).
+  std::vector<Response> call(const std::vector<Request>& requests);
+  Response call_one(const Request& request);
+
+  const RetryCounters& counters() const { return counters_; }
+
+  /// Breaker introspection for tests and the CLI's verbose mode.
+  enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+  BreakerState breaker_state() const { return breaker_; }
+
+ private:
+  enum class AttemptStatus : std::uint8_t {
+    Done,      ///< replies are complete answers
+    RetryAll,  ///< nothing computed (typed retryable) — back off, resend
+    Replay,    ///< connection dead/poisoned — reconnect and resend
+  };
+
+  AttemptStatus attempt(const std::vector<Request>& requests,
+                        std::vector<Response>& replies, bool idempotent,
+                        std::string& failure);
+  void record_call_outcome(bool success);
+
+  Connector connector_;
+  RetryPolicy policy_;
+  Clock clock_;
+  Sleeper sleep_;
+  std::optional<Client> client_;
+
+  BreakerState breaker_ = BreakerState::Closed;
+  int consecutive_failed_calls_ = 0;
+  std::int64_t breaker_probe_at_ms_ = 0;  ///< when Open may half-open
+
+  RetryCounters counters_;
+};
+
+}  // namespace omptune::serve

@@ -8,10 +8,13 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "util/errors.hpp"
@@ -85,6 +88,10 @@ struct Server::Conn {
   int fd = -1;
   std::string in;
   std::string out;
+  /// Slowloris clock: monotonic ms when the pending partial frame started
+  /// waiting (0 = no partial pending). Only a COMPLETED frame resets it —
+  /// trickling one byte per poll round does not keep the slot alive.
+  std::int64_t stall_since_ms = 0;
 
   ~Conn() { close_quiet(fd); }
 };
@@ -103,6 +110,8 @@ struct Server::Work {
   std::string raw;
   Request request;
   std::string out;
+  /// Monotonic deadline stamped when the frame was cut; 0 = no deadline.
+  std::int64_t deadline_at_ms = 0;
 };
 
 Server::Server(std::vector<std::string> store_paths, ServerOptions options)
@@ -218,6 +227,8 @@ Response Server::stats_response() const {
   reply.cache_hits = c.cache_hits;
   reply.cache_misses = c.cache_misses;
   reply.shed = c.shed;
+  reply.deadline_exceeded = c.deadline_exceeded;
+  reply.evicted_slow = c.evicted_slow;
   reply.swaps = c.swaps;
   reply.connections_accepted = c.connections_accepted;
   reply.connections_active = c.connections_active;
@@ -231,6 +242,9 @@ ServerCounters Server::counters() const {
   c.served = counters_.served.load(std::memory_order_relaxed);
   c.batches = counters_.batches.load(std::memory_order_relaxed);
   c.shed = counters_.shed.load(std::memory_order_relaxed);
+  c.deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  c.evicted_slow = counters_.evicted_slow.load(std::memory_order_relaxed);
   c.wire_errors = counters_.wire_errors.load(std::memory_order_relaxed);
   c.protocol_errors = counters_.protocol_errors.load(std::memory_order_relaxed);
   c.connections_accepted =
@@ -309,6 +323,19 @@ void Server::execute_round(std::vector<Work>& works,
         for (std::size_t i = begin; i < end; ++i) {
           Work& work = works[i];
           if (work.kind != Work::Kind::Query) continue;
+          if (options_.debug_execute_delay_ms > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options_.debug_execute_delay_ms));
+          }
+          if (past_deadline(util::monotonic_ms(), work.deadline_at_ms)) {
+            Response late;
+            late.type = MsgType::DeadlineExceeded;
+            late.generation = snap->generation();
+            encode_response(work.out, late);
+            counters_.deadline_exceeded.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            continue;  // never cached: the miss is about THIS execution
+          }
           const std::string key =
               ReplyCache::make_key(snap->generation(), work.raw);
           if (cache_.lookup(key, work.out)) continue;
@@ -350,6 +377,33 @@ void Server::run() {
   }
   std::deque<std::unique_ptr<Conn>> conns;
   draining_ = false;
+
+  // Keeper liveness: "hb" every interval, "gen <g>\t<path>..." whenever the
+  // served generation changes (boot counts). The pipe writes happen only on
+  // the IO thread, so a swap() from any thread is picked up next round. A
+  // failed write means the supervisor is gone — not our problem to solve.
+  std::int64_t next_heartbeat_ms = 0;
+  std::uint64_t heartbeat_gen = 0;
+  const auto emit_heartbeats = [&](std::int64_t now) {
+    if (options_.heartbeat_fd < 0) return;
+    const std::uint64_t gen = generation();
+    if (gen != heartbeat_gen) {
+      std::string line = "gen " + std::to_string(gen);
+      for (const std::string& path : snapshot()->shard_paths()) {
+        line += '\t';
+        line += path;
+      }
+      line += '\n';
+      if (util::write_all(options_.heartbeat_fd, line)) heartbeat_gen = gen;
+    }
+    if (now >= next_heartbeat_ms) {
+      [[maybe_unused]] const bool ok =
+          util::write_all(options_.heartbeat_fd, "hb\n");
+      next_heartbeat_ms = now + options_.heartbeat_interval_ms;
+    }
+  };
+  emit_heartbeats(util::monotonic_ms());
+
   ready_.store(true, std::memory_order_release);
   log_line("listening on " + options_.socket_path +
            (tcp_fd >= 0
@@ -402,11 +456,33 @@ void Server::run() {
       fds.push_back({conn->fd, events, 0});
     }
 
-    const int rc = ::poll(fds.data(), fds.size(), -1);
+    // The loop may no longer sleep forever: the next heartbeat and the
+    // earliest stall eviction both bound the poll timeout.
+    std::int64_t wake_at = std::numeric_limits<std::int64_t>::max();
+    if (options_.heartbeat_fd >= 0) {
+      wake_at = std::min(wake_at, next_heartbeat_ms);
+    }
+    if (options_.stall_timeout_ms > 0) {
+      for (const auto& conn : conns) {
+        if (conn->stall_since_ms > 0) {
+          wake_at = std::min(
+              wake_at, conn->stall_since_ms + options_.stall_timeout_ms + 1);
+        }
+      }
+    }
+    int poll_timeout = -1;
+    if (wake_at != std::numeric_limits<std::int64_t>::max()) {
+      poll_timeout = static_cast<int>(std::clamp<std::int64_t>(
+          wake_at - util::monotonic_ms(), 0, 60'000));
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), poll_timeout);
     if (rc < 0) {
       if (errno == EINTR) continue;
       sys_fail("poll");
     }
+    const std::int64_t round_now = util::monotonic_ms();
+    emit_heartbeats(round_now);
 
     // Accept everything pending on the listeners. Connections accepted
     // here have no pollfd this round — they are served from the next
@@ -482,6 +558,9 @@ void Server::run() {
         work.raw = conn.in.substr(consumed + 4, total - 4);
         consumed += total;
         ++taken;
+        if (options_.request_deadline_ms > 0) {
+          work.deadline_at_ms = round_now + options_.request_deadline_ms;
+        }
         try {
           work.request = decode_request(work.raw);
           if (!is_request_type(work.request.type)) {
@@ -538,6 +617,19 @@ void Server::run() {
         // this round would have owed it.
         for (Work& work : works) {
           if (work.conn == &conn) work.conn = nullptr;
+        }
+      }
+      if (options_.stall_timeout_ms > 0 && !peer_gone) {
+        if (conn.in.empty()) {
+          conn.stall_since_ms = 0;
+        } else if (taken > 0 || conn.stall_since_ms == 0) {
+          conn.stall_since_ms = round_now;
+        } else if (round_now - conn.stall_since_ms >
+                   options_.stall_timeout_ms) {
+          counters_.evicted_slow.fetch_add(1, std::memory_order_relaxed);
+          log_line("evicted stalled connection: partial frame pending " +
+                   std::to_string(round_now - conn.stall_since_ms) + " ms");
+          peer_gone = true;
         }
       }
       if (peer_gone) dead.push_back(c);

@@ -77,6 +77,26 @@ struct ServerOptions {
   bool handle_signals = false;
   /// Budget for flushing pending replies at drain.
   std::int64_t drain_timeout_ms = 5000;
+  /// Per-request budget, stamped when the frame is cut from the socket:
+  /// a query still unanswered strictly past its stamp + this many ms gets
+  /// a typed DeadlineExceeded reply instead of a store lookup (graceful
+  /// degradation: the client retries, the queue drains). 0 disables.
+  std::int64_t request_deadline_ms = 0;
+  /// Slowloris defense: a connection holding a PARTIAL frame that makes no
+  /// frame progress for this long is evicted (counted in evicted_slow).
+  /// The clock starts when the partial appears and only a completed frame
+  /// resets it, so trickling one byte per second does not keep a slot
+  /// alive. 0 disables.
+  std::int64_t stall_timeout_ms = 0;
+  /// Keeper liveness pipe: when >= 0, the IO loop writes "hb" lines every
+  /// heartbeat_interval_ms and a "gen <generation>\t<path>..." line at
+  /// boot and after every swap, so the supervisor can detect a wedged
+  /// process and restart onto the last-known-good shard set. -1 disables.
+  int heartbeat_fd = -1;
+  std::int64_t heartbeat_interval_ms = 500;
+  /// Test/chaos hook: sleep this long inside each query execution. Forces
+  /// deterministic deadline misses and wedge windows; 0 in production.
+  std::int64_t debug_execute_delay_ms = 0;
   /// Progress/accounting lines; null = silent.
   std::function<void(const std::string&)> log;
 };
@@ -86,6 +106,8 @@ struct ServerCounters {
   std::uint64_t served = 0;             ///< replies written (all types)
   std::uint64_t batches = 0;            ///< per-connection batches executed
   std::uint64_t shed = 0;               ///< Overloaded replies (admission)
+  std::uint64_t deadline_exceeded = 0;  ///< DeadlineExceeded replies
+  std::uint64_t evicted_slow = 0;       ///< connections evicted for stalling
   std::uint64_t wire_errors = 0;        ///< Error replies to bad requests
   std::uint64_t protocol_errors = 0;    ///< connections dropped for framing
   std::uint64_t connections_accepted = 0;
@@ -144,6 +166,13 @@ class Server {
   /// reference answers.
   static Response answer(const Request& request, const Snapshot& snapshot);
 
+  /// The deadline comparator the executor uses: STRICTLY past, so a
+  /// request completing exactly at its deadline is on time ("done by t",
+  /// not "done before t"). deadline_at_ms == 0 means no deadline.
+  static bool past_deadline(std::int64_t now_ms, std::int64_t deadline_at_ms) {
+    return deadline_at_ms > 0 && now_ms > deadline_at_ms;
+  }
+
  private:
   struct Conn;
   struct Work;
@@ -174,7 +203,8 @@ class Server {
   bool draining_ = false;  ///< IO thread only
 
   struct Atomics {
-    std::atomic<std::uint64_t> served{0}, batches{0}, shed{0}, wire_errors{0},
+    std::atomic<std::uint64_t> served{0}, batches{0}, shed{0},
+        deadline_exceeded{0}, evicted_slow{0}, wire_errors{0},
         protocol_errors{0}, connections_accepted{0}, connections_closed{0},
         connections_active{0}, swaps{0}, swap_failures{0};
     std::atomic<bool> drained_cleanly{false};

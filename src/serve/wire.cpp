@@ -1,5 +1,8 @@
 #include "serve/wire.hpp"
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <cstring>
 
 #include "store/format.hpp"
@@ -89,6 +92,7 @@ const char* to_string(MsgType type) {
     case MsgType::Overloaded: return "overloaded";
     case MsgType::Error: return "error";
     case MsgType::ShutdownReply: return "shutdown-reply";
+    case MsgType::DeadlineExceeded: return "deadline-exceeded";
   }
   return "unknown";
 }
@@ -105,6 +109,35 @@ bool is_request_type(MsgType type) {
     default:
       return false;
   }
+}
+
+bool is_retryable_reply(MsgType type) {
+  return type == MsgType::Overloaded || type == MsgType::DeadlineExceeded;
+}
+
+bool is_idempotent_request(MsgType type) {
+  switch (type) {
+    case MsgType::Recommend:
+    case MsgType::BestSetting:
+    case MsgType::Marginal:
+    case MsgType::Stats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      data.remove_prefix(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EPIPE, ECONNRESET, EAGAIN-on-timeout, anything terminal
+  }
+  return true;
 }
 
 void encode_request(std::string& out, const Request& request) {
@@ -181,6 +214,8 @@ void encode_response(std::string& out, const Response& response) {
       store::append_scalar<std::uint64_t>(payload, response.cache_hits);
       store::append_scalar<std::uint64_t>(payload, response.cache_misses);
       store::append_scalar<std::uint64_t>(payload, response.shed);
+      store::append_scalar<std::uint64_t>(payload, response.deadline_exceeded);
+      store::append_scalar<std::uint64_t>(payload, response.evicted_slow);
       store::append_scalar<std::uint64_t>(payload, response.swaps);
       store::append_scalar<std::uint64_t>(payload, response.connections_accepted);
       store::append_scalar<std::uint64_t>(payload, response.connections_active);
@@ -193,6 +228,7 @@ void encode_response(std::string& out, const Response& response) {
       break;
     case MsgType::Overloaded:
     case MsgType::ShutdownReply:
+    case MsgType::DeadlineExceeded:
       break;
     case MsgType::Error:
       append_string(payload, response.message);
@@ -293,6 +329,8 @@ Response decode_response(std::string_view payload) {
       response.cache_hits = cursor.scalar<std::uint64_t>("cache hits");
       response.cache_misses = cursor.scalar<std::uint64_t>("cache misses");
       response.shed = cursor.scalar<std::uint64_t>("shed");
+      response.deadline_exceeded = cursor.scalar<std::uint64_t>("deadline exceeded");
+      response.evicted_slow = cursor.scalar<std::uint64_t>("evicted slow");
       response.swaps = cursor.scalar<std::uint64_t>("swaps");
       response.connections_accepted =
           cursor.scalar<std::uint64_t>("connections accepted");
@@ -307,6 +345,7 @@ Response decode_response(std::string_view payload) {
       break;
     case MsgType::Overloaded:
     case MsgType::ShutdownReply:
+    case MsgType::DeadlineExceeded:
       break;
     case MsgType::Error:
       response.message = cursor.string("message");

@@ -63,6 +63,8 @@ enum class MsgType : std::uint8_t {
   Overloaded = 38,  ///< typed load-shed: retry later, nothing was computed
   Error = 39,       ///< request was well-framed but unanswerable
   ShutdownReply = 40,
+  DeadlineExceeded = 41,  ///< typed deadline miss: the request sat past its
+                          ///< --request-deadline-ms budget; retry later
 };
 
 /// One request, flat across types: each type reads only its own fields
@@ -98,6 +100,8 @@ struct Response {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t shed = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t evicted_slow = 0;
   std::uint64_t swaps = 0;
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_active = 0;
@@ -129,6 +133,28 @@ Response decode_response(std::string_view payload);
 /// types arriving as requests without tearing the connection down).
 bool is_request_type(MsgType type);
 
+/// True for the reply types that mean "nothing was computed, the same
+/// request may succeed later" — the only replies a retrying client is
+/// allowed to re-issue on (Overloaded, DeadlineExceeded). Every other
+/// reply is an answer; retrying it would re-ask an answered question.
+bool is_retryable_reply(MsgType type);
+
+/// True for the request types that are safe to replay on a fresh
+/// connection after an ambiguous failure (pure reads: every query type
+/// plus Stats). Swap and Shutdown mutate server state and must not be
+/// silently re-sent by a retry layer.
+bool is_idempotent_request(MsgType type);
+
 const char* to_string(MsgType type);
+
+// ---- socket I/O ------------------------------------------------------------
+
+/// send(2) all of `data` on a (blocking or non-blocking-with-retry) socket:
+/// retries EINTR and short writes, passes MSG_NOSIGNAL so a dead peer
+/// surfaces as EPIPE instead of killing the process. Returns false when the
+/// peer is gone (EPIPE/ECONNRESET/any terminal error); never throws. The
+/// one write funnel for the client, the Keeper and the chaos proxy — the
+/// server's poll loop keeps its own non-blocking variant.
+bool send_all(int fd, std::string_view data);
 
 }  // namespace omptune::serve

@@ -1,0 +1,319 @@
+#include "sim/wire_chaos.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace omptune::sim {
+
+WireChaosSpec WireChaosSpec::parse(const std::string& text) {
+  WireChaosSpec spec;
+  if (text.empty()) return spec;
+  for (const std::string& token : util::split(text, ',')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("wire chaos spec: token '" + token +
+                                  "' is not key=value");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "reset") {
+        spec.reset_rate = std::stod(value);
+      } else if (key == "truncate") {
+        spec.truncate_rate = std::stod(value);
+      } else if (key == "stall") {
+        spec.stall_rate = std::stod(value);
+      } else if (key == "garble") {
+        spec.garble_rate = std::stod(value);
+      } else if (key == "dup") {
+        spec.duplicate_rate = std::stod(value);
+      } else if (key == "stall_ms") {
+        spec.stall_ms = std::stoll(value);
+      } else {
+        throw std::invalid_argument("wire chaos spec: unknown key '" + key +
+                                    "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("wire chaos spec: malformed value in '" +
+                                  token + "'");
+    }
+  }
+  return spec;
+}
+
+std::string WireChaosSpec::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  const auto add = [&out](const char* key, double rate) {
+    if (rate > 0) out += std::string(",") + key + "=" + std::to_string(rate);
+  };
+  add("reset", reset_rate);
+  add("truncate", truncate_rate);
+  add("stall", stall_rate);
+  add("garble", garble_rate);
+  add("dup", duplicate_rate);
+  if (stall_rate > 0) out += ",stall_ms=" + std::to_string(stall_ms);
+  return out;
+}
+
+const char* to_string(WireFault fault) {
+  switch (fault) {
+    case WireFault::None: return "none";
+    case WireFault::Reset: return "reset";
+    case WireFault::Truncate: return "truncate";
+    case WireFault::Stall: return "stall";
+    case WireFault::Garble: return "garble";
+    case WireFault::Duplicate: return "duplicate";
+  }
+  return "?";
+}
+
+namespace {
+
+int listen_unix_path(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long for AF_UNIX: " + path);
+  }
+  const int fd =
+      ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string what = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind/listen(" + path + "): " + what);
+  }
+  return fd;
+}
+
+int dial_unix_path(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// send(2) everything, EINTR/short-write correct, MSG_NOSIGNAL. False when
+/// the peer is gone.
+bool send_bytes(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n > 0) {
+      data += n;
+      size -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t le32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+WireChaosProxy::WireChaosProxy(std::string listen_path,
+                               std::string upstream_path, WireChaosSpec spec)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      spec_(spec) {}
+
+WireChaosProxy::~WireChaosProxy() { stop(); }
+
+WireFault WireChaosProxy::draw(std::uint64_t frame) const {
+  util::Xoshiro256 rng(util::hash_combine(
+      util::hash_combine(spec_.seed, util::stable_hash("wire-chaos")), frame));
+  double u = rng.uniform();
+  const auto take = [&u](double rate) {
+    if (u < rate) return true;
+    u -= rate;
+    return false;
+  };
+  if (take(spec_.reset_rate)) return WireFault::Reset;
+  if (take(spec_.truncate_rate)) return WireFault::Truncate;
+  if (take(spec_.stall_rate)) return WireFault::Stall;
+  if (take(spec_.garble_rate)) return WireFault::Garble;
+  if (take(spec_.duplicate_rate)) return WireFault::Duplicate;
+  return WireFault::None;
+}
+
+void WireChaosProxy::start() {
+  listen_fd_ = listen_unix_path(listen_path_);
+  stop_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void WireChaosProxy::stop() {
+  stop_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    workers.swap(threads_);
+  }
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(listen_path_.c_str());
+  }
+}
+
+WireChaosCounters WireChaosProxy::counters() const {
+  WireChaosCounters c;
+  c.connections = counters_.connections.load(std::memory_order_relaxed);
+  c.frames = counters_.frames.load(std::memory_order_relaxed);
+  c.resets = counters_.resets.load(std::memory_order_relaxed);
+  c.truncated = counters_.truncated.load(std::memory_order_relaxed);
+  c.stalled = counters_.stalled.load(std::memory_order_relaxed);
+  c.garbled = counters_.garbled.load(std::memory_order_relaxed);
+  c.duplicated = counters_.duplicated.load(std::memory_order_relaxed);
+  return c;
+}
+
+void WireChaosProxy::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc <= 0) continue;
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) break;
+      counters_.connections.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      threads_.emplace_back([this, fd] { serve_connection(fd); });
+    }
+  }
+}
+
+void WireChaosProxy::serve_connection(int client_fd) {
+  const int upstream_fd = dial_unix_path(upstream_path_);
+  if (upstream_fd < 0) {
+    // Upstream down (mid-restart): to the client this is a crashed server.
+    ::close(client_fd);
+    return;
+  }
+  std::string reply_buffer;  // upstream bytes pending frame-cut
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{client_fd, POLLIN, 0}, {upstream_fd, POLLIN, 0}};
+    const int rc = ::poll(fds, 2, 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+
+    // Request direction: verbatim.
+    if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+      char buf[65536];
+      const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+      if (n <= 0 && !(n < 0 && errno == EINTR)) break;
+      if (n > 0 && !send_bytes(upstream_fd, buf, static_cast<std::size_t>(n)))
+        break;
+    }
+
+    // Reply direction: buffer, cut frames, inject.
+    if (fds[1].revents & (POLLIN | POLLHUP | POLLERR)) {
+      char buf[65536];
+      const ssize_t n = ::recv(upstream_fd, buf, sizeof(buf), 0);
+      if (n <= 0 && !(n < 0 && errno == EINTR)) break;
+      if (n > 0) reply_buffer.append(buf, static_cast<std::size_t>(n));
+    }
+    while (alive && reply_buffer.size() >= 4) {
+      const std::size_t total = 4 + le32(reply_buffer.data());
+      if (reply_buffer.size() < total) break;
+      std::string frame = reply_buffer.substr(0, total);
+      reply_buffer.erase(0, total);
+      const std::uint64_t index =
+          frame_index_.fetch_add(1, std::memory_order_relaxed);
+      counters_.frames.fetch_add(1, std::memory_order_relaxed);
+      switch (draw(index)) {
+        case WireFault::Reset:
+          counters_.resets.fetch_add(1, std::memory_order_relaxed);
+          alive = false;
+          break;
+        case WireFault::Truncate:
+          counters_.truncated.fetch_add(1, std::memory_order_relaxed);
+          send_bytes(client_fd, frame.data(), total / 2);
+          alive = false;
+          break;
+        case WireFault::Stall: {
+          counters_.stalled.fetch_add(1, std::memory_order_relaxed);
+          const std::size_t half = total / 2;
+          if (!send_bytes(client_fd, frame.data(), half)) {
+            alive = false;
+            break;
+          }
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(spec_.stall_ms));
+          if (!send_bytes(client_fd, frame.data() + half, total - half)) {
+            alive = false;
+          }
+          break;
+        }
+        case WireFault::Garble: {
+          counters_.garbled.fetch_add(1, std::memory_order_relaxed);
+          // Flip one PAYLOAD byte: the framing survives, the content lies.
+          if (total > 4) {
+            util::Xoshiro256 rng(util::hash_combine(
+                util::hash_combine(spec_.seed, util::stable_hash("garble-at")),
+                index));
+            const std::size_t at = 4 + rng.uniform_index(total - 4);
+            frame[at] = static_cast<char>(frame[at] ^ 0x5A);
+          }
+          if (!send_bytes(client_fd, frame.data(), total)) alive = false;
+          break;
+        }
+        case WireFault::Duplicate:
+          counters_.duplicated.fetch_add(1, std::memory_order_relaxed);
+          if (!send_bytes(client_fd, frame.data(), total) ||
+              !send_bytes(client_fd, frame.data(), total)) {
+            alive = false;
+          }
+          break;
+        case WireFault::None:
+          if (!send_bytes(client_fd, frame.data(), total)) alive = false;
+          break;
+      }
+    }
+  }
+  ::close(client_fd);
+  ::close(upstream_fd);
+}
+
+}  // namespace omptune::sim

@@ -1,0 +1,127 @@
+#pragma once
+
+// Wire-level chaos for the serving stack: a deterministic fault proxy that
+// sits between a serve::Client and a serve::Server on unix sockets,
+//
+//   client ──▶ proxy (listen_path) ──▶ server (upstream_path)
+//
+// forwarding request bytes verbatim and injecting faults into REPLY frames
+// — the direction where corruption is dangerous, because the client acts
+// on what it reads. Per complete reply frame the proxy draws one fault
+// from a seed-keyed stream (hash of seed and a global frame index, the
+// ChaosMonkey construction from fault_runner.hpp), so a chaos schedule
+// reproduces exactly across runs:
+//
+//   reset     drop the connection before forwarding the frame,
+//   truncate  forward half the frame, then drop the connection,
+//   stall     forward half, sleep stall_ms mid-frame, forward the rest
+//             (latency, not loss — exercises client socket timeouts),
+//   garble    flip one payload byte (framing stays intact; the client
+//             must catch the lie by decode failure or implausible type),
+//   duplicate forward the frame twice (breaks positional correlation —
+//             the client must notice unsolicited leftover bytes).
+//
+// This is the adversary tests/serve_chaos_test.cpp runs the retrying
+// client against: under all five faults at once, every issued query must
+// still complete within its bounded retry budget.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace omptune::sim {
+
+struct WireChaosSpec {
+  std::uint64_t seed = 0;
+  double reset_rate = 0.0;      ///< P(drop connection, frame unsent)
+  double truncate_rate = 0.0;   ///< P(half the frame, then drop)
+  double stall_rate = 0.0;      ///< P(sleep stall_ms mid-frame)
+  double garble_rate = 0.0;     ///< P(flip one payload byte)
+  double duplicate_rate = 0.0;  ///< P(send the frame twice)
+  std::int64_t stall_ms = 100;  ///< injected mid-frame pause (bounded!)
+
+  bool enabled() const {
+    return reset_rate > 0 || truncate_rate > 0 || stall_rate > 0 ||
+           garble_rate > 0 || duplicate_rate > 0;
+  }
+
+  /// Parse "seed=7,reset=0.05,truncate=0.05,stall=0.05,garble=0.05,
+  /// dup=0.05,stall_ms=50" (any subset, any order). Throws
+  /// std::invalid_argument on unknown keys or malformed values.
+  static WireChaosSpec parse(const std::string& text);
+
+  /// Render back to the parse() syntax (CLI echo, CI logs).
+  std::string describe() const;
+};
+
+/// What the draw decided for one reply frame.
+enum class WireFault : std::uint8_t {
+  None, Reset, Truncate, Stall, Garble, Duplicate
+};
+
+const char* to_string(WireFault fault);
+
+struct WireChaosCounters {
+  std::uint64_t connections = 0;  ///< client connections accepted
+  std::uint64_t frames = 0;       ///< reply frames seen (faulted or not)
+  std::uint64_t resets = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t garbled = 0;
+  std::uint64_t duplicated = 0;
+};
+
+/// The proxy itself: listens on `listen_path`, dials `upstream_path` once
+/// per accepted connection, one forwarding thread per connection. start()
+/// returns once the listener is bound (clients may connect immediately);
+/// stop() tears everything down and joins. A dead upstream (e.g. a server
+/// the Keeper is mid-restart on) surfaces to the client as a dropped
+/// connection — exactly what a real crashed server looks like.
+class WireChaosProxy {
+ public:
+  WireChaosProxy(std::string listen_path, std::string upstream_path,
+                 WireChaosSpec spec);
+  ~WireChaosProxy();
+
+  WireChaosProxy(const WireChaosProxy&) = delete;
+  WireChaosProxy& operator=(const WireChaosProxy&) = delete;
+
+  void start();
+  void stop();
+
+  WireChaosCounters counters() const;
+
+  /// The fault the global frame index `frame` draws — exposed so tests can
+  /// predict (and assert) the schedule without running the proxy.
+  WireFault draw(std::uint64_t frame) const;
+
+ private:
+  void accept_loop();
+  void serve_connection(int client_fd);
+
+  std::string listen_path_;
+  std::string upstream_path_;
+  WireChaosSpec spec_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+
+  /// Global reply-frame index: the chaos stream position. Advances across
+  /// connections so reconnects continue the schedule instead of replaying
+  /// its head.
+  std::atomic<std::uint64_t> frame_index_{0};
+
+  struct Atomics {
+    std::atomic<std::uint64_t> connections{0}, frames{0}, resets{0},
+        truncated{0}, stalled{0}, garbled{0}, duplicated{0};
+  };
+  mutable Atomics counters_;
+};
+
+}  // namespace omptune::sim

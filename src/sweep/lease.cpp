@@ -4,26 +4,8 @@
 #include <sstream>
 
 #include "util/errors.hpp"
-#include "util/rng.hpp"
 
 namespace omptune::sweep {
-
-std::int64_t BackoffPolicy::next_delay_ms(std::uint64_t seed,
-                                          std::string_view key, int attempt,
-                                          std::int64_t prev_delay_ms) const {
-  const std::int64_t base = std::max<std::int64_t>(base_ms, 1);
-  const std::int64_t cap = std::max<std::int64_t>(max_ms, base);
-  const std::int64_t prev = std::max<std::int64_t>(prev_delay_ms, base);
-  // Decorrelated jitter: uniform in [base, min(cap, 3*prev)]. The draw is a
-  // hash of (seed, key, attempt) so the schedule replays identically on
-  // --resume and in re-runs of the same chaos seed.
-  const std::int64_t upper = std::min(cap, 3 * prev);
-  const std::int64_t span = upper - base + 1;  // >= 1
-  std::uint64_t h = util::hash_combine(seed, util::stable_hash(key));
-  h = util::hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
-  const std::uint64_t draw = util::SplitMix64(h).next();
-  return base + static_cast<std::int64_t>(draw % static_cast<std::uint64_t>(span));
-}
 
 const char* to_string(ShardState state) {
   switch (state) {

@@ -6,15 +6,11 @@
 // A shard lease is the coordinator's unit of trust: exactly one host may
 // hold a shard at a time, the hold expires (lease TTL) or is revoked
 // (missed heartbeats), and every failed attempt gates the next re-lease
-// behind exponential backoff with decorrelated jitter — a persistently
-// failing shard (or a persistently crashing environment) must never
-// hot-loop the fork/retry path, and N coordinators recovering from the
-// same outage must not thundering-herd their retries in lockstep.
-//
-// The backoff draw is DETERMINISTIC: it hashes (seed, key, attempt) into
-// the jitter interval instead of consulting a global RNG, so a resumed or
-// re-run coordinator reproduces the exact same schedule — the property
-// every chaos test in this repo is built on.
+// behind util::BackoffPolicy (exponential backoff with decorrelated
+// jitter, see util/backoff.hpp) — a persistently failing shard (or a
+// persistently crashing environment) must never hot-loop the fork/retry
+// path, and N coordinators recovering from the same outage must not
+// thundering-herd their retries in lockstep.
 //
 // LeaseTable is the coordinator's write-ahead state: serialize() renders
 // the table to a stable text form that is atomically persisted before the
@@ -26,25 +22,15 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <vector>
+
+#include "util/backoff.hpp"
 
 namespace omptune::sweep {
 
-/// Exponential backoff with decorrelated jitter (the AWS "decorrelated
-/// jitter" scheme): delay_n = uniform[base, min(max, 3 * delay_{n-1})],
-/// with delay_0 = base. Deterministic per (seed, key, attempt).
-struct BackoffPolicy {
-  std::int64_t base_ms = 25;
-  std::int64_t max_ms = 2000;
-
-  /// The next delay after `attempt` consecutive failures of `key`
-  /// (attempt >= 1), given the previous delay (0 = none yet). Always in
-  /// [base_ms, max_ms]; monotonically identical across runs for the same
-  /// (seed, key, attempt, prev) tuple.
-  std::int64_t next_delay_ms(std::uint64_t seed, std::string_view key,
-                             int attempt, std::int64_t prev_delay_ms) const;
-};
+/// The shared decorrelated-jitter policy (extracted to util/backoff.hpp;
+/// the alias keeps the coordinator/supervisor spelling stable).
+using BackoffPolicy = util::BackoffPolicy;
 
 /// Lifecycle of one shard manifest.
 enum class ShardState {

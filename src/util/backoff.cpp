@@ -1,0 +1,26 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace omptune::util {
+
+std::int64_t BackoffPolicy::next_delay_ms(std::uint64_t seed,
+                                          std::string_view key, int attempt,
+                                          std::int64_t prev_delay_ms) const {
+  const std::int64_t base = std::max<std::int64_t>(base_ms, 1);
+  const std::int64_t cap = std::max<std::int64_t>(max_ms, base);
+  const std::int64_t prev = std::max<std::int64_t>(prev_delay_ms, base);
+  // Decorrelated jitter: uniform in [base, min(cap, 3*prev)]. The draw is a
+  // hash of (seed, key, attempt) so the schedule replays identically on
+  // --resume and in re-runs of the same chaos seed.
+  const std::int64_t upper = std::min(cap, 3 * prev);
+  const std::int64_t span = upper - base + 1;  // >= 1
+  std::uint64_t h = hash_combine(seed, stable_hash(key));
+  h = hash_combine(h, static_cast<std::uint64_t>(attempt) + 1);
+  const std::uint64_t draw = SplitMix64(h).next();
+  return base + static_cast<std::int64_t>(draw % static_cast<std::uint64_t>(span));
+}
+
+}  // namespace omptune::util

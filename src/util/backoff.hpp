@@ -1,0 +1,35 @@
+#pragma once
+
+// Exponential backoff with decorrelated jitter, shared by every retry
+// surface in the repo: coordinator shard re-leases, supervisor worker
+// respawns, the serve Keeper's server restarts, and the serve client's
+// request retries. One implementation, one test (util_test.cpp).
+//
+// The draw is DETERMINISTIC: it hashes (seed, key, attempt) into the
+// jitter interval instead of consulting a global RNG, so a resumed or
+// re-run process reproduces the exact same schedule — the property every
+// chaos test in this repo is built on — while distinct keys (shards,
+// worker slots, request ids) stay decorrelated and never thundering-herd
+// their retries in lockstep.
+
+#include <cstdint>
+#include <string_view>
+
+namespace omptune::util {
+
+/// Exponential backoff with decorrelated jitter (the AWS "decorrelated
+/// jitter" scheme): delay_n = uniform[base, min(max, 3 * delay_{n-1})],
+/// with delay_0 = base. Deterministic per (seed, key, attempt).
+struct BackoffPolicy {
+  std::int64_t base_ms = 25;
+  std::int64_t max_ms = 2000;
+
+  /// The next delay after `attempt` consecutive failures of `key`
+  /// (attempt >= 1), given the previous delay (0 = none yet). Always in
+  /// [base_ms, max_ms]; monotonically identical across runs for the same
+  /// (seed, key, attempt, prev) tuple.
+  std::int64_t next_delay_ms(std::uint64_t seed, std::string_view key,
+                             int attempt, std::int64_t prev_delay_ms) const;
+};
+
+}  // namespace omptune::util

@@ -279,6 +279,18 @@ ShutdownSignalGuard::~ShutdownSignalGuard() {
   g_guard_active.store(false);
 }
 
+void reset_shutdown_guard_after_fork() {
+  if (!g_guard_active.load()) return;
+  ::sigaction(SIGINT, &g_old_int, nullptr);
+  ::sigaction(SIGTERM, &g_old_term, nullptr);
+  ::sigaction(SIGPIPE, &g_old_pipe, nullptr);
+  if (g_wake_pipe[0] >= 0) ::close(g_wake_pipe[0]);
+  if (g_wake_pipe[1] >= 0) ::close(g_wake_pipe[1]);
+  g_wake_pipe[0] = g_wake_pipe[1] = -1;
+  g_shutdown_flag.store(false);
+  g_guard_active.store(false);
+}
+
 int ShutdownSignalGuard::wake_fd() const { return g_wake_pipe[0]; }
 
 bool ShutdownSignalGuard::triggered() const {

@@ -155,4 +155,13 @@ class ShutdownSignalGuard {
 /// No-op on platforms without the feature.
 void die_with_parent();
 
+/// In a freshly forked child whose parent holds a ShutdownSignalGuard:
+/// restore the pre-guard signal dispositions, close the child's copies of
+/// the inherited wake-pipe fds, and clear the process-global "guard
+/// installed" flag so the child may install its own guard. Without this, a
+/// child forked under an active guard inherits the singleton flag and its
+/// own guard construction throws "already active". No-op when no guard is
+/// inherited; must only be called between fork() and exec-or-serve.
+void reset_shutdown_guard_after_fork();
+
 }  // namespace omptune::util

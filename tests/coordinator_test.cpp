@@ -128,31 +128,6 @@ std::uint64_t probe_chaos_seed(const std::string& rates, sim::ShardFault want,
   return 1;
 }
 
-// ---- backoff policy ---------------------------------------------------------
-
-TEST(BackoffPolicy, DelaysAreDeterministicBoundedAndKeyDecorrelated) {
-  BackoffPolicy policy;
-  policy.base_ms = 10;
-  policy.max_ms = 500;
-  std::int64_t prev_a = 0;
-  std::int64_t prev_b = 0;
-  bool keys_diverged = false;
-  for (int attempt = 1; attempt <= 20; ++attempt) {
-    const std::int64_t a = policy.next_delay_ms(7, "shard-0", attempt, prev_a);
-    const std::int64_t b = policy.next_delay_ms(7, "shard-1", attempt, prev_b);
-    EXPECT_GE(a, policy.base_ms);
-    EXPECT_LE(a, policy.max_ms);
-    // Decorrelated jitter: the next delay never exceeds 3x the previous.
-    if (prev_a > 0) EXPECT_LE(a, std::min<std::int64_t>(policy.max_ms, 3 * prev_a));
-    // Determinism: the identical tuple always yields the identical delay.
-    EXPECT_EQ(a, policy.next_delay_ms(7, "shard-0", attempt, prev_a));
-    if (a != b) keys_diverged = true;
-    prev_a = a;
-    prev_b = b;
-  }
-  EXPECT_TRUE(keys_diverged) << "different keys must not retry in lockstep";
-}
-
 // ---- lease table ------------------------------------------------------------
 
 TEST(LeaseTable, SerializeParseRoundTripDropsLiveLeases) {

@@ -18,6 +18,7 @@
 #include "arch/cpu_arch.hpp"
 #include "rt/schedule.hpp"
 #include "rt/thread_team.hpp"
+#include "serve/wire.hpp"
 #include "sim/executor.hpp"
 #include "sweep/config_space.hpp"
 #include "sweep/harness.hpp"
@@ -176,6 +177,75 @@ TEST(DatasetFuzz, BestPerSettingInvariantsOnRandomData) {
     EXPECT_DOUBLE_EQ(b.best_speedup, max_speedup);
   }
 }
+
+// ---- wire protocol fuzz -----------------------------------------------------
+//
+// The serving wire decoder faces bytes from the network, including bytes a
+// chaos proxy garbled mid-frame. Whatever arrives, the contract is: parse,
+// or throw serve::WireError — never crash, never hang, never read past the
+// payload.
+
+class WireFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireFuzz, RandomPayloadsDecodeOrThrowTypedWireError) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7127u + 5);
+  for (int i = 0; i < 400; ++i) {
+    std::string payload;
+    const std::size_t len = rng.uniform_index(96);
+    for (std::size_t b = 0; b < len; ++b) {
+      payload += static_cast<char>(rng.uniform_index(256));
+    }
+    try {
+      (void)serve::decode_request(payload);
+    } catch (const serve::WireError&) {
+      // the only acceptable failure mode
+    }
+    try {
+      (void)serve::decode_response(payload);
+    } catch (const serve::WireError&) {
+    }
+  }
+}
+
+TEST_P(WireFuzz, MutatedValidFramesNeverEscapeTheTaxonomy) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 9473u + 11);
+
+  serve::Response pristine;
+  pristine.type = serve::MsgType::RecommendReply;
+  pristine.generation = 3;
+  pristine.found = true;
+  pristine.speedup = 1.4;
+  pristine.config_key = "OMP_PLACES=cores OMP_PROC_BIND=close";
+  pristine.variable_priority = {"OMP_PLACES", "KMP_BLOCKTIME"};
+  std::string frame;
+  serve::encode_response(frame, pristine);
+
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = frame;
+    if (rng.uniform() < 0.5) {
+      mutated.resize(rng.uniform_index(mutated.size() + 1));  // truncation
+    } else {
+      const std::size_t at = rng.uniform_index(mutated.size());
+      mutated[at] = static_cast<char>(rng.uniform_index(256));  // garble
+    }
+    // frame_size: returns the frame length, 0 (incomplete), or throws on a
+    // declared length past the cap — crucially BEFORE anything allocates.
+    std::size_t total = 0;
+    try {
+      total = serve::frame_size(mutated);
+    } catch (const serve::WireError&) {
+      continue;
+    }
+    if (total == 0 || mutated.size() < total) continue;  // would block on recv
+    try {
+      (void)serve::decode_response(std::string_view(mutated).substr(4, total - 4));
+    } catch (const serve::WireError&) {
+      // typed rejection, connection would be abandoned — fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Range(0, 6));
 
 // ---- journal / dataset CSV corruption fuzz ---------------------------------
 

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "util/backoff.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -11,6 +13,32 @@
 
 namespace omptune::util {
 namespace {
+
+// The one BackoffPolicy test for the one implementation shared by
+// coordinator leases, supervisor respawns, Keeper restarts and the serve
+// client's request retries.
+TEST(BackoffPolicy, DelaysAreDeterministicBoundedAndKeyDecorrelated) {
+  BackoffPolicy policy;
+  policy.base_ms = 10;
+  policy.max_ms = 500;
+  std::int64_t prev_a = 0;
+  std::int64_t prev_b = 0;
+  bool keys_diverged = false;
+  for (int attempt = 1; attempt <= 20; ++attempt) {
+    const std::int64_t a = policy.next_delay_ms(7, "shard-0", attempt, prev_a);
+    const std::int64_t b = policy.next_delay_ms(7, "shard-1", attempt, prev_b);
+    EXPECT_GE(a, policy.base_ms);
+    EXPECT_LE(a, policy.max_ms);
+    // Decorrelated jitter: the next delay never exceeds 3x the previous.
+    if (prev_a > 0) EXPECT_LE(a, std::min<std::int64_t>(policy.max_ms, 3 * prev_a));
+    // Determinism: the identical tuple always yields the identical delay.
+    EXPECT_EQ(a, policy.next_delay_ms(7, "shard-0", attempt, prev_a));
+    if (a != b) keys_diverged = true;
+    prev_a = a;
+    prev_b = b;
+  }
+  EXPECT_TRUE(keys_diverged) << "different keys must not retry in lockstep";
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Xoshiro256 a(42), b(42);

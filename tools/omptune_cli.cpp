@@ -44,6 +44,11 @@
 //                                      running `omptune serve` instance over
 //                                      its unix socket (microseconds, no
 //                                      store open per query)
+//     --retries=<N>                    attempts per call through the
+//                                      resilient client (default 6; 1 =
+//                                      fail on the first typed shed)
+//     --retry-timeout-ms=<T>           per-socket recv/send budget so a
+//                                      stalled server becomes a retry
 //   omptune serve <store.omps>... --socket=<path>
 //                                      long-running recommendation server
 //                                      over the given store shards
@@ -51,7 +56,24 @@
 //                                      ephemeral)
 //     --cache=<N>                      reply-cache entries (default 4096)
 //     --max-pending=<N>                admission bound per poll round
+//     --request-deadline-ms=<T>        per-request budget; a query past it
+//                                      gets a typed DeadlineExceeded reply
+//     --stall-timeout-ms=<T>           evict connections holding a partial
+//                                      frame without progress (slowloris)
 //     --no-admin                       refuse wire Swap/Shutdown messages
+//     --supervised                     run under a serve::Keeper: the server
+//                                      forks as a child, heartbeats over a
+//                                      pipe, and is restarted with backoff
+//                                      on crash or wedge, booting from the
+//                                      last hot-swapped shard set
+//     --hang-timeout-ms=<T>            heartbeat silence that counts as a
+//                                      wedge (supervised only)
+//     --max-restarts=<N>               give up after N restarts without
+//                                      stability (default: never)
+//     --incident-log=<path>            append-only crash/hang log, written
+//                                      before each restart
+//     --pid-file=<path>                current child pid, atomically
+//                                      rewritten per incarnation
 //   omptune serve-ctl <socket> stats | swap <store.omps>... | shutdown
 //                                      admin client for a running server
 //   omptune recommend <app> <arch>    variable priority + best known config
@@ -61,16 +83,21 @@
 //                                      strategy: hill|random|anneal|exhaustive
 //   omptune violin <app>              ASCII violins per (arch, setting)
 
+#include <poll.h>
+
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/recommend.hpp"
 #include "core/study.hpp"
 #include "serve/client.hpp"
+#include "serve/keeper.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
 #include "core/thread_advisor.hpp"
 #include "core/tuner.hpp"
@@ -126,12 +153,21 @@ int usage() {
       "  query <store.omps> <app> <arch>   indexed store query + knowledge-\n"
       "                                    based recommendation\n"
       "  query --remote=<socket> <app> <arch>\n"
-      "                                    the same, answered by a running\n"
-      "                                    `omptune serve` over its socket\n"
+      "        [--retries=N]             the same, answered by a running\n"
+      "        [--retry-timeout-ms=T]    `omptune serve` over its socket via\n"
+      "                                    the retrying client (bounded\n"
+      "                                    backoff, reconnect-and-replay)\n"
       "  serve <store.omps>... --socket=<path>\n"
       "        [--tcp-port=N] [--cache=N] long-running recommendation server\n"
       "        [--max-pending=N]          with batching, reply cache and\n"
-      "        [--no-admin]               store hot-swap (SIGINT drains)\n"
+      "        [--request-deadline-ms=T]  store hot-swap (SIGINT drains);\n"
+      "        [--stall-timeout-ms=T]     typed DeadlineExceeded on blown\n"
+      "        [--no-admin]               budgets, slowloris eviction\n"
+      "        [--supervised]             fork under a Keeper: crash/wedge\n"
+      "        [--hang-timeout-ms=T]      detection over a heartbeat pipe,\n"
+      "        [--max-restarts=N]         backoff restarts onto the same\n"
+      "        [--incident-log=<path>]    socket from the last-known-good\n"
+      "        [--pid-file=<path>]        shard set, write-ahead incidents\n"
       "  serve-ctl <socket> stats | swap <store.omps>... | shutdown\n"
       "                                    admin client for a running server\n"
       "  recommend <app> <arch> [--store=<file.omps>]\n"
@@ -581,22 +617,27 @@ void print_recommendation(const core::KnowledgeBase& kb,
 
 /// `omptune query --remote=<socket> <app> <arch>`: the recommendation
 /// answered by a running server in one round trip instead of opening the
-/// store locally.
+/// store locally. Goes through the retrying client, so a shed, a deadline
+/// miss or a server the Keeper is mid-restart on is absorbed by bounded
+/// backoff instead of surfacing as a one-shot failure.
 int query_remote(const std::string& socket_path, const std::string& app,
-                 const std::string& arch) {
-  serve::Client client = serve::Client::connect_unix(socket_path);
+                 const std::string& arch, const serve::RetryPolicy& policy) {
+  serve::RetryingClient client =
+      serve::RetryingClient::over_unix(socket_path, policy);
   serve::Request request;
   request.type = serve::MsgType::Recommend;
   request.app = app;
   request.arch = arch;
-  const serve::Response reply = client.call_one(request);
+  serve::Response reply;
+  try {
+    reply = client.call_one(request);
+  } catch (const util::TransientError& error) {
+    std::fprintf(stderr, "omptune query: %s\n", error.what());
+    return 1;
+  }
   if (reply.type == serve::MsgType::Error) {
     std::fprintf(stderr, "omptune query: server error: %s\n",
                  reply.message.c_str());
-    return 1;
-  }
-  if (reply.type == serve::MsgType::Overloaded) {
-    std::fprintf(stderr, "omptune query: server overloaded, retry\n");
     return 1;
   }
   std::printf("served by %s (store generation %llu)\n", socket_path.c_str(),
@@ -616,11 +657,16 @@ int query_remote(const std::string& socket_path, const std::string& app,
 
 int cmd_query(int argc, char** argv) {
   std::string remote_socket;
+  serve::RetryPolicy retry;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (util::starts_with(arg, "--remote=")) {
       remote_socket = arg.substr(9);
+    } else if (util::starts_with(arg, "--retries=")) {
+      retry.max_attempts = std::stoi(arg.substr(10));
+    } else if (util::starts_with(arg, "--retry-timeout-ms=")) {
+      retry.socket_timeout_ms = std::stoi(arg.substr(19));
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "omptune query: unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -630,7 +676,7 @@ int cmd_query(int argc, char** argv) {
   }
   if (!remote_socket.empty()) {
     if (positional.size() < 2) return usage();
-    return query_remote(remote_socket, positional[0], positional[1]);
+    return query_remote(remote_socket, positional[0], positional[1], retry);
   }
   if (positional.size() < 3) return usage();
   const std::string& path = positional[0];
@@ -665,6 +711,8 @@ int cmd_query(int argc, char** argv) {
 
 int cmd_serve(int argc, char** argv) {
   serve::ServerOptions options;
+  serve::KeeperOptions keeper_options;
+  bool supervised = false;
   std::vector<std::string> stores;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -676,8 +724,22 @@ int cmd_serve(int argc, char** argv) {
       options.cache_capacity = std::stoul(arg.substr(8));
     } else if (util::starts_with(arg, "--max-pending=")) {
       options.max_pending = std::stoul(arg.substr(14));
+    } else if (util::starts_with(arg, "--request-deadline-ms=")) {
+      options.request_deadline_ms = std::stol(arg.substr(22));
+    } else if (util::starts_with(arg, "--stall-timeout-ms=")) {
+      options.stall_timeout_ms = std::stol(arg.substr(19));
     } else if (arg == "--no-admin") {
       options.allow_admin = false;
+    } else if (arg == "--supervised") {
+      supervised = true;
+    } else if (util::starts_with(arg, "--hang-timeout-ms=")) {
+      keeper_options.hang_timeout_ms = std::stol(arg.substr(18));
+    } else if (util::starts_with(arg, "--max-restarts=")) {
+      keeper_options.max_restarts = std::stoi(arg.substr(15));
+    } else if (util::starts_with(arg, "--incident-log=")) {
+      keeper_options.incident_log_path = arg.substr(15);
+    } else if (util::starts_with(arg, "--pid-file=")) {
+      keeper_options.pid_file = arg.substr(11);
     } else if (util::starts_with(arg, "--")) {
       std::fprintf(stderr, "omptune serve: unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -691,10 +753,30 @@ int cmd_serve(int argc, char** argv) {
     return usage();
   }
   options.threads = g_analysis_threads;
-  options.handle_signals = true;  // SIGINT drains instead of killing mid-reply
   options.log = [](const std::string& line) {
     std::fprintf(stderr, "%s\n", line.c_str());
   };
+  if (supervised) {
+    // The Keeper forks the server (each child installs its own signal
+    // guard); here SIGINT/SIGTERM to the keeper itself become a graceful
+    // request_stop — SIGTERM the child, wait out its drain, clean up the
+    // socket and pid file.
+    keeper_options.server = std::move(options);
+    keeper_options.store_paths = stores;
+    keeper_options.log = keeper_options.server.log;
+    util::ShutdownSignalGuard guard;
+    serve::Keeper keeper(std::move(keeper_options));
+    std::thread watcher([&] {
+      pollfd pfd{guard.wake_fd(), POLLIN, 0};
+      while (!guard.triggered()) ::poll(&pfd, 1, 200);
+      keeper.request_stop();
+    });
+    const int rc = keeper.run();
+    guard.trigger();  // unblock the watcher when the child drained on its own
+    watcher.join();
+    return rc;
+  }
+  options.handle_signals = true;  // SIGINT drains instead of killing mid-reply
   serve::Server server(stores, std::move(options));
   server.run();
   return server.counters().drained_cleanly ? 0 : 1;
