@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/errors.hpp"
 #include "util/fs.hpp"
 #include "util/strings.hpp"
 
@@ -55,6 +56,8 @@ KeeperCounters Keeper::counters() const {
   c.hangs = counters_.hangs.load(std::memory_order_relaxed);
   c.generations_seen =
       counters_.generations_seen.load(std::memory_order_relaxed);
+  c.incidents_dropped =
+      counters_.incidents_dropped.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -72,14 +75,29 @@ void Keeper::note_incident(const std::string& cause,
                            const std::string& detail) {
   log_line("incident: " + cause + ": " + detail);
   if (options_.incident_log_path.empty()) return;
-  // Write-ahead: the line is durable BEFORE the restart it explains.
-  const int fd = ::open(options_.incident_log_path.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) return;
-  util::write_all(fd, std::to_string(util::monotonic_ms()) + " " + cause +
-                          " " + detail + "\n");
-  ::fsync(fd);
-  ::close(fd);
+  try {
+    // Write-ahead: the line is durable BEFORE the restart it explains.
+    // Size-capped rotation keeps a crash-looping child from growing the
+    // log without bound.
+    util::append_line_durable(options_.incident_log_path,
+                              std::to_string(util::monotonic_ms()) + " " +
+                                  cause + " " + detail,
+                              options_.incident_log_max_bytes);
+    if (incident_log_degraded_) {
+      incident_log_degraded_ = false;
+      log_line("incident log writable again: " + options_.incident_log_path);
+    }
+  } catch (const util::StorageError& error) {
+    // An unwritable incident log must never take the service down with it:
+    // keep serving, count the loss, and say so exactly once per outage.
+    counters_.incidents_dropped.fetch_add(1, std::memory_order_relaxed);
+    if (!incident_log_degraded_) {
+      incident_log_degraded_ = true;
+      log_line("incident log unwritable, serving continues without incident "
+               "durability: " +
+               std::string(error.what()));
+    }
+  }
 }
 
 void Keeper::consume_line(const std::string& line) {
@@ -164,8 +182,15 @@ int Keeper::run() {
     counters_.spawns.fetch_add(1, std::memory_order_relaxed);
     child_pid_.store(child.pid, std::memory_order_release);
     if (!options_.pid_file.empty()) {
-      util::atomic_write_file(options_.pid_file,
-                              std::to_string(child.pid) + "\n");
+      try {
+        util::atomic_write_file(options_.pid_file,
+                                std::to_string(child.pid) + "\n");
+      } catch (const util::StorageError& error) {
+        // Same degradation rule as the incident log: a full disk costs
+        // observability, never the service.
+        log_line("pid file unwritable, continuing: " +
+                 std::string(error.what()));
+      }
     }
     log_line("spawned server pid " + std::to_string(child.pid) + " serving " +
              std::to_string(current_store_paths().size()) + " shard(s)");

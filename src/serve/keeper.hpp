@@ -70,6 +70,10 @@ struct KeeperOptions {
   /// Write-ahead incident log: one appended line per crash/hang, fsynced
   /// before the restart happens. "" disables.
   std::string incident_log_path;
+  /// Rotate the incident log (rename to "<path>.1") once it would exceed
+  /// this many bytes, bounding a crash loop's disk footprint to roughly
+  /// twice the cap. 0 disables rotation.
+  std::uint64_t incident_log_max_bytes = 1 << 20;
   /// Current child pid, rewritten atomically after every (re)spawn.
   /// "" disables.
   std::string pid_file;
@@ -82,6 +86,9 @@ struct KeeperCounters {
   std::uint64_t crashes = 0;     ///< reaped with a signal or nonzero exit
   std::uint64_t hangs = 0;       ///< SIGKILLed for heartbeat silence
   std::uint64_t generations_seen = 0;  ///< "gen" lines observed
+  /// Incident lines lost because the log was unwritable (ENOSPC, EIO...).
+  /// Serving continues; the degradation is logged once per outage.
+  std::uint64_t incidents_dropped = 0;
 };
 
 class Keeper {
@@ -141,9 +148,12 @@ class Keeper {
 
   struct Atomics {
     std::atomic<std::uint64_t> spawns{0}, restarts{0}, crashes{0}, hangs{0},
-        generations_seen{0};
+        generations_seen{0}, incidents_dropped{0};
   };
   mutable Atomics counters_;
+  /// True while the incident log is unwritable; gates the log-once warning
+  /// and the recovery line. Only touched from the watch thread.
+  bool incident_log_degraded_ = false;
 };
 
 }  // namespace omptune::serve

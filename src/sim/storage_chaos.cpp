@@ -1,0 +1,69 @@
+#include "sim/storage_chaos.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace omptune::sim {
+
+namespace {
+
+[[noreturn]] void die_like_a_crash() {
+  // SIGKILL is uncatchable: no destructor, no stream flush, no cleanup
+  // handler runs — the closest an in-process harness gets to pulling the
+  // plug. _Exit is the paranoid fallback if the raise somehow returns.
+  ::kill(::getpid(), SIGKILL);
+  std::_Exit(137);
+}
+
+}  // namespace
+
+StorageChaos::StorageChaos(StorageFaultPlan plan) : plan_(std::move(plan)) {}
+
+int StorageChaos::before(const util::IoSite& site) {
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  short_write_now_ =
+      plan_.short_write_at_op != 0 && op == plan_.short_write_at_op;
+
+  if (plan_.crash_at_op != 0 && op == plan_.crash_at_op) {
+    if (plan_.torn_crash && site.op == util::IoOp::Write && site.size > 1) {
+      // Half the buffer reaches the file, then the process dies: the torn
+      // write every atomic-replace recipe must make unobservable.
+      [[maybe_unused]] const ssize_t n =
+          ::write(site.fd, site.data, site.size / 2);
+    }
+    die_like_a_crash();
+  }
+  if (plan_.fail_at_op != 0 && op == plan_.fail_at_op) {
+    return plan_.fail_errno;
+  }
+  return 0;
+}
+
+std::size_t StorageChaos::max_write_bytes(const util::IoSite& site) {
+  if (short_write_now_) {
+    short_write_now_ = false;
+    return site.size > 1 ? site.size / 2 : site.size;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void StorageChaos::after_read(const std::string& path, std::string* bytes) {
+  if (plan_.bitrot_seed == 0 || bytes == nullptr || bytes->empty()) return;
+  if (!plan_.bitrot_path_substr.empty() &&
+      path.find(plan_.bitrot_path_substr) == std::string::npos) {
+    return;
+  }
+  util::SplitMix64 rng(
+      util::hash_combine(plan_.bitrot_seed, util::stable_hash(path)));
+  const std::size_t pos = rng.next() % bytes->size();
+  // Flip at least one bit; 1 + (x % 255) can never be the zero mask.
+  (*bytes)[pos] = static_cast<char>(
+      static_cast<unsigned char>((*bytes)[pos]) ^
+      static_cast<unsigned char>(1 + rng.next() % 255));
+}
+
+}  // namespace omptune::sim

@@ -1,0 +1,87 @@
+#pragma once
+
+// sim::StorageChaos — deterministic storage-fault plans for the crash-
+// consistency torture framework (DESIGN.md §14).
+//
+// StorageChaos implements util::IoHooks: installed via
+// util::install_io_hooks (or util::ScopedIoHooks), it sees every durability
+// operation util/fs performs, numbered 1, 2, 3, ... in program order. A
+// StorageFaultPlan then turns one of those indices into a fault:
+//
+//   crash_at_op = k        SIGKILL the process immediately before op k —
+//                          a genuine crash; no destructors, no cleanup.
+//                          With torn_crash, a crash landing on a Write
+//                          first flushes half the buffer to the fd, the
+//                          classic torn write.
+//   fail_at_op = k         op k fails with fail_errno (ENOSPC, EIO,
+//                          EINTR, ...) instead of executing; everything
+//                          else proceeds — the error-path probe.
+//   short_write_at_op = k  if op k is a Write, the syscall accepts only
+//                          half the offered bytes; the caller's retry
+//                          loop must finish the job.
+//   bitrot_seed != 0       every whole-file read through util::read_file
+//                          has one byte flipped at a position derived from
+//                          (seed, path) — at-rest corruption the reader
+//                          must catch by validation, never by crashing.
+//
+// Determinism is the whole point: the same plan against the same workload
+// faults the same operation, so the enumeration harness
+// (tests/crash_consistency_test) can walk k = 1..N and prove recovery at
+// EVERY point. The op counter is process-local; a forked child inherits
+// the installed hook and continues its own count, which is what the
+// fork-per-crash-point harness relies on.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/io_hooks.hpp"
+
+namespace omptune::sim {
+
+struct StorageFaultPlan {
+  /// SIGKILL the process immediately before performing the k-th hooked
+  /// operation (1-based). 0 = never.
+  std::uint64_t crash_at_op = 0;
+  /// When the crash lands on a Write, flush the first half of the buffer
+  /// before dying (torn write). Without it the crash is clean: the write
+  /// never starts.
+  bool torn_crash = false;
+
+  /// Fail the k-th hooked operation (1-based) with `fail_errno` instead of
+  /// performing it. 0 = never.
+  std::uint64_t fail_at_op = 0;
+  int fail_errno = 0;
+
+  /// If the k-th hooked operation is a Write, let the syscall accept only
+  /// half the offered bytes. 0 = never.
+  std::uint64_t short_write_at_op = 0;
+
+  /// Nonzero: flip one byte of every util::read_file result whose path
+  /// contains `bitrot_path_substr` (empty matches all), at a position
+  /// derived deterministically from (seed, path).
+  std::uint64_t bitrot_seed = 0;
+  std::string bitrot_path_substr;
+};
+
+class StorageChaos final : public util::IoHooks {
+ public:
+  explicit StorageChaos(StorageFaultPlan plan = {});
+
+  int before(const util::IoSite& site) override;
+  std::size_t max_write_bytes(const util::IoSite& site) override;
+  void after_read(const std::string& path, std::string* bytes) override;
+
+  /// Hooked operations seen so far. A fault-free counting pass over a
+  /// workload yields the N that crash-point enumeration walks.
+  std::uint64_t ops_seen() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  StorageFaultPlan plan_;
+  std::atomic<std::uint64_t> ops_{0};
+  bool short_write_now_ = false;
+};
+
+}  // namespace omptune::sim

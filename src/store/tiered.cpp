@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 #include <stdexcept>
 
 #include "store/writer.hpp"
@@ -65,6 +66,10 @@ TieredReport tiered_compact(const std::vector<std::string>& inputs,
   report.inputs = inputs.size();
 
   std::vector<std::string> current = inputs;
+  // Every intermediate this run touches (written or reused). Anything else
+  // in scratch is a dropping of a previous crashed run whose inputs have
+  // since changed — stale by definition, swept before publish.
+  std::set<std::string> live_intermediates;
   std::size_t level = 0;
   // Always at least one pass, even for a single input: the output must be a
   // normalized (deduped, freshly serialized) store regardless of input count.
@@ -81,6 +86,7 @@ TieredReport tiered_compact(const std::vector<std::string>& inputs,
                        std::to_string(start / options.fan_in) + "-" +
                        hex16(group_content_hash(group)) + ".omps");
       ++report.merges;
+      live_intermediates.insert(inter_path);
       if (util::file_exists(inter_path)) {
         // A content-named intermediate from a previous (crashed) run: adopt
         // it iff it still validates end to end.
@@ -126,6 +132,20 @@ TieredReport tiered_compact(const std::vector<std::string>& inputs,
     current = std::move(next);
     ++level;
   } while (current.size() > 1);
+
+  // Stale-intermediate sweep: content-named files from previous crashed
+  // runs that no group of THIS run produced would otherwise survive every
+  // keep_scratch resume cycle.
+  for (const std::string& name : util::list_files(scratch)) {
+    const std::string path = util::path_join(scratch, name);
+    if (live_intermediates.count(path) != 0) continue;
+    if (util::remove_file(path)) {
+      ++report.stale_intermediates_removed;
+      if (options.progress) {
+        options.progress("tiered: removed stale intermediate " + path);
+      }
+    }
+  }
 
   // Validate the final store before publishing it over the previous output,
   // and pull the output tallies from what will actually be published.

@@ -54,6 +54,10 @@ struct TieredReport {
   std::size_t duplicates_dropped = 0;   ///< rows dropped as duplicate identities
   std::size_t replaced = 0;             ///< kept rows upgraded by a better status
   std::size_t quarantined = 0;          ///< quarantined rows in the output
+  /// Scratch files from previous (crashed) runs whose content hash no
+  /// longer matches any group this run — garbage-collected before publish
+  /// so repeated crash/retry cycles cannot accumulate dead intermediates.
+  std::size_t stale_intermediates_removed = 0;
 };
 
 /// Merge the .omps stores at `inputs` (in order) into one store at

@@ -350,11 +350,24 @@ Dataset Coordinator::run(const StudyPlan& plan, const std::string& store_path) {
       " seed=" + std::to_string(options_.seed);
 
   LeaseTable table(shard_count);
+  bool wal_degraded_warned = false;
   const auto save_state = [&] {
     // Write-ahead: the state file always reflects the table BEFORE the
     // coordinator acts on a transition, so a kill at any point resumes to a
-    // consistent view (atomic replace + dir fsync).
-    util::atomic_write_file(state_path, header + "\n" + table.serialize());
+    // consistent view (atomic replace + dir fsync). A checkpoint lost to a
+    // storage fault only degrades resume granularity (reconciliation
+    // re-validates shard stores against an older table), so the run
+    // continues; say so once.
+    try {
+      util::atomic_write_file(state_path, header + "\n" + table.serialize());
+    } catch (const util::StorageError& error) {
+      ++report_.wal_write_failures;
+      if (!wal_degraded_warned) {
+        wal_degraded_warned = true;
+        say("coordinator WAL unwritable, continuing with degraded resume: " +
+            std::string(error.what()));
+      }
+    }
   };
 
   /// nullopt when shard `i`'s store is a valid, complete delivery;
@@ -388,7 +401,16 @@ Dataset Coordinator::run(const StudyPlan& plan, const std::string& store_path) {
           arch::architecture(task.arch), task.setting, task.config_count,
           options_.repetitions, options_.seed, full));
     }
-    placeholder.save_store(shard_store_path(i));
+    try {
+      placeholder.save_store(shard_store_path(i));
+    } catch (const util::StorageError& error) {
+      // The shard stays parked as Quarantined in the lease table; lenient
+      // assembly skips the missing store and a resume re-synthesizes it.
+      ++report_.quarantine_store_failures;
+      say(shard_key_name(i) +
+          " quarantine store unwritable (shard stays parked): " +
+          std::string(error.what()));
+    }
   };
 
   // -- startup: fresh wipe or resume reconciliation ---------------------------
@@ -401,6 +423,11 @@ Dataset Coordinator::run(const StudyPlan& plan, const std::string& store_path) {
       remove_flat_dir(util::path_join(shardwork_root, sub));
     }
   } else if (const std::optional<std::string> text = util::read_file(state_path)) {
+    // A kill mid-atomic-write leaves "<target>.tmp.<pid>" orphans behind;
+    // sweep them before reconciliation so they can never be mistaken for
+    // deliveries and never accumulate across crash/resume cycles.
+    util::remove_stale_temp_files(work_dir);
+    util::remove_stale_temp_files(shards_dir);
     const std::size_t nl = text->find('\n');
     const std::string found_header =
         nl == std::string::npos ? *text : text->substr(0, nl);

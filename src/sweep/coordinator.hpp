@@ -114,6 +114,15 @@ struct CoordinatorReport {
   std::size_t re_leases = 0;         ///< shards re-leased after a strike
   std::size_t respawns = 0;          ///< agents spawned beyond the pool
   std::int64_t backoff_ms_total = 0; ///< re-lease delay scheduled in total
+  /// WAL checkpoints lost to storage faults (ENOSPC, EIO...). The run
+  /// continues — a later --resume simply reconciles from an older
+  /// checkpoint, re-validating shard stores — but resume granularity is
+  /// degraded; warned once per run.
+  std::size_t wal_write_failures = 0;
+  /// Quarantine placeholder stores that could not be written. The shard
+  /// stays quarantined in the report; lenient assembly skips it, and a
+  /// resume re-synthesizes the placeholder.
+  std::size_t quarantine_store_failures = 0;
   std::vector<QuarantinedShard> quarantined_shards;
   MergeReport merge;                 ///< final shard-merge tally
   /// Shard stores skipped at lenient assembly (unreadable/corrupt), with

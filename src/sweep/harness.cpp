@@ -304,8 +304,23 @@ Dataset SweepHarness::run_study(const StudyPlan& plan,
       }
       if (!resumed) {
         Dataset batch = run_setting(cpu, setting, config_count, policy);
-        // Write-ahead: persist before the study depends on the data.
-        if (journal) journal->record(key, batch);
+        // Write-ahead: persist before the study depends on the data. A
+        // journal append that fails (ENOSPC, EIO...) degrades durability —
+        // a later crash would recollect this setting — but the batch is
+        // already in memory, so the study itself continues.
+        if (journal) {
+          try {
+            journal->record(key, batch);
+          } catch (const util::StorageError& error) {
+            ++journal_append_failures_;
+            if (options.progress) {
+              options.progress(key +
+                               " journal append failed, durability degraded "
+                               "(study continues): " +
+                               error.what());
+            }
+          }
+        }
         dataset.append(std::move(batch));
       }
       if (options.progress) {

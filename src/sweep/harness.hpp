@@ -143,6 +143,14 @@ class SweepHarness {
   /// totals); nullptr before the first resilient run.
   const ResiliencePolicy* last_policy() const { return last_policy_.get(); }
 
+  /// Journal appends that failed with a util::StorageError across every
+  /// run_study on this harness. Each one means the affected setting lost
+  /// write-ahead durability (a crash would recollect it) but the study
+  /// continued with the batch held in memory.
+  std::size_t journal_append_failures() const {
+    return journal_append_failures_;
+  }
+
   /// Observer invoked after every completed measurement (every Runner call
   /// that produced a sample value, successful or quarantined). The process
   /// worker uses it to emit liveness heartbeats mid-setting and as the
@@ -161,6 +169,7 @@ class SweepHarness {
   std::uint64_t seed_;
   std::unique_ptr<ResiliencePolicy> last_policy_;
   std::function<void()> sample_observer_;
+  std::size_t journal_append_failures_ = 0;
 };
 
 }  // namespace omptune::sweep

@@ -77,6 +77,11 @@ std::string LeaseTable::serialize() const {
     }
     out << '\n';
   }
+  // Count sentinel: a flipped byte can merge a "shard ..." line into the
+  // previous line's free-text evidence field without breaking the index
+  // sequence — the row count is the only structural witness. parse()
+  // requires it, so a table missing rows can never be silently adopted.
+  out << "end " << shards_.size() << '\n';
   return out.str();
 }
 
@@ -86,9 +91,26 @@ LeaseTable LeaseTable::parse(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::size_t line_no = 0;
+  bool saw_end = false;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
+    if (saw_end) {
+      throw util::DataCorruptionError(
+          kFile, line_no, "content after the end sentinel: '" + line + "'");
+    }
+    if (line.rfind("end ", 0) == 0) {
+      std::size_t declared = 0;
+      std::istringstream end_fields(line.substr(4));
+      if (!(end_fields >> declared) || declared != shards.size()) {
+        throw util::DataCorruptionError(
+            kFile, line_no,
+            "end sentinel declares " + line.substr(4) + " shards, parsed " +
+                std::to_string(shards.size()));
+      }
+      saw_end = true;
+      continue;
+    }
     std::istringstream fields(line);
     std::string tag;
     std::size_t index = 0;
@@ -119,6 +141,10 @@ LeaseTable LeaseTable::parse(const std::string& text) {
     if (!evidence.empty() && evidence.front() == ' ') evidence.erase(0, 1);
     lease.evidence = evidence;
     shards.push_back(std::move(lease));
+  }
+  if (!saw_end) {
+    throw util::DataCorruptionError(
+        kFile, line_no, "missing end sentinel (truncated or merged line)");
   }
   LeaseTable table;
   table.shards_ = std::move(shards);

@@ -78,8 +78,9 @@ class LeaseTable {
   std::optional<std::size_t> next_leasable(std::int64_t now) const;
 
   /// Stable text form: one "shard <i> <state> <attempts> [evidence]" line
-  /// per shard. Leased shards render as pending (a lease does not survive
-  /// the coordinator that granted it).
+  /// per shard, closed by an "end <count>" sentinel (rows lost to a merged
+  /// or truncated line are structurally detectable). Leased shards render
+  /// as pending (a lease does not survive the coordinator that granted it).
   std::string serialize() const;
 
   /// Inverse of serialize(). Throws util::DataCorruptionError on any

@@ -19,7 +19,9 @@
 // cancellation and is deliberately NEVER absorbed by the resilience layer,
 // so tests can kill a study at an arbitrary point and exercise resume.
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -89,6 +91,57 @@ class DataCorruptionError : public TuneError {
  private:
   std::string file_;
   std::uint64_t offset_ = 0;
+};
+
+/// A raw storage operation (open/write/fsync/rename/unlink) failed at the
+/// OS level. Carries the operation, path and errno so every durability
+/// boundary reports "which file, which syscall, why" instead of a bare
+/// strerror string. Classification follows the errno: exhaustion and
+/// interruption (ENOSPC, EDQUOT, EAGAIN, EINTR) are Transient — space can
+/// be freed, the operator can react, a retry or a degraded-durability
+/// continuation is legitimate — while anything else (EIO, EROFS, EACCES,
+/// EBADF...) is Permanent for this path until a human intervenes.
+class StorageError : public TuneError {
+ public:
+  StorageError(const std::string& operation, const std::string& path,
+               int error_number)
+      : TuneError(classify(error_number),
+                  operation + " '" + path + "' failed: " +
+                      describe_errno(error_number)),
+        operation_(operation),
+        path_(path),
+        error_number_(error_number) {}
+
+  /// The failed operation, e.g. "atomic_write_file: write".
+  const std::string& operation() const { return operation_; }
+
+  /// The file (or rename destination) the operation targeted.
+  const std::string& path() const { return path_; }
+
+  /// The raw errno; 0 when the failure had no errno (never expected).
+  int error_number() const { return error_number_; }
+
+  static ErrorClass classify(int error_number) {
+    switch (error_number) {
+      case ENOSPC:
+      case EDQUOT:
+      case EAGAIN:
+      case EINTR:
+        return ErrorClass::Transient;
+      default:
+        return ErrorClass::Permanent;
+    }
+  }
+
+ private:
+  static std::string describe_errno(int error_number) {
+    return std::string(std::strerror(error_number)) + " (errno " +
+           std::to_string(error_number) + ")";
+  }
+
+  std::string operation_;
+  std::string path_;
+  int error_number_ = 0;
 };
 
 /// A store file could not be opened, stat'ed or mapped at all (missing

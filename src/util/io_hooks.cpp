@@ -1,0 +1,26 @@
+#include "util/io_hooks.hpp"
+
+namespace omptune::util {
+
+namespace detail {
+std::atomic<IoHooks*> g_io_hooks{nullptr};
+}
+
+const char* to_string(IoOp op) {
+  switch (op) {
+    case IoOp::Open: return "open";
+    case IoOp::Write: return "write";
+    case IoOp::Fsync: return "fsync";
+    case IoOp::FsyncDir: return "fsync-dir";
+    case IoOp::Rename: return "rename";
+    case IoOp::Unlink: return "unlink";
+    case IoOp::Read: return "read";
+  }
+  return "unknown";
+}
+
+IoHooks* install_io_hooks(IoHooks* hooks) {
+  return detail::g_io_hooks.exchange(hooks, std::memory_order_acq_rel);
+}
+
+}  // namespace omptune::util

@@ -1,0 +1,118 @@
+#pragma once
+
+// Injectable I/O hooks for the crash-consistency torture framework
+// (DESIGN.md §14). Every durability boundary in util/fs — the open, write,
+// fsync, rename, unlink and directory-fsync operations behind the atomic
+// temp-file + rename recipe, plus the append path of durable line logs —
+// consults the installed IoHooks before performing the real syscall. A
+// hook can therefore, deterministically per plan:
+//
+//   - crash the process at the k-th I/O operation (a genuine SIGKILL, so
+//     no destructor or cleanup path can tidy up what a real crash would
+//     leave behind),
+//   - tear a write (a prefix of the buffer reaches the file, then death),
+//   - shorten a write (the syscall accepts fewer bytes than offered — the
+//     caller's retry loop must finish the job),
+//   - fail an operation with an injected errno (ENOSPC, EIO, EINTR, ...),
+//   - bit-rot bytes on the read path.
+//
+// When no hook is installed (production), the cost is one relaxed atomic
+// load and a predicted-not-taken branch per I/O operation — gated at < 5%
+// of the journal write path by bench/ext_resilience.
+//
+// Hooks are process-global on purpose: a forked child inherits the
+// installed hook and its plan, which is exactly what the fork-per-crash-
+// point enumeration harness (tests/crash_consistency_test) relies on.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace omptune::util {
+
+/// Durability-relevant operations the fs layer exposes to hooks.
+enum class IoOp : std::uint8_t {
+  Open,      ///< open(2) of a file about to be written
+  Write,     ///< one write(2) attempt (loops consult per attempt)
+  Fsync,     ///< fsync(2) of a file fd
+  FsyncDir,  ///< fsync(2) of a directory fd (rename durability)
+  Rename,    ///< rename(2) publishing or rotating a file
+  Unlink,    ///< unlink(2) of a durable file
+  Read,      ///< whole-file read about to be returned to the caller
+};
+
+const char* to_string(IoOp op);
+
+/// Context of one hooked operation. `path` is the primary operand (the
+/// rename destination for Rename); for Write, `fd`/`data`/`size` describe
+/// the attempt so a hook can tear the write itself before dying.
+struct IoSite {
+  IoOp op;
+  const std::string& path;
+  int fd = -1;
+  const char* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// The injection interface. Implementations live in sim (StorageChaos);
+/// util only defines the seam so production code carries no sim
+/// dependency.
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+
+  /// Consulted immediately before each hooked operation. Return 0 to let
+  /// the operation proceed, or an errno to make it fail with that value
+  /// (the operation is NOT performed; the fs layer surfaces a typed
+  /// StorageError, except EINTR on write/fsync which the retry loops
+  /// absorb — injecting EINTR exercises exactly those loops). The hook may
+  /// also not return at all: raising SIGKILL here models process death at
+  /// this precise operation, optionally after pushing a prefix of a Write
+  /// site's buffer to its fd (a torn write).
+  virtual int before(const IoSite& site) = 0;
+
+  /// For Write sites only: cap how many bytes the next write(2) may
+  /// accept, modelling a short write. The fs write loops must continue
+  /// with the remainder. Return SIZE_MAX for no cap.
+  virtual std::size_t max_write_bytes(const IoSite& site) {
+    (void)site;
+    return static_cast<std::size_t>(-1);
+  }
+
+  /// After a successful whole-file read: may mutate `bytes` in place to
+  /// model at-rest bit rot the reader must catch by validation.
+  virtual void after_read(const std::string& path, std::string* bytes) {
+    (void)path;
+    (void)bytes;
+  }
+};
+
+namespace detail {
+extern std::atomic<IoHooks*> g_io_hooks;
+}
+
+/// The installed hook, or nullptr (the production fast path).
+inline IoHooks* io_hooks() {
+  return detail::g_io_hooks.load(std::memory_order_acquire);
+}
+
+/// Install `hooks` process-wide (nullptr uninstalls). Test-only; callers
+/// own the lifetime and must uninstall before destroying the hook. Returns
+/// the previously installed hook.
+IoHooks* install_io_hooks(IoHooks* hooks);
+
+/// RAII installer for tests: installs on construction, restores the
+/// previous hook on destruction.
+class ScopedIoHooks {
+ public:
+  explicit ScopedIoHooks(IoHooks* hooks) : previous_(install_io_hooks(hooks)) {}
+  ~ScopedIoHooks() { install_io_hooks(previous_); }
+  ScopedIoHooks(const ScopedIoHooks&) = delete;
+  ScopedIoHooks& operator=(const ScopedIoHooks&) = delete;
+
+ private:
+  IoHooks* previous_;
+};
+
+}  // namespace omptune::util

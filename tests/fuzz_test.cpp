@@ -22,10 +22,13 @@
 #include "sim/executor.hpp"
 #include "sweep/config_space.hpp"
 #include "sweep/harness.hpp"
+#include "sim/storage_chaos.hpp"
 #include "sweep/journal.hpp"
+#include "sweep/lease.hpp"
 #include "util/env.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/io_hooks.hpp"
 #include "util/rng.hpp"
 
 namespace omptune {
@@ -307,6 +310,88 @@ TEST_P(JournalCorruptionFuzz, TruncatedOrGarbledEntriesNeverLoseSamplesSilently)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JournalCorruptionFuzz, ::testing::Range(0, 4));
+
+/// At-rest bit rot on the READ path, injected through the fs hook seam
+/// (sim::StorageChaos::after_read flips one deterministic byte per file):
+/// every consumer of util::read_file must either absorb the flip with all
+/// data intact or fail inside the error taxonomy — never crash, never lose
+/// rows silently.
+class ReadPathBitRotFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReadPathBitRotFuzz, JournalLoadsAreTypedOrIntactUnderBitRot) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_fuzz_bitrot_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+  sweep::StudyJournal journal(dir);
+  sim::ModelRunner runner;
+  sweep::SweepHarness harness(runner, 2, 3);
+  const auto& cpu = architecture(ArchId::Milan);
+  sweep::StudySetting setting{&apps::find_application("xsbench"),
+                              apps::find_application("xsbench").default_input(),
+                              48};
+  const std::size_t count = 15;
+  journal.record("fuzz", harness.run_setting(cpu, setting, count));
+
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    sim::StorageFaultPlan plan;
+    plan.bitrot_seed = seed * 1000003u + static_cast<std::uint64_t>(GetParam());
+    sim::StorageChaos chaos(plan);
+    util::ScopedIoHooks scope(&chaos);
+    try {
+      const sweep::Dataset loaded = journal.load("fuzz", count);
+      // A flip in a value field can parse to a different number; what it
+      // must never do is change the row count or produce non-finite data
+      // without a typed error.
+      ASSERT_EQ(loaded.size(), count);
+    } catch (const util::DataCorruptionError&) {
+      // Typed rejection: the expected outcome for structural damage.
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_P(ReadPathBitRotFuzz, LeaseTableStateParsesOrRejectsTypedUnderBitRot) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_fuzz_lease_" + std::to_string(::getpid()) + "_" +
+        std::to_string(GetParam())))
+          .string();
+  std::filesystem::remove_all(dir);
+  util::create_directories(dir);
+  const std::string state = util::path_join(dir, "coordinator.state");
+
+  sweep::LeaseTable table(6);
+  table.at(0).state = sweep::ShardState::Completed;
+  table.at(1).state = sweep::ShardState::Quarantined;
+  table.at(1).attempts = 3;
+  table.at(1).evidence = "host crashed repeatedly";
+  table.at(2).state = sweep::ShardState::Leased;
+  table.at(2).holder = 1;
+  util::atomic_write_file(state, table.serialize());
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    sim::StorageFaultPlan plan;
+    plan.bitrot_seed = seed * 777767u + static_cast<std::uint64_t>(GetParam());
+    sim::StorageChaos chaos(plan);
+    util::ScopedIoHooks scope(&chaos);
+    const std::optional<std::string> text = util::read_file(state);
+    ASSERT_TRUE(text.has_value());
+    try {
+      const sweep::LeaseTable parsed = sweep::LeaseTable::parse(*text);
+      // A flip confined to an evidence string or a digit can still parse;
+      // the structure must survive intact when it does.
+      ASSERT_EQ(parsed.size(), table.size());
+    } catch (const util::DataCorruptionError&) {
+      // Typed rejection is the other acceptable outcome.
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReadPathBitRotFuzz, ::testing::Range(0, 3));
 
 TEST(DatasetCsvFuzz, RoundTripSurvivesAndCorruptionIsTyped) {
   // Dataset::load_csv_file normalizes every parse failure (bad quoting,

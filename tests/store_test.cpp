@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <cstdlib>
 #include <filesystem>
 #include <sstream>
@@ -552,6 +553,72 @@ TEST_P(StoreCorruptionFuzz, TruncatedOrGarbledStoresNeverLoseDataSilently) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreCorruptionFuzz, ::testing::Range(0, 4));
+
+/// At-rest bit rot: because the header checksum covers the header AND the
+/// section table, and every section (padding included) carries its own
+/// checksum over its exact padded extent with no inter-section gaps, a
+/// single-byte flip ANYWHERE in a .omps file — metadata, bulk columns, the
+/// embedded partition index — must surface from a full load as a typed
+/// DataCorruptionError naming the file. Never a crash, never silently
+/// wrong rows.
+class StoreBitRotFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreBitRotFuzz, AnySingleByteFlipIsTypedCorruptionNeverSilent) {
+  const sweep::Dataset dataset = sample_dataset();
+  const std::string pristine = store::serialize_store(dataset);
+  const std::string dir = temp_dir("bitrot_" + std::to_string(GetParam()));
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919u + 3);
+
+  std::vector<std::size_t> positions;
+  if (GetParam() == 0) {
+    // Dense pass over the metadata: magic, header fields, section table.
+    const std::size_t metadata = std::min(
+        pristine.size(),
+        store::kHeaderBytes + store::kSectionCount * store::kSectionEntryBytes);
+    for (std::size_t at = 0; at < metadata; ++at) positions.push_back(at);
+  }
+  // First, middle and last byte of every section — the embedded index and
+  // the per-section padding bytes included.
+  for (std::uint32_t i = 0; i < store::kSectionCount; ++i) {
+    const std::size_t entry =
+        store::kHeaderBytes + i * store::kSectionEntryBytes;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::memcpy(&offset, pristine.data() + entry + 8, sizeof offset);
+    std::memcpy(&bytes, pristine.data() + entry + 16, sizeof bytes);
+    if (bytes == 0 || offset + bytes > pristine.size()) continue;
+    positions.push_back(offset);
+    positions.push_back(offset + bytes / 2);
+    positions.push_back(offset + bytes - 1);
+  }
+  for (int i = 0; i < 200; ++i) {
+    positions.push_back(rng.uniform_index(pristine.size()));
+  }
+
+  for (const std::size_t at : positions) {
+    std::string mutated = pristine;
+    // XOR with a nonzero mask: the byte is guaranteed to change.
+    mutated[at] = static_cast<char>(
+        static_cast<unsigned char>(mutated[at]) ^
+        static_cast<unsigned char>(1 + rng.uniform_index(255)));
+    const std::string path = write_raw(dir, mutated);
+    try {
+      const store::StoreReader reader(path);
+      reader.load();
+      FAIL() << "single-byte flip at offset " << at << " of "
+             << pristine.size() << " loaded without a corruption error";
+    } catch (const util::DataCorruptionError& error) {
+      EXPECT_NE(std::string(error.what()).find("corrupt.omps"),
+                std::string::npos)
+          << error.what();
+    }
+    // Any other exception type escapes and fails the test: a flip must
+    // never surface as a crash, a bad_alloc, or an untyped error.
+  }
+  std::filesystem::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreBitRotFuzz, ::testing::Range(0, 3));
 
 // ---- CSV loader hardening (the silent short-read path) ----------------------
 

@@ -1,10 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "sim/storage_chaos.hpp"
 #include "util/backoff.hpp"
+#include "util/errors.hpp"
+#include "util/fs.hpp"
+#include "util/io_hooks.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -216,6 +225,159 @@ TEST(Table, HeatMapShadesScaleWithValue) {
   EXPECT_NE(out.find("##"), std::string::npos);   // dark cell
   EXPECT_NE(out.find(" ."), std::string::npos);   // light cell
   EXPECT_THROW(map.add_row("bad", {1.0}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// StorageError taxonomy + the hooked durability helpers (DESIGN.md §14).
+
+std::string fs_temp_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("omptune_util_" + tag + "_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  create_directories(dir);
+  return dir;
+}
+
+TEST(StorageError, ClassifiesErrnoAndCarriesContext) {
+  // Space/pressure errors are transient (retry may succeed after cleanup);
+  // everything else is permanent.
+  EXPECT_EQ(StorageError::classify(ENOSPC), ErrorClass::Transient);
+  EXPECT_EQ(StorageError::classify(EDQUOT), ErrorClass::Transient);
+  EXPECT_EQ(StorageError::classify(EAGAIN), ErrorClass::Transient);
+  EXPECT_EQ(StorageError::classify(EINTR), ErrorClass::Transient);
+  EXPECT_EQ(StorageError::classify(EIO), ErrorClass::Permanent);
+  EXPECT_EQ(StorageError::classify(EACCES), ErrorClass::Permanent);
+
+  const StorageError error("write", "/data/x.omps", ENOSPC);
+  EXPECT_EQ(error.error_class(), ErrorClass::Transient);
+  EXPECT_EQ(error.operation(), "write");
+  EXPECT_EQ(error.path(), "/data/x.omps");
+  EXPECT_EQ(error.error_number(), ENOSPC);
+  EXPECT_NE(std::string(error.what()).find("/data/x.omps"),
+            std::string::npos);
+  EXPECT_NE(std::string(error.what()).find(std::to_string(ENOSPC)),
+            std::string::npos);
+}
+
+TEST(Fs, AtomicWriteSurfacesInjectedErrnoAsStorageError) {
+  const std::string dir = fs_temp_dir("enospc");
+  const std::string path = path_join(dir, "out.txt");
+  sim::StorageFaultPlan plan;
+  plan.fail_at_op = 2;  // op 1 = Open, op 2 = the first Write
+  plan.fail_errno = ENOSPC;
+  sim::StorageChaos chaos(plan);
+  {
+    ScopedIoHooks scope(&chaos);
+    try {
+      atomic_write_file(path, "payload");
+      FAIL() << "injected ENOSPC did not surface";
+    } catch (const StorageError& error) {
+      EXPECT_EQ(error.error_number(), ENOSPC);
+      EXPECT_EQ(error.error_class(), ErrorClass::Transient);
+    }
+  }
+  // The failed write left no target and no temp file behind.
+  EXPECT_FALSE(file_exists(path));
+  EXPECT_TRUE(list_files(dir).empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, WriteLoopsAbsorbInjectedEintrAndShortWrites) {
+  const std::string dir = fs_temp_dir("eintr");
+  const std::string path = path_join(dir, "out.txt");
+  const std::string payload(4096, 'x');
+  {
+    sim::StorageFaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.fail_errno = EINTR;  // absorbed by the write retry loop
+    sim::StorageChaos chaos(plan);
+    ScopedIoHooks scope(&chaos);
+    atomic_write_file(path, payload);
+  }
+  EXPECT_EQ(read_file(path).value(), payload);
+  {
+    sim::StorageFaultPlan plan;
+    plan.short_write_at_op = 2;  // the kernel takes half; the loop continues
+    sim::StorageChaos chaos(plan);
+    ScopedIoHooks scope(&chaos);
+    atomic_write_file(path, payload + payload);
+  }
+  EXPECT_EQ(read_file(path).value(), payload + payload);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, ScopedIoHooksInstallsAndRestores) {
+  EXPECT_EQ(io_hooks(), nullptr);
+  sim::StorageChaos outer{sim::StorageFaultPlan{}};
+  sim::StorageChaos inner{sim::StorageFaultPlan{}};
+  {
+    ScopedIoHooks a(&outer);
+    EXPECT_EQ(io_hooks(), &outer);
+    {
+      ScopedIoHooks b(&inner);
+      EXPECT_EQ(io_hooks(), &inner);
+    }
+    EXPECT_EQ(io_hooks(), &outer);
+  }
+  EXPECT_EQ(io_hooks(), nullptr);
+}
+
+TEST(Fs, AppendLineDurableRotatesAtCap) {
+  const std::string dir = fs_temp_dir("rotate");
+  const std::string log = path_join(dir, "a.log");
+  // Three 10-byte lines fit a 32-byte cap; the fourth rotates first.
+  for (int i = 0; i < 4; ++i) {
+    append_line_durable(log, "line-" + std::to_string(i) + "xxx", 32);
+  }
+  EXPECT_EQ(read_file(log).value(), "line-3xxx\n");
+  EXPECT_EQ(read_file(log + ".1").value(),
+            "line-0xxx\nline-1xxx\nline-2xxx\n");
+  // Cap 0 disables rotation entirely.
+  const std::string flat = path_join(dir, "b.log");
+  for (int i = 0; i < 4; ++i) {
+    append_line_durable(flat, "line-" + std::to_string(i), 0);
+  }
+  EXPECT_EQ(read_file(flat).value(), "line-0\nline-1\nline-2\nline-3\n");
+  EXPECT_FALSE(file_exists(flat + ".1"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, RepairAppendedLogDropsTornTail) {
+  const std::string dir = fs_temp_dir("repair");
+  const std::string log = path_join(dir, "a.log");
+  // Missing and empty files need no repair.
+  EXPECT_EQ(repair_appended_log(log), 0u);
+  { std::ofstream(log) << ""; }
+  EXPECT_EQ(repair_appended_log(log), 0u);
+  // A torn tail (no trailing newline) is truncated back to the last
+  // complete line.
+  { std::ofstream(log) << "complete-1\ncomplete-2\ntorn-tai"; }
+  EXPECT_EQ(repair_appended_log(log), 8u);
+  EXPECT_EQ(read_file(log).value(), "complete-1\ncomplete-2\n");
+  EXPECT_EQ(repair_appended_log(log), 0u);  // idempotent
+  // A file that is ALL torn tail truncates to empty.
+  { std::ofstream(log, std::ios::trunc) << "only-torn"; }
+  EXPECT_EQ(repair_appended_log(log), 9u);
+  EXPECT_EQ(read_file(log).value(), "");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Fs, ReadFileAppliesBitrotHook) {
+  const std::string dir = fs_temp_dir("bitrot");
+  const std::string path = path_join(dir, "data.bin");
+  const std::string payload(256, 'y');
+  atomic_write_file(path, payload);
+  sim::StorageFaultPlan plan;
+  plan.bitrot_seed = 42;
+  sim::StorageChaos chaos(plan);
+  ScopedIoHooks scope(&chaos);
+  const std::string rotted = read_file(path).value();
+  EXPECT_EQ(rotted.size(), payload.size());
+  EXPECT_NE(rotted, payload);  // exactly one byte differs
+  EXPECT_EQ(read_file(path).value(), rotted);  // deterministic per path
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
