@@ -1,56 +1,173 @@
-// Ablation micro-benchmark: centralized sense-reversing barrier vs the
-// combining-tree barrier, across wait policies — the barrier-algorithm
-// design choice LLVM/OpenMP exposes via KMP_*_BARRIER_PATTERN.
+// Ablation micro-benchmark: the full barrier catalogue (central, tree,
+// dissemination, flat/hybrid) swept across team sizes {2..hw_concurrency}
+// and wait policies — the barrier-algorithm design choice LLVM/OpenMP
+// exposes via KMP_*_BARRIER_PATTERN — plus the padded-vs-packed
+// TreeBarrier node layout (false-sharing ablation). After the registered
+// benchmarks run, a hand-timed winner-per-team-size table is printed next
+// to what the Auto heuristic would pick.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
-#include "rt/barrier.hpp"
+#include "rt/team_barrier.hpp"
 #include "rt/tree_barrier.hpp"
 
 namespace {
 
 using namespace omptune;
 
+constexpr int kRoundsPerIteration = 100;
+
 rt::WaitBehavior behavior(rt::WaitPolicy policy) {
   rt::WaitBehavior wait;
   wait.policy = policy;
+  wait.yield_while_spinning = true;
   return wait;
 }
 
-void BM_CentralBarrier(benchmark::State& state) {
+const char* policy_name(rt::WaitPolicy policy) {
+  switch (policy) {
+    case rt::WaitPolicy::Active: return "active";
+    case rt::WaitPolicy::SpinThenSleep: return "spin";
+    case rt::WaitPolicy::Passive: return "passive";
+  }
+  return "?";
+}
+
+void run_rounds(rt::TeamBarrier& barrier, int team) {
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(team));
+  for (int t = 0; t < team; ++t) {
+    threads.emplace_back([&barrier, t] {
+      for (int round = 0; round < kRoundsPerIteration; ++round) {
+        barrier.arrive_and_wait(t);
+      }
+    });
+  }
+}
+
+void BM_Barrier(benchmark::State& state, rt::BarrierKind kind,
+                rt::WaitPolicy policy) {
   const int team = static_cast<int>(state.range(0));
-  rt::Barrier barrier(team, behavior(rt::WaitPolicy::SpinThenSleep));
+  auto barrier = rt::make_team_barrier(kind, team, behavior(policy));
   for (auto _ : state) {
+    run_rounds(*barrier, team);
+  }
+  state.counters["sleeps"] = static_cast<double>(barrier->sleep_count());
+}
+
+/// False-sharing ablation: identical algorithm, padded vs packed node
+/// layout (see PaddedSlots in rt/aligned_alloc.hpp).
+void BM_TreeBarrierLayout(benchmark::State& state, bool padded) {
+  const int team = static_cast<int>(state.range(0));
+  rt::TreeBarrier barrier(team, behavior(rt::WaitPolicy::Active), padded);
+  for (auto _ : state) {
+    run_rounds(barrier, team);
+  }
+}
+
+std::vector<int> team_sizes() {
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> sizes;
+  for (int size = 2; size <= std::max(2, hw); size *= 2) sizes.push_back(size);
+  if (sizes.back() != hw && hw > 2) sizes.push_back(hw);
+  return sizes;
+}
+
+void register_benchmarks() {
+  const rt::BarrierKind kinds[] = {
+      rt::BarrierKind::Central, rt::BarrierKind::Tree,
+      rt::BarrierKind::Dissemination, rt::BarrierKind::Hybrid};
+  const rt::WaitPolicy policies[] = {rt::WaitPolicy::Active,
+                                     rt::WaitPolicy::SpinThenSleep,
+                                     rt::WaitPolicy::Passive};
+  for (const rt::BarrierKind kind : kinds) {
+    for (const rt::WaitPolicy policy : policies) {
+      const std::string name = std::string("BM_Barrier/") +
+                               rt::to_string(kind) + "/" +
+                               policy_name(policy);
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(),
+          [kind, policy](benchmark::State& state) {
+            BM_Barrier(state, kind, policy);
+          });
+      for (int size : team_sizes()) bench->Arg(size);
+      bench->Unit(benchmark::kMillisecond)->MinTime(0.2);
+    }
+  }
+  for (const bool padded : {true, false}) {
+    auto* bench = benchmark::RegisterBenchmark(
+        padded ? "BM_TreeBarrierLayout/padded" : "BM_TreeBarrierLayout/packed",
+        [padded](benchmark::State& state) {
+          BM_TreeBarrierLayout(state, padded);
+        });
+    for (int size : team_sizes()) bench->Arg(size);
+    bench->Unit(benchmark::kMillisecond)->MinTime(0.2);
+  }
+}
+
+/// Quick hand-timed sweep for the winner table (active policy).
+double episode_us(rt::BarrierKind kind, int team, int rounds) {
+  auto barrier =
+      rt::make_team_barrier(kind, team, behavior(rt::WaitPolicy::Active));
+  const auto start = std::chrono::steady_clock::now();
+  {
     std::vector<std::jthread> threads;
     for (int t = 0; t < team; ++t) {
-      threads.emplace_back([&barrier] {
-        for (int round = 0; round < 100; ++round) barrier.arrive_and_wait();
+      threads.emplace_back([&barrier, t, rounds] {
+        for (int round = 0; round < rounds; ++round) {
+          barrier->arrive_and_wait(t);
+        }
       });
     }
   }
-  state.counters["sleeps"] = static_cast<double>(barrier.sleep_count());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+             .count() /
+         rounds * 1e6;
 }
 
-void BM_TreeBarrier(benchmark::State& state) {
-  const int team = static_cast<int>(state.range(0));
-  rt::TreeBarrier barrier(team, behavior(rt::WaitPolicy::SpinThenSleep));
-  for (auto _ : state) {
-    std::vector<std::jthread> threads;
-    for (int t = 0; t < team; ++t) {
-      threads.emplace_back([&barrier, t] {
-        for (int round = 0; round < 100; ++round) barrier.arrive_and_wait(t);
-      });
+void print_winner_table() {
+  const rt::BarrierKind kinds[] = {
+      rt::BarrierKind::Central, rt::BarrierKind::Tree,
+      rt::BarrierKind::Dissemination, rt::BarrierKind::Hybrid};
+  std::printf("\nwinner per team size (active policy, %d rounds):\n", 500);
+  for (int team : team_sizes()) {
+    rt::BarrierKind best = rt::BarrierKind::Central;
+    double best_us = 0.0;
+    double central_us = 0.0;
+    for (const rt::BarrierKind kind : kinds) {
+      const double us = episode_us(kind, team, 500);
+      if (kind == rt::BarrierKind::Central) central_us = us;
+      if (kind == rt::BarrierKind::Central || us < best_us) {
+        best = kind;
+        best_us = us;
+      }
     }
+    std::printf("  t%-4d winner=%-14s %8.3f us  central=%8.3f us  "
+                "auto-picks=%s\n",
+                team, rt::to_string(best).c_str(), best_us, central_us,
+                rt::to_string(rt::resolve_barrier_kind(rt::BarrierKind::Auto,
+                                                       team))
+                    .c_str());
   }
-  state.counters["sleeps"] = static_cast<double>(barrier.sleep_count());
 }
-
-BENCHMARK(BM_CentralBarrier)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
-BENCHMARK(BM_TreeBarrier)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->MinTime(0.2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_winner_table();
+  return 0;
+}

@@ -1,0 +1,412 @@
+// Microbenchmark suite for the runtime's fast primitives — the measured
+// source of the perf model's CalibrationTable (DESIGN.md §15).
+//
+// Measures, on the host:
+//   - barrier phase cost per catalogue variant x team size x wait policy,
+//     with a winner-per-team-size table;
+//   - park/unpark round-trip (futex-style WaitWord) vs the mutex+condvar
+//     equivalent it replaced;
+//   - contended CAS and fetch-add, and uncontended lock acquire.
+//
+// Modes:
+//   micro_primitives                          print the report
+//   micro_primitives --emit-calibration=F     also write a CalibrationTable
+//   micro_primitives --json=F                 also write flat metrics JSON
+//   micro_primitives --gate=BASELINE.json     fail (exit 1) if any gated
+//                                             metric regressed beyond
+//                                             --tolerance (default 0.25)
+//   micro_primitives --update-baseline=F      write the gate baseline
+//   micro_primitives --quick                  CI smoke sizing
+//
+// Gating compares against the checked-in baseline with a wide relative
+// tolerance and only uses scheduling-robust metrics (single-threaded and
+// two-thread primitives); oversubscribed barrier timings are reported but
+// not gated, because they measure the OS scheduler on small CI hosts.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/calibration.hpp"
+#include "rt/team_barrier.hpp"
+#include "util/futex.hpp"
+
+namespace {
+
+using namespace omptune;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// Barrier round-trips
+// ---------------------------------------------------------------------------
+
+rt::WaitBehavior behavior(rt::WaitPolicy policy) {
+  rt::WaitBehavior wait;
+  wait.policy = policy;
+  wait.yield_while_spinning = true;  // oversubscription-safe on small hosts
+  return wait;
+}
+
+/// Wall-clock microseconds per barrier episode for `team` threads doing
+/// `rounds` episodes.
+double time_barrier_us(rt::BarrierKind kind, int team, rt::WaitPolicy policy,
+                       int rounds) {
+  auto barrier = rt::make_team_barrier(kind, team, behavior(policy));
+  const auto start = Clock::now();
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(team));
+    for (int t = 0; t < team; ++t) {
+      threads.emplace_back([&barrier, t, rounds] {
+        for (int round = 0; round < rounds; ++round) {
+          barrier->arrive_and_wait(t);
+        }
+      });
+    }
+  }
+  return seconds_since(start) / rounds * 1e6;
+}
+
+// ---------------------------------------------------------------------------
+// Park/unpark ping-pong: WaitWord (futex path) vs mutex+condvar
+// ---------------------------------------------------------------------------
+
+/// Round-trip microseconds of a two-thread ping-pong where each hand-off
+/// goes through a kernel park (Passive policy forces the futex path).
+double time_park_unpark_us(int round_trips) {
+  rt::WaitWord ping;
+  rt::WaitWord pong;
+  const rt::WaitBehavior passive = behavior(rt::WaitPolicy::Passive);
+
+  const auto start = Clock::now();
+  std::jthread other([&ping, &pong, passive, round_trips] {
+    for (int i = 1; i <= round_trips; ++i) {
+      ping.wait_reached(static_cast<std::uint32_t>(i), passive, nullptr);
+      pong.advance_and_wake();
+    }
+  });
+  for (int i = 1; i <= round_trips; ++i) {
+    ping.advance_and_wake();
+    pong.wait_reached(static_cast<std::uint32_t>(i), passive, nullptr);
+  }
+  other.join();
+  return seconds_since(start) / round_trips * 1e6;
+}
+
+/// The same ping-pong through the mutex+condvar machinery the WaitWord
+/// replaced.
+double time_condvar_us(int round_trips) {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int turn = 0;  // even: main's turn to bump, odd: other's
+
+  const auto start = Clock::now();
+  std::jthread other([&] {
+    for (int i = 0; i < round_trips; ++i) {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return turn % 2 == 1; });
+      ++turn;
+      cv.notify_one();
+    }
+  });
+  for (int i = 0; i < round_trips; ++i) {
+    std::unique_lock<std::mutex> lock(mutex);
+    ++turn;
+    cv.notify_one();
+    cv.wait(lock, [&] { return turn % 2 == 0; });
+  }
+  other.join();
+  return seconds_since(start) / round_trips * 1e6;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic-op and lock costs
+// ---------------------------------------------------------------------------
+
+double time_fetch_add_us(int threads, int ops_per_thread) {
+  std::atomic<std::uint64_t> counter{0};
+  const auto start = Clock::now();
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter, ops_per_thread] {
+        for (int i = 0; i < ops_per_thread; ++i) {
+          counter.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }
+  return seconds_since(start) / (static_cast<double>(threads) * ops_per_thread) *
+         1e6;
+}
+
+double time_cas_us(int threads, int ops_per_thread) {
+  std::atomic<std::uint64_t> counter{0};
+  const auto start = Clock::now();
+  {
+    std::vector<std::jthread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter, ops_per_thread] {
+        for (int i = 0; i < ops_per_thread; ++i) {
+          std::uint64_t expected = counter.load(std::memory_order_relaxed);
+          while (!counter.compare_exchange_weak(expected, expected + 1,
+                                                std::memory_order_relaxed)) {
+          }
+        }
+      });
+    }
+  }
+  return seconds_since(start) / (static_cast<double>(threads) * ops_per_thread) *
+         1e6;
+}
+
+double time_lock_us(int ops) {
+  std::mutex mutex;
+  const auto start = Clock::now();
+  for (int i = 0; i < ops; ++i) {
+    mutex.lock();
+    mutex.unlock();
+  }
+  return seconds_since(start) / ops * 1e6;
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON metrics
+// ---------------------------------------------------------------------------
+
+std::string to_json(const std::map<std::string, double>& metrics) {
+  std::ostringstream out;
+  out << "{\n";
+  bool first = true;
+  for (const auto& [key, value] : metrics) {
+    if (!first) out << ",\n";
+    first = false;
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+    out << "  \"" << key << "\": " << buffer;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+std::map<std::string, double> parse_flat_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "micro_primitives: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::map<std::string, double> metrics;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t key_start = line.find('"');
+    if (key_start == std::string::npos) continue;
+    const std::size_t key_end = line.find('"', key_start + 1);
+    const std::size_t colon = line.find(':', key_end);
+    if (key_end == std::string::npos || colon == std::string::npos) continue;
+    metrics[line.substr(key_start + 1, key_end - key_start - 1)] =
+        std::stod(line.substr(colon + 1));
+  }
+  return metrics;
+}
+
+std::string kind_name(rt::BarrierKind kind) { return rt::to_string(kind); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string emit_calibration;
+  std::string json_path;
+  std::string gate_path;
+  std::string update_baseline;
+  double tolerance = 0.25;
+  bool quick = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--emit-calibration=", 0) == 0) {
+      emit_calibration = value_of("--emit-calibration=");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = value_of("--json=");
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      gate_path = value_of("--gate=");
+    } else if (arg.rfind("--update-baseline=", 0) == 0) {
+      update_baseline = value_of("--update-baseline=");
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::stod(value_of("--tolerance="));
+    } else if (arg == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "micro_primitives: unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  std::vector<int> teams = {2, 4, 8, 16};
+  if (hw > 16) teams.push_back(hw);
+  const int barrier_rounds = quick ? 200 : 2000;
+  const int pingpong_rounds = quick ? 2000 : 20000;
+  const int atomic_ops = quick ? 50000 : 500000;
+
+  const rt::BarrierKind kinds[] = {
+      rt::BarrierKind::Central, rt::BarrierKind::Tree,
+      rt::BarrierKind::Dissemination, rt::BarrierKind::Hybrid};
+  const rt::WaitPolicy policies[] = {rt::WaitPolicy::Active,
+                                     rt::WaitPolicy::Passive};
+
+  std::map<std::string, double> metrics;
+  rt::CalibrationTable table = rt::CalibrationTable::fallback();
+
+  std::printf("micro_primitives: hw_concurrency=%d futex_backend=%s%s\n\n", hw,
+              util::futex_backend(), quick ? " (quick)" : "");
+
+  // ---- barrier catalogue sweep -------------------------------------------
+  std::printf("barrier phase cost (us/episode, wall-clock, oversubscribed "
+              "beyond %d threads)\n", hw);
+  std::printf("%-16s", "variant");
+  for (int team : teams) std::printf("  t%-8d", team);
+  std::printf("\n");
+  for (const rt::BarrierKind kind : kinds) {
+    for (const rt::WaitPolicy policy : policies) {
+      const char* policy_name =
+          policy == rt::WaitPolicy::Active ? "active" : "passive";
+      std::printf("%-10s/%-5s", kind_name(kind).c_str(), policy_name);
+      for (int team : teams) {
+        // Small teams always get full rounds: their cells feed the gate, so
+        // they must amortize thread-spawn/warm-up identically in quick and
+        // full mode. Big oversubscribed teams are report-only.
+        const int rounds = team <= 4 ? 2000
+                           : team >= 16
+                               ? std::max(1, barrier_rounds / 4)
+                               : barrier_rounds;
+        const double us = time_barrier_us(kind, team, policy, rounds);
+        std::printf("  %-9.3f", us);
+        const std::string key = "barrier." + kind_name(kind) + "." +
+                                policy_name + ".t" + std::to_string(team);
+        metrics[key] = us;
+        if (policy == rt::WaitPolicy::Active) {
+          table.barrier_phase_us[kind_name(kind) + ".t" +
+                                 std::to_string(team)] = us;
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nwinner per team size (active policy):\n");
+  for (int team : teams) {
+    rt::BarrierKind best = rt::BarrierKind::Central;
+    double best_us = 0.0;
+    bool first = true;
+    for (const rt::BarrierKind kind : kinds) {
+      const double us = metrics["barrier." + kind_name(kind) + ".active.t" +
+                                std::to_string(team)];
+      if (first || us < best_us) {
+        best = kind;
+        best_us = us;
+        first = false;
+      }
+    }
+    const double central =
+        metrics["barrier.central.active.t" + std::to_string(team)];
+    std::printf(
+        "  t%-4d %-14s %.3f us  (central: %.3f us, ratio %.2fx)  "
+        "auto-picks=%s\n",
+        team, kind_name(best).c_str(), best_us, central,
+        central / std::max(best_us, 1e-9),
+        kind_name(rt::resolve_barrier_kind(rt::BarrierKind::Auto, team))
+            .c_str());
+  }
+
+  // ---- park/unpark vs condvar --------------------------------------------
+  const double park_us = time_park_unpark_us(pingpong_rounds);
+  const double condvar_us = time_condvar_us(pingpong_rounds);
+  metrics["park_unpark_us"] = park_us;
+  metrics["condvar_roundtrip_us"] = condvar_us;
+  table.park_unpark_us = park_us;
+  table.condvar_roundtrip_us = condvar_us;
+  std::printf("\npark/unpark round-trip: %.3f us   mutex+condvar: %.3f us   "
+              "(futex %.2fx %s)\n",
+              park_us, condvar_us, condvar_us / std::max(park_us, 1e-9),
+              park_us <= condvar_us ? "faster" : "SLOWER");
+
+  // ---- atomic ops and lock ------------------------------------------------
+  const int contenders = std::min(4, std::max(2, hw));
+  const double cas_us = time_cas_us(contenders, atomic_ops / contenders);
+  const double fadd_us = time_fetch_add_us(contenders, atomic_ops / contenders);
+  const double lock_us = time_lock_us(atomic_ops);
+  metrics["cas_contended_us"] = cas_us;
+  metrics["fetch_add_contended_us"] = fadd_us;
+  metrics["lock_acquire_us"] = lock_us;
+  table.cas_contended_us = cas_us;
+  table.fetch_add_contended_us = fadd_us;
+  table.lock_acquire_us = lock_us;
+  std::printf("contended CAS: %.4f us/op   contended fetch_add: %.4f us/op   "
+              "lock acquire: %.4f us\n",
+              cas_us, fadd_us, lock_us);
+
+  // ---- outputs ------------------------------------------------------------
+  if (!emit_calibration.empty()) {
+    table.save(emit_calibration);
+    std::printf("\nwrote calibration table: %s\n", emit_calibration.c_str());
+  }
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::trunc);
+    out << to_json(metrics);
+    std::printf("wrote metrics: %s\n", json_path.c_str());
+  }
+  if (!update_baseline.empty()) {
+    std::ofstream out(update_baseline, std::ios::trunc);
+    out << to_json(metrics);
+    std::printf("wrote baseline: %s\n", update_baseline.c_str());
+  }
+
+  if (!gate_path.empty()) {
+    // Only scheduling-robust metrics participate: primitives that do not
+    // depend on running more threads than the host has cores.
+    const char* gated[] = {"park_unpark_us", "cas_contended_us",
+                           "fetch_add_contended_us", "lock_acquire_us",
+                           "barrier.central.active.t2",
+                           "barrier.dissemination.active.t2"};
+    const std::map<std::string, double> baseline = parse_flat_json(gate_path);
+    bool failed = false;
+    std::printf("\ngate vs %s (tolerance %.0f%%):\n", gate_path.c_str(),
+                tolerance * 100.0);
+    for (const char* key : gated) {
+      const auto base = baseline.find(key);
+      if (base == baseline.end() || metrics.find(key) == metrics.end()) {
+        std::printf("  %-36s SKIP (missing)\n", key);
+        continue;
+      }
+      const double ratio = metrics[key] / std::max(base->second, 1e-12);
+      const bool ok = ratio <= 1.0 + tolerance;
+      std::printf("  %-36s %8.4f vs %8.4f  ratio %.2f  %s\n", key,
+                  metrics[key], base->second, ratio, ok ? "ok" : "REGRESSED");
+      failed = failed || !ok;
+    }
+    if (failed) {
+      std::printf("gate: FAILED\n");
+      return 1;
+    }
+    std::printf("gate: ok\n");
+  }
+  return 0;
+}

@@ -1,77 +1,23 @@
 #include "rt/barrier.hpp"
 
-#include <stdexcept>
-#include <thread>
-
 namespace omptune::rt {
 
-WaitBehavior WaitBehavior::from_config(const RtConfig& config) {
-  WaitBehavior wait;
-  wait.policy = config.wait_policy();
-  wait.yield_while_spinning = config.library != LibraryMode::Turnaround;
-  if (config.blocktime_ms == kBlocktimeInfinite) {
-    wait.spin_budget = std::chrono::microseconds::max();
-  } else {
-    wait.spin_budget = std::chrono::milliseconds(config.blocktime_ms);
-  }
-  return wait;
-}
-
-Barrier::Barrier(int team_size, WaitBehavior wait)
-    : team_size_(team_size), wait_(wait) {
-  if (team_size <= 0) {
-    throw std::invalid_argument("Barrier: team_size must be > 0");
-  }
+Barrier::Barrier(int team_size, WaitBehavior wait, std::uint32_t initial_epoch)
+    : TeamBarrier(team_size, wait) {
+  release_.value.store(initial_epoch, std::memory_order_relaxed);
 }
 
 void Barrier::arrive_and_wait() {
-  const bool my_sense = sense_.load(std::memory_order_relaxed);
+  const std::uint32_t my_epoch = release_.load();
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == team_size_) {
-    // Last arrival: reset and flip the sense, waking sleepers.
+    // Last arrival: reset the counter for the next episode strictly before
+    // the release epoch advances (re-arrivals only happen after a waiter
+    // observes the new epoch), then wake any parked waiters.
     arrived_.store(0, std::memory_order_relaxed);
-    {
-      // The lock orders the sense flip against sleepers' predicate checks so
-      // no waiter can miss the notification.
-      std::lock_guard<std::mutex> lock(mutex_);
-      sense_.store(!my_sense, std::memory_order_release);
-    }
-    cv_.notify_all();
+    release_.advance_and_wake();
     return;
   }
-  wait_until(sense_, !my_sense, wait_, mutex_, cv_, &sleeps_);
-}
-
-void wait_until(const std::atomic<bool>& flag, bool expected,
-                const WaitBehavior& wait, std::mutex& mutex,
-                std::condition_variable& cv,
-                std::atomic<std::uint64_t>* sleep_counter) {
-  auto satisfied = [&flag, expected] {
-    return flag.load(std::memory_order_acquire) == expected;
-  };
-  if (satisfied()) return;
-
-  if (wait.policy != WaitPolicy::Passive) {
-    const bool bounded = wait.policy == WaitPolicy::SpinThenSleep;
-    const auto deadline = bounded
-                              ? std::chrono::steady_clock::now() + wait.spin_budget
-                              : std::chrono::steady_clock::time_point::max();
-    // Poll in small batches before checking the clock to keep the spin loop
-    // cheap; yield between polls in throughput mode.
-    while (true) {
-      for (int i = 0; i < 64; ++i) {
-        if (satisfied()) return;
-        if (wait.yield_while_spinning) std::this_thread::yield();
-      }
-      if (bounded && std::chrono::steady_clock::now() >= deadline) break;
-    }
-  }
-
-  // Passive path (or spin budget exhausted): sleep until notified.
-  if (sleep_counter != nullptr) {
-    sleep_counter->fetch_add(1, std::memory_order_relaxed);
-  }
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, satisfied);
+  release_.wait_changed(my_epoch, wait_, &sleeps_);
 }
 
 }  // namespace omptune::rt

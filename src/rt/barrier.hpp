@@ -1,72 +1,45 @@
 #pragma once
 
-// Team barrier with a configurable wait policy.
-//
-// The waiting behaviour is the mechanism KMP_BLOCKTIME and KMP_LIBRARY tune:
+// Centralized sense-reversing barrier: one arrival counter, one release
+// epoch. The waiting mechanics (spin vs yield vs park) come from the shared
+// WaitWord primitive in rt/park.hpp — the surface KMP_BLOCKTIME and
+// KMP_LIBRARY tune:
 //  - Active (turnaround / blocktime=infinite): spin until released; lowest
 //    wake-up latency, burns a core while waiting.
-//  - Passive (blocktime=0): sleep on a condition variable immediately;
-//    frees the core, pays the OS wake-up cost on release.
+//  - Passive (blocktime=0): park in the kernel immediately; frees the core,
+//    pays the futex wake on release.
 //  - SpinThenSleep (default, blocktime=200ms): spin up to the blocktime,
-//    then fall back to sleeping.
+//    then park.
 //
 // In throughput mode spinning yields to the OS between polls (the runtime is
 // a good citizen on shared machines); in turnaround mode it polls without
 // yielding.
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
-#include "rt/config.hpp"
+#include "rt/team_barrier.hpp"
 
 namespace omptune::rt {
 
-/// How a waiting thread burns time until a condition flips.
-struct WaitBehavior {
-  WaitPolicy policy = WaitPolicy::SpinThenSleep;
-  bool yield_while_spinning = true;  ///< throughput yields, turnaround does not
-  std::chrono::microseconds spin_budget{200'000};  ///< blocktime
-
-  /// Derive from a runtime configuration.
-  static WaitBehavior from_config(const RtConfig& config);
-};
-
 /// Sense-reversing centralized barrier for a fixed-size team.
-class Barrier {
+class Barrier final : public TeamBarrier {
  public:
-  explicit Barrier(int team_size, WaitBehavior wait = {});
+  /// `initial_epoch` pre-ages the release epoch — the conformance suite
+  /// starts near UINT32_MAX to drive episodes across the wrap.
+  explicit Barrier(int team_size, WaitBehavior wait = {},
+                   std::uint32_t initial_epoch = 0);
 
-  /// Block until all `team_size` threads have arrived. Safe for repeated use.
+  /// Block until all `team_size` threads have arrived. Safe for repeated
+  /// use. The centralized algorithm needs no rank, so a rank-free entry
+  /// point exists for callers without a stable tid (reductions, tests).
   void arrive_and_wait();
+  void arrive_and_wait(int /*tid*/) override { arrive_and_wait(); }
 
-  /// Number of times any thread fell back to a condition-variable sleep;
-  /// exposed for tests and the wait-policy micro-benchmark.
-  std::uint64_t sleep_count() const {
-    return sleeps_.load(std::memory_order_relaxed);
-  }
+  BarrierKind kind() const override { return BarrierKind::Central; }
 
  private:
-  void wait_for_sense(bool expected);
-
-  const int team_size_;
-  WaitBehavior wait_;
   std::atomic<int> arrived_{0};
-  std::atomic<bool> sense_{false};
-  std::atomic<std::uint64_t> sleeps_{0};
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  WaitWord release_;
 };
-
-/// Spin-then-sleep wait on an arbitrary atomic flag; shared by the barrier
-/// and the task pool idle loop.
-///
-/// Returns when `flag.load(acquire) == expected`.
-void wait_until(const std::atomic<bool>& flag, bool expected,
-                const WaitBehavior& wait, std::mutex& mutex,
-                std::condition_variable& cv,
-                std::atomic<std::uint64_t>* sleep_counter);
 
 }  // namespace omptune::rt

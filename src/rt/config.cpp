@@ -66,6 +66,27 @@ ReductionMethod reduction_from_string(const std::string& name) {
   throw std::invalid_argument("reduction_from_string: unknown value '" + name + "'");
 }
 
+std::string to_string(BarrierKind kind) {
+  switch (kind) {
+    case BarrierKind::Auto: return "auto";
+    case BarrierKind::Central: return "central";
+    case BarrierKind::Tree: return "tree";
+    case BarrierKind::Dissemination: return "dissemination";
+    case BarrierKind::Hybrid: return "hybrid";
+  }
+  throw std::invalid_argument("to_string: bad BarrierKind");
+}
+
+BarrierKind barrier_from_string(const std::string& name) {
+  const std::string n = to_lower(trim(name));
+  if (n == "auto" || n.empty()) return BarrierKind::Auto;
+  if (n == "central" || n == "linear") return BarrierKind::Central;
+  if (n == "tree") return BarrierKind::Tree;
+  if (n == "dissemination" || n == "dissem") return BarrierKind::Dissemination;
+  if (n == "hybrid" || n == "flat") return BarrierKind::Hybrid;
+  throw std::invalid_argument("barrier_from_string: unknown value '" + name + "'");
+}
+
 RtConfig RtConfig::defaults_for(const arch::CpuArch& cpu) {
   RtConfig config;  // field initializers are the variable defaults
   config.align_alloc = cpu.cacheline_bytes;
@@ -135,6 +156,9 @@ RtConfig RtConfig::from_env(const arch::CpuArch& cpu) {
   }
   if (const auto v = util::get_env("KMP_FORCE_REDUCTION")) {
     config.reduction = reduction_from_string(*v);
+  }
+  if (const auto v = util::get_env("KMP_BARRIER_PATTERN")) {
+    config.barrier = barrier_from_string(*v);
   }
   if (const auto v = util::get_env("KMP_ALIGN_ALLOC")) {
     const auto align = parse_int(*v);
@@ -216,6 +240,9 @@ std::vector<util::ScopedEnv::Assignment> RtConfig::to_env(const arch::CpuArch& c
   else unset("KMP_FORCE_REDUCTION");
 
   set("KMP_ALIGN_ALLOC", std::to_string(effective_align(cpu)));
+
+  if (barrier != BarrierKind::Auto) set("KMP_BARRIER_PATTERN", to_string(barrier));
+  else unset("KMP_BARRIER_PATTERN");
   return env;
 }
 
@@ -232,6 +259,9 @@ std::string RtConfig::key() const {
                               : std::to_string(blocktime_ms));
   out += ";reduction=" + to_string(reduction);
   out += ";align=" + (align_alloc > 0 ? std::to_string(align_alloc) : std::string("default"));
+  // Only a forced pattern appears in the key: Auto keeps every key (and
+  // therefore every stored dataset and journal byte) from earlier studies.
+  if (barrier != BarrierKind::Auto) out += ";barrier=" + to_string(barrier);
   return out;
 }
 

@@ -68,6 +68,14 @@ enum class WaitPolicy {
   Active,        ///< spin forever (blocktime infinite or turnaround mode)
 };
 
+/// Team-barrier algorithm (mirrors KMP_PLAIN_BARRIER_PATTERN & friends).
+/// Auto lets the team pick per size; the catalogue is in src/rt:
+/// central counter, combining tree, dissemination rounds, flat two-level.
+enum class BarrierKind { Auto, Central, Tree, Dissemination, Hybrid };
+
+std::string to_string(BarrierKind kind);
+BarrierKind barrier_from_string(const std::string& name);
+
 /// Sentinel for KMP_BLOCKTIME=infinite.
 inline constexpr std::int64_t kBlocktimeInfinite = -1;
 
@@ -83,6 +91,9 @@ struct RtConfig {
   std::int64_t blocktime_ms = 200;  ///< kBlocktimeInfinite for "infinite"
   ReductionMethod reduction = ReductionMethod::Default;
   int align_alloc = 0;  ///< bytes; 0 = cache-line size of the architecture
+  /// KMP_BARRIER_PATTERN; Auto selects per team size (the default keeps the
+  /// stable dataset keys of earlier studies unchanged).
+  BarrierKind barrier = BarrierKind::Auto;
 
   bool operator==(const RtConfig&) const = default;
 

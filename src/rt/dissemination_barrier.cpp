@@ -1,0 +1,55 @@
+#include "rt/dissemination_barrier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+namespace {
+constexpr std::size_t kLine = 64;  // padded-slot boundary (cache line)
+
+int rounds_for(int team_size) {
+  int rounds = 0;
+  while ((1 << rounds) < team_size) ++rounds;
+  return rounds;
+}
+}  // namespace
+
+DisseminationBarrier::DisseminationBarrier(int team_size, WaitBehavior wait,
+                                           std::uint32_t initial_epoch)
+    : TeamBarrier(team_size, wait),
+      rounds_(rounds_for(team_size)),
+      alloc_(kLine),
+      flags_(alloc_,
+             std::max<std::size_t>(1, static_cast<std::size_t>(team_size) *
+                                          static_cast<std::size_t>(rounds_)),
+             true),
+      ranks_(alloc_, static_cast<std::size_t>(team_size), true) {
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    flags_[i].word.value.store(initial_epoch, std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    ranks_[i].episode = initial_epoch;
+  }
+}
+
+void DisseminationBarrier::arrive_and_wait(int tid) {
+  if (tid < 0 || tid >= team_size_) {
+    throw std::out_of_range("DisseminationBarrier::arrive_and_wait: bad tid");
+  }
+  // Each rank keeps a private episode counter; every flag is a monotone
+  // counter incremented once per episode by its unique signaler, so waits
+  // compare wrap-safely against the episode number and nothing is reset.
+  Rank& me = ranks_[static_cast<std::size_t>(tid)];
+  const std::uint32_t episode = ++me.episode;
+
+  for (int r = 0; r < rounds_; ++r) {
+    const int peer = (tid + (1 << r)) % team_size_;
+    // A partner racing one episode ahead only drives the counter further
+    // past our target, so the signal/wait order needs no round handshake.
+    flag(peer, r).advance_and_wake();
+    flag(tid, r).wait_reached(episode, wait_, &sleeps_);
+  }
+}
+
+}  // namespace omptune::rt

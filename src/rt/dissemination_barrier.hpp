@@ -1,0 +1,64 @@
+#pragma once
+
+// Dissemination barrier (Hensgen/Finkel/Manber): ceil(log2 n) point-to-point
+// rounds. In round r, rank i signals rank (i + 2^r) mod n and waits for the
+// signal from rank (i - 2^r) mod n; after the last round every rank has
+// transitively heard from every other rank, so the barrier is complete with
+// no root and no broadcast. Properties that make it the large-team winner:
+//
+//  - every hot word has exactly one writer and one reader (no contended
+//    counter at any size);
+//  - the critical path is log2 n signal hops, and the release is symmetric —
+//    there is no O(n) wake fan-out from a single releasing thread;
+//  - each (rank, round) flag is a monotone episode counter, so no reset
+//    phase and no sense reversal is needed (signals for episode e+1 simply
+//    count past e; waits compare wrap-safely).
+//
+// This is the lomp-style `dissemination` entry of the barrier catalogue.
+
+#include <cstdint>
+
+#include "rt/aligned_alloc.hpp"
+#include "rt/team_barrier.hpp"
+
+namespace omptune::rt {
+
+class DisseminationBarrier final : public TeamBarrier {
+ public:
+  /// `initial_epoch` pre-ages every episode counter — the conformance
+  /// suite starts near UINT32_MAX to drive episodes across the wrap.
+  explicit DisseminationBarrier(int team_size, WaitBehavior wait = {},
+                                std::uint32_t initial_epoch = 0);
+
+  void arrive_and_wait(int tid) override;
+
+  BarrierKind kind() const override { return BarrierKind::Dissemination; }
+
+  int rounds() const { return rounds_; }
+
+ private:
+  /// One per (rank, round): the signal word rank waits on in that round,
+  /// written only by its round-partner. Padded to its own cache line.
+  struct Flag {
+    WaitWord word;
+  };
+  /// One per rank: the rank's private episode counter (only its owner
+  /// touches it; padded so neighbours don't share its line).
+  struct Rank {
+    std::uint32_t episode = 0;
+  };
+
+  WaitWord& flag(int tid, int round) {
+    return flags_[static_cast<std::size_t>(tid) *
+                      static_cast<std::size_t>(rounds_) +
+                  static_cast<std::size_t>(round)]
+        .word;
+  }
+
+  const int rounds_;
+  KmpAllocator alloc_;
+  PaddedSlots<Flag> flags_;
+  PaddedSlots<Rank> ranks_;
+};
+
+}  // namespace omptune::rt

@@ -1,0 +1,44 @@
+#include "rt/hybrid_barrier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace omptune::rt {
+
+namespace {
+constexpr std::size_t kLine = 64;  // padded-slot boundary (cache line)
+}
+
+HybridBarrier::HybridBarrier(int team_size, WaitBehavior wait,
+                             std::uint32_t initial_epoch)
+    : TeamBarrier(team_size, wait),
+      group_count_((team_size + kGroupSize - 1) / kGroupSize),
+      alloc_(kLine),
+      groups_(alloc_, static_cast<std::size_t>(group_count_), true) {
+  release_.value.store(initial_epoch, std::memory_order_relaxed);
+}
+
+void HybridBarrier::arrive_and_wait(int tid) {
+  if (tid < 0 || tid >= team_size_) {
+    throw std::out_of_range("HybridBarrier::arrive_and_wait: bad tid");
+  }
+  const std::uint32_t my_epoch = release_.load();
+  const int group = tid / kGroupSize;
+  const int members = std::min(kGroupSize, team_size_ - group * kGroupSize);
+
+  Group& mine = groups_[static_cast<std::size_t>(group)];
+  if (mine.arrived.fetch_add(1, std::memory_order_acq_rel) + 1 == members) {
+    // Group leader: reset the group counter for the next episode strictly
+    // before signalling level two (re-arrivals only happen after a waiter
+    // observes the new release epoch).
+    mine.arrived.store(0, std::memory_order_relaxed);
+    if (leaders_.fetch_add(1, std::memory_order_acq_rel) + 1 == group_count_) {
+      leaders_.store(0, std::memory_order_relaxed);
+      release_.advance_and_wake();
+      return;
+    }
+  }
+  release_.wait_changed(my_epoch, wait_, &sleeps_);
+}
+
+}  // namespace omptune::rt

@@ -1,0 +1,47 @@
+#pragma once
+
+// Flat/hybrid two-level barrier (the lomp-style `flat` catalogue entry):
+// threads arrive at a per-group central counter (groups of 8), the last
+// arrival of each group arrives at a second-level leader counter, and the
+// last leader broadcasts one release epoch. Two fetch_adds end to end for
+// most threads — centralized latency — while no single counter is hammered
+// by more than max(8, n/8) threads, which defers the central barrier's
+// contention collapse to much larger teams.
+
+#include <cstdint>
+
+#include "rt/aligned_alloc.hpp"
+#include "rt/team_barrier.hpp"
+
+namespace omptune::rt {
+
+class HybridBarrier final : public TeamBarrier {
+ public:
+  /// `initial_epoch` pre-ages the release epoch — the conformance suite
+  /// starts near UINT32_MAX to drive episodes across the wrap.
+  explicit HybridBarrier(int team_size, WaitBehavior wait = {},
+                         std::uint32_t initial_epoch = 0);
+
+  void arrive_and_wait(int tid) override;
+
+  BarrierKind kind() const override { return BarrierKind::Hybrid; }
+
+  static constexpr int kGroupSize = 8;
+
+  int group_count() const { return group_count_; }
+
+ private:
+  /// One per group: the group's arrival counter, on its own cache line so
+  /// groups don't invalidate each other while gathering.
+  struct Group {
+    std::atomic<int> arrived{0};
+  };
+
+  const int group_count_;
+  KmpAllocator alloc_;
+  PaddedSlots<Group> groups_;
+  std::atomic<int> leaders_{0};
+  WaitWord release_;
+};
+
+}  // namespace omptune::rt

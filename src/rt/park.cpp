@@ -1,0 +1,17 @@
+#include "rt/park.hpp"
+
+namespace omptune::rt {
+
+WaitBehavior WaitBehavior::from_config(const RtConfig& config) {
+  WaitBehavior wait;
+  wait.policy = config.wait_policy();
+  wait.yield_while_spinning = config.library != LibraryMode::Turnaround;
+  if (config.blocktime_ms == kBlocktimeInfinite) {
+    wait.spin_budget = std::chrono::microseconds::max();
+  } else {
+    wait.spin_budget = std::chrono::milliseconds(config.blocktime_ms);
+  }
+  return wait;
+}
+
+}  // namespace omptune::rt

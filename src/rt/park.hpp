@@ -1,0 +1,142 @@
+#pragma once
+
+// Futex-style spin-then-park waiting: the single waiting primitive shared by
+// every barrier variant and the task-pool idle loop.
+//
+// The unit is a WaitWord — a 32-bit epoch counter plus a sleeper count.
+// Waiters spin on the value per the team's WaitBehavior (the KMP_BLOCKTIME x
+// KMP_LIBRARY surface), then park in the kernel via util::futex_wait.
+// Signalers advance the value first and wake only when the sleeper count is
+// non-zero, so the hot hand-off path (both sides running) costs one atomic
+// add and one load — no mutex, no condition variable, no syscall. This is
+// what replaced the mutex+condvar wait_until(): the condvar path made every
+// release take a lock and pay a notify even when all waiters were spinning,
+// and its broadcast woke the whole team at once (the thundering herd the
+// passive wait policy is known for).
+//
+// Epochs wrap: all comparisons are wrap-safe (epoch_before), and the barrier
+// conformance suite runs episodes across the 2^32 boundary.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "rt/config.hpp"
+#include "util/futex.hpp"
+
+namespace omptune::rt {
+
+/// How a waiting thread burns time until a condition flips.
+struct WaitBehavior {
+  WaitPolicy policy = WaitPolicy::SpinThenSleep;
+  bool yield_while_spinning = true;  ///< throughput yields, turnaround does not
+  std::chrono::microseconds spin_budget{200'000};  ///< blocktime
+
+  /// Derive from a runtime configuration.
+  static WaitBehavior from_config(const RtConfig& config);
+};
+
+/// Wrap-safe "epoch a is strictly before b" on 32-bit counters.
+inline bool epoch_before(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+/// A 32-bit epoch word with parked-waiter accounting.
+///
+/// Waiter:  word.wait_until(satisfied, behavior, &sleeps)
+/// Signaler: word.advance(); (implicit wake of sleepers only)
+///
+/// The sleeper count and the value are both sequentially consistent at the
+/// park boundary: a waiter registers as a sleeper *before* its final value
+/// check, a signaler advances the value *before* reading the sleeper count,
+/// so one of them always sees the other — the lock-free equivalent of the
+/// condvar's "flip under the mutex" rule.
+struct WaitWord {
+  std::atomic<std::uint32_t> value{0};
+  std::atomic<std::uint32_t> sleepers{0};
+
+  std::uint32_t load(std::memory_order order = std::memory_order_acquire) const {
+    return value.load(order);
+  }
+
+  /// Advance the epoch and wake every parked waiter (if any).
+  void advance_and_wake() {
+    value.fetch_add(1, std::memory_order_seq_cst);
+    wake_if_sleeping(1 << 30);
+  }
+
+  /// Advance the epoch and wake at most `count` parked waiters.
+  void advance_and_wake_some(int count) {
+    value.fetch_add(1, std::memory_order_seq_cst);
+    wake_if_sleeping(count);
+  }
+
+  /// Wake parked waiters without touching the value (the caller advanced or
+  /// changed some other observable state first — only valid when waiters
+  /// re-check a predicate that state satisfies).
+  void wake_if_sleeping(int count) {
+    if (sleepers.load(std::memory_order_seq_cst) != 0) {
+      util::futex_wake(value, count);
+    }
+  }
+
+  /// Block until `satisfied(value)` holds: spin per `wait`, then park.
+  /// Returns the satisfying value. `sleep_counter` (optional) is bumped once
+  /// if the wait actually parked — the "fell back to an OS sleep" statistic
+  /// KMP_BLOCKTIME tuning is about.
+  template <typename Satisfied>
+  std::uint32_t wait_until(Satisfied&& satisfied, const WaitBehavior& wait,
+                           std::atomic<std::uint64_t>* sleep_counter) {
+    std::uint32_t seen = value.load(std::memory_order_acquire);
+    if (satisfied(seen)) return seen;
+
+    if (wait.policy != WaitPolicy::Passive) {
+      const bool bounded = wait.policy == WaitPolicy::SpinThenSleep;
+      const auto deadline =
+          bounded ? std::chrono::steady_clock::now() + wait.spin_budget
+                  : std::chrono::steady_clock::time_point::max();
+      // Poll in small batches before checking the clock to keep the spin
+      // loop cheap; yield between polls in throughput mode.
+      while (true) {
+        for (int i = 0; i < 64; ++i) {
+          seen = value.load(std::memory_order_acquire);
+          if (satisfied(seen)) return seen;
+          if (wait.yield_while_spinning) std::this_thread::yield();
+        }
+        if (bounded && std::chrono::steady_clock::now() >= deadline) break;
+      }
+    }
+
+    // Park: register as a sleeper, then re-check with seq_cst so the
+    // signaler's advance/sleeper-read pair cannot miss us.
+    if (sleep_counter != nullptr) {
+      sleep_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    sleepers.fetch_add(1, std::memory_order_seq_cst);
+    for (;;) {
+      seen = value.load(std::memory_order_seq_cst);
+      if (satisfied(seen)) break;
+      util::futex_wait(value, seen);
+    }
+    sleepers.fetch_sub(1, std::memory_order_relaxed);
+    return seen;
+  }
+
+  /// Block until the value differs from `old`.
+  std::uint32_t wait_changed(std::uint32_t old, const WaitBehavior& wait,
+                             std::atomic<std::uint64_t>* sleep_counter) {
+    return wait_until([old](std::uint32_t v) { return v != old; }, wait,
+                      sleep_counter);
+  }
+
+  /// Block until the value has reached `target` (wrap-safe).
+  std::uint32_t wait_reached(std::uint32_t target, const WaitBehavior& wait,
+                             std::atomic<std::uint64_t>* sleep_counter) {
+    return wait_until(
+        [target](std::uint32_t v) { return !epoch_before(v, target); }, wait,
+        sleep_counter);
+  }
+};
+
+}  // namespace omptune::rt

@@ -26,7 +26,7 @@ double reduce_apply(ReduceOp op, double a, double b) {
   throw std::invalid_argument("reduce_apply: bad op");
 }
 
-Reducer::Reducer(KmpAllocator& alloc, int team_size, Barrier& barrier)
+Reducer::Reducer(KmpAllocator& alloc, int team_size, TeamBarrier& barrier)
     : team_size_(team_size),
       barrier_(&barrier),
       slots_(alloc, static_cast<std::size_t>(team_size), /*padded=*/true) {
@@ -58,48 +58,48 @@ double Reducer::reduce(int tid, double local, ReduceOp op,
 
 double Reducer::reduce_tree(int tid, double local, ReduceOp op) {
   slots_[static_cast<std::size_t>(tid)] = local;
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   for (int stride = 1; stride < team_size_; stride *= 2) {
     if (tid % (2 * stride) == 0 && tid + stride < team_size_) {
       slots_[static_cast<std::size_t>(tid)] =
           reduce_apply(op, slots_[static_cast<std::size_t>(tid)],
                        slots_[static_cast<std::size_t>(tid + stride)]);
     }
-    barrier_->arrive_and_wait();
+    barrier_->arrive_and_wait(tid);
   }
   const double result = slots_[0];
   // Trailing barrier: nobody may start the next round (overwriting slot 0)
   // until every thread has read the result.
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   return result;
 }
 
 double Reducer::reduce_critical(int tid, double local, ReduceOp op) {
-  barrier_->arrive_and_wait();  // previous round fully consumed
+  barrier_->arrive_and_wait(tid);  // previous round fully consumed
   if (tid == 0) shared_scalar_ = reduce_identity(op);
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   {
     std::lock_guard<std::mutex> lock(critical_mutex_);
     shared_scalar_ = reduce_apply(op, shared_scalar_, local);
     contended_combines_.fetch_add(1, std::memory_order_relaxed);
   }
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   return shared_scalar_;
 }
 
 double Reducer::reduce_atomic(int tid, double local, ReduceOp op) {
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   if (tid == 0) {
     atomic_scalar_.store(reduce_identity(op), std::memory_order_relaxed);
   }
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   double expected = atomic_scalar_.load(std::memory_order_relaxed);
   while (!atomic_scalar_.compare_exchange_weak(
       expected, reduce_apply(op, expected, local), std::memory_order_relaxed)) {
     contended_combines_.fetch_add(1, std::memory_order_relaxed);
   }
   contended_combines_.fetch_add(1, std::memory_order_relaxed);
-  barrier_->arrive_and_wait();
+  barrier_->arrive_and_wait(tid);
   return atomic_scalar_.load(std::memory_order_relaxed);
 }
 

@@ -22,8 +22,8 @@
 #include <mutex>
 
 #include "rt/aligned_alloc.hpp"
-#include "rt/barrier.hpp"
 #include "rt/config.hpp"
+#include "rt/team_barrier.hpp"
 
 namespace omptune::rt {
 
@@ -42,7 +42,9 @@ double reduce_apply(ReduceOp op, double a, double b);
 /// worksharing discipline.
 class Reducer {
  public:
-  Reducer(KmpAllocator& alloc, int team_size, Barrier& barrier);
+  /// `barrier` may be any catalogue variant; reduce() arrives with the
+  /// caller's team rank.
+  Reducer(KmpAllocator& alloc, int team_size, TeamBarrier& barrier);
 
   /// Perform one reduction round; every team thread contributes `local` and
   /// receives the combined value.
@@ -60,7 +62,7 @@ class Reducer {
   double reduce_atomic(int tid, double local, ReduceOp op);
 
   int team_size_;
-  Barrier* barrier_;
+  TeamBarrier* barrier_;
   KmpArray<double> slots_;  ///< padded per-thread slots (tree)
   double shared_scalar_ = 0.0;           ///< critical target
   std::atomic<double> atomic_scalar_{0}; ///< atomic target

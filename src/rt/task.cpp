@@ -1,8 +1,6 @@
 #include "rt/task.hpp"
 
-#include <chrono>
 #include <stdexcept>
-#include <thread>
 
 namespace omptune::rt {
 
@@ -74,6 +72,24 @@ void TaskPool::spawn(int tid, std::function<void()> fn) {
     std::lock_guard<std::mutex> lock(me.mutex);
     me.deque.push_back(child);
   }
+  // One new task needs at most one extra runner; wake a single parked
+  // thread (no syscall when everybody is already spinning or busy).
+  work_signal_.advance_and_wake_some(1);
+}
+
+template <typename DonePred>
+void TaskPool::idle_loop(int tid, DonePred&& done) {
+  while (!done()) {
+    if (try_execute_one(tid)) continue;
+    idle_polls_.fetch_add(1, std::memory_order_relaxed);
+    // Sample the signal word BEFORE the final predicate/deque re-check:
+    // any spawn/completion after the sample advances the word and the wait
+    // below returns immediately; any before it is caught by the re-check.
+    const std::uint32_t seen = work_signal_.load();
+    if (done()) return;
+    if (try_execute_one(tid)) continue;
+    work_signal_.wait_changed(seen, wait_, &idle_sleeps_);
+  }
 }
 
 void TaskPool::taskwait(int tid) {
@@ -82,23 +98,26 @@ void TaskPool::taskwait(int tid) {
     throw std::logic_error("TaskPool::taskwait: no active region");
   }
   Task* waiting_on = me.current;
-  while (waiting_on->unfinished_children.load(std::memory_order_acquire) > 0) {
-    execute_one_or_idle(tid);
-  }
+  idle_loop(tid, [waiting_on] {
+    return waiting_on->unfinished_children.load(std::memory_order_acquire) ==
+           0;
+  });
 }
 
 void TaskPool::drain(int tid) {
-  while (outstanding_.load(std::memory_order_acquire) > 0) {
-    execute_one_or_idle(tid);
-  }
+  idle_loop(tid, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void TaskPool::drain_until(int tid, const std::atomic<bool>& producer_done) {
-  while (!producer_done.load(std::memory_order_acquire) ||
-         outstanding_.load(std::memory_order_acquire) > 0) {
-    execute_one_or_idle(tid);
-  }
+  idle_loop(tid, [this, &producer_done] {
+    return producer_done.load(std::memory_order_acquire) &&
+           outstanding_.load(std::memory_order_acquire) == 0;
+  });
 }
+
+void TaskPool::notify() { work_signal_.advance_and_wake(); }
 
 TaskStats TaskPool::stats() const {
   return TaskStats{
@@ -106,6 +125,7 @@ TaskStats TaskPool::stats() const {
       .executed = executed_.load(std::memory_order_relaxed),
       .steals = steals_.load(std::memory_order_relaxed),
       .idle_polls = idle_polls_.load(std::memory_order_relaxed),
+      .idle_sleeps = idle_sleeps_.load(std::memory_order_relaxed),
   };
 }
 
@@ -134,6 +154,10 @@ void TaskPool::run_task(int tid, Task* task) {
     release(parent);
   }
   release(task);
+  // A completion can satisfy any waiter's predicate (taskwait on this
+  // task's parent, drain's outstanding==0), so wake everyone parked; this
+  // is a no-op syscall-wise when nobody sleeps.
+  work_signal_.advance_and_wake();
 }
 
 TaskPool::Task* TaskPool::try_pop_local(int tid) {
@@ -159,28 +183,12 @@ TaskPool::Task* TaskPool::try_steal(int tid) {
   return nullptr;
 }
 
-bool TaskPool::execute_one_or_idle(int tid) {
+bool TaskPool::try_execute_one(int tid) {
   Task* task = try_pop_local(tid);
   if (task == nullptr) task = try_steal(tid);
-  if (task != nullptr) {
-    run_task(tid, task);
-    return true;
-  }
-  // Idle: honour the wait policy. Passive naps to free the core; throughput
-  // yields; turnaround spins hot.
-  idle_polls_.fetch_add(1, std::memory_order_relaxed);
-  switch (wait_.policy) {
-    case WaitPolicy::Active:
-      if (wait_.yield_while_spinning) std::this_thread::yield();
-      break;
-    case WaitPolicy::SpinThenSleep:
-      std::this_thread::yield();
-      break;
-    case WaitPolicy::Passive:
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-      break;
-  }
-  return false;
+  if (task == nullptr) return false;
+  run_task(tid, task);
+  return true;
 }
 
 }  // namespace omptune::rt

@@ -9,10 +9,14 @@
 // have completed, executing other ready tasks meanwhile; `drain` empties the
 // pool at the end of a parallel region.
 //
-// The idle loop honours the team's wait policy: turnaround spins, throughput
-// yields between polls, passive naps — the mechanism behind the large
-// KMP_LIBRARY effect the paper measures on task-parallel benchmarks
-// (NQueens: turnaround wins on every architecture, Table VII).
+// The idle loop honours the team's wait policy through the shared WaitWord
+// primitive (rt/park.hpp): turnaround spins, throughput yields between
+// polls, and once the spin budget is exhausted the thread parks on the
+// pool's work signal — the mechanism behind the large KMP_LIBRARY effect
+// the paper measures on task-parallel benchmarks (NQueens: turnaround wins
+// on every architecture, Table VII). Every event that can unblock a waiter
+// (spawn, task completion, producer-done) advances the signal word, so a
+// parked thread never oversleeps and a spinning thread pays no syscall.
 
 #include <atomic>
 #include <cstdint>
@@ -22,8 +26,8 @@
 #include <mutex>
 #include <vector>
 
-#include "rt/barrier.hpp"
 #include "rt/config.hpp"
+#include "rt/park.hpp"
 
 namespace omptune::rt {
 
@@ -33,6 +37,7 @@ struct TaskStats {
   std::uint64_t executed = 0;
   std::uint64_t steals = 0;
   std::uint64_t idle_polls = 0;
+  std::uint64_t idle_sleeps = 0;  ///< idle waits that parked in the kernel
 };
 
 /// Work-stealing task pool shared by one team.
@@ -74,6 +79,11 @@ class TaskPool {
   /// the helpers.
   void drain_until(int tid, const std::atomic<bool>& producer_done);
 
+  /// Wake idle threads so they re-evaluate their wait predicate. Must be
+  /// called after externally-observable state a drain_until predicate reads
+  /// (e.g. its producer_done flag) changes.
+  void notify();
+
   TaskStats stats() const;
 
  private:
@@ -96,18 +106,27 @@ class TaskPool {
   void run_task(int tid, Task* task);
   Task* try_pop_local(int tid);
   Task* try_steal(int tid);
-  /// Execute one ready task if any; otherwise perform one idle poll.
-  /// Returns true if a task was executed.
-  bool execute_one_or_idle(int tid);
+  /// Execute one ready task if any. Returns true if a task was executed.
+  bool try_execute_one(int tid);
+  /// Run tasks until `done()` holds; parks on the work signal per the wait
+  /// policy when nothing is runnable. Any event that can flip `done()` must
+  /// advance `work_signal_` (spawn/completion do; see notify()).
+  template <typename DonePred>
+  void idle_loop(int tid, DonePred&& done);
 
   int team_size_;
   WaitBehavior wait_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
+  /// Advanced on every spawn, task completion, and notify(); idle threads
+  /// sample it before re-scanning the deques and park against the sampled
+  /// value, so a wake between sample and park is never lost.
+  WaitWord work_signal_;
   std::atomic<std::int64_t> outstanding_{0};
   std::atomic<std::uint64_t> spawned_{0};
   std::atomic<std::uint64_t> executed_{0};
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> idle_polls_{0};
+  std::atomic<std::uint64_t> idle_sleeps_{0};
 };
 
 }  // namespace omptune::rt

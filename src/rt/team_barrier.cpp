@@ -1,0 +1,48 @@
+#include "rt/team_barrier.hpp"
+
+#include <stdexcept>
+
+#include "rt/barrier.hpp"
+#include "rt/dissemination_barrier.hpp"
+#include "rt/hybrid_barrier.hpp"
+#include "rt/tree_barrier.hpp"
+
+namespace omptune::rt {
+
+TeamBarrier::TeamBarrier(int team_size, WaitBehavior wait)
+    : team_size_(team_size), wait_(wait) {
+  if (team_size <= 0) {
+    throw std::invalid_argument("TeamBarrier: team_size must be positive");
+  }
+}
+
+BarrierKind resolve_barrier_kind(BarrierKind requested, int team_size) {
+  if (requested != BarrierKind::Auto) return requested;
+  // Crossovers measured by bench/micro_primitives (winner-per-team-size
+  // table): tiny teams amortize nothing, so the central counter's two
+  // atomics win; mid sizes want the flat hybrid's bounded contention at
+  // centralized latency; large teams want dissemination's log-round,
+  // broadcast-free release.
+  if (team_size <= 4) return BarrierKind::Central;
+  if (team_size <= 15) return BarrierKind::Hybrid;
+  return BarrierKind::Dissemination;
+}
+
+std::unique_ptr<TeamBarrier> make_team_barrier(BarrierKind kind, int team_size,
+                                               WaitBehavior wait) {
+  switch (resolve_barrier_kind(kind, team_size)) {
+    case BarrierKind::Central:
+      return std::make_unique<Barrier>(team_size, wait);
+    case BarrierKind::Tree:
+      return std::make_unique<TreeBarrier>(team_size, wait);
+    case BarrierKind::Dissemination:
+      return std::make_unique<DisseminationBarrier>(team_size, wait);
+    case BarrierKind::Hybrid:
+      return std::make_unique<HybridBarrier>(team_size, wait);
+    case BarrierKind::Auto:
+      break;  // resolve_barrier_kind never returns Auto
+  }
+  throw std::logic_error("make_team_barrier: unresolved barrier kind");
+}
+
+}  // namespace omptune::rt

@@ -1,0 +1,67 @@
+#pragma once
+
+// The barrier catalogue's common interface, mirroring the algorithm choice
+// LLVM/OpenMP exposes through KMP_*_BARRIER_PATTERN. Four variants live
+// behind it (see the per-variant headers for the algorithms):
+//
+//   central        one shared counter + one release epoch. Cheapest wake
+//                  machinery, but every arrival hammers the same cache line
+//                  — O(n) contention on one word.
+//   tree           binary combining tree: arrivals propagate up parent by
+//                  parent, the release is one broadcast epoch. O(log n)
+//                  depth, each gather word written by at most two children.
+//   dissemination  ceil(log2 n) point-to-point rounds; no root, no
+//                  broadcast, every thread is release-symmetric. The
+//                  textbook winner at scale.
+//   hybrid (flat)  two levels of central counters (groups of 8, then group
+//                  leaders), one broadcast release — centralized latency for
+//                  small teams without a single-counter hot spot.
+//
+// `resolve_barrier_kind` is the Auto heuristic ThreadTeam uses: measured by
+// bench/micro_primitives, small teams favour the central counter (fewest
+// atomics end to end), mid sizes the flat hybrid, large teams dissemination.
+
+#include <cstdint>
+#include <memory>
+
+#include "rt/park.hpp"
+
+namespace omptune::rt {
+
+/// Reusable fixed-size team barrier. `arrive_and_wait(tid)` must be called
+/// by every team rank exactly once per episode; tid is the caller's stable
+/// rank in [0, team_size).
+class TeamBarrier {
+ public:
+  virtual ~TeamBarrier() = default;
+
+  TeamBarrier(const TeamBarrier&) = delete;
+  TeamBarrier& operator=(const TeamBarrier&) = delete;
+
+  virtual void arrive_and_wait(int tid) = 0;
+  virtual BarrierKind kind() const = 0;
+
+  int team_size() const { return team_size_; }
+
+  /// Number of waits that fell back to a kernel park; exposed for tests and
+  /// the wait-policy micro-benchmark.
+  std::uint64_t sleep_count() const {
+    return sleeps_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  TeamBarrier(int team_size, WaitBehavior wait);
+
+  const int team_size_;
+  WaitBehavior wait_;
+  std::atomic<std::uint64_t> sleeps_{0};
+};
+
+/// The Auto heuristic: which variant a team of `size` should run.
+BarrierKind resolve_barrier_kind(BarrierKind requested, int team_size);
+
+/// Construct a barrier of the given (resolved) kind. Auto resolves first.
+std::unique_ptr<TeamBarrier> make_team_barrier(BarrierKind kind, int team_size,
+                                               WaitBehavior wait = {});
+
+}  // namespace omptune::rt

@@ -34,7 +34,7 @@ double TeamContext::reduce(double local, ReduceOp op) {
   return team_->reducer_->reduce(tid_, local, op, method);
 }
 
-void TeamContext::barrier() { team_->team_barrier_.arrive_and_wait(); }
+void TeamContext::barrier() { team_->team_barrier_->arrive_and_wait(tid_); }
 
 void TeamContext::spawn(std::function<void()> fn) {
   // Resolve the EXECUTING thread: a stolen task's closure may have captured
@@ -56,6 +56,8 @@ void TeamContext::run_task_root(const std::function<void()>& root) {
   if (tid_ == 0) {
     root();
     team_->task_root_done_.store(true, std::memory_order_release);
+    // Helpers may be parked with an empty pool waiting for this flag.
+    team_->tasks_->notify();
   }
   // Everyone (including thread 0 after seeding) executes until the root has
   // finished producing AND the pool is empty.
@@ -118,11 +120,13 @@ ThreadTeam::ThreadTeam(const arch::CpuArch& cpu, RtConfig config)
       placement_(arch::assign_threads(topology_, config.places,
                                       config.effective_bind(), num_threads_)),
       wait_(WaitBehavior::from_config(config)),
-      allocator_(static_cast<std::size_t>(config.effective_align(cpu))),
-      fork_barrier_(num_threads_, wait_),
-      join_barrier_(num_threads_, wait_),
-      team_barrier_(num_threads_, wait_) {
-  reducer_ = std::make_unique<Reducer>(allocator_, num_threads_, team_barrier_);
+      allocator_(static_cast<std::size_t>(config.effective_align(cpu))) {
+  const BarrierKind kind = resolve_barrier_kind(config_.barrier, num_threads_);
+  fork_barrier_ = make_team_barrier(kind, num_threads_, wait_);
+  join_barrier_ = make_team_barrier(kind, num_threads_, wait_);
+  team_barrier_ = make_team_barrier(kind, num_threads_, wait_);
+  reducer_ =
+      std::make_unique<Reducer>(allocator_, num_threads_, *team_barrier_);
   tasks_ = std::make_unique<TaskPool>(num_threads_, wait_);
 
   workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
@@ -133,7 +137,7 @@ ThreadTeam::ThreadTeam(const arch::CpuArch& cpu, RtConfig config)
 
 ThreadTeam::~ThreadTeam() {
   shutdown_ = true;
-  fork_barrier_.arrive_and_wait();
+  fork_barrier_->arrive_and_wait(0);
   // jthread joins in the member destructor.
 }
 
@@ -141,7 +145,7 @@ void ThreadTeam::parallel(const std::function<void(TeamContext&)>& body) {
   job_ = &body;
   ++parallel_regions_;
   single_ticket_.store(0, std::memory_order_relaxed);
-  fork_barrier_.arrive_and_wait();
+  fork_barrier_->arrive_and_wait(0);
 
   tasks_->enter_region(0);
   TeamContext ctx(this, 0, num_threads_);
@@ -149,33 +153,33 @@ void ThreadTeam::parallel(const std::function<void(TeamContext&)>& body) {
   tasks_->drain(0);
   tasks_->leave_region(0);
 
-  join_barrier_.arrive_and_wait();
+  join_barrier_->arrive_and_wait(0);
   job_ = nullptr;
 }
 
 void ThreadTeam::worker_loop(int tid) {
   while (true) {
-    fork_barrier_.arrive_and_wait();
+    fork_barrier_->arrive_and_wait(tid);
     if (shutdown_) return;
     tasks_->enter_region(tid);
     TeamContext ctx(this, tid, num_threads_);
     (*job_)(ctx);
     tasks_->drain(tid);
     tasks_->leave_region(tid);
-    join_barrier_.arrive_and_wait();
+    join_barrier_->arrive_and_wait(tid);
   }
 }
 
 void ThreadTeam::setup_loop(int tid, std::int64_t lo, std::int64_t hi) {
   // Collective: align the team, let thread 0 (re)create the shared
   // scheduler, then release everyone onto it.
-  team_barrier_.arrive_and_wait();
+  team_barrier_->arrive_and_wait(tid);
   if (tid == 0) {
     if (loop_ != nullptr) loop_sync_total_ += loop_->sync_operations();
     loop_ = std::make_unique<LoopScheduler>(config_.schedule, config_.chunk, lo,
                                             hi, num_threads_);
   }
-  team_barrier_.arrive_and_wait();
+  team_barrier_->arrive_and_wait(tid);
 }
 
 TeamStats ThreadTeam::stats() const {
@@ -183,9 +187,9 @@ TeamStats ThreadTeam::stats() const {
   stats.parallel_regions = parallel_regions_;
   stats.loop_sync_operations =
       loop_sync_total_ + (loop_ != nullptr ? loop_->sync_operations() : 0);
-  stats.barrier_sleeps = fork_barrier_.sleep_count() +
-                         join_barrier_.sleep_count() +
-                         team_barrier_.sleep_count();
+  stats.barrier_sleeps = fork_barrier_->sleep_count() +
+                         join_barrier_->sleep_count() +
+                         team_barrier_->sleep_count();
   stats.tasks = tasks_->stats();
   stats.contended_combines = reducer_->contended_combines();
   return stats;

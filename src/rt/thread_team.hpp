@@ -25,11 +25,11 @@
 #include "arch/cpu_arch.hpp"
 #include "arch/topology.hpp"
 #include "rt/aligned_alloc.hpp"
-#include "rt/barrier.hpp"
 #include "rt/config.hpp"
 #include "rt/reduction.hpp"
 #include "rt/schedule.hpp"
 #include "rt/task.hpp"
+#include "rt/team_barrier.hpp"
 
 namespace omptune::rt {
 
@@ -133,6 +133,10 @@ class ThreadTeam {
   /// The runtime-internal allocator (alignment = KMP_ALIGN_ALLOC).
   KmpAllocator& allocator() { return allocator_; }
 
+  /// The barrier algorithm this team selected (KMP_BARRIER_PATTERN, or the
+  /// Auto heuristic applied to the team size).
+  BarrierKind barrier_kind() const { return team_barrier_->kind(); }
+
   TeamStats stats() const;
 
  private:
@@ -155,9 +159,11 @@ class ThreadTeam {
   WaitBehavior wait_;
   KmpAllocator allocator_;
 
-  Barrier fork_barrier_;
-  Barrier join_barrier_;
-  Barrier team_barrier_;  ///< user-visible + worksharing barrier
+  // Catalogue barriers, one algorithm selected per team size (or forced by
+  // KMP_BARRIER_PATTERN). All three share the variant.
+  std::unique_ptr<TeamBarrier> fork_barrier_;
+  std::unique_ptr<TeamBarrier> join_barrier_;
+  std::unique_ptr<TeamBarrier> team_barrier_;  ///< user + worksharing barrier
   std::unique_ptr<Reducer> reducer_;
   std::unique_ptr<TaskPool> tasks_;
 

@@ -1,104 +1,49 @@
 #include "rt/tree_barrier.hpp"
 
 #include <stdexcept>
-#include <thread>
 
 namespace omptune::rt {
 
 namespace {
-
-/// Spin per the wait policy until `pred()` holds, then (if allowed) sleep
-/// on `cv` with `mutex`. Mirrors rt::wait_until but for arbitrary
-/// predicates.
-template <typename Pred>
-void spin_then_sleep(Pred&& pred, const WaitBehavior& wait, std::mutex& mutex,
-                     std::condition_variable& cv,
-                     std::atomic<std::uint64_t>& sleep_counter) {
-  if (pred()) return;
-  if (wait.policy != WaitPolicy::Passive) {
-    const bool bounded = wait.policy == WaitPolicy::SpinThenSleep;
-    const auto deadline = bounded
-                              ? std::chrono::steady_clock::now() + wait.spin_budget
-                              : std::chrono::steady_clock::time_point::max();
-    while (true) {
-      for (int i = 0; i < 64; ++i) {
-        if (pred()) return;
-        if (wait.yield_while_spinning) std::this_thread::yield();
-      }
-      if (bounded && std::chrono::steady_clock::now() >= deadline) break;
-    }
-  }
-  sleep_counter.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::mutex> lock(mutex);
-  cv.wait(lock, pred);
+constexpr std::size_t kLine = 64;  // padded-slot boundary (cache line)
 }
 
-}  // namespace
-
-TreeBarrier::TreeBarrier(int team_size, WaitBehavior wait)
-    : team_size_(team_size), wait_(wait) {
-  if (team_size <= 0) {
-    throw std::invalid_argument("TreeBarrier: team_size must be > 0");
+TreeBarrier::TreeBarrier(int team_size, WaitBehavior wait, bool padded,
+                         std::uint32_t initial_epoch)
+    : TeamBarrier(team_size, wait),
+      alloc_(kLine),
+      nodes_(alloc_, static_cast<std::size_t>(team_size), padded) {
+  release_.value.store(initial_epoch, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].arrived.value.store(initial_epoch, std::memory_order_relaxed);
   }
-  nodes_.reserve(static_cast<std::size_t>(team_size));
-  for (int i = 0; i < team_size; ++i) {
-    nodes_.push_back(std::make_unique<Node>());
-  }
-}
-
-void TreeBarrier::wait_for_epoch(Node& node, std::uint64_t old_epoch) {
-  spin_then_sleep(
-      [this, old_epoch] {
-        return epoch_.load(std::memory_order_acquire) != old_epoch;
-      },
-      wait_, node.mutex, node.cv, sleeps_);
 }
 
 void TreeBarrier::arrive_and_wait(int tid) {
   if (tid < 0 || tid >= team_size_) {
     throw std::out_of_range("TreeBarrier::arrive_and_wait: bad tid");
   }
-  const std::uint64_t my_epoch = epoch_.load(std::memory_order_acquire);
+  // Every word is a monotone episode counter, so nothing is ever reset:
+  // episode e is complete at a node once its counter reached e. `release_`
+  // counts completed episodes, making the current episode its value + 1.
+  const std::uint32_t episode = release_.load() + 1;
 
-  // Gather: wait for both children's subtrees to arrive.
+  // Gather: wait for both children's subtrees to arrive in this episode.
   for (const int child : {2 * tid + 1, 2 * tid + 2}) {
     if (child >= team_size_) continue;
-    Node& node = *nodes_[static_cast<std::size_t>(child)];
-    spin_then_sleep(
-        [&node] { return node.arrived.load(std::memory_order_acquire) != 0; },
-        wait_, node.mutex, node.cv, sleeps_);
+    nodes_[static_cast<std::size_t>(child)].arrived.wait_reached(episode, wait_,
+                                                                 &sleeps_);
   }
 
   if (tid == 0) {
-    // Root: the whole team has arrived. Reset the gather flags, then bump
-    // the epoch (the release wave). The reset happens strictly before the
-    // release, so the next round's arrivals cannot be clobbered.
-    for (int i = 1; i < team_size_; ++i) {
-      nodes_[static_cast<std::size_t>(i)]->arrived.store(0, std::memory_order_relaxed);
-    }
-    {
-      // Pair the epoch bump with every node's mutex-free sleepers via the
-      // root node's lock; sleepers always re-check the predicate, and
-      // waiters sleep on their own node's cv (notified below).
-      std::lock_guard<std::mutex> lock(nodes_[0]->mutex);
-      epoch_.fetch_add(1, std::memory_order_release);
-    }
-    for (auto& node : nodes_) {
-      std::lock_guard<std::mutex> lock(node->mutex);
-      node->cv.notify_all();
-    }
+    // Root: the whole team has arrived; broadcast the release.
+    release_.advance_and_wake();
     return;
   }
 
-  // Signal the parent (under the node lock so a sleeping parent cannot
-  // miss the notification), then wait for the release wave.
-  Node& me = *nodes_[static_cast<std::size_t>(tid)];
-  {
-    std::lock_guard<std::mutex> lock(me.mutex);
-    me.arrived.store(1, std::memory_order_release);
-  }
-  me.cv.notify_all();
-  wait_for_epoch(me, my_epoch);
+  // Signal the parent, then wait for the release wave.
+  nodes_[static_cast<std::size_t>(tid)].arrived.advance_and_wake();
+  release_.wait_reached(episode, wait_, &sleeps_);
 }
 
 }  // namespace omptune::rt

@@ -1,51 +1,48 @@
 #pragma once
 
-// Combining-tree barrier: an alternative to the centralized sense-reversing
-// barrier for large teams. Arrivals propagate up a binary tree (each parent
-// waits for its two children), the release propagates down — O(log n)
+// Combining-tree barrier: arrivals propagate up a binary tree (each parent
+// waits for its two children), the release is one broadcast epoch — O(log n)
 // contention per hot word instead of one shared counter hammered by the
 // whole team. LLVM/OpenMP selects among such barrier algorithms with
 // KMP_*_BARRIER_PATTERN; this is the ablation substrate for that choice
-// (see bench/micro_barrier).
+// (see bench/micro_barrier and bench/micro_primitives).
+//
+// Each tree node's gather word lives on its own cache line (PaddedSlots over
+// the KMP_ALIGN_ALLOC-style allocator). The earlier node layout interleaved
+// every node's atomics in one vector, so two siblings' arrival flags shared
+// a line and each signal invalidated the other's — `padded=false` keeps that
+// packed layout available for the micro-benchmark to quantify.
 
-#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <vector>
 
-#include "rt/barrier.hpp"
+#include "rt/aligned_alloc.hpp"
+#include "rt/team_barrier.hpp"
 
 namespace omptune::rt {
 
-class TreeBarrier {
+class TreeBarrier final : public TeamBarrier {
  public:
-  explicit TreeBarrier(int team_size, WaitBehavior wait = {});
+  /// `initial_epoch` pre-ages every episode counter — the conformance
+  /// suite starts near UINT32_MAX to drive episodes across the wrap.
+  explicit TreeBarrier(int team_size, WaitBehavior wait = {},
+                       bool padded = true, std::uint32_t initial_epoch = 0);
 
   /// Block until all team threads have arrived. `tid` must be the caller's
   /// stable team rank in [0, team_size).
-  void arrive_and_wait(int tid);
+  void arrive_and_wait(int tid) override;
 
-  int team_size() const { return team_size_; }
-  std::uint64_t sleep_count() const {
-    return sleeps_.load(std::memory_order_relaxed);
-  }
+  BarrierKind kind() const override { return BarrierKind::Tree; }
 
  private:
+  /// One per team rank: the rank's arrival flag, waited on by its tree
+  /// parent. Node i's children are 2i+1 and 2i+2.
   struct Node {
-    std::atomic<int> arrived{0};
-    std::atomic<std::uint64_t> release_epoch{0};
-    std::mutex mutex;
-    std::condition_variable cv;
+    WaitWord arrived;
   };
 
-  void wait_for_epoch(Node& node, std::uint64_t epoch);
-
-  int team_size_;
-  WaitBehavior wait_;
-  /// One node per internal tree position; node i has children 2i+1, 2i+2.
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::atomic<std::uint64_t> epoch_{0};
-  std::atomic<std::uint64_t> sleeps_{0};
+  KmpAllocator alloc_;
+  PaddedSlots<Node> nodes_;
+  WaitWord release_;
 };
 
 }  // namespace omptune::rt

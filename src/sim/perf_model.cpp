@@ -32,10 +32,6 @@ constexpr double kOversubscriptionTax = 0.12;
 constexpr double kDynamicResidual = 0.06;
 constexpr double kGuidedResidual = 0.12;
 
-/// Shared-counter grab cost (dynamic/guided), microseconds, before the
-/// team-size contention factor.
-constexpr double kChunkGrabUs = 0.15;
-
 /// Fraction of tasks that end in a steal/idle episode, as a function of
 /// imbalance.
 double steal_fraction(double imbalance) {
@@ -63,17 +59,19 @@ const arch::PlacementStats& cached_placement_stats(const CpuArch& cpu,
 
 /// Latency (us) a waiting thread pays per idle episode before it acquires
 /// new work, per wait policy.
-double idle_latency_us(const CpuArch& cpu, const RtConfig& config) {
+double idle_latency_us(const rt::CalibrationTable& cal, const CpuArch& cpu,
+                       const RtConfig& config) {
   switch (config.wait_policy()) {
     case WaitPolicy::Active:
       // Turnaround spins without yielding: near-immediate pickup.
       // blocktime=infinite in throughput mode still yields between polls.
       return config.library == rt::LibraryMode::Turnaround
-                 ? 0.3
-                 : 0.3 + 0.35 * cpu.yield_latency_us;
+                 ? cal.idle_active_us
+                 : cal.idle_active_us +
+                       cal.idle_yield_factor * cpu.yield_latency_us;
     case WaitPolicy::SpinThenSleep:
       // Gaps shorter than the blocktime behave like yielding spin.
-      return 0.3 + 0.35 * cpu.yield_latency_us;
+      return cal.idle_active_us + cal.idle_yield_factor * cpu.yield_latency_us;
     case WaitPolicy::Passive:
       return cpu.sleep_latency_us;
   }
@@ -81,32 +79,36 @@ double idle_latency_us(const CpuArch& cpu, const RtConfig& config) {
 }
 
 /// Cost (seconds) of forking/joining one parallel region.
-double region_cost_seconds(const CpuArch& cpu, const RtConfig& config,
-                           int threads) {
+double region_cost_seconds(const rt::CalibrationTable& cal, const CpuArch& cpu,
+                           const RtConfig& config, int threads) {
   const double t = static_cast<double>(threads);
   double us = 0.0;
   switch (config.wait_policy()) {
     case WaitPolicy::Active:
-      us = 1.0 + 0.02 * t;
+      us = cal.region_active_base_us + cal.region_active_per_thread_us * t;
       break;
     case WaitPolicy::SpinThenSleep:
       // Workers usually still spinning between close-by regions; a small
       // fraction has slept (long gaps).
-      us = 1.5 + 0.05 * t + 0.02 * cpu.sleep_latency_us;
+      us = cal.region_spin_base_us + cal.region_spin_per_thread_us * t +
+           cal.region_spin_sleep_frac * cpu.sleep_latency_us;
       break;
     case WaitPolicy::Passive:
       // Thundering-herd wake-up of the whole team.
-      us = cpu.sleep_latency_us + 0.9 * t;
+      us = cpu.sleep_latency_us + cal.region_passive_per_thread_us * t;
       break;
   }
   return us * 1e-6;
 }
 
 /// Cost (seconds) of one team-wide reduction with the given method.
-double reduction_cost_seconds(const CpuArch& cpu, rt::ReductionMethod method,
+double reduction_cost_seconds(const rt::CalibrationTable& cal,
+                              const CpuArch& cpu, rt::ReductionMethod method,
                               int threads) {
   const double t = static_cast<double>(threads);
-  const double hop_us = 0.25 + 0.1 * (cpu.numa_nodes > 2 ? 1.0 : 0.0);
+  const double hop_us =
+      cal.reduction_hop_base_us +
+      cal.reduction_hop_numa_us * (cpu.numa_nodes > 2 ? 1.0 : 0.0);
   switch (method) {
     case rt::ReductionMethod::Tree:
       return (std::log2(std::max(2.0, t)) * 2.0 * hop_us) * 1e-6;
@@ -205,14 +207,14 @@ ModelBreakdown PerfModel::breakdown(const apps::Application& app,
       case ScheduleKind::Dynamic:
         residual_imbalance = c.load_imbalance * kDynamicResidual;
         coordination = c.base_seconds * (c.iteration_rate / chunk) *
-                       kChunkGrabUs * grab_contention * 1e-6;
+                       cal_.chunk_grab_us * grab_contention * 1e-6;
         break;
       case ScheduleKind::Guided:
         residual_imbalance = c.load_imbalance * kGuidedResidual;
         // ~log chunks per thread: coordination is much cheaper.
         coordination = c.base_seconds *
                        (8.0 * threads * std::log2(2.0 + c.iteration_rate)) *
-                       kChunkGrabUs * 1e-6;
+                       cal_.chunk_grab_us * 1e-6;
         break;
     }
   }
@@ -222,19 +224,19 @@ ModelBreakdown PerfModel::breakdown(const apps::Application& app,
   // ---- 4. wait policy ------------------------------------------------------
   if (app.kind() == ParallelismKind::Task) {
     // Per-steal idle latency relative to task granularity.
-    const double latency = idle_latency_us(cpu, config);
+    const double latency = idle_latency_us(cal_, cpu, config);
     b.task_idle_factor =
         1.0 + steal_fraction(c.load_imbalance) * latency /
                   std::max(0.5, c.task_granularity_us);
   }
   b.region_overhead_seconds = c.base_seconds * c.region_rate *
-                              region_cost_seconds(cpu, config, threads);
+                              region_cost_seconds(cal_, cpu, config, threads);
 
   // ---- 5. reductions -------------------------------------------------------
   const rt::ReductionMethod method = config.reduction_method_for(threads);
   b.reduction_overhead_seconds =
       c.base_seconds * c.reduction_rate *
-      reduction_cost_seconds(cpu, method, threads);
+      reduction_cost_seconds(cal_, cpu, method, threads);
 
   // ---- 6. alignment --------------------------------------------------------
   // KMP_ALIGN_ALLOC defaults to the cache line. Larger alignment slightly

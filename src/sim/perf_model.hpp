@@ -21,16 +21,24 @@
 //   5. reduction-algorithm costs from KMP_FORCE_REDUCTION;
 //   6. a small KMP_ALIGN_ALLOC term on runtime-internal structures.
 //
+// The primitive costs behind terms 3-5 (region fork/join, idle pickup,
+// chunk grab, reduction hop) come from an rt::CalibrationTable. The default
+// table reproduces the historical hard-coded constants exactly; a table
+// measured on the host by bench/micro_primitives can be substituted
+// (`omptune model --calibration=FILE`).
+//
 // `predict` is pure and deterministic. `measure` adds the architecture's
 // calibrated measurement-noise model: log-normal per-sample noise plus a
 // systematic per-repetition drift on the (shared-cluster) X86 machines —
 // the behaviour the paper's Wilcoxon analysis detects in Tables III/IV.
 
 #include <cstdint>
+#include <utility>
 
 #include "apps/application.hpp"
 #include "arch/cpu_arch.hpp"
 #include "arch/topology.hpp"
+#include "rt/calibration.hpp"
 #include "rt/config.hpp"
 
 namespace omptune::sim {
@@ -55,7 +63,15 @@ struct ModelBreakdown {
 
 class PerfModel {
  public:
+  /// Default: the fallback calibration (the historical constants) —
+  /// predictions are bit-identical to the pre-table model.
   PerfModel() = default;
+
+  /// Model with measured primitive costs.
+  explicit PerfModel(rt::CalibrationTable calibration)
+      : cal_(std::move(calibration)) {}
+
+  const rt::CalibrationTable& calibration() const { return cal_; }
 
   /// Noiseless runtime prediction (seconds).
   double predict(const apps::Application& app, const apps::InputSize& input,
@@ -75,6 +91,9 @@ class PerfModel {
                  const arch::CpuArch& cpu, const rt::RtConfig& config,
                  std::uint64_t batch_seed, int repetition,
                  std::uint64_t sample_index) const;
+
+ private:
+  rt::CalibrationTable cal_;
 };
 
 }  // namespace omptune::sim

@@ -1,0 +1,121 @@
+#include "util/futex.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/env.hpp"
+
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <climits>
+#endif
+
+namespace omptune::util {
+
+namespace {
+
+// ---- portable parking lot --------------------------------------------------
+//
+// Waiters hash the word's address into one of a fixed set of buckets and
+// sleep on that bucket's condition variable. The word re-check happens under
+// the bucket lock, and wakers take the same lock before notifying, so a
+// waiter that observed the stale value either sees the new value before
+// sleeping or is registered on the condvar when the notify lands. Hash
+// collisions only cause spurious wakeups, which the contract allows.
+
+struct ParkBucket {
+  std::mutex mutex;
+  std::condition_variable cv;
+  // Bumped under the lock on every wake so sleepers can detect a notify that
+  // targeted their bucket even if their word is unchanged (collision case).
+  std::uint64_t wake_ticket = 0;
+};
+
+constexpr std::size_t kBucketCount = 64;  // power of two
+
+ParkBucket& bucket_for(const void* address) {
+  static ParkBucket buckets[kBucketCount];
+  // Mix the address bits; the low bits of heap pointers are alignment zeros.
+  auto h = reinterpret_cast<std::uintptr_t>(address);
+  h ^= h >> 9;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 17;
+  return buckets[h & (kBucketCount - 1)];
+}
+
+void parking_lot_wait(const std::atomic<std::uint32_t>& word,
+                      std::uint32_t old) {
+  ParkBucket& bucket = bucket_for(&word);
+  std::unique_lock<std::mutex> lock(bucket.mutex);
+  if (word.load(std::memory_order_acquire) != old) return;
+  const std::uint64_t ticket = bucket.wake_ticket;
+  bucket.cv.wait(lock, [&] {
+    return word.load(std::memory_order_acquire) != old ||
+           bucket.wake_ticket != ticket;
+  });
+}
+
+int parking_lot_wake(std::atomic<std::uint32_t>& word, int count) {
+  ParkBucket& bucket = bucket_for(&word);
+  {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    ++bucket.wake_ticket;
+  }
+  // Condvars cannot target one word within a shared bucket, so any wake is a
+  // broadcast; extra wakeups are spurious-by-contract.
+  bucket.cv.notify_all();
+  return count;
+}
+
+bool use_kernel_futex() {
+#if defined(__linux__)
+  static const bool enabled = !get_env("OMPTUNE_NO_FUTEX").has_value();
+  return enabled;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void futex_wait(const std::atomic<std::uint32_t>& word, std::uint32_t old) {
+#if defined(__linux__)
+  if (use_kernel_futex()) {
+    // EAGAIN (word already changed) and EINTR both mean "re-check".
+    syscall(SYS_futex, reinterpret_cast<const std::uint32_t*>(&word),
+            FUTEX_WAIT_PRIVATE, old, nullptr, nullptr, 0);
+    return;
+  }
+#endif
+  parking_lot_wait(word, old);
+}
+
+int futex_wake(std::atomic<std::uint32_t>& word, int count) {
+  if (count <= 0) return 0;
+#if defined(__linux__)
+  if (use_kernel_futex()) {
+    const long woken =
+        syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word),
+                FUTEX_WAKE_PRIVATE, count, nullptr, nullptr, 0);
+    return woken > 0 ? static_cast<int>(woken) : 0;
+  }
+#endif
+  return parking_lot_wake(word, count);
+}
+
+int futex_wake_all(std::atomic<std::uint32_t>& word) {
+#if defined(__linux__)
+  if (use_kernel_futex()) return futex_wake(word, INT_MAX);
+#endif
+  return parking_lot_wake(word, 1 << 30);
+}
+
+const char* futex_backend() {
+  return use_kernel_futex() ? "futex" : "parking-lot";
+}
+
+}  // namespace omptune::util

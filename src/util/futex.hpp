@@ -1,0 +1,43 @@
+#pragma once
+
+// Minimal futex(2)-shaped wait/wake on a 32-bit atomic word.
+//
+// The contract is the kernel one: `futex_wait(word, old)` blocks the caller
+// while `word == old` and may return spuriously; `futex_wake(word, n)` wakes
+// up to `n` threads blocked on `word`. Callers therefore always loop:
+//
+//   uint32_t seen = word.load(acquire);
+//   while (!satisfied(seen)) { futex_wait(word, seen); seen = word.load(acquire); }
+//
+// and a waker always *changes the word first* (release store / fetch_add)
+// and only then calls futex_wake — the value check inside wait closes the
+// missed-wakeup window without any lock.
+//
+// On Linux this is the real SYS_futex (FUTEX_WAIT_PRIVATE/FUTEX_WAKE_PRIVATE).
+// Elsewhere — and on Linux when OMPTUNE_NO_FUTEX is set, so tests can cover
+// it anywhere — a hashed parking lot of mutex+condvar buckets emulates the
+// same semantics. The fallback serializes the word re-check under the bucket
+// lock, which restores the ordering the kernel's internal queue lock provides.
+
+#include <atomic>
+#include <cstdint>
+
+namespace omptune::util {
+
+/// Block while `word == old`. Returns when the word differs, on a wake, or
+/// spuriously; the caller re-checks its predicate either way.
+void futex_wait(const std::atomic<std::uint32_t>& word, std::uint32_t old);
+
+/// Wake up to `count` waiters blocked in futex_wait on `word`. Returns the
+/// number of threads the kernel reports woken (fallback: an upper bound).
+int futex_wake(std::atomic<std::uint32_t>& word, int count);
+
+/// Wake every waiter blocked on `word`.
+int futex_wake_all(std::atomic<std::uint32_t>& word);
+
+/// "futex" when the kernel syscall is in use, "parking-lot" for the
+/// portable fallback — surfaced by the primitive micro-benchmark so a
+/// recorded measurement names the mechanism it measured.
+const char* futex_backend();
+
+}  // namespace omptune::util

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/env.hpp"
+#include "util/futex.hpp"
 
 namespace omptune::util {
 
@@ -46,18 +47,32 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
-  work_ready_.notify_all();
+  wake_word_.fetch_add(1, std::memory_order_release);
+  futex_wake_all(wake_word_);
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_ready_.wait(lock, [this] {
-      return stop_ || (job_ != nullptr &&
+    // Wait for work or shutdown. The wake word is sampled while the state
+    // check still holds the pool mutex: a submission that lands after the
+    // sample bumps the word, so the park below returns immediately instead
+    // of missing the job.
+    while (!(stop_ || (job_ != nullptr &&
                        job_->next_chunk.load(std::memory_order_relaxed) <
-                           job_->chunks);
-    });
+                           job_->chunks))) {
+      const std::uint32_t seen = wake_word_.load(std::memory_order_acquire);
+      lock.unlock();
+      // Brief spin keeps hand-off latency low for back-to-back jobs; park
+      // in the kernel once the spin comes up empty.
+      bool changed = false;
+      for (int i = 0; i < 128 && !changed; ++i) {
+        changed = wake_word_.load(std::memory_order_acquire) != seen;
+      }
+      if (!changed) futex_wait(wake_word_, seen);
+      lock.lock();
+    }
     if (stop_) return;
     Job& job = *job_;
     // The submitter frees the Job only once retired == chunks AND no
@@ -145,7 +160,13 @@ void ThreadPool::parallel_for(
   job_done_.wait(lock, [this] { return job_ == nullptr; });
   job_ = &job;
   lock.unlock();
-  work_ready_.notify_all();
+  // The submitter runs one lane itself, so at most chunks - 1 workers can
+  // contribute; wake exactly that many parked workers and leave the rest
+  // asleep. Spinning workers notice the bumped word without a syscall.
+  const std::size_t helpers =
+      std::min<std::size_t>(chunks - 1, static_cast<std::size_t>(lanes_ - 1));
+  wake_word_.fetch_add(1, std::memory_order_release);
+  if (helpers > 0) futex_wake(wake_word_, static_cast<int>(helpers));
 
   run_chunks(job);  // the submitter is a lane too
 

@@ -30,6 +30,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -99,7 +100,12 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 
   mutable std::mutex mutex_;
-  mutable std::condition_variable work_ready_;   ///< workers wait here
+  /// Idle workers spin briefly, then park on this futex word. A submission
+  /// bumps the word and wakes exactly min(chunks - 1, workers) parked
+  /// workers — never a broadcast, so a two-chunk job on a 64-lane pool
+  /// disturbs one sleeper instead of sixty-three (the old notify_all
+  /// thundering herd).
+  mutable std::atomic<std::uint32_t> wake_word_{0};
   mutable std::condition_variable job_done_;     ///< the submitter waits here
   mutable Job* job_ = nullptr;                   ///< at most one active job
   bool stop_ = false;

@@ -1,0 +1,227 @@
+// Conformance suite for the barrier catalogue: every variant must be a
+// correct reusable team barrier for any team size, wait policy, and across
+// epoch wraparound — and switching variants must never change application
+// results (it is a pure performance knob).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "arch/cpu_arch.hpp"
+#include "rt/barrier.hpp"
+#include "rt/dissemination_barrier.hpp"
+#include "rt/hybrid_barrier.hpp"
+#include "rt/team_barrier.hpp"
+#include "rt/thread_team.hpp"
+#include "rt/tree_barrier.hpp"
+
+namespace omptune::rt {
+namespace {
+
+WaitBehavior behavior(WaitPolicy policy) {
+  WaitBehavior wait;
+  wait.policy = policy;
+  wait.yield_while_spinning = true;
+  return wait;
+}
+
+const BarrierKind kAllKinds[] = {BarrierKind::Central, BarrierKind::Tree,
+                                 BarrierKind::Dissemination,
+                                 BarrierKind::Hybrid};
+
+/// Drive `rounds` episodes with `team` threads and assert the fundamental
+/// barrier property: when any thread leaves episode r, every thread has
+/// arrived at episode r (the per-round counter reads team).
+void exercise(TeamBarrier& barrier, int team, int rounds) {
+  std::vector<std::atomic<int>> arrivals(static_cast<std::size_t>(rounds));
+  for (auto& a : arrivals) a.store(0);
+  std::atomic<int> violations{0};
+
+  std::vector<std::jthread> threads;
+  threads.reserve(static_cast<std::size_t>(team));
+  for (int t = 0; t < team; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < rounds; ++r) {
+        arrivals[static_cast<std::size_t>(r)].fetch_add(
+            1, std::memory_order_acq_rel);
+        barrier.arrive_and_wait(t);
+        if (arrivals[static_cast<std::size_t>(r)].load(
+                std::memory_order_acquire) != team) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        barrier.arrive_and_wait(t);  // keep rounds phase-separated
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_EQ(violations.load(), 0);
+}
+
+std::unique_ptr<TeamBarrier> make_with_epoch(BarrierKind kind, int team,
+                                             WaitBehavior wait,
+                                             std::uint32_t initial_epoch) {
+  switch (kind) {
+    case BarrierKind::Central:
+      return std::make_unique<Barrier>(team, wait, initial_epoch);
+    case BarrierKind::Tree:
+      return std::make_unique<TreeBarrier>(team, wait, /*padded=*/true,
+                                           initial_epoch);
+    case BarrierKind::Dissemination:
+      return std::make_unique<DisseminationBarrier>(team, wait, initial_epoch);
+    case BarrierKind::Hybrid:
+      return std::make_unique<HybridBarrier>(team, wait, initial_epoch);
+    case BarrierKind::Auto:
+      break;
+  }
+  throw std::logic_error("bad kind");
+}
+
+TEST(BarrierVariants, OddAndSmallTeamSizes) {
+  for (const BarrierKind kind : kAllKinds) {
+    for (const int team : {1, 2, 3, 5, 7}) {
+      SCOPED_TRACE(to_string(kind) + " team=" + std::to_string(team));
+      auto barrier =
+          make_team_barrier(kind, team, behavior(WaitPolicy::Passive));
+      EXPECT_EQ(barrier->kind(), kind);
+      EXPECT_EQ(barrier->team_size(), team);
+      exercise(*barrier, team, 25);
+    }
+  }
+}
+
+TEST(BarrierVariants, ReuseAcrossManyEpisodes) {
+  for (const BarrierKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    auto barrier = make_team_barrier(kind, 4, behavior(WaitPolicy::Passive));
+    exercise(*barrier, 4, 200);
+  }
+}
+
+TEST(BarrierVariants, EpochWraparound) {
+  // Episodes cross the 2^32 boundary: start every epoch counter just below
+  // UINT32_MAX and run enough rounds (2 barriers each) to wrap.
+  const std::uint32_t start = std::numeric_limits<std::uint32_t>::max() - 5;
+  for (const BarrierKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    auto barrier = make_with_epoch(kind, 3, behavior(WaitPolicy::Passive),
+                                   start);
+    exercise(*barrier, 3, 20);
+  }
+}
+
+TEST(BarrierVariants, AllWaitPolicies) {
+  for (const BarrierKind kind : kAllKinds) {
+    for (const WaitPolicy policy :
+         {WaitPolicy::Active, WaitPolicy::SpinThenSleep, WaitPolicy::Passive}) {
+      SCOPED_TRACE(to_string(kind) + " policy=" +
+                   std::to_string(static_cast<int>(policy)));
+      auto barrier = make_team_barrier(kind, 4, behavior(policy));
+      exercise(*barrier, 4, 20);
+      if (policy == WaitPolicy::Active) {
+        // Active (turnaround / infinite blocktime) must never park.
+        EXPECT_EQ(barrier->sleep_count(), 0u);
+      }
+    }
+  }
+}
+
+TEST(BarrierVariants, PassiveParksOnSlowArrival) {
+  // One deliberately late thread forces the others through the futex path.
+  Barrier barrier(2, behavior(WaitPolicy::Passive));
+  std::jthread waiter([&barrier] { barrier.arrive_and_wait(0); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  barrier.arrive_and_wait(1);
+  waiter.join();
+  EXPECT_GE(barrier.sleep_count(), 1u);
+}
+
+TEST(BarrierVariants, UnpaddedTreeBarrierStillConforms) {
+  TreeBarrier barrier(5, behavior(WaitPolicy::Passive), /*padded=*/false);
+  exercise(barrier, 5, 50);
+}
+
+TEST(BarrierVariants, FactoryResolvesAuto) {
+  EXPECT_EQ(resolve_barrier_kind(BarrierKind::Auto, 1), BarrierKind::Central);
+  EXPECT_EQ(resolve_barrier_kind(BarrierKind::Auto, 4), BarrierKind::Central);
+  EXPECT_EQ(resolve_barrier_kind(BarrierKind::Auto, 8), BarrierKind::Hybrid);
+  EXPECT_EQ(resolve_barrier_kind(BarrierKind::Auto, 16),
+            BarrierKind::Dissemination);
+  EXPECT_EQ(resolve_barrier_kind(BarrierKind::Tree, 64), BarrierKind::Tree);
+  EXPECT_EQ(make_team_barrier(BarrierKind::Auto, 16)->kind(),
+            BarrierKind::Dissemination);
+}
+
+TEST(BarrierVariants, RejectsBadTeamAndRank) {
+  EXPECT_THROW(make_team_barrier(BarrierKind::Dissemination, 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_team_barrier(BarrierKind::Hybrid, -3),
+               std::invalid_argument);
+  for (const BarrierKind kind : kAllKinds) {
+    SCOPED_TRACE(to_string(kind));
+    auto barrier = make_team_barrier(kind, 2);
+    if (kind == BarrierKind::Central) continue;  // rank-free algorithm
+    EXPECT_THROW(barrier->arrive_and_wait(2), std::out_of_range);
+    EXPECT_THROW(barrier->arrive_and_wait(-1), std::out_of_range);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the variant is a pure performance knob — forcing any pattern
+// through KMP_BARRIER_PATTERN must leave application results untouched.
+// ---------------------------------------------------------------------------
+
+double run_team_workload(BarrierKind kind) {
+  const auto& cpu = arch::architecture(arch::ArchId::Skylake);
+  RtConfig config = RtConfig::defaults_for(cpu);
+  config.num_threads = 5;
+  config.blocktime_ms = 0;  // kind to the single-core test host
+  config.barrier = kind;
+
+  ThreadTeam team(cpu, config);
+  EXPECT_EQ(team.barrier_kind(), resolve_barrier_kind(kind, 5));
+
+  double reduced = 0.0;
+  std::atomic<std::uint64_t> tasks_done{0};
+  team.parallel([&](TeamContext& ctx) {
+    const double sum = ctx.parallel_for_reduce(
+        0, 10'000, ReduceOp::Sum, [](std::int64_t lo, std::int64_t hi) {
+          double acc = 0.0;
+          for (std::int64_t i = lo; i < hi; ++i) {
+            acc += static_cast<double>(i % 97) * 0.5;
+          }
+          return acc;
+        });
+    ctx.single([&reduced, sum] { reduced = sum; });
+    ctx.run_task_root([&ctx, &tasks_done] {
+      for (int i = 0; i < 64; ++i) {
+        ctx.spawn([&tasks_done] {
+          tasks_done.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  });
+  EXPECT_EQ(tasks_done.load(), 64u);
+  return reduced;
+}
+
+TEST(BarrierVariants, VariantsNeverChangeApplicationResults) {
+  const double reference = run_team_workload(BarrierKind::Central);
+  for (const BarrierKind kind :
+       {BarrierKind::Tree, BarrierKind::Dissemination, BarrierKind::Hybrid,
+        BarrierKind::Auto}) {
+    SCOPED_TRACE(to_string(kind));
+    // Bitwise equality: the reduction order is fixed by the tree algorithm,
+    // not by the barrier, so results must match exactly.
+    EXPECT_EQ(run_team_workload(kind), reference);
+  }
+}
+
+}  // namespace
+}  // namespace omptune::rt

@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "arch/cpu_arch.hpp"
 #include "rt/config.hpp"
 #include "util/env.hpp"
@@ -255,6 +259,57 @@ TEST(RtConfigKey, DistinctConfigsHaveDistinctKeys) {
   EXPECT_NE(b.key().find("blocktime=infinite"), std::string::npos);
 }
 
+TEST(RtConfigBarrier, ParsesKmpBarrierPattern) {
+  const auto clean = clean_env();
+  const auto& cpu = architecture(ArchId::Skylake);
+  EXPECT_EQ(RtConfig::from_env(cpu).barrier, BarrierKind::Auto);
+  {
+    const ScopedEnv env({{"KMP_BARRIER_PATTERN", "dissemination"}});
+    EXPECT_EQ(RtConfig::from_env(cpu).barrier, BarrierKind::Dissemination);
+  }
+  {
+    // libomp spells the flat barrier "hyper"-adjacent aliases; we accept
+    // "flat" and "linear" as synonyms of hybrid/central respectively.
+    const ScopedEnv env({{"KMP_BARRIER_PATTERN", "flat"}});
+    EXPECT_EQ(RtConfig::from_env(cpu).barrier, BarrierKind::Hybrid);
+  }
+  {
+    const ScopedEnv env({{"KMP_BARRIER_PATTERN", "linear"}});
+    EXPECT_EQ(RtConfig::from_env(cpu).barrier, BarrierKind::Central);
+  }
+  {
+    const ScopedEnv env({{"KMP_BARRIER_PATTERN", "hypercube"}});
+    EXPECT_THROW(RtConfig::from_env(cpu), std::invalid_argument);
+  }
+}
+
+TEST(RtConfigBarrier, ExportsAndKeysOnlyNonAutoChoice) {
+  const auto& cpu = architecture(ArchId::Skylake);
+  RtConfig config = RtConfig::defaults_for(cpu);
+
+  // Auto is the derived default: exported as an explicit *unset* (so a
+  // child inherits nothing stale) and invisible in the sweep key, keeping
+  // pre-catalogue keys stable.
+  const auto pattern_of = [](const std::vector<util::ScopedEnv::Assignment>&
+                                 exported) {
+    for (const auto& assignment : exported) {
+      if (assignment.name == "KMP_BARRIER_PATTERN") return assignment.value;
+    }
+    ADD_FAILURE() << "KMP_BARRIER_PATTERN not in to_env output";
+    return std::optional<std::string>{};
+  };
+  EXPECT_EQ(pattern_of(config.to_env(cpu)), std::nullopt);
+  EXPECT_EQ(config.key().find("barrier="), std::string::npos);
+
+  config.barrier = BarrierKind::Tree;
+  EXPECT_EQ(pattern_of(config.to_env(cpu)), "tree");
+  EXPECT_NE(config.key().find("barrier=tree"), std::string::npos);
+
+  RtConfig other = RtConfig::defaults_for(cpu);
+  other.barrier = BarrierKind::Dissemination;
+  EXPECT_NE(config.key(), other.key());
+}
+
 TEST(EnumStrings, RoundTrips) {
   for (const ScheduleKind kind : {ScheduleKind::Static, ScheduleKind::Dynamic,
                                   ScheduleKind::Guided, ScheduleKind::Auto}) {
@@ -268,6 +323,11 @@ TEST(EnumStrings, RoundTrips) {
        {ReductionMethod::Default, ReductionMethod::Tree,
         ReductionMethod::Critical, ReductionMethod::Atomic}) {
     EXPECT_EQ(reduction_from_string(to_string(method)), method);
+  }
+  for (const BarrierKind kind :
+       {BarrierKind::Auto, BarrierKind::Central, BarrierKind::Tree,
+        BarrierKind::Dissemination, BarrierKind::Hybrid}) {
+    EXPECT_EQ(barrier_from_string(to_string(kind)), kind);
   }
 }
 

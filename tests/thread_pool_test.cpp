@@ -9,10 +9,12 @@
 #include <stdlib.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace omptune::util {
@@ -166,6 +168,47 @@ TEST(ThreadPoolTest, EmptyRangeNeverInvokesBody) {
                 &pool, 0, 8, [](int&, std::size_t, std::size_t) {},
                 [](int&, int&&) {}),
             0);
+}
+
+TEST(ThreadPoolTest, ManySmallBurstsNeverLoseAWakeup) {
+  // Lost-wakeup stress for the counted futex wake: thousands of tiny jobs
+  // with park-inducing gaps. A submit whose wake is lost leaves a worker
+  // asleep forever and the job (or a later one) hangs — the ctest timeout
+  // is the failure detector, the count check catches partial execution.
+  const ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  constexpr int kBursts = 2000;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    pool.parallel_for(3, 1, [&](std::size_t begin, std::size_t end,
+                                std::size_t) {
+      executed.fetch_add(end - begin, std::memory_order_relaxed);
+    });
+    if (burst % 16 == 0) {
+      // Give workers time to run out their spin budget and park, so the
+      // next submit exercises the wake-from-parked path, not just spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_EQ(executed.load(), 3u * kBursts);
+}
+
+TEST(ThreadPoolTest, SingleChunkJobsLeaveWorkersParkedButWakeable) {
+  // A 1-chunk job runs inline on the caller (helpers == 0: wake nobody).
+  // After a long run of those, a wide job must still wake the workers.
+  const ThreadPool pool(4);
+  std::atomic<std::size_t> inline_runs{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.parallel_for(1, 1, [&](std::size_t, std::size_t, std::size_t) {
+      inline_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(inline_runs.load(), 500u);
+
+  std::atomic<std::size_t> wide_chunks{0};
+  pool.parallel_for(64, 1, [&](std::size_t, std::size_t, std::size_t) {
+    wide_chunks.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(wide_chunks.load(), 64u);
 }
 
 }  // namespace

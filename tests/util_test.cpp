@@ -3,16 +3,21 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "sim/storage_chaos.hpp"
 #include "util/backoff.hpp"
 #include "util/errors.hpp"
 #include "util/fs.hpp"
+#include "util/futex.hpp"
 #include "util/io_hooks.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
@@ -378,6 +383,77 @@ TEST(Fs, ReadFileAppliesBitrotHook) {
   EXPECT_NE(rotted, payload);  // exactly one byte differs
   EXPECT_EQ(read_file(path).value(), rotted);  // deterministic per path
   std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// futex_wait/futex_wake contract (util/futex.hpp). These run against
+// whichever backend is active — the kernel syscall or the parking-lot
+// fallback; the `util_futex_fallback` ctest entry re-runs them with
+// OMPTUNE_NO_FUTEX=1 so the fallback gets coverage on Linux too.
+// ---------------------------------------------------------------------------
+
+TEST(Futex, BackendNameMatchesEnvironment) {
+  const std::string backend = futex_backend();
+  EXPECT_TRUE(backend == "futex" || backend == "parking-lot") << backend;
+  if (get_env("OMPTUNE_NO_FUTEX")) EXPECT_EQ(backend, "parking-lot");
+}
+
+TEST(Futex, StaleValueReturnsImmediately) {
+  // Waker changed the word before we got to sleep: the value check must
+  // keep us from blocking (this is the missed-wakeup defence).
+  std::atomic<std::uint32_t> word{7};
+  futex_wait(word, 6);  // word != old: returns without sleeping
+}
+
+TEST(Futex, WakeBeforeWaitIsNotLost) {
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    // Canonical loop from the header comment.
+    std::uint32_t seen = word.load(std::memory_order_acquire);
+    while (seen == 0) {
+      futex_wait(word, seen);
+      seen = word.load(std::memory_order_acquire);
+    }
+    released.store(true, std::memory_order_release);
+  });
+  // Change-then-wake from this side races freely against the waiter; the
+  // protocol must converge regardless of interleaving.
+  word.store(1, std::memory_order_release);
+  futex_wake_all(word);
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(Futex, ManyWaitersAllReleased) {
+  constexpr int kWaiters = 8;
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      std::uint32_t seen = word.load(std::memory_order_acquire);
+      while (seen == 0) {
+        futex_wait(word, seen);
+        seen = word.load(std::memory_order_acquire);
+      }
+      woken.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  word.store(1, std::memory_order_release);
+  // Wake in dribs to exercise the counted path as well as the broadcast.
+  futex_wake(word, 2);
+  futex_wake_all(word);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken.load(), kWaiters);
+}
+
+TEST(Futex, WakeWithNoWaitersIsANoOp) {
+  std::atomic<std::uint32_t> word{3};
+  EXPECT_GE(futex_wake(word, 4), 0);
+  EXPECT_GE(futex_wake_all(word), 0);
+  EXPECT_EQ(futex_wake(word, 0), 0);
+  EXPECT_EQ(futex_wake(word, -1), 0);
 }
 
 }  // namespace

@@ -90,6 +90,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -100,6 +101,7 @@
 #include "serve/retry.hpp"
 #include "serve/server.hpp"
 #include "core/thread_advisor.hpp"
+#include "rt/calibration.hpp"
 #include "core/tuner.hpp"
 #include "sim/energy_model.hpp"
 #include "sim/fault_runner.hpp"
@@ -176,7 +178,10 @@ int usage() {
       "                                    strategy: hill|random|anneal|exhaustive\n"
       "  violin <app>                      distribution per (arch, setting)\n"
       "  model <app> <arch> [config...]    runtime/energy breakdown; config\n"
-      "                                    tokens like KMP_LIBRARY=turnaround\n"
+      "                                    tokens like KMP_LIBRARY=turnaround;\n"
+      "                                    --calibration=FILE uses a measured\n"
+      "                                    primitive-cost table (see\n"
+      "                                    bench/micro_primitives)\n"
       "  threads <app> <arch>              thread-count scaling + advice\n"
       "global flags:\n"
       "  --analysis-threads=N              worker threads for the analytics\n"
@@ -972,9 +977,22 @@ int cmd_model(int argc, char** argv) {
   if (argc < 4) return usage();
   const apps::Application& app = apps::find_application(argv[2]);
   const arch::CpuArch& cpu = arch::architecture(arch::arch_from_string(argv[3]));
-  const rt::RtConfig config = parse_config_tokens(argc, argv, 4, cpu);
 
-  sim::PerfModel model;
+  // Split --calibration=FILE from the NAME=value config tokens.
+  rt::CalibrationTable calibration = rt::CalibrationTable::fallback();
+  std::vector<char*> tokens;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (util::starts_with(arg, "--calibration=")) {
+      calibration = rt::CalibrationTable::load(arg.substr(14));
+    } else {
+      tokens.push_back(argv[i]);
+    }
+  }
+  const rt::RtConfig config = parse_config_tokens(
+      static_cast<int>(tokens.size()), tokens.data(), 0, cpu);
+
+  sim::PerfModel model(std::move(calibration));
   const sim::ModelBreakdown b =
       model.breakdown(app, app.default_input(), cpu, config);
   std::printf("config: %s\n\n", config.key().c_str());
